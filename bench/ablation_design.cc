@@ -1,0 +1,61 @@
+// E13 — design ablations called out in DESIGN.md: each row disables one
+// component of BClean on Hospital and Inpatient and reports the quality
+// cost. Quantifies which parts of the system carry the result:
+// compensatory score, MI pair weighting, conditional-vote normalization,
+// partitioned inference, pruning, and the repair margin.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace bclean;
+using namespace bclean::bench;
+
+int main() {
+  std::printf("Design ablations (F1; PI configuration unless noted)\n");
+  std::printf("%-34s %10s %10s\n", "configuration", "hospital", "inpatient");
+
+  struct Config {
+    const char* label;
+    BCleanOptions options;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"full (BCleanPI)",
+                     BCleanOptions::PartitionedInference()});
+  {
+    BCleanOptions o = BCleanOptions::PartitionedInference();
+    o.use_compensatory = false;
+    configs.push_back({"- compensatory score", o});
+  }
+  {
+    BCleanOptions o = BCleanOptions::PartitionedInference();
+    o.compensatory.use_mi_weighting = false;
+    configs.push_back({"- MI pair weighting", o});
+  }
+  {
+    BCleanOptions o = BCleanOptions::PartitionedInference();
+    o.compensatory.normalization = CorrNormalization::kJointFrequency;
+    configs.push_back({"- conditional vote (joint freq)", o});
+  }
+  {
+    BCleanOptions o = BCleanOptions::PartitionedInference();
+    o.repair_margin = 0.0;
+    configs.push_back({"- repair margin", o});
+  }
+  {
+    BCleanOptions o = BCleanOptions::PartitionedInference();
+    o.use_user_constraints = false;
+    configs.push_back({"- user constraints", o});
+  }
+  configs.push_back({"+ tuple & domain pruning (PIP)",
+                     BCleanOptions::PartitionedInferencePruning()});
+
+  Prepared hospital = Prepare("hospital");
+  Prepared inpatient = Prepare("inpatient");
+  for (const Config& config : configs) {
+    double h = RunBClean(config.label, hospital, config.options).metrics.f1;
+    double i = RunBClean(config.label, inpatient, config.options).metrics.f1;
+    std::printf("%-34s %10.3f %10.3f\n", config.label, h, i);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Shared helpers for the experiment benches: dataset preparation, method
+// runners, and paper-shaped table printing. Every bench binary runs
+// standalone with no arguments; BCLEAN_SOCCER_ROWS scales the Soccer
+// dataset (paper: 200,000 rows; default here: 10,000 so the whole suite
+// finishes in minutes).
+#ifndef BCLEAN_BENCH_BENCH_UTIL_H_
+#define BCLEAN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/baselines/garf_lite.h"
+#include "src/baselines/holoclean_lite.h"
+#include "src/baselines/pclean_lite.h"
+#include "src/baselines/rahabaran_lite.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/core/engine.h"
+#include "src/datagen/benchmarks.h"
+#include "src/eval/metrics.h"
+
+namespace bclean {
+namespace bench {
+
+inline size_t SoccerRows() {
+  const char* env = std::getenv("BCLEAN_SOCCER_ROWS");
+  if (env != nullptr) {
+    long v = std::atol(env);
+    if (v > 100) return static_cast<size_t>(v);
+  }
+  return 10000;
+}
+
+/// A prepared experiment: dataset + injected errors + ground truth.
+struct Prepared {
+  Dataset dataset;
+  InjectionResult injection;
+};
+
+inline Prepared Prepare(const std::string& name, uint64_t seed = 7,
+                        size_t rows = 0) {
+  Prepared p;
+  if (name == "soccer" && rows == 0) rows = SoccerRows();
+  p.dataset = MakeBenchmark(name, rows, 42).value();
+  Rng rng(seed);
+  p.injection =
+      InjectErrors(p.dataset.clean, p.dataset.default_injection, &rng)
+          .value();
+  return p;
+}
+
+/// The BN the paper's users produce for Flights through interaction
+/// (Section 7.3.2): the flight key determines the four recorded times.
+inline BayesianNetwork FlightsUserNetwork(const Schema& schema) {
+  BayesianNetwork bn(schema);
+  for (const char* t : {"sched_dep_time", "act_dep_time", "sched_arr_time",
+                        "act_arr_time"}) {
+    bn.AddEdgeByName("flight", t);
+  }
+  return bn;
+}
+
+struct MethodResult {
+  std::string method;
+  CleaningMetrics metrics;
+  double seconds = 0.0;
+  bool ran = false;
+  Table cleaned;
+};
+
+/// Runs one BClean variant. For Flights, Table 4's numbers correspond to
+/// the user-adjusted network (the paper reports the auto-learned Flights
+/// BN is wrong until users fix it), so `user_network_for_flights` defaults
+/// to true.
+inline MethodResult RunBClean(const std::string& method,
+                              const Prepared& p,
+                              BCleanOptions options,
+                              bool user_network_for_flights = true) {
+  MethodResult out;
+  out.method = method;
+  Stopwatch watch;
+  Result<std::unique_ptr<BCleanEngine>> engine = Status::Internal("unset");
+  if (p.dataset.name == "flights" && user_network_for_flights) {
+    engine = BCleanEngine::CreateWithNetwork(
+        p.injection.dirty, p.dataset.ucs,
+        FlightsUserNetwork(p.dataset.clean.schema()), options);
+  } else {
+    engine = BCleanEngine::Create(p.injection.dirty, p.dataset.ucs, options);
+  }
+  if (!engine.ok()) return out;
+  out.cleaned = engine.value()->Clean();
+  out.seconds = watch.ElapsedSeconds();
+  out.metrics =
+      Evaluate(p.dataset.clean, p.injection.dirty, out.cleaned).value();
+  out.ran = true;
+  return out;
+}
+
+inline MethodResult RunHoloClean(const Prepared& p) {
+  MethodResult out;
+  out.method = "HoloClean";
+  Stopwatch watch;
+  auto hc = HoloCleanLite::Create(p.dataset.clean.schema(),
+                                  p.dataset.fd_rules);
+  if (!hc.ok()) return out;
+  out.cleaned = hc.value().Clean(p.injection.dirty);
+  out.seconds = watch.ElapsedSeconds();
+  out.metrics =
+      Evaluate(p.dataset.clean, p.injection.dirty, out.cleaned).value();
+  out.ran = true;
+  return out;
+}
+
+inline MethodResult RunRahaBaran(const Prepared& p, uint64_t seed = 99) {
+  MethodResult out;
+  out.method = "Raha+Baran";
+  Stopwatch watch;
+  Rng rng(seed);
+  std::vector<size_t> labels =
+      rng.SampleWithoutReplacement(p.injection.dirty.num_rows(), 40);
+  auto rb = RahaBaranLite::Create(p.injection.dirty, labels, p.dataset.clean);
+  if (!rb.ok()) return out;
+  out.cleaned = rb.value().Clean();
+  out.seconds = watch.ElapsedSeconds();
+  out.metrics =
+      Evaluate(p.dataset.clean, p.injection.dirty, out.cleaned).value();
+  out.ran = true;
+  return out;
+}
+
+inline MethodResult RunPClean(const Prepared& p) {
+  MethodResult out;
+  out.method = "PClean";
+  Stopwatch watch;
+  auto program = ProgramFor(p.dataset.name);
+  if (!program.ok()) return out;
+  auto pc = PCleanLite::Create(p.dataset.clean.schema(), program.value());
+  if (!pc.ok()) return out;
+  out.cleaned = pc.value().Clean(p.injection.dirty);
+  out.seconds = watch.ElapsedSeconds();
+  out.metrics =
+      Evaluate(p.dataset.clean, p.injection.dirty, out.cleaned).value();
+  out.ran = true;
+  return out;
+}
+
+inline MethodResult RunGarf(const Prepared& p) {
+  MethodResult out;
+  out.method = "Garf";
+  Stopwatch watch;
+  GarfLite garf = GarfLite::Train(p.injection.dirty);
+  out.cleaned = garf.Clean();
+  out.seconds = watch.ElapsedSeconds();
+  out.metrics =
+      Evaluate(p.dataset.clean, p.injection.dirty, out.cleaned).value();
+  out.ran = true;
+  return out;
+}
+
+inline void PrintPRF(const MethodResult& r) {
+  if (!r.ran) {
+    std::printf("  %-12s      -      -      -\n", r.method.c_str());
+    return;
+  }
+  std::printf("  %-12s %6.3f %6.3f %6.3f\n", r.method.c_str(),
+              r.metrics.precision, r.metrics.recall, r.metrics.f1);
+}
+
+inline std::string FormatSeconds(double s) {
+  char buf[32];
+  if (s >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%dm%02.0fs", static_cast<int>(s / 60),
+                  s - 60.0 * static_cast<int>(s / 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fs", s);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace bclean
+
+#endif  // BCLEAN_BENCH_BENCH_UTIL_H_

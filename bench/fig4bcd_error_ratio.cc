@@ -1,0 +1,48 @@
+// E9 — Figure 4(b)-(d): F1 as the error ratio grows from 10% to 70% on
+// Flights, Inpatient and Facilities, for BClean, BCleanPI, Raha+Baran and
+// HoloClean (the series of the paper's plots). The expected shape: every
+// method degrades, BClean(PI) degrades most gracefully.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace bclean;
+using namespace bclean::bench;
+
+int main() {
+  std::printf("Figure 4(b)-(d): F1 vs error ratio\n");
+  for (const char* name : {"flights", "inpatient", "facilities"}) {
+    std::printf("%s\n", name);
+    std::printf("  %-6s %8s %8s %10s %10s\n", "rate", "BClean", "PI",
+                "Raha+Baran", "HoloClean");
+    for (double rate : {0.10, 0.30, 0.50, 0.70}) {
+      Dataset ds = MakeBenchmark(name).value();
+      ds.default_injection.error_rate = rate;
+      Prepared p;
+      p.dataset = std::move(ds);
+      Rng rng(7);
+      p.injection = InjectErrors(p.dataset.clean,
+                                 p.dataset.default_injection, &rng)
+                        .value();
+      // The unoptimized variant is only run where it stays fast.
+      double basic_f1 = -1.0;
+      if (std::string(name) != "facilities") {
+        basic_f1 = RunBClean("BClean", p, BCleanOptions::Basic()).metrics.f1;
+      }
+      double pi_f1 =
+          RunBClean("PI", p, BCleanOptions::PartitionedInference())
+              .metrics.f1;
+      double raha_f1 = RunRahaBaran(p).metrics.f1;
+      double holo_f1 = RunHoloClean(p).metrics.f1;
+      if (basic_f1 >= 0.0) {
+        std::printf("  %4.0f%% %8.3f %8.3f %10.3f %10.3f\n", rate * 100,
+                    basic_f1, pi_f1, raha_f1, holo_f1);
+      } else {
+        std::printf("  %4.0f%% %8s %8.3f %10.3f %10.3f\n", rate * 100, "-",
+                    pi_f1, raha_f1, holo_f1);
+      }
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E11 — Figure 5: effect of incomplete user constraints on precision and
+// recall for Hospital, Flights and Soccer. Com = complete UC set; Max /
+// Min / Nul / Pat remove one constraint kind; All removes every UC.
+// Expected shape: Pat is the load-bearing kind, the others barely matter.
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+
+using namespace bclean;
+using namespace bclean::bench;
+
+int main() {
+  std::printf("Figure 5: precision / recall with incomplete UCs\n");
+  struct Config {
+    const char* label;
+    std::set<UcKind> removed;
+    bool remove_all;
+  };
+  const Config configs[] = {
+      {"Com", {}, false},
+      {"Max", {UcKind::kMaxLength, UcKind::kMaxValue}, false},
+      {"Min", {UcKind::kMinLength, UcKind::kMinValue}, false},
+      {"Nul", {UcKind::kNotNull}, false},
+      {"Pat", {UcKind::kPattern}, false},
+      {"All", {}, true},
+  };
+  for (const char* name : {"hospital", "flights", "soccer"}) {
+    Prepared p = Prepare(name);
+    std::printf("%s\n", name);
+    std::printf("  %-5s %9s %9s\n", "UCs", "precision", "recall");
+    for (const Config& config : configs) {
+      Prepared variant;
+      variant.dataset = p.dataset;
+      variant.injection = p.injection;
+      variant.dataset.ucs = config.remove_all
+                                ? p.dataset.ucs.Empty()
+                                : p.dataset.ucs.Without(config.removed);
+      MethodResult r = RunBClean(config.label, variant,
+                                 BCleanOptions::PartitionedInference());
+      std::printf("  %-5s %9.3f %9.3f\n", config.label, r.metrics.precision,
+                  r.metrics.recall);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

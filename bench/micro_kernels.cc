@@ -1,0 +1,116 @@
+// E14 — google-benchmark microbenchmarks of the kernels on the hot paths:
+// edit distance, similarity, graphical lasso, structure learning, CPT
+// fitting, compensatory model construction, and end-to-end cleaning
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/bn/network.h"
+#include "src/core/compensatory.h"
+#include "src/core/engine.h"
+#include "src/core/uc_mask.h"
+#include "src/datagen/benchmarks.h"
+#include "src/fdx/structure_learning.h"
+#include "src/matrix/glasso.h"
+#include "src/text/edit_distance.h"
+#include "src/text/similarity.h"
+
+namespace bclean {
+namespace {
+
+void BM_EditDistance(benchmark::State& state) {
+  std::string a = "315 w hickory st";
+  std::string b = "315 w hicky st";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_BoundedEditDistance(benchmark::State& state) {
+  std::string a = "315 w hickory st";
+  std::string b = "400 northwood dr";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundedEditDistance(a, b, 2));
+  }
+}
+BENCHMARK(BM_BoundedEditDistance);
+
+void BM_ValueSimilarity(benchmark::State& state) {
+  std::string a = "25676000";
+  std::string b = "25676x00";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValueSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_ValueSimilarity);
+
+void BM_GraphicalLasso(benchmark::State& state) {
+  size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Matrix a(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) a.At(i, j) = rng.Gaussian(0, 1);
+  }
+  Matrix s = a.Multiply(a.Transposed()).Scaled(1.0 / static_cast<double>(m));
+  for (size_t i = 0; i < m; ++i) s.At(i, i) += 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphicalLasso(s, {}));
+  }
+}
+BENCHMARK(BM_GraphicalLasso)->Arg(6)->Arg(11)->Arg(15);
+
+void BM_StructureLearning(benchmark::State& state) {
+  Dataset ds = MakeHospital(static_cast<size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LearnStructure(ds.clean, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StructureLearning)->Arg(500)->Arg(1000);
+
+void BM_CptFit(benchmark::State& state) {
+  Dataset ds = MakeHospital(1000, 7);
+  DomainStats stats = DomainStats::Build(ds.clean);
+  BayesianNetwork bn(ds.clean.schema());
+  bn.AddEdgeByName("zip_code", "city");
+  bn.AddEdgeByName("zip_code", "state");
+  bn.AddEdgeByName("measure_code", "condition");
+  for (auto _ : state) {
+    bn.Fit(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.clean.num_cells());
+}
+BENCHMARK(BM_CptFit);
+
+void BM_CompensatoryBuild(benchmark::State& state) {
+  Dataset ds = MakeHospital(1000, 7);
+  DomainStats stats = DomainStats::Build(ds.clean);
+  UcMask mask = UcMask::Build(ds.ucs, stats);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CompensatoryModel::Build(stats, mask, CompensatoryOptions{}));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.clean.num_cells());
+}
+BENCHMARK(BM_CompensatoryBuild);
+
+void BM_CleanThroughput(benchmark::State& state) {
+  Dataset ds = MakeHospital(500, 7);
+  Rng rng(7);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  bool pip = state.range(0) == 1;
+  BCleanOptions options = pip
+                              ? BCleanOptions::PartitionedInferencePruning()
+                              : BCleanOptions::PartitionedInference();
+  auto engine = BCleanEngine::Create(injection.dirty, ds.ucs, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.value()->Clean());
+  }
+  state.SetItemsProcessed(state.iterations() * ds.clean.num_cells());
+  state.SetLabel(pip ? "PIP" : "PI");
+}
+BENCHMARK(BM_CleanThroughput)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace bclean

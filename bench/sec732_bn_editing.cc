@@ -1,0 +1,68 @@
+// E12 — Section 7.3.2: impact of user network manipulation. Flights: the
+// automatically learned skeleton is wrong (the paper reports precision
+// 0.217 / recall 0.374 before adjustment); after the user installs
+// flight -> {times} edges, quality recovers. Hospital: adding the
+// state -> state_avg edge changes almost nothing (the paper reports one
+// extra cleaned cell).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace bclean;
+using namespace bclean::bench;
+
+int main() {
+  std::printf("Section 7.3.2: BN manipulation through user interaction\n");
+
+  {
+    Prepared p = Prepare("flights");
+    BCleanOptions options = BCleanOptions::PartitionedInference();
+    std::printf("flights\n");
+    MethodResult before =
+        RunBClean("auto BN", p, options, /*user_network_for_flights=*/false);
+    std::printf("  %-24s P=%.3f R=%.3f\n", "auto-learned network",
+                before.metrics.precision, before.metrics.recall);
+
+    // User interaction: install the flight -> time edges (and drop any
+    // mislearned ones) through the engine's editing API, then re-clean.
+    auto engine = BCleanEngine::Create(p.injection.dirty, p.dataset.ucs,
+                                       options);
+    if (engine.ok()) {
+      BCleanEngine& e = *engine.value();
+      for (const auto& [from, to] : e.network().dag().Edges()) {
+        // Remove the auto-learned edges; the user supplies the truth.
+        e.RemoveNetworkEdge(e.network().variable(from).name,
+                            e.network().variable(to).name);
+      }
+      for (const char* t : {"sched_dep_time", "act_dep_time",
+                            "sched_arr_time", "act_arr_time"}) {
+        e.AddNetworkEdge("flight", t);
+      }
+      Table cleaned = e.Clean();
+      auto m = Evaluate(p.dataset.clean, p.injection.dirty, cleaned).value();
+      std::printf("  %-24s P=%.3f R=%.3f\n", "after user adjustment",
+                  m.precision, m.recall);
+    }
+  }
+
+  {
+    Prepared p = Prepare("hospital");
+    BCleanOptions options = BCleanOptions::PartitionedInference();
+    std::printf("hospital\n");
+    auto engine = BCleanEngine::Create(p.injection.dirty, p.dataset.ucs,
+                                       options);
+    Table before = engine.value()->Clean();
+    auto m0 = Evaluate(p.dataset.clean, p.injection.dirty, before).value();
+    std::printf("  %-24s P=%.3f R=%.3f (cells changed: %zu)\n",
+                "auto-learned network", m0.precision, m0.recall,
+                engine.value()->last_stats().cells_changed);
+    Status s = engine.value()->AddNetworkEdge("state", "state_avg");
+    Table after = engine.value()->Clean();
+    auto m1 = Evaluate(p.dataset.clean, p.injection.dirty, after).value();
+    std::printf("  %-24s P=%.3f R=%.3f (cells changed: %zu)%s\n",
+                "+ state -> state_avg", m1.precision, m1.recall,
+                engine.value()->last_stats().cells_changed,
+                s.ok() ? "" : " [edge already present]");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E7 — Tables 8-10: parameter sensitivity of lambda, beta and tau on
+// Hospital. The paper's finding is stability: F1 barely moves across the
+// whole range of each parameter.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace bclean;
+using namespace bclean::bench;
+
+namespace {
+
+double F1With(const Prepared& p, double lambda, double beta, double tau) {
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.compensatory.lambda = lambda;
+  options.compensatory.beta = beta;
+  options.compensatory.tau = tau;
+  return RunBClean("x", p, options).metrics.f1;
+}
+
+}  // namespace
+
+int main() {
+  Prepared p = Prepare("hospital");
+
+  std::printf("Table 8: varying lambda on Hospital (beta=2, tau=0.5)\n");
+  std::printf("  %-8s %s\n", "lambda", "F1");
+  for (double lambda : {0.0, 1.0, 2.0, 5.0, 10.0, 15.0}) {
+    std::printf("  %-8.0f %.5f\n", lambda, F1With(p, lambda, 2.0, 0.5));
+    std::fflush(stdout);
+  }
+
+  std::printf("\nTable 9: varying beta on Hospital (lambda=1, tau=0.5)\n");
+  std::printf("  %-8s %s\n", "beta", "F1");
+  for (double beta : {0.0, 1.0, 2.0, 10.0, 50.0}) {
+    std::printf("  %-8.0f %.5f\n", beta, F1With(p, 1.0, beta, 0.5));
+    std::fflush(stdout);
+  }
+
+  std::printf("\nTable 10: varying tau on Hospital (lambda=1, beta=2)\n");
+  std::printf("  %-8s %s\n", "tau", "F1");
+  for (double tau : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::printf("  %-8.1f %.5f\n", tau, F1With(p, 1.0, 2.0, tau));
+    std::fflush(stdout);
+  }
+  return 0;
+}

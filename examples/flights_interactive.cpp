@@ -1,0 +1,57 @@
+// User-interaction scenario (paper Section 7.3.2): the automatically
+// learned Flights network is wrong; a user inspects it, removes the bad
+// edges and installs flight -> time dependencies through the editing API.
+// CPTs are refit locally (only the touched variables), and cleaning quality
+// recovers.
+//
+//   ./build/examples/flights_interactive
+#include <cstdio>
+
+#include "src/core/engine.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+#include "src/eval/metrics.h"
+
+using namespace bclean;
+
+int main() {
+  Dataset flights = MakeFlights(2376, 42);
+  Rng rng(7);
+  auto injection =
+      InjectErrors(flights.clean, flights.default_injection, &rng).value();
+
+  auto engine = BCleanEngine::Create(injection.dirty, flights.ucs,
+                                     BCleanOptions::PartitionedInference());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  BCleanEngine& e = *engine.value();
+
+  std::printf("=== automatically learned network ===\n%s\n",
+              e.network().ToString().c_str());
+  Table before = e.Clean();
+  auto m0 = Evaluate(flights.clean, injection.dirty, before).value();
+  std::printf("before user adjustment: P=%.3f R=%.3f F1=%.3f\n\n",
+              m0.precision, m0.recall, m0.f1);
+
+  // The user wipes the mislearned edges...
+  for (const auto& [from, to] : e.network().dag().Edges()) {
+    e.RemoveNetworkEdge(e.network().variable(from).name,
+                        e.network().variable(to).name);
+  }
+  // ...and declares what they know: one flight, one set of times.
+  for (const char* t : {"sched_dep_time", "act_dep_time", "sched_arr_time",
+                        "act_arr_time"}) {
+    Status s = e.AddNetworkEdge("flight", t);
+    if (!s.ok()) std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
+  std::printf("=== network after user adjustment ===\n%s\n",
+              e.network().ToString().c_str());
+
+  Table after = e.Clean();
+  auto m1 = Evaluate(flights.clean, injection.dirty, after).value();
+  std::printf("after user adjustment:  P=%.3f R=%.3f F1=%.3f\n",
+              m1.precision, m1.recall, m1.f1);
+  return 0;
+}

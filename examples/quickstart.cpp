@@ -1,0 +1,52 @@
+// Quickstart: clean the paper's running-example Customer table (Table 1).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Demonstrates the minimal BClean workflow: load data, declare a few user
+// constraints, build the engine (automatic Bayesian-network construction),
+// and clean.
+#include <cstdio>
+
+#include "src/core/engine.h"
+#include "src/data/csv.h"
+#include "src/datagen/benchmarks.h"
+
+using namespace bclean;
+
+int main() {
+  // The Customer table of the paper, complete with its errors: a typo'd
+  // jobid ("25676x00"), a wrong state ("kt" for zip 35150), a bad zip
+  // ("3960"), a corrupted insurance code, and several missing values.
+  Dataset customer = MakeCustomerExample();
+  std::printf("=== observed (dirty) table ===\n%s\n",
+              WriteCsvString(customer.clean).c_str());
+
+  // User constraints are lightweight, per-attribute, and declarative —
+  // MakeCustomerExample() attached a zip pattern [1-9][0-9]{4}, numeric
+  // patterns for jobid / insurancecode, and not-null everywhere.
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  // Tiny table: every co-occurrence matters, so vote with any evidence.
+  options.repair_margin = 0.0;
+
+  auto engine = BCleanEngine::Create(customer.clean, customer.ucs, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine construction failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== automatically constructed Bayesian network ===\n%s\n",
+              engine.value()->network().ToString().c_str());
+
+  Table cleaned = engine.value()->Clean();
+  std::printf("=== cleaned table ===\n%s\n",
+              WriteCsvString(cleaned).c_str());
+
+  const CleanStats& stats = engine.value()->last_stats();
+  std::printf("cells scanned: %zu, repaired: %zu, %.1f ms\n",
+              stats.cells_scanned, stats.cells_changed,
+              stats.seconds * 1e3);
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "src/baselines/garf_lite.h"
+
+#include <map>
+
+namespace bclean {
+
+GarfLite GarfLite::Train(const Table& dirty, const GarfOptions& options) {
+  GarfLite model(dirty, DomainStats::Build(dirty), options);
+  const size_t n = dirty.num_rows();
+  const size_t m = dirty.num_cols();
+  model.rules_.assign(m * m, {});
+
+  for (size_t body = 0; body < m; ++body) {
+    for (size_t head = 0; head < m; ++head) {
+      if (body == head) continue;
+      // Count head values per body value.
+      std::unordered_map<int32_t, std::map<int32_t, size_t>> groups;
+      for (size_t r = 0; r < n; ++r) {
+        int32_t b = model.stats_.code(r, body);
+        int32_t h = model.stats_.code(r, head);
+        if (b < 0 || h < 0) continue;
+        ++groups[b][h];
+      }
+      auto& bucket = model.rules_[body * m + head];
+      for (const auto& [b, votes] : groups) {
+        size_t total = 0;
+        size_t best_count = 0;
+        int32_t best = kNullCode;
+        for (const auto& [h, count] : votes) {
+          total += count;
+          if (count > best_count) {
+            best_count = count;
+            best = h;
+          }
+        }
+        if (total < options.min_support) continue;
+        double confidence =
+            static_cast<double>(best_count) / static_cast<double>(total);
+        if (confidence >= options.min_confidence) {
+          bucket[b] = Rule{best, confidence};
+          ++model.num_rules_;
+        }
+      }
+    }
+  }
+  return model;
+}
+
+Table GarfLite::Clean() const {
+  Table result = dirty_;
+  const size_t n = dirty_.num_rows();
+  const size_t m = dirty_.num_cols();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t head = 0; head < m; ++head) {
+      // The strongest firing rule wins the cell.
+      const Rule* strongest = nullptr;
+      for (size_t body = 0; body < m; ++body) {
+        if (body == head) continue;
+        int32_t b = stats_.code(r, body);
+        if (b < 0) continue;
+        const auto& bucket = rules_[body * m + head];
+        auto it = bucket.find(b);
+        if (it == bucket.end()) continue;
+        if (strongest == nullptr ||
+            it->second.confidence > strongest->confidence) {
+          strongest = &it->second;
+        }
+      }
+      if (strongest != nullptr &&
+          strongest->head_value != stats_.code(r, head)) {
+        result.set_cell(r, head,
+                        stats_.column(head).ValueOf(strongest->head_value));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bclean

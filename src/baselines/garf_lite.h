@@ -1,0 +1,61 @@
+// GarfLite: a from-scratch stand-in for Garf (Peng et al., PVLDB 2022),
+// which learns repair rules from the dirty data itself (via SeqGAN in the
+// original; via confidence-thresholded rule mining here) and applies only
+// high-confidence rules. Reproduces the published signature: ~1.0 precision
+// with recall bounded by rule coverage — near zero on datasets without
+// crisp value-level rules (Flights, Beers).
+#ifndef BCLEAN_BASELINES_GARF_LITE_H_
+#define BCLEAN_BASELINES_GARF_LITE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/domain_stats.h"
+#include "src/data/table.h"
+
+namespace bclean {
+
+/// Tunables for GarfLite.
+struct GarfOptions {
+  /// Minimum occurrences of the rule body before a rule is trusted.
+  size_t min_support = 4;
+  /// Minimum P(head | body) for the rule to fire.
+  double min_confidence = 0.9;
+};
+
+/// Self-supervised rule-based cleaner. Learns value-level rules
+/// (A_j = x) => (A_k = y) from the dirty table, then repairs cells whose
+/// value contradicts a trusted rule.
+class GarfLite {
+ public:
+  /// Mines rules from `dirty`.
+  static GarfLite Train(const Table& dirty, const GarfOptions& options = {});
+
+  /// Applies the mined rules and returns the cleaned table.
+  Table Clean() const;
+
+  /// Number of trusted rules mined.
+  size_t num_rules() const { return num_rules_; }
+
+ private:
+  struct Rule {
+    int32_t head_value;
+    double confidence;
+  };
+
+  GarfLite(const Table& dirty, DomainStats stats, GarfOptions options)
+      : dirty_(dirty), stats_(std::move(stats)), options_(options) {}
+
+  Table dirty_;
+  DomainStats stats_;
+  GarfOptions options_;
+  // rules_[body_col * m + head_col][body_value] -> trusted head.
+  std::vector<std::unordered_map<int32_t, Rule>> rules_;
+  size_t num_rules_ = 0;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_BASELINES_GARF_LITE_H_

@@ -1,0 +1,86 @@
+#include "src/baselines/holoclean_lite.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace bclean {
+
+Result<HoloCleanLite> HoloCleanLite::Create(const Schema& schema,
+                                            const std::vector<FdRule>& rules,
+                                            const HoloCleanOptions& options) {
+  std::vector<CompiledRule> compiled;
+  compiled.reserve(rules.size());
+  for (const FdRule& rule : rules) {
+    CompiledRule c;
+    for (const std::string& name : rule.lhs) {
+      Result<size_t> idx = schema.IndexOf(name);
+      if (!idx.ok()) return idx.status();
+      c.lhs.push_back(idx.value());
+    }
+    Result<size_t> rhs = schema.IndexOf(rule.rhs);
+    if (!rhs.ok()) return rhs.status();
+    c.rhs = rhs.value();
+    compiled.push_back(std::move(c));
+  }
+  return HoloCleanLite(std::move(compiled), options);
+}
+
+Table HoloCleanLite::Clean(const Table& dirty) const {
+  // Rules are applied in order against the progressively repaired table,
+  // so a later rule's lhs benefits from earlier repairs (entity rules
+  // before derived ones) — a sequential stand-in for HoloClean's joint
+  // factor-graph inference.
+  Table result = dirty;
+  const size_t n = dirty.num_rows();
+  for (const CompiledRule& rule : rules_) {
+    // Group rows by the (composite) lhs value and vote on the rhs.
+    // NULL lhs components opt the row out of the group.
+    std::unordered_map<std::string, std::map<std::string, size_t>> groups;
+    std::vector<std::string> keys(n);
+    for (size_t r = 0; r < n; ++r) {
+      std::string key;
+      bool usable = true;
+      for (size_t col : rule.lhs) {
+        const std::string& v = result.cell(r, col);
+        if (IsNull(v)) {
+          usable = false;
+          break;
+        }
+        key += v;
+        key += '\x1f';
+      }
+      if (!usable) continue;
+      keys[r] = std::move(key);
+      const std::string& rhs_value = result.cell(r, rule.rhs);
+      if (!IsNull(rhs_value)) ++groups[keys[r]][rhs_value];
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (keys[r].empty()) continue;
+      auto group_it = groups.find(keys[r]);
+      if (group_it == groups.end()) continue;
+      const auto& votes = group_it->second;
+      size_t total = 0;
+      size_t best_count = 0;
+      const std::string* best = nullptr;
+      for (const auto& [value, count] : votes) {
+        total += count;
+        if (count > best_count) {
+          best_count = count;
+          best = &value;
+        }
+      }
+      if (best == nullptr || total < options_.min_group_support) continue;
+      double share =
+          static_cast<double>(best_count) / static_cast<double>(total);
+      if (share < options_.majority_threshold) continue;
+      // Violation (minority value or NULL) repaired to the majority.
+      const std::string& current = result.cell(r, rule.rhs);
+      if (current != *best) {
+        result.set_cell(r, rule.rhs, *best);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bclean

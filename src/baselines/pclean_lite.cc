@@ -1,0 +1,220 @@
+#include "src/baselines/pclean_lite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/datagen/pools.h"  // MixHash
+#include "src/text/edit_distance.h"
+
+namespace bclean {
+
+Result<PCleanProgram> ProgramFor(const std::string& dataset) {
+  // Precise expert models (the paper: PClean wins on Flights, is strong on
+  // Hospital, because experts could model those domains exactly).
+  if (dataset == "hospital") {
+    return PCleanProgram{
+        "hospital",
+        {
+            {"provider_number", {}, 0.02},
+            {"hospital_name", {"provider_number"}, 0.05},
+            {"address", {"provider_number"}, 0.05},
+            {"city", {"zip_code"}, 0.02},
+            {"state", {"zip_code"}, 0.02},
+            {"zip_code", {"provider_number"}, 0.02},
+            {"county_name", {"zip_code"}, 0.02},
+            {"phone_number", {"provider_number"}, 0.02},
+            {"hospital_type", {"provider_number"}, 0.02},
+            {"hospital_owner", {"provider_number"}, 0.02},
+            {"emergency_service", {"provider_number"}, 0.02},
+            {"condition", {"measure_code"}, 0.02},
+            {"measure_code", {"measure_name"}, 0.02},
+            {"measure_name", {"measure_code"}, 0.05},
+            {"state_avg", {"state", "measure_code"}, 0.05},
+        },
+        51};
+  }
+  if (dataset == "flights") {
+    return PCleanProgram{
+        "flights",
+        {
+            {"src", {}, 0.0},
+            {"flight", {}, 0.02},
+            {"sched_dep_time", {"flight"}, 0.3},
+            {"act_dep_time", {"flight"}, 0.3},
+            {"sched_arr_time", {"flight"}, 0.3},
+            {"act_arr_time", {"flight"}, 0.3},
+        },
+        36};
+  }
+  // Coarse models: the paper reports users could not articulate the data
+  // distributions for these datasets ("users can only estimate the
+  // distributions based on their observations"), so the programs are
+  // mostly independent priors with a noise channel — which is what makes
+  // PClean collapse there.
+  if (dataset == "soccer") {
+    return PCleanProgram{
+        "soccer",
+        {
+            {"name", {}, 0.05},
+            {"birthyear", {}, 0.05},
+            {"birthplace", {}, 0.05},
+            {"position", {}, 0.05},
+            {"club", {}, 0.05},
+            {"city", {"club"}, 0.05},
+            {"stadium", {}, 0.05},
+            {"league", {}, 0.05},
+            {"season", {}, 0.05},
+            {"country", {}, 0.05},
+        },
+        37};
+  }
+  if (dataset == "beers") {
+    return PCleanProgram{
+        "beers",
+        {
+            {"id", {}, 0.1},
+            {"beer_name", {}, 0.1},
+            {"style", {}, 0.1},
+            {"ounces", {}, 0.1},
+            {"abv", {}, 0.1},
+            {"ibu", {}, 0.1},
+            {"brewery_id", {}, 0.1},
+            {"brewery_name", {}, 0.1},
+            {"city", {}, 0.1},
+            {"state", {}, 0.1},
+            {"established", {}, 0.1},
+        },
+        26};
+  }
+  if (dataset == "inpatient") {
+    return PCleanProgram{
+        "inpatient",
+        {
+            {"provider_id", {}, 0.05},
+            {"hospital_name", {"provider_id"}, 0.05},
+            {"address", {}, 0.05},
+            {"city", {}, 0.05},
+            {"state", {}, 0.05},
+            {"zip_code", {}, 0.05},
+            {"county", {}, 0.05},
+            {"drg_code", {}, 0.05},
+            {"drg_definition", {"drg_code"}, 0.05},
+            {"total_discharges", {}, 0.05},
+            {"avg_covered_charges", {}, 0.05},
+        },
+        54};
+  }
+  if (dataset == "facilities") {
+    return PCleanProgram{
+        "facilities",
+        {
+            {"facility_id", {}, 0.05},
+            {"facility_name", {"facility_id"}, 0.05},
+            {"address", {"facility_id"}, 0.05},
+            {"city", {"zip_code"}, 0.05},
+            {"state", {"zip_code"}, 0.05},
+            {"zip_code", {}, 0.05},
+            {"county", {"zip_code"}, 0.05},
+            {"phone", {"facility_id"}, 0.05},
+            {"facility_type", {}, 0.05},
+            {"ownership", {}, 0.05},
+            {"certification", {}, 0.05},
+        },
+        48};
+  }
+  return Status::NotFound("no PClean program for dataset '" + dataset + "'");
+}
+
+Result<PCleanLite> PCleanLite::Create(const Schema& schema,
+                                      const PCleanProgram& program) {
+  std::vector<CompiledSpec> specs;
+  specs.reserve(program.attributes.size());
+  for (const PCleanAttributeSpec& spec : program.attributes) {
+    Result<size_t> attr = schema.IndexOf(spec.attribute);
+    if (!attr.ok()) return attr.status();
+    CompiledSpec compiled;
+    compiled.attr = attr.value();
+    compiled.typo_rate = spec.typo_rate;
+    for (const std::string& parent : spec.parents) {
+      Result<size_t> p = schema.IndexOf(parent);
+      if (!p.ok()) return p.status();
+      compiled.parents.push_back(p.value());
+    }
+    specs.push_back(std::move(compiled));
+  }
+  return PCleanLite(std::move(specs));
+}
+
+namespace {
+
+// log P(observed | candidate) under the typo channel: each unit edit costs
+// a factor of `typo_rate`; identical strings carry the remaining mass.
+double LogChannel(const std::string& observed, const std::string& candidate,
+                  double typo_rate) {
+  if (observed == candidate) return std::log(1.0 - typo_rate + 1e-9);
+  if (typo_rate <= 0.0) return -1e9;
+  size_t distance = BoundedEditDistance(observed, candidate, 4);
+  return static_cast<double>(distance) * std::log(typo_rate);
+}
+
+uint64_t KeyOf(const std::vector<size_t>& parents,
+               const DomainStats& stats, size_t row) {
+  uint64_t key = 0x51ED2701A5B61C11ull;
+  for (size_t p : parents) {
+    key = MixHash(key, static_cast<uint64_t>(stats.code(row, p) + 2));
+  }
+  return key;
+}
+
+}  // namespace
+
+Table PCleanLite::Clean(const Table& dirty) const {
+  DomainStats stats = DomainStats::Build(dirty);
+  Table result = dirty;
+  const size_t n = dirty.num_rows();
+
+  for (const CompiledSpec& spec : specs_) {
+    const ColumnStats& column = stats.column(spec.attr);
+    if (column.DomainSize() == 0) continue;
+
+    // Conditional (or marginal) counts under the hand-specified parents.
+    std::unordered_map<uint64_t, std::unordered_map<int32_t, size_t>> counts;
+    for (size_t r = 0; r < n; ++r) {
+      int32_t code = stats.code(r, spec.attr);
+      if (code < 0) continue;
+      ++counts[KeyOf(spec.parents, stats, r)][code];
+    }
+
+    double k = static_cast<double>(column.DomainSize());
+    for (size_t r = 0; r < n; ++r) {
+      const std::string& observed = dirty.cell(r, spec.attr);
+      auto& group = counts[KeyOf(spec.parents, stats, r)];
+      double group_total = 0.0;
+      for (const auto& [code, count] : group) {
+        group_total += static_cast<double>(count);
+      }
+      int32_t best = stats.code(r, spec.attr);
+      double best_score = -1e18;
+      // Candidates limited to values seen under this parent configuration
+      // (PClean's latent-object reuse); the observation itself competes.
+      for (const auto& [code, count] : group) {
+        double prior = (static_cast<double>(count) + 0.1) /
+                       (group_total + 0.1 * k);
+        double score =
+            std::log(prior) +
+            LogChannel(observed, column.ValueOf(code), spec.typo_rate);
+        if (score > best_score) {
+          best_score = score;
+          best = code;
+        }
+      }
+      if (best >= 0 && column.ValueOf(best) != observed) {
+        result.set_cell(r, spec.attr, column.ValueOf(best));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bclean

@@ -1,0 +1,71 @@
+// PCleanLite: a from-scratch reimplementation of the essence of PClean
+// (Lew et al., AISTATS 2021) — Bayesian cleaning driven by a hand-written
+// domain-specific program. A PCleanProgram plays the role of the PPL model:
+// per-attribute parent specifications (the expert's causal knowledge) and a
+// typo noise channel. Inference scores every candidate by
+//   log P(candidate | parents) + log P(observed | candidate)
+// with P(observed | candidate) an edit-distance channel. Reproduces the
+// published behaviour: excellent when the expert model is precise (Flights,
+// Hospital), poor when the expert cannot articulate the distribution
+// (Soccer, Beers) — the paper's Section 7.2.1 discussion.
+#ifndef BCLEAN_BASELINES_PCLEAN_LITE_H_
+#define BCLEAN_BASELINES_PCLEAN_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/domain_stats.h"
+#include "src/data/table.h"
+
+namespace bclean {
+
+/// The "PPL program": the expert's model of one attribute.
+struct PCleanAttributeSpec {
+  std::string attribute;
+  /// Attributes this one depends on (empty = independent prior).
+  std::vector<std::string> parents;
+  /// Probability that an observation is corrupted by a typo channel.
+  double typo_rate = 0.05;
+};
+
+/// The full hand-written model for a dataset.
+struct PCleanProgram {
+  std::string dataset;
+  std::vector<PCleanAttributeSpec> attributes;
+  /// Rough count of PPL lines this corresponds to (Table 2 reporting).
+  int ppl_lines = 0;
+};
+
+/// Returns the hand-authored program for a benchmark dataset. Programs for
+/// Hospital and Flights encode precise expert knowledge; Soccer, Beers and
+/// Inpatient get the coarse models the paper says users managed to write.
+/// Fails for unknown dataset names.
+Result<PCleanProgram> ProgramFor(const std::string& dataset);
+
+/// Hand-specified-prior Bayesian cleaner.
+class PCleanLite {
+ public:
+  /// Compiles `program` against `schema`. Unknown attributes fail.
+  static Result<PCleanLite> Create(const Schema& schema,
+                                   const PCleanProgram& program);
+
+  /// Repairs `dirty` by MAP inference under the program.
+  Table Clean(const Table& dirty) const;
+
+ private:
+  struct CompiledSpec {
+    size_t attr;
+    std::vector<size_t> parents;
+    double typo_rate;
+  };
+
+  explicit PCleanLite(std::vector<CompiledSpec> specs)
+      : specs_(std::move(specs)) {}
+
+  std::vector<CompiledSpec> specs_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_BASELINES_PCLEAN_LITE_H_

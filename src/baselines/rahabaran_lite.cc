@@ -1,0 +1,235 @@
+#include "src/baselines/rahabaran_lite.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace bclean {
+namespace {
+
+// Collapses a value into a character-class signature, e.g. "25676x00" ->
+// "dad" (digit-run, alpha-run, digit-run). Raha's pattern strategies key on
+// exactly this kind of shape feature.
+std::string FormatSignature(const std::string& value) {
+  std::string sig;
+  char last = 0;
+  for (char c : value) {
+    char cls;
+    if (c >= '0' && c <= '9') cls = 'd';
+    else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) cls = 'a';
+    else if (c == ' ') cls = ' ';
+    else cls = 's';
+    if (cls != last) {
+      sig += cls;
+      last = cls;
+    }
+  }
+  return sig;
+}
+
+}  // namespace
+
+Result<RahaBaranLite> RahaBaranLite::Create(
+    const Table& dirty, const std::vector<size_t>& labeled_rows,
+    const Table& clean_labels, const RahaBaranOptions& options) {
+  if (dirty.num_rows() != clean_labels.num_rows() ||
+      dirty.num_cols() != clean_labels.num_cols()) {
+    return Status::InvalidArgument(
+        "label table must have the dirty table's shape");
+  }
+  for (size_t r : labeled_rows) {
+    if (r >= dirty.num_rows()) {
+      return Status::OutOfRange("labeled row out of range");
+    }
+  }
+  RahaBaranLite pipeline(dirty, DomainStats::Build(dirty), options);
+  pipeline.BuildDetectors(labeled_rows, clean_labels);
+  return pipeline;
+}
+
+void RahaBaranLite::BuildDetectors(const std::vector<size_t>& labeled_rows,
+                                   const Table& clean_labels) {
+  const size_t n = dirty_.num_rows();
+  const size_t m = dirty_.num_cols();
+
+  // Signature-outlier flags per distinct value of each column.
+  rare_signature_.assign(m, {});
+  for (size_t j = 0; j < m; ++j) {
+    const ColumnStats& column = stats_.column(j);
+    std::unordered_map<std::string, size_t> histogram;
+    size_t total = 0;
+    for (size_t v = 0; v < column.DomainSize(); ++v) {
+      size_t count = column.Frequency(static_cast<int32_t>(v));
+      histogram[FormatSignature(column.ValueOf(static_cast<int32_t>(v)))] +=
+          count;
+      total += count;
+    }
+    rare_signature_[j].resize(column.DomainSize());
+    for (size_t v = 0; v < column.DomainSize(); ++v) {
+      double share =
+          total == 0
+              ? 0.0
+              : static_cast<double>(histogram[FormatSignature(
+                    column.ValueOf(static_cast<int32_t>(v)))]) /
+                    static_cast<double>(total);
+      rare_signature_[j][v] = share < 0.05;
+    }
+  }
+
+  // Discover FD partners and precompute per-group majorities: column k
+  // informs column j when lhs groups of k vote near-unanimously on j.
+  fd_partners_.assign(m, {});
+  fd_majority_.assign(m, {});
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t k = 0; k < m; ++k) {
+      if (k == j) continue;
+      std::unordered_map<int32_t, std::map<int32_t, size_t>> groups;
+      for (size_t r = 0; r < n; ++r) {
+        int32_t lhs = stats_.code(r, k);
+        int32_t rhs = stats_.code(r, j);
+        if (lhs < 0 || rhs < 0) continue;
+        ++groups[lhs][rhs];
+      }
+      double agree = 0.0;
+      double total = 0.0;
+      std::unordered_map<int32_t, Majority> majorities;
+      for (const auto& [lhs, votes] : groups) {
+        size_t group_total = 0;
+        size_t best_count = 0;
+        int32_t best = kNullCode;
+        for (const auto& [rhs, count] : votes) {
+          group_total += count;
+          if (count > best_count) {
+            best_count = count;
+            best = rhs;
+          }
+        }
+        if (group_total < 3) continue;
+        agree += static_cast<double>(best_count);
+        total += static_cast<double>(group_total);
+        majorities[lhs] = Majority{
+            best, static_cast<double>(best_count) /
+                      static_cast<double>(group_total)};
+      }
+      if (total >= static_cast<double>(n) / 4.0 &&
+          agree / total >= options_.fd_confidence) {
+        fd_partners_[j].push_back(k);
+        fd_majority_[j][k] = std::move(majorities);
+      }
+    }
+  }
+
+  // Calibrate a per-column vote threshold on the detection labels — the
+  // paper's "20 labelled tuples for Raha".
+  size_t num_detect = std::min(options_.detection_labels,
+                               labeled_rows.size());
+  thresholds_.assign(m, 2);
+  for (size_t j = 0; j < m; ++j) {
+    int best_threshold = 2;
+    int best_score = -1;
+    for (int t = 1; t <= 3; ++t) {
+      int score = 0;
+      for (size_t i = 0; i < num_detect; ++i) {
+        size_t r = labeled_rows[i];
+        bool is_error = dirty_.cell(r, j) != clean_labels.cell(r, j);
+        bool flagged = VoteCell(r, j) >= t;
+        score += (is_error == flagged) ? 1 : 0;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_threshold = t;
+      }
+    }
+    thresholds_[j] = best_threshold;
+  }
+
+  correction_rows_.assign(
+      labeled_rows.begin() + static_cast<ptrdiff_t>(num_detect),
+      labeled_rows.end());
+
+  // Materialize the detection verdicts.
+  detected_.assign(n, std::vector<bool>(m, false));
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < m; ++j) {
+      detected_[r][j] = VoteCell(r, j) >= thresholds_[j];
+    }
+  }
+}
+
+int RahaBaranLite::VoteCell(size_t row, size_t col) const {
+  const std::string& value = dirty_.cell(row, col);
+  if (IsNull(value)) return 3;  // every strategy flags NULLs
+
+  int votes = 0;
+  const ColumnStats& column = stats_.column(col);
+  int32_t code = stats_.code(row, col);
+
+  // Strategy 1: frequency outlier.
+  double mean_share = column.DomainSize() > 0
+                          ? 1.0 / static_cast<double>(column.DomainSize())
+                          : 1.0;
+  double share = static_cast<double>(column.Frequency(code)) /
+                 static_cast<double>(std::max<size_t>(1, dirty_.num_rows()));
+  if (share < options_.rare_fraction * mean_share) ++votes;
+
+  // Strategy 2: format-signature outlier.
+  if (code >= 0 && rare_signature_[col][static_cast<size_t>(code)]) ++votes;
+
+  // Strategy 3: FD violation against a discovered partner.
+  for (size_t k : fd_partners_[col]) {
+    const Majority* majority = FindMajority(col, k, stats_.code(row, k));
+    if (majority != nullptr && majority->share >= options_.fd_confidence &&
+        majority->value != code) {
+      ++votes;
+      break;
+    }
+  }
+  return votes;
+}
+
+const RahaBaranLite::Majority* RahaBaranLite::FindMajority(
+    size_t col, size_t partner, int32_t lhs) const {
+  if (lhs < 0) return nullptr;
+  auto partner_it = fd_majority_[col].find(partner);
+  if (partner_it == fd_majority_[col].end()) return nullptr;
+  auto it = partner_it->second.find(lhs);
+  if (it == partner_it->second.end()) return nullptr;
+  return &it->second;
+}
+
+Table RahaBaranLite::Clean() const {
+  Table result = dirty_;
+  const size_t n = dirty_.num_rows();
+  const size_t m = dirty_.num_cols();
+
+  // Baran-style correction for every detected cell: the FD-partner
+  // majority when one exists, otherwise the column's most frequent value
+  // sharing the dominant format. Undetected errors are never corrected —
+  // the pipeline's published error-propagation weakness.
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < m; ++j) {
+      if (!detected_[r][j]) continue;
+      int32_t repaired = kNullCode;
+      for (size_t k : fd_partners_[j]) {
+        const Majority* majority = FindMajority(j, k, stats_.code(r, k));
+        if (majority != nullptr && majority->value != stats_.code(r, j)) {
+          repaired = majority->value;
+          break;
+        }
+      }
+      if (repaired < 0) {
+        int32_t mode = stats_.column(j).MostFrequentCode();
+        if (mode >= 0 && mode != stats_.code(r, j) &&
+            !rare_signature_[j][static_cast<size_t>(mode)]) {
+          repaired = mode;
+        }
+      }
+      if (repaired >= 0) {
+        result.set_cell(r, j, stats_.column(j).ValueOf(repaired));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bclean

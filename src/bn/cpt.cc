@@ -1,0 +1,46 @@
+#include "src/bn/cpt.h"
+
+#include <cmath>
+
+namespace bclean {
+
+void Cpt::AddObservation(uint64_t parent_key, int64_t value) {
+  Counts& counts = conditional_[parent_key];
+  counts.by_value[value] += 1.0;
+  counts.total += 1.0;
+  marginal_.by_value[value] += 1.0;
+  marginal_.total += 1.0;
+  ++total_observations_;
+}
+
+double Cpt::SmoothedProb(const Counts& counts, int64_t value) const {
+  double k = static_cast<double>(marginal_.by_value.size());
+  if (k == 0.0) k = 1.0;
+  double count = 0.0;
+  auto it = counts.by_value.find(value);
+  if (it != counts.by_value.end()) count = it->second;
+  return (count + alpha_) / (counts.total + alpha_ * k);
+}
+
+double Cpt::Prob(uint64_t parent_key, int64_t value) const {
+  auto it = conditional_.find(parent_key);
+  if (it == conditional_.end()) return SmoothedProb(marginal_, value);
+  return SmoothedProb(it->second, value);
+}
+
+double Cpt::LogProb(uint64_t parent_key, int64_t value) const {
+  return std::log(Prob(parent_key, value));
+}
+
+double Cpt::MarginalProb(int64_t value) const {
+  return SmoothedProb(marginal_, value);
+}
+
+void Cpt::Clear() {
+  conditional_.clear();
+  marginal_.by_value.clear();
+  marginal_.total = 0.0;
+  total_observations_ = 0;
+}
+
+}  // namespace bclean

@@ -1,0 +1,66 @@
+// Conditional probability table with Laplace smoothing and a marginal
+// fall-back for unseen parent configurations. Values and parent
+// configurations are dictionary codes (the DomainStats encoding), so a CPT
+// never touches strings on the scoring path.
+#ifndef BCLEAN_BN_CPT_H_
+#define BCLEAN_BN_CPT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace bclean {
+
+/// Sentinel for "no parents": the empty parent configuration.
+inline constexpr uint64_t kEmptyParentKey = 0x9E3779B97F4A7C15ull;
+
+/// One node's CPT. Populated by AddObservation() during parameter learning,
+/// queried by Prob()/LogProb() during inference.
+class Cpt {
+ public:
+  /// `alpha` is the Laplace smoothing pseudo-count.
+  explicit Cpt(double alpha = 0.5) : alpha_(alpha) {}
+
+  /// Records one (parent configuration, value) observation.
+  void AddObservation(uint64_t parent_key, int64_t value);
+
+  /// P(value | parent configuration). Falls back to the marginal
+  /// distribution when the configuration was never observed. Uses Laplace
+  /// smoothing with the node's observed domain size.
+  double Prob(uint64_t parent_key, int64_t value) const;
+
+  /// log of Prob().
+  double LogProb(uint64_t parent_key, int64_t value) const;
+
+  /// Marginal P(value) over all observations.
+  double MarginalProb(int64_t value) const;
+
+  /// Number of distinct values observed.
+  size_t domain_size() const { return marginal_.by_value.size(); }
+
+  /// Number of distinct parent configurations observed.
+  size_t num_parent_configs() const { return conditional_.size(); }
+
+  /// Total observations recorded.
+  size_t num_observations() const { return total_observations_; }
+
+  /// Drops all learned counts (used when a user edit refits the node).
+  void Clear();
+
+ private:
+  struct Counts {
+    std::unordered_map<int64_t, double> by_value;
+    double total = 0.0;
+  };
+
+  double SmoothedProb(const Counts& counts, int64_t value) const;
+
+  double alpha_;
+  std::unordered_map<uint64_t, Counts> conditional_;
+  Counts marginal_;
+  size_t total_observations_ = 0;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_BN_CPT_H_

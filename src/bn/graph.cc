@@ -1,0 +1,126 @@
+#include "src/bn/graph.h"
+
+#include <algorithm>
+
+namespace bclean {
+namespace {
+
+void InsertSorted(std::vector<size_t>* list, size_t value) {
+  list->insert(std::lower_bound(list->begin(), list->end(), value), value);
+}
+
+bool EraseSorted(std::vector<size_t>* list, size_t value) {
+  auto it = std::lower_bound(list->begin(), list->end(), value);
+  if (it == list->end() || *it != value) return false;
+  list->erase(it);
+  return true;
+}
+
+}  // namespace
+
+Status Dag::AddEdge(size_t from, size_t to) {
+  if (from >= num_nodes() || to >= num_nodes()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-loops are not allowed");
+  }
+  if (HasEdge(from, to)) {
+    return Status::AlreadyExists("edge already present");
+  }
+  if (HasPath(to, from)) {
+    return Status::FailedPrecondition("edge would create a cycle");
+  }
+  InsertSorted(&children_[from], to);
+  InsertSorted(&parents_[to], from);
+  return Status::OK();
+}
+
+Status Dag::RemoveEdge(size_t from, size_t to) {
+  if (from >= num_nodes() || to >= num_nodes()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (!EraseSorted(&children_[from], to)) {
+    return Status::NotFound("edge not present");
+  }
+  EraseSorted(&parents_[to], from);
+  return Status::OK();
+}
+
+bool Dag::HasEdge(size_t from, size_t to) const {
+  if (from >= num_nodes() || to >= num_nodes()) return false;
+  const auto& kids = children_[from];
+  return std::binary_search(kids.begin(), kids.end(), to);
+}
+
+bool Dag::HasPath(size_t from, size_t to) const {
+  if (from >= num_nodes() || to >= num_nodes()) return false;
+  if (from == to) return true;
+  std::vector<bool> visited(num_nodes(), false);
+  std::vector<size_t> stack = {from};
+  visited[from] = true;
+  while (!stack.empty()) {
+    size_t node = stack.back();
+    stack.pop_back();
+    for (size_t child : children_[node]) {
+      if (child == to) return true;
+      if (!visited[child]) {
+        visited[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<size_t> Dag::MarkovBlanket(size_t node) const {
+  assert(node < num_nodes());
+  std::vector<size_t> blanket = parents_[node];
+  blanket.push_back(node);
+  blanket.insert(blanket.end(), children_[node].begin(),
+                 children_[node].end());
+  std::sort(blanket.begin(), blanket.end());
+  blanket.erase(std::unique(blanket.begin(), blanket.end()), blanket.end());
+  return blanket;
+}
+
+std::vector<size_t> Dag::TopologicalOrder() const {
+  std::vector<size_t> in_degree(num_nodes());
+  for (size_t node = 0; node < num_nodes(); ++node) {
+    in_degree[node] = parents_[node].size();
+  }
+  std::vector<size_t> ready;
+  for (size_t node = 0; node < num_nodes(); ++node) {
+    if (in_degree[node] == 0) ready.push_back(node);
+  }
+  std::vector<size_t> order;
+  order.reserve(num_nodes());
+  // Smallest-index-first pop keeps the order deterministic.
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end());
+    size_t node = *it;
+    ready.erase(it);
+    order.push_back(node);
+    for (size_t child : children_[node]) {
+      if (--in_degree[child] == 0) ready.push_back(child);
+    }
+  }
+  assert(order.size() == num_nodes() && "DAG invariant violated");
+  return order;
+}
+
+std::vector<std::pair<size_t, size_t>> Dag::Edges() const {
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t from = 0; from < num_nodes(); ++from) {
+    for (size_t to : children_[from]) edges.emplace_back(from, to);
+  }
+  return edges;
+}
+
+size_t Dag::num_edges() const {
+  size_t total = 0;
+  for (const auto& kids : children_) total += kids.size();
+  return total;
+}
+
+}  // namespace bclean

@@ -1,0 +1,73 @@
+// Directed acyclic graph over BN variables: edge bookkeeping, cycle
+// rejection, topological ordering, and the Markov blanket used by the
+// paper's partitioned inference (Section 6.1).
+#ifndef BCLEAN_BN_GRAPH_H_
+#define BCLEAN_BN_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace bclean {
+
+/// DAG with nodes 0..n-1. All mutation preserves acyclicity.
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(size_t num_nodes)
+      : parents_(num_nodes), children_(num_nodes) {}
+
+  size_t num_nodes() const { return parents_.size(); }
+
+  /// Adds `from` -> `to`. Fails on self-loops, duplicates, out-of-range
+  /// nodes, and edges that would create a cycle.
+  Status AddEdge(size_t from, size_t to);
+
+  /// Removes `from` -> `to`; NotFound when absent.
+  Status RemoveEdge(size_t from, size_t to);
+
+  /// True iff the edge `from` -> `to` exists.
+  bool HasEdge(size_t from, size_t to) const;
+
+  /// True iff a directed path `from` ->* `to` exists (used for cycle checks).
+  bool HasPath(size_t from, size_t to) const;
+
+  /// Parent nodes of `node` (sorted ascending).
+  const std::vector<size_t>& parents(size_t node) const {
+    assert(node < parents_.size());
+    return parents_[node];
+  }
+
+  /// Child nodes of `node` (sorted ascending).
+  const std::vector<size_t>& children(size_t node) const {
+    assert(node < children_.size());
+    return children_[node];
+  }
+
+  /// True iff `node` has neither parents nor children.
+  bool IsIsolated(size_t node) const {
+    return parents(node).empty() && children(node).empty();
+  }
+
+  /// The paper's one-hop sub-network A_joint = parents U {node} U children,
+  /// sorted ascending.
+  std::vector<size_t> MarkovBlanket(size_t node) const;
+
+  /// Nodes in an order where every parent precedes its children.
+  std::vector<size_t> TopologicalOrder() const;
+
+  /// All edges as (from, to) pairs, ordered by (from, to).
+  std::vector<std::pair<size_t, size_t>> Edges() const;
+
+  /// Total number of edges.
+  size_t num_edges() const;
+
+ private:
+  std::vector<std::vector<size_t>> parents_;
+  std::vector<std::vector<size_t>> children_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_BN_GRAPH_H_

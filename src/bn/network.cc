@@ -1,0 +1,272 @@
+#include "src/bn/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/datagen/pools.h"  // MixHash
+
+namespace bclean {
+
+BayesianNetwork::BayesianNetwork(const Schema& schema) {
+  variables_.reserve(schema.size());
+  attr_to_var_.resize(schema.size());
+  for (size_t a = 0; a < schema.size(); ++a) {
+    variables_.push_back(BnVariable{schema.attribute(a).name, {a}});
+    attr_to_var_[a] = a;
+  }
+  dag_ = Dag(schema.size());
+  cpts_.assign(schema.size(), Cpt(alpha_));
+  dirty_.assign(schema.size(), true);
+}
+
+Result<size_t> BayesianNetwork::VariableByName(const std::string& name) const {
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (variables_[v].name == name) return v;
+  }
+  return Status::NotFound("no variable named '" + name + "'");
+}
+
+Status BayesianNetwork::AddEdge(size_t parent, size_t child) {
+  BCLEAN_RETURN_IF_ERROR(dag_.AddEdge(parent, child));
+  dirty_[child] = true;  // the child's parent set changed
+  return Status::OK();
+}
+
+Status BayesianNetwork::AddEdgeByName(const std::string& parent,
+                                      const std::string& child) {
+  auto p = VariableByName(parent);
+  if (!p.ok()) return p.status();
+  auto c = VariableByName(child);
+  if (!c.ok()) return c.status();
+  return AddEdge(p.value(), c.value());
+}
+
+Status BayesianNetwork::RemoveEdge(size_t parent, size_t child) {
+  BCLEAN_RETURN_IF_ERROR(dag_.RemoveEdge(parent, child));
+  dirty_[child] = true;
+  return Status::OK();
+}
+
+Status BayesianNetwork::RemoveEdgeByName(const std::string& parent,
+                                         const std::string& child) {
+  auto p = VariableByName(parent);
+  if (!p.ok()) return p.status();
+  auto c = VariableByName(child);
+  if (!c.ok()) return c.status();
+  return RemoveEdge(p.value(), c.value());
+}
+
+Status BayesianNetwork::MergeNodes(const std::vector<size_t>& vars,
+                                   std::string merged_name) {
+  if (vars.size() < 2) {
+    return Status::InvalidArgument("merging requires at least two variables");
+  }
+  std::set<size_t> merge_set(vars.begin(), vars.end());
+  if (merge_set.size() != vars.size()) {
+    return Status::InvalidArgument("duplicate variables in merge set");
+  }
+  for (size_t v : vars) {
+    if (v >= variables_.size()) {
+      return Status::OutOfRange("merge variable out of range");
+    }
+  }
+
+  // New variable list: survivors in index order, merged variable last.
+  std::vector<BnVariable> new_vars;
+  std::vector<size_t> old_to_new(variables_.size(), SIZE_MAX);
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (merge_set.count(v)) continue;
+    old_to_new[v] = new_vars.size();
+    new_vars.push_back(variables_[v]);
+  }
+  size_t merged_idx = new_vars.size();
+  BnVariable merged{std::move(merged_name), {}};
+  for (size_t v : vars) {
+    merged.attrs.insert(merged.attrs.end(), variables_[v].attrs.begin(),
+                        variables_[v].attrs.end());
+  }
+  std::sort(merged.attrs.begin(), merged.attrs.end());
+  new_vars.push_back(std::move(merged));
+
+  // Rebuild the DAG. For an external X: X -> merged iff X -> every member;
+  // merged -> X iff every member -> X. Everything else touching a member
+  // is dropped (the paper's semantics).
+  Dag new_dag(new_vars.size());
+  std::set<size_t> dirty_new;  // children whose parent set changed
+  for (size_t from = 0; from < variables_.size(); ++from) {
+    if (merge_set.count(from)) continue;
+    for (size_t to : dag_.children(from)) {
+      if (merge_set.count(to)) continue;
+      // edge between survivors: kept verbatim.
+      Status s = new_dag.AddEdge(old_to_new[from], old_to_new[to]);
+      assert(s.ok());
+      (void)s;
+    }
+  }
+  for (size_t x = 0; x < variables_.size(); ++x) {
+    if (merge_set.count(x)) continue;
+    bool x_into_all = true;
+    bool all_into_x = true;
+    bool x_touches_member = false;
+    for (size_t v : vars) {
+      if (!dag_.HasEdge(x, v)) x_into_all = false;
+      if (!dag_.HasEdge(v, x)) all_into_x = false;
+      if (dag_.HasEdge(x, v) || dag_.HasEdge(v, x)) x_touches_member = true;
+    }
+    if (x_into_all) {
+      Status s = new_dag.AddEdge(old_to_new[x], merged_idx);
+      if (s.ok()) dirty_new.insert(merged_idx);
+    } else if (all_into_x) {
+      Status s = new_dag.AddEdge(merged_idx, old_to_new[x]);
+      if (s.ok()) dirty_new.insert(old_to_new[x]);
+    } else if (x_touches_member) {
+      // Dropped edges also change X's parent set when a member was a parent.
+      for (size_t v : vars) {
+        if (dag_.HasEdge(v, x)) dirty_new.insert(old_to_new[x]);
+      }
+    }
+  }
+
+  // Commit.
+  std::vector<bool> new_dirty(new_vars.size(), false);
+  std::vector<Cpt> new_cpts;
+  new_cpts.reserve(new_vars.size());
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (merge_set.count(v)) continue;
+    new_cpts.push_back(std::move(cpts_[v]));
+    new_dirty[old_to_new[v]] = dirty_[v];
+  }
+  new_cpts.push_back(Cpt(alpha_));
+  new_dirty[merged_idx] = true;
+  for (size_t v : dirty_new) new_dirty[v] = true;
+
+  variables_ = std::move(new_vars);
+  dag_ = std::move(new_dag);
+  cpts_ = std::move(new_cpts);
+  dirty_ = std::move(new_dirty);
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    for (size_t attr : variables_[v].attrs) attr_to_var_[attr] = v;
+  }
+  return Status::OK();
+}
+
+int64_t BayesianNetwork::VariableCode(size_t var,
+                                      const std::vector<int32_t>& row_codes,
+                                      size_t subst_attr,
+                                      int32_t subst_code) const {
+  const BnVariable& variable = variables_[var];
+  if (variable.attrs.size() == 1) {
+    size_t attr = variable.attrs[0];
+    int32_t code = attr == subst_attr ? subst_code : row_codes[attr];
+    return code < 0 ? kNullCode64 : static_cast<int64_t>(code);
+  }
+  // Compound variable: fold member codes. NULL only when all members are.
+  uint64_t folded = 0xA0761D6478BD642Full;
+  bool all_null = true;
+  for (size_t attr : variable.attrs) {
+    int32_t code = attr == subst_attr ? subst_code : row_codes[attr];
+    if (code >= 0) all_null = false;
+    folded = MixHash(folded, static_cast<uint64_t>(code + 2));
+  }
+  if (all_null) return kNullCode64;
+  // Clear the sign bit so compound codes never collide with kNullCode64.
+  return static_cast<int64_t>(folded >> 1);
+}
+
+uint64_t BayesianNetwork::ParentKey(size_t var,
+                                    const std::vector<int32_t>& row_codes,
+                                    size_t subst_attr,
+                                    int32_t subst_code) const {
+  const std::vector<size_t>& parents = dag_.parents(var);
+  if (parents.empty()) return kEmptyParentKey;
+  uint64_t key = 0x2545F4914F6CDD1Dull;
+  for (size_t parent : parents) {
+    int64_t code = VariableCode(parent, row_codes, subst_attr, subst_code);
+    key = MixHash(key, static_cast<uint64_t>(code + 2));
+  }
+  return key;
+}
+
+void BayesianNetwork::RefitVariable(size_t var, const DomainStats& stats) {
+  Cpt& cpt = cpts_[var];
+  cpt.Clear();
+  const size_t n = stats.num_rows();
+  std::vector<int32_t> row(stats.num_cols());
+  // kNoSubst: an attribute index that never matches.
+  const size_t kNoSubst = stats.num_cols();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < stats.num_cols(); ++c) row[c] = stats.code(r, c);
+    int64_t value = VariableCode(var, row, kNoSubst, 0);
+    if (value == kNullCode64) continue;  // NULLs are not learned as values
+    cpt.AddObservation(ParentKey(var, row, kNoSubst, 0), value);
+  }
+  dirty_[var] = false;
+}
+
+void BayesianNetwork::Fit(const DomainStats& stats) {
+  for (size_t v = 0; v < variables_.size(); ++v) dirty_[v] = true;
+  RefitDirty(stats);
+}
+
+void BayesianNetwork::RefitDirty(const DomainStats& stats) {
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (dirty_[v]) RefitVariable(v, stats);
+  }
+}
+
+size_t BayesianNetwork::num_dirty() const {
+  size_t count = 0;
+  for (bool d : dirty_) count += d ? 1 : 0;
+  return count;
+}
+
+double BayesianNetwork::LogProbVariable(size_t var,
+                                        const std::vector<int32_t>& row_codes,
+                                        size_t subst_attr,
+                                        int32_t subst_code) const {
+  int64_t value = VariableCode(var, row_codes, subst_attr, subst_code);
+  if (value == kNullCode64) return 0.0;  // missing evidence: no factor
+  if (dag_.parents(var).empty() &&
+      (root_prior_ == RootPrior::kUniform || dag_.IsIsolated(var))) {
+    // Uniform over the observed domain (Section 6.1 for isolated nodes,
+    // extended to all roots under RootPrior::kUniform).
+    size_t k = std::max<size_t>(1, cpts_[var].domain_size());
+    return -std::log(static_cast<double>(k));
+  }
+  uint64_t key = ParentKey(var, row_codes, subst_attr, subst_code);
+  return cpts_[var].LogProb(key, value);
+}
+
+double BayesianNetwork::LogProbFull(size_t attr, int32_t candidate,
+                                    const std::vector<int32_t>& row_codes)
+    const {
+  double total = 0.0;
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    total += LogProbVariable(v, row_codes, attr, candidate);
+  }
+  return total;
+}
+
+double BayesianNetwork::LogProbBlanket(size_t attr, int32_t candidate,
+                                       const std::vector<int32_t>& row_codes)
+    const {
+  size_t var = VariableOfAttr(attr);
+  double total = LogProbVariable(var, row_codes, attr, candidate);
+  for (size_t child : dag_.children(var)) {
+    total += LogProbVariable(child, row_codes, attr, candidate);
+  }
+  return total;
+}
+
+std::string BayesianNetwork::ToString() const {
+  std::string out = "BayesianNetwork (" + std::to_string(num_variables()) +
+                    " variables, " + std::to_string(dag_.num_edges()) +
+                    " edges)\n";
+  for (const auto& [from, to] : dag_.Edges()) {
+    out += "  " + variables_[from].name + " -> " + variables_[to].name + "\n";
+  }
+  return out;
+}
+
+}  // namespace bclean

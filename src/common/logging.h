@@ -1,0 +1,66 @@
+// Minimal leveled logging to stderr. Benchmarks print their tables to stdout;
+// everything diagnostic goes through these macros so it can be silenced.
+#ifndef BCLEAN_COMMON_LOGGING_H_
+#define BCLEAN_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace bclean {
+
+/// Severity for log messages.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+/// Sets the global minimum level.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarning: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace bclean
+
+#define BCLEAN_LOG(level)                                              \
+  ::bclean::internal::LogMessage(::bclean::LogLevel::k##level,         \
+                                 __FILE__, __LINE__)                   \
+      .stream()
+
+#endif  // BCLEAN_COMMON_LOGGING_H_

@@ -1,0 +1,100 @@
+// Deterministic random number generation. Every stochastic component
+// (data generation, error injection, sampling) takes an explicit Rng so
+// experiments are reproducible from a single seed.
+#ifndef BCLEAN_COMMON_RNG_H_
+#define BCLEAN_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bclean {
+
+/// Seeded pseudo-random source wrapping std::mt19937_64 with the sampling
+/// helpers the project needs. Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  /// Constructs a generator from `seed`. Equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Gaussian sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Zipf-like sample over [0, n): rank r drawn with weight 1/(r+1)^s.
+  /// Used to mimic the skewed value frequencies of real dirty data.
+  size_t Zipf(size_t n, double s = 1.0) {
+    if (n <= 1) return 0;
+    // Inverse-CDF over precomputed weights would be faster, but n is small
+    // (domain sizes), so a linear scan keeps this dependency-free.
+    double norm = 0.0;
+    for (size_t r = 0; r < n; ++r) norm += 1.0 / std::pow(r + 1.0, s);
+    double u = UniformDouble() * norm;
+    double acc = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(r + 1.0, s);
+      if (u <= acc) return r;
+    }
+    return n - 1;
+  }
+
+  /// Samples an index according to non-negative weights (need not sum to 1).
+  /// Returns 0 when all weights are zero.
+  size_t Weighted(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return 0;
+    double u = UniformDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (u <= acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = UniformIndex(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k clamped to n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Underlying engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_RNG_H_

@@ -1,0 +1,156 @@
+// Status and Result<T>: exception-free error handling for all public APIs,
+// following the RocksDB/Arrow idiom. A Status is cheap to copy when OK and
+// carries a code plus human-readable message otherwise.
+#ifndef BCLEAN_COMMON_STATUS_H_
+#define BCLEAN_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bclean {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIOError,
+  kNotSupported,
+  kInternal,
+};
+
+/// Outcome of an operation that can fail. Prefer returning Status (or
+/// Result<T>) over throwing; exceptions never cross library boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a NotFound status with the given message.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an OutOfRange status with the given message.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns an AlreadyExists status with the given message.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns a FailedPrecondition status with the given message.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an IOError status with the given message.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Returns a NotSupported status with the given message.
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  /// Returns an Internal status with the given message.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad column".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kNotSupported: return "NotSupported";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing value() on an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the held value out. Requires ok().
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// Returns the held value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace bclean
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define BCLEAN_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::bclean::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // BCLEAN_COMMON_STATUS_H_

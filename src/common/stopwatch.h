@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the runtime experiments (Table 7).
+#ifndef BCLEAN_COMMON_STOPWATCH_H_
+#define BCLEAN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace bclean {
+
+/// Measures elapsed wall-clock time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the reference point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_STOPWATCH_H_

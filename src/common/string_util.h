@@ -1,0 +1,46 @@
+// Small string helpers shared across modules. No locale dependence: all
+// case mapping and digit classification is ASCII-only, which matches the
+// benchmark datasets.
+#ifndef BCLEAN_COMMON_STRING_UTIL_H_
+#define BCLEAN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bclean {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// True iff `text` is non-empty and entirely ASCII digits.
+bool IsAllDigits(std::string_view text);
+
+/// True iff `text` parses as a finite double (leading/trailing space allowed).
+bool IsNumeric(std::string_view text);
+
+/// Parses a double; returns `fallback` when `text` is not numeric.
+double ParseDouble(std::string_view text, double fallback = 0.0);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Zero-pads `value` to `width` digits, e.g. (7, 3) -> "007".
+std::string ZeroPad(int64_t value, int width);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,54 @@
+#include "src/constraints/builtin.h"
+
+#include "src/common/string_util.h"
+
+namespace bclean {
+
+const char* UcKindName(UcKind kind) {
+  switch (kind) {
+    case UcKind::kMinLength: return "Min";
+    case UcKind::kMaxLength: return "Max";
+    case UcKind::kMinValue: return "MinVal";
+    case UcKind::kMaxValue: return "MaxVal";
+    case UcKind::kNotNull: return "Nul";
+    case UcKind::kPattern: return "Pat";
+    case UcKind::kCustom: return "Custom";
+  }
+  return "?";
+}
+
+bool MinValueConstraint::Check(const std::string& value) const {
+  if (value.empty()) return true;
+  if (!IsNumeric(value)) return false;
+  return ParseDouble(value) >= min_value_;
+}
+
+bool MaxValueConstraint::Check(const std::string& value) const {
+  if (value.empty()) return true;
+  if (!IsNumeric(value)) return false;
+  return ParseDouble(value) <= max_value_;
+}
+
+UserConstraintPtr MinLength(size_t n) {
+  return std::make_shared<MinLengthConstraint>(n);
+}
+UserConstraintPtr MaxLength(size_t n) {
+  return std::make_shared<MaxLengthConstraint>(n);
+}
+UserConstraintPtr MinValue(double v) {
+  return std::make_shared<MinValueConstraint>(v);
+}
+UserConstraintPtr MaxValue(double v) {
+  return std::make_shared<MaxValueConstraint>(v);
+}
+UserConstraintPtr NotNull() { return std::make_shared<NotNullConstraint>(); }
+UserConstraintPtr Pattern(std::string regex) {
+  return std::make_shared<PatternConstraint>(std::move(regex));
+}
+UserConstraintPtr Custom(std::string description,
+                         std::function<bool(const std::string&)> predicate) {
+  return std::make_shared<CustomConstraint>(std::move(description),
+                                            std::move(predicate));
+}
+
+}  // namespace bclean

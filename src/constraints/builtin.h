@@ -1,0 +1,134 @@
+// Built-in user-constraint implementations and factory helpers.
+#ifndef BCLEAN_CONSTRAINTS_BUILTIN_H_
+#define BCLEAN_CONSTRAINTS_BUILTIN_H_
+
+#include <functional>
+#include <regex>
+#include <string>
+
+#include "src/constraints/uc.h"
+
+namespace bclean {
+
+/// value must have length >= `min_length` (NULLs pass; non-null is a
+/// separate constraint so each UC stays orthogonal, as in the paper).
+class MinLengthConstraint : public UserConstraint {
+ public:
+  explicit MinLengthConstraint(size_t min_length) : min_length_(min_length) {}
+  bool Check(const std::string& value) const override {
+    return value.empty() || value.size() >= min_length_;
+  }
+  UcKind kind() const override { return UcKind::kMinLength; }
+  std::string Describe() const override {
+    return "len >= " + std::to_string(min_length_);
+  }
+
+ private:
+  size_t min_length_;
+};
+
+/// value must have length <= `max_length` (NULLs pass).
+class MaxLengthConstraint : public UserConstraint {
+ public:
+  explicit MaxLengthConstraint(size_t max_length) : max_length_(max_length) {}
+  bool Check(const std::string& value) const override {
+    return value.size() <= max_length_;
+  }
+  UcKind kind() const override { return UcKind::kMaxLength; }
+  std::string Describe() const override {
+    return "len <= " + std::to_string(max_length_);
+  }
+
+ private:
+  size_t max_length_;
+};
+
+/// Numeric value must be >= `min_value`. Non-numeric values fail; NULLs pass.
+class MinValueConstraint : public UserConstraint {
+ public:
+  explicit MinValueConstraint(double min_value) : min_value_(min_value) {}
+  bool Check(const std::string& value) const override;
+  UcKind kind() const override { return UcKind::kMinValue; }
+  std::string Describe() const override {
+    return "value >= " + std::to_string(min_value_);
+  }
+
+ private:
+  double min_value_;
+};
+
+/// Numeric value must be <= `max_value`. Non-numeric values fail; NULLs pass.
+class MaxValueConstraint : public UserConstraint {
+ public:
+  explicit MaxValueConstraint(double max_value) : max_value_(max_value) {}
+  bool Check(const std::string& value) const override;
+  UcKind kind() const override { return UcKind::kMaxValue; }
+  std::string Describe() const override {
+    return "value <= " + std::to_string(max_value_);
+  }
+
+ private:
+  double max_value_;
+};
+
+/// value must not be NULL.
+class NotNullConstraint : public UserConstraint {
+ public:
+  bool Check(const std::string& value) const override {
+    return !value.empty();
+  }
+  UcKind kind() const override { return UcKind::kNotNull; }
+  std::string Describe() const override { return "not null"; }
+};
+
+/// value must fully match an ECMAScript regular expression (NULLs pass so
+/// the pattern composes with NotNull the way Table 3's UC lists do).
+class PatternConstraint : public UserConstraint {
+ public:
+  explicit PatternConstraint(std::string pattern)
+      : pattern_text_(std::move(pattern)),
+        pattern_(pattern_text_, std::regex::ECMAScript | std::regex::optimize) {
+  }
+  bool Check(const std::string& value) const override {
+    return value.empty() || std::regex_match(value, pattern_);
+  }
+  UcKind kind() const override { return UcKind::kPattern; }
+  std::string Describe() const override { return "matches " + pattern_text_; }
+
+ private:
+  std::string pattern_text_;
+  std::regex pattern_;
+};
+
+/// Arbitrary predicate constraint — the paper's "any function that returns a
+/// binary output" (dependency rules, arithmetic expressions, even DNNs).
+class CustomConstraint : public UserConstraint {
+ public:
+  CustomConstraint(std::string description,
+                   std::function<bool(const std::string&)> predicate)
+      : description_(std::move(description)),
+        predicate_(std::move(predicate)) {}
+  bool Check(const std::string& value) const override {
+    return predicate_(value);
+  }
+  UcKind kind() const override { return UcKind::kCustom; }
+  std::string Describe() const override { return description_; }
+
+ private:
+  std::string description_;
+  std::function<bool(const std::string&)> predicate_;
+};
+
+/// Factory helpers (shared_ptr for cheap registry copies).
+UserConstraintPtr MinLength(size_t n);
+UserConstraintPtr MaxLength(size_t n);
+UserConstraintPtr MinValue(double v);
+UserConstraintPtr MaxValue(double v);
+UserConstraintPtr NotNull();
+UserConstraintPtr Pattern(std::string regex);
+UserConstraintPtr Custom(std::string description,
+                         std::function<bool(const std::string&)> predicate);
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CONSTRAINTS_BUILTIN_H_

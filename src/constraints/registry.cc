@@ -1,0 +1,64 @@
+#include "src/constraints/registry.h"
+
+namespace bclean {
+
+Status UcRegistry::Add(size_t attr, UserConstraintPtr constraint) {
+  if (attr >= num_attributes_) {
+    return Status::OutOfRange("attribute index " + std::to_string(attr) +
+                              " out of range (have " +
+                              std::to_string(num_attributes_) + ")");
+  }
+  if (constraint == nullptr) {
+    return Status::InvalidArgument("constraint must not be null");
+  }
+  constraints_[attr].push_back(std::move(constraint));
+  return Status::OK();
+}
+
+void UcRegistry::AddToAll(const UserConstraintPtr& constraint) {
+  for (size_t attr = 0; attr < num_attributes_; ++attr) {
+    constraints_[attr].push_back(constraint);
+  }
+}
+
+bool UcRegistry::Check(size_t attr, const std::string& value) const {
+  assert(attr < constraints_.size());
+  for (const UserConstraintPtr& uc : constraints_[attr]) {
+    if (!uc->Check(value)) return false;
+  }
+  return true;
+}
+
+void UcRegistry::CountTuple(const std::vector<std::string>& tuple,
+                            size_t* satisfied, size_t* violated) const {
+  *satisfied = 0;
+  *violated = 0;
+  for (size_t attr = 0; attr < tuple.size() && attr < num_attributes_;
+       ++attr) {
+    if (Check(attr, tuple[attr])) {
+      ++*satisfied;
+    } else {
+      ++*violated;
+    }
+  }
+}
+
+UcRegistry UcRegistry::Without(const std::set<UcKind>& kinds) const {
+  UcRegistry out(num_attributes_);
+  for (size_t attr = 0; attr < num_attributes_; ++attr) {
+    for (const UserConstraintPtr& uc : constraints_[attr]) {
+      if (kinds.count(uc->kind()) == 0) {
+        out.constraints_[attr].push_back(uc);
+      }
+    }
+  }
+  return out;
+}
+
+size_t UcRegistry::TotalConstraints() const {
+  size_t total = 0;
+  for (const auto& list : constraints_) total += list.size();
+  return total;
+}
+
+}  // namespace bclean

@@ -1,0 +1,69 @@
+// Per-attribute registry of user constraints: the UC(.) function of the
+// paper applied cell-wise, plus the tuple-level satisfaction counts that the
+// compensatory model's conf(T) (Equation 3) consumes.
+#ifndef BCLEAN_CONSTRAINTS_REGISTRY_H_
+#define BCLEAN_CONSTRAINTS_REGISTRY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/constraints/uc.h"
+#include "src/data/schema.h"
+
+namespace bclean {
+
+/// Holds the user constraints for every attribute of one schema.
+class UcRegistry {
+ public:
+  UcRegistry() = default;
+  /// Registry over `schema` with no constraints (every check passes).
+  explicit UcRegistry(const Schema& schema)
+      : num_attributes_(schema.size()), constraints_(schema.size()) {}
+  /// Registry over `num_attributes` columns with no constraints.
+  explicit UcRegistry(size_t num_attributes)
+      : num_attributes_(num_attributes), constraints_(num_attributes) {}
+
+  /// Attaches `constraint` to attribute `attr`.
+  Status Add(size_t attr, UserConstraintPtr constraint);
+
+  /// Attaches `constraint` to every attribute.
+  void AddToAll(const UserConstraintPtr& constraint);
+
+  /// UC(value) for attribute `attr`: true iff every registered constraint
+  /// passes (vacuously true with none registered).
+  bool Check(size_t attr, const std::string& value) const;
+
+  /// Number of attribute values in `tuple` with UC = 1 / UC = 0.
+  /// Used by conf(T) (Equation 3).
+  void CountTuple(const std::vector<std::string>& tuple, size_t* satisfied,
+                  size_t* violated) const;
+
+  /// Copy of this registry without constraints of the given kinds —
+  /// the Figure 5 incomplete-UC ablation.
+  UcRegistry Without(const std::set<UcKind>& kinds) const;
+
+  /// Copy of this registry with no constraints at all (Figure 5's "All").
+  UcRegistry Empty() const { return UcRegistry(num_attributes_); }
+
+  /// Constraints registered for `attr`.
+  const std::vector<UserConstraintPtr>& constraints(size_t attr) const {
+    assert(attr < constraints_.size());
+    return constraints_[attr];
+  }
+
+  /// Total number of registered constraints.
+  size_t TotalConstraints() const;
+
+  /// Number of attributes covered.
+  size_t num_attributes() const { return num_attributes_; }
+
+ private:
+  size_t num_attributes_ = 0;
+  std::vector<std::vector<UserConstraintPtr>> constraints_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CONSTRAINTS_REGISTRY_H_

@@ -1,0 +1,49 @@
+// User constraints (UCs), the paper's lightweight prior-knowledge mechanism
+// (Section 2): any function over a cell value returning 0/1. Built-in kinds
+// cover the forms evaluated in the paper (Table 3) — length bounds, numeric
+// value bounds, non-null, regular expressions — plus an escape hatch for
+// arbitrary predicates (Section 2 notes even a neural net qualifies).
+#ifndef BCLEAN_CONSTRAINTS_UC_H_
+#define BCLEAN_CONSTRAINTS_UC_H_
+
+#include <memory>
+#include <string>
+
+namespace bclean {
+
+/// Category of a constraint; the Figure 5 ablation removes UCs by kind.
+enum class UcKind {
+  kMinLength,
+  kMaxLength,
+  kMinValue,
+  kMaxValue,
+  kNotNull,
+  kPattern,
+  kCustom,
+};
+
+/// Human-readable name of a UcKind ("Min", "Max", "Nul", "Pat", ...).
+const char* UcKindName(UcKind kind);
+
+/// A user constraint over one cell value. Implementations must be pure
+/// (no side effects) and cheap: the engine evaluates them over whole
+/// candidate domains.
+class UserConstraint {
+ public:
+  virtual ~UserConstraint() = default;
+
+  /// Returns true iff `value` satisfies the constraint (UC(value) = 1).
+  virtual bool Check(const std::string& value) const = 0;
+
+  /// The constraint's category.
+  virtual UcKind kind() const = 0;
+
+  /// One-line human-readable description.
+  virtual std::string Describe() const = 0;
+};
+
+using UserConstraintPtr = std::shared_ptr<const UserConstraint>;
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CONSTRAINTS_UC_H_

@@ -1,0 +1,211 @@
+#include "src/core/compensatory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bclean {
+namespace {
+
+// Shannon entropy of one column's (non-null) value distribution.
+double ColumnEntropy(const ColumnStats& column) {
+  double n = 0.0;
+  for (size_t v = 0; v < column.DomainSize(); ++v) {
+    n += static_cast<double>(column.Frequency(static_cast<int32_t>(v)));
+  }
+  if (n <= 0.0) return 0.0;
+  double h = 0.0;
+  for (size_t v = 0; v < column.DomainSize(); ++v) {
+    double p =
+        static_cast<double>(column.Frequency(static_cast<int32_t>(v))) / n;
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t CompensatoryModel::PackKey(size_t attr_j, int32_t c, size_t attr_k,
+                                    int32_t e) const {
+  if (attr_j > attr_k) {
+    std::swap(attr_j, attr_k);
+    std::swap(c, e);
+  }
+  uint64_t pair_id = static_cast<uint64_t>(attr_j * num_cols_ + attr_k);
+  // Layout: 16 bits pair id | 24 bits code c | 24 bits code e. Codes are
+  // dictionary indices (< 2^24 for any benchmark size used here).
+  return (pair_id << 48) |
+         ((static_cast<uint64_t>(static_cast<uint32_t>(c)) & 0xFFFFFF) << 24) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(e)) & 0xFFFFFF);
+}
+
+CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
+                                           const UcMask& mask,
+                                           const CompensatoryOptions& options) {
+  CompensatoryModel model;
+  const size_t n = stats.num_rows();
+  const size_t m = stats.num_cols();
+  model.num_cols_ = m;
+  model.inv_n_ = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  model.normalization_ = options.normalization;
+  model.stats_ = &stats;
+  model.mask_ = &mask;
+  model.conf_.resize(n);
+  model.column_counts_.resize(m);
+  for (size_t c = 0; c < m; ++c) {
+    model.column_counts_[c] =
+        static_cast<double>(n - stats.column(c).null_count());
+  }
+
+  std::vector<int32_t> row(m);
+  for (size_t r = 0; r < n; ++r) {
+    // conf(T) per Equation 3, via the pre-evaluated UC mask.
+    size_t satisfied = 0;
+    size_t violated = 0;
+    for (size_t c = 0; c < m; ++c) {
+      row[c] = stats.code(r, c);
+      if (mask.Check(c, row[c])) {
+        ++satisfied;
+      } else {
+        ++violated;
+      }
+    }
+    double conf =
+        (static_cast<double>(satisfied) -
+         options.lambda * static_cast<double>(violated)) /
+        static_cast<double>(m);
+    conf = std::max(0.0, conf);
+    model.conf_[r] = static_cast<float>(conf);
+
+    // Algorithm 2's accumulation, refined per pair: a pair containing a
+    // UC-violating value is penalized by beta (Example 3: correlations of
+    // "400 nprthwood dr" must go negative); pairs of clean values inside a
+    // low-confidence tuple earn partial trust conf(T) instead of a flat
+    // penalty, so high-noise datasets (Flights at 30%) don't lose the
+    // correlations of their remaining clean values.
+    float trusted = conf >= options.tau ? 1.0f : static_cast<float>(conf);
+    for (size_t j = 0; j < m; ++j) {
+      if (row[j] < 0) continue;  // NULLs carry no correlation evidence
+      bool j_ok = mask.Check(j, row[j]);
+      for (size_t k = j + 1; k < m; ++k) {
+        if (row[k] < 0) continue;
+        float delta = (j_ok && mask.Check(k, row[k]))
+                          ? trusted
+                          : -static_cast<float>(options.beta);
+        PairStat& stat = model.pairs_[model.PackKey(j, row[j], k, row[k])];
+        stat.weighted += delta;
+        stat.count += 1;
+      }
+    }
+  }
+
+  // Pairwise attribute dependency (Section 3's "pairwise attribute
+  // correlation"): normalized mutual information per attribute pair,
+  // estimated from the accumulated raw co-occurrence counts.
+  model.use_mi_weighting_ = options.use_mi_weighting;
+  model.pair_weight_.assign(m * m, 1.0f);
+  if (options.use_mi_weighting && n > 0) {
+    std::vector<double> entropy(m);
+    for (size_t c = 0; c < m; ++c) entropy[c] = ColumnEntropy(stats.column(c));
+    std::vector<double> mi(m * m, 0.0);
+    std::vector<double> joint_total(m * m, 0.0);
+    for (const auto& [key, stat] : model.pairs_) {
+      joint_total[key >> 48] += static_cast<double>(stat.count);
+    }
+    for (const auto& [key, stat] : model.pairs_) {
+      // Singleton joints dominate sparse-data MI estimates and make
+      // independent attribute pairs look dependent (every once-seen pair
+      // is "surprising"); only recurring co-occurrences carry evidence
+      // of real dependency.
+      if (stat.count < 2) continue;
+      size_t pair_id = key >> 48;
+      size_t j = pair_id / m;
+      size_t k = pair_id % m;
+      double n_jk = joint_total[pair_id];
+      if (n_jk <= 0.0) continue;
+      int32_t c = static_cast<int32_t>((key >> 24) & 0xFFFFFF);
+      int32_t e = static_cast<int32_t>(key & 0xFFFFFF);
+      double p_ce = static_cast<double>(stat.count) / n_jk;
+      double p_c = static_cast<double>(stats.column(j).Frequency(c)) /
+                   static_cast<double>(n);
+      double p_e = static_cast<double>(stats.column(k).Frequency(e)) /
+                   static_cast<double>(n);
+      if (p_c > 0.0 && p_e > 0.0) {
+        mi[pair_id] += p_ce * std::log(p_ce / (p_c * p_e));
+      }
+    }
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t k = j + 1; k < m; ++k) {
+        size_t pair_id = j * m + k;
+        double h = std::min(entropy[j], entropy[k]);
+        double w = h > 1e-9 ? std::clamp(mi[pair_id] / h, 0.0, 1.0) : 0.0;
+        model.pair_weight_[pair_id] = static_cast<float>(w);
+      }
+    }
+  }
+  return model;
+}
+
+double CompensatoryModel::PairWeight(size_t attr_j, size_t attr_k) const {
+  if (!use_mi_weighting_) return 1.0;
+  if (attr_j > attr_k) std::swap(attr_j, attr_k);
+  double w = static_cast<double>(pair_weight_[attr_j * num_cols_ + attr_k]);
+  // Weights this small are estimation noise on independent pairs, not
+  // dependency; their votes would only ever flip ties.
+  return w < 0.15 ? 0.0 : w;
+}
+
+double CompensatoryModel::Corr(size_t attr_j, int32_t c, size_t attr_k,
+                               int32_t e) const {
+  if (c < 0 || e < 0) return 0.0;
+  auto it = pairs_.find(PackKey(attr_j, c, attr_k, e));
+  if (it == pairs_.end()) return 0.0;
+  if (normalization_ == CorrNormalization::kJointFrequency) {
+    return static_cast<double>(it->second.weighted) * inv_n_;
+  }
+  // Conditional vote: among the tuples carrying evidence e, how strongly
+  // do they support candidate c (confidence-weighted)?
+  double evidence_count =
+      static_cast<double>(stats_->column(attr_k).Frequency(e));
+  if (evidence_count <= 0.0) return 0.0;
+  return static_cast<double>(it->second.weighted) / evidence_count;
+}
+
+size_t CompensatoryModel::PairCount(size_t attr_j, int32_t c, size_t attr_k,
+                                    int32_t e) const {
+  if (c < 0 || e < 0) return 0;
+  auto it = pairs_.find(PackKey(attr_j, c, attr_k, e));
+  if (it == pairs_.end()) return 0;
+  return it->second.count;
+}
+
+double CompensatoryModel::ScoreCorr(const std::vector<int32_t>& row_codes,
+                                    size_t attr_j, int32_t candidate) const {
+  if (candidate < 0) return 0.0;
+  double score = 0.0;
+  for (size_t k = 0; k < num_cols_; ++k) {
+    if (k == attr_j || row_codes[k] < 0) continue;
+    if (!mask_->Check(k, row_codes[k])) continue;  // untrusted evidence
+    score += PairWeight(attr_j, k) * Corr(attr_j, candidate, k, row_codes[k]);
+  }
+  return score;
+}
+
+double CompensatoryModel::Filter(const std::vector<int32_t>& row_codes,
+                                 size_t attr_i) const {
+  if (num_cols_ < 2) return 0.0;
+  if (row_codes[attr_i] < 0) return 0.0;  // NULL cells always need inference
+  double total = 0.0;
+  for (size_t j = 0; j < num_cols_; ++j) {
+    if (j == attr_i || row_codes[j] < 0) continue;
+    if (!mask_->Check(j, row_codes[j])) continue;  // untrusted evidence
+    double denom = static_cast<double>(stats_->column(j).Frequency(
+        row_codes[j]));
+    if (denom <= 0.0) continue;
+    total += static_cast<double>(
+                 PairCount(attr_i, row_codes[attr_i], j, row_codes[j])) /
+             denom;
+  }
+  return total / static_cast<double>(num_cols_ - 1);
+}
+
+}  // namespace bclean

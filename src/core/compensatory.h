@@ -1,0 +1,82 @@
+// The compensatory scoring model (Section 5, Algorithm 2): tuple confidence
+// conf(T) from UC verdicts (Equation 3), confidence-weighted value-pair
+// correlations corr(c, e, A_j, A_k), and Score_corr (Equation 2). Also owns
+// the raw pair counts that tuple pruning's Filter (Section 6.2) needs.
+#ifndef BCLEAN_CORE_COMPENSATORY_H_
+#define BCLEAN_CORE_COMPENSATORY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/core/uc_mask.h"
+#include "src/data/domain_stats.h"
+
+namespace bclean {
+
+/// Confidence-weighted co-occurrence statistics over a table.
+class CompensatoryModel {
+ public:
+  /// Scans the encoded table once (Algorithm 2), computing conf(T) per
+  /// tuple from `mask` and accumulating weighted/raw pair counts.
+  static CompensatoryModel Build(const DomainStats& stats, const UcMask& mask,
+                                 const CompensatoryOptions& options);
+
+  /// conf(T) of row `row` (Equation 3).
+  double Conf(size_t row) const { return conf_[row]; }
+
+  /// corr(c, e, A_j, A_k): confidence-weighted count normalized by |D|.
+  double Corr(size_t attr_j, int32_t c, size_t attr_k, int32_t e) const;
+
+  /// Raw co-occurrence count of (c, e) over (A_j, A_k).
+  size_t PairCount(size_t attr_j, int32_t c, size_t attr_k, int32_t e) const;
+
+  /// Dependency weight of the attribute pair in [0, 1]: normalized mutual
+  /// information estimated from the observed co-occurrences (1 when
+  /// MI weighting is disabled).
+  double PairWeight(size_t attr_j, size_t attr_k) const;
+
+  /// Score_corr(c, t, A_j) (Equation 2): sum of Corr against every non-NULL
+  /// evidence value of the tuple, with attribute `attr_j` excluded.
+  /// Evidence values that violate their own UCs are skipped — an untrusted
+  /// cell must neither support nor penalize its neighbours' candidates.
+  double ScoreCorr(const std::vector<int32_t>& row_codes, size_t attr_j,
+                   int32_t candidate) const;
+
+  /// Filter(T, A_i) (Section 6.2): mean over other attributes of
+  /// count(T[A_i], T[A_j]) / count(T[A_j]). NULL cells filter to 0;
+  /// UC-violating evidence is skipped as in ScoreCorr.
+  double Filter(const std::vector<int32_t>& row_codes, size_t attr_i) const;
+
+  /// Number of distinct (attribute-pair, value-pair) entries stored.
+  size_t num_pairs() const { return pairs_.size(); }
+
+  /// Number of rows scanned.
+  size_t num_rows() const { return conf_.size(); }
+
+ private:
+  struct PairStat {
+    float weighted = 0.0f;  // +1 per confident tuple, -beta otherwise
+    uint32_t count = 0;     // raw co-occurrences
+  };
+
+  // Packs (unordered attribute pair, value pair) into a 64-bit key.
+  // Attribute pairs are normalized to j < k with codes swapped to match.
+  uint64_t PackKey(size_t attr_j, int32_t c, size_t attr_k, int32_t e) const;
+
+  size_t num_cols_ = 0;
+  double inv_n_ = 0.0;
+  CorrNormalization normalization_ = CorrNormalization::kConditionalVote;
+  std::vector<float> conf_;
+  std::vector<double> column_counts_;  // non-null cells per column
+  const DomainStats* stats_ = nullptr;
+  const UcMask* mask_ = nullptr;
+  std::unordered_map<uint64_t, PairStat> pairs_;
+  bool use_mi_weighting_ = true;
+  std::vector<float> pair_weight_;  // indexed j * num_cols_ + k, j < k
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CORE_COMPENSATORY_H_

@@ -1,0 +1,219 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/stopwatch.h"
+#include "src/fdx/structure_learning.h"
+
+namespace bclean {
+namespace {
+
+// Smoothing added to the (clipped) compensatory score before the log.
+// Only relative order matters (Section 5 remark); the floor is large
+// enough that residual noise votes (w * corr ~ 0.01) cannot open a gap
+// bigger than the repair margin, while true evidence (corr ~ 0.5+) still
+// dominates by multiple nats.
+constexpr double kCsFloor = 0.05;
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+BCleanEngine::BCleanEngine(const Table& dirty, const UcRegistry& ucs,
+                           const BCleanOptions& options)
+    : dirty_(dirty),
+      ucs_(options.use_user_constraints ? ucs : ucs.Empty()),
+      options_(options),
+      stats_(DomainStats::Build(dirty)),
+      mask_(UcMask::Build(ucs_, stats_)),
+      compensatory_(CompensatoryModel::Build(stats_, mask_,
+                                             options.compensatory)) {}
+
+Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
+    const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options) {
+  if (dirty.num_cols() != ucs.num_attributes()) {
+    return Status::InvalidArgument(
+        "UC registry arity does not match the table");
+  }
+  std::unique_ptr<BCleanEngine> engine(
+      new BCleanEngine(dirty, ucs, options));
+  Result<BayesianNetwork> bn =
+      BuildNetwork(dirty, engine->stats_, options.structure);
+  if (!bn.ok()) return bn.status();
+  engine->bn_ = std::move(bn).value();
+  return engine;
+}
+
+Result<std::unique_ptr<BCleanEngine>> BCleanEngine::CreateWithNetwork(
+    const Table& dirty, const UcRegistry& ucs, BayesianNetwork network,
+    const BCleanOptions& options) {
+  if (dirty.num_cols() != ucs.num_attributes()) {
+    return Status::InvalidArgument(
+        "UC registry arity does not match the table");
+  }
+  std::unique_ptr<BCleanEngine> engine(
+      new BCleanEngine(dirty, ucs, options));
+  engine->bn_ = std::move(network);
+  engine->bn_.Fit(engine->stats_);
+  return engine;
+}
+
+Status BCleanEngine::AddNetworkEdge(const std::string& parent,
+                                    const std::string& child) {
+  BCLEAN_RETURN_IF_ERROR(bn_.AddEdgeByName(parent, child));
+  bn_.RefitDirty(stats_);  // localized: only the child's CPT is dirty
+  return Status::OK();
+}
+
+Status BCleanEngine::RemoveNetworkEdge(const std::string& parent,
+                                       const std::string& child) {
+  BCLEAN_RETURN_IF_ERROR(bn_.RemoveEdgeByName(parent, child));
+  bn_.RefitDirty(stats_);
+  return Status::OK();
+}
+
+Status BCleanEngine::MergeNetworkNodes(const std::vector<std::string>& names,
+                                       const std::string& merged_name) {
+  std::vector<size_t> vars;
+  vars.reserve(names.size());
+  for (const std::string& name : names) {
+    Result<size_t> var = bn_.VariableByName(name);
+    if (!var.ok()) return var.status();
+    vars.push_back(var.value());
+  }
+  BCLEAN_RETURN_IF_ERROR(bn_.MergeNodes(vars, merged_name));
+  bn_.RefitDirty(stats_);
+  return Status::OK();
+}
+
+std::vector<int32_t> BCleanEngine::CandidatesFor(size_t attr) const {
+  const ColumnStats& column = stats_.column(attr);
+  std::vector<int32_t> candidates;
+  candidates.reserve(column.DomainSize());
+  for (size_t v = 0; v < column.DomainSize(); ++v) {
+    int32_t code = static_cast<int32_t>(v);
+    if (options_.use_user_constraints && !mask_.Check(attr, code)) continue;
+    candidates.push_back(code);
+  }
+  if (!options_.domain_pruning ||
+      candidates.size() <= options_.domain_top_k) {
+    return candidates;
+  }
+
+  // Domain pruning (Section 6.2): TF-IDF over the attribute's sub-network.
+  // TF counts occurrences of the value across the blanket's columns (its
+  // "semantic context"); IDF discounts globally frequent values. Singleton
+  // values — mostly typos — score near log(n)/n of the mass and fall out.
+  size_t var = bn_.VariableOfAttr(attr);
+  std::vector<size_t> blanket_attrs;
+  for (size_t v : bn_.dag().MarkovBlanket(var)) {
+    for (size_t a : bn_.variable(v).attrs) blanket_attrs.push_back(a);
+  }
+  double n = static_cast<double>(std::max<size_t>(1, stats_.num_rows()));
+  std::vector<std::pair<double, int32_t>> scored;
+  scored.reserve(candidates.size());
+  for (int32_t code : candidates) {
+    const std::string& value = column.ValueOf(code);
+    double tf = static_cast<double>(column.Frequency(code));
+    for (size_t other : blanket_attrs) {
+      if (other == attr) continue;
+      int32_t other_code = stats_.column(other).CodeOf(value);
+      if (other_code >= 0) {
+        tf += static_cast<double>(stats_.column(other).Frequency(other_code));
+      }
+    }
+    double idf = std::log(n / (1.0 + tf));
+    scored.push_back({tf * std::max(idf, 0.1), code});
+  }
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<ptrdiff_t>(
+                                         options_.domain_top_k),
+                    scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  scored.resize(options_.domain_top_k);
+  std::vector<int32_t> pruned;
+  pruned.reserve(scored.size());
+  for (const auto& [score, code] : scored) pruned.push_back(code);
+  std::sort(pruned.begin(), pruned.end());
+  return pruned;
+}
+
+double BCleanEngine::ScoreCandidate(
+    size_t attr, int32_t candidate,
+    const std::vector<int32_t>& row_codes) const {
+  double bn_term = options_.partitioned_inference
+                       ? bn_.LogProbBlanket(attr, candidate, row_codes)
+                       : bn_.LogProbFull(attr, candidate, row_codes);
+  if (!options_.use_compensatory) return bn_term;
+  double cs = compensatory_.ScoreCorr(row_codes, attr, candidate);
+  double cs_term = std::log(std::max(cs, 0.0) + kCsFloor);
+  return bn_term + options_.cs_weight * cs_term;
+}
+
+Table BCleanEngine::Clean() {
+  Stopwatch watch;
+  last_stats_ = CleanStats{};
+  Table result = dirty_;
+  const size_t n = dirty_.num_rows();
+  const size_t m = dirty_.num_cols();
+
+  // Candidate lists are computed once per attribute, not per cell.
+  std::vector<std::vector<int32_t>> candidates(m);
+  for (size_t a = 0; a < m; ++a) candidates[a] = CandidatesFor(a);
+
+  std::vector<int32_t> row_codes(m);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) row_codes[c] = stats_.code(r, c);
+    for (size_t j = 0; j < m; ++j) {
+      ++last_stats_.cells_scanned;
+      int32_t original = row_codes[j];
+
+      // Tuple pruning (pre-detection): confidently supported cells skip
+      // inference entirely.
+      if (options_.tuple_pruning && original >= 0 &&
+          compensatory_.Filter(row_codes, j) >= options_.tau_clean) {
+        ++last_stats_.cells_skipped_by_filter;
+        continue;
+      }
+      ++last_stats_.cells_inferred;
+
+      int32_t best = original;
+      double best_score = kNegInf;
+      // The original value competes under the same score unless it is NULL
+      // or fails its UCs (then any feasible candidate must replace it,
+      // margin-free). Otherwise a challenger needs a clear advantage —
+      // repair_margin — so near-ties never flip clean cells.
+      if (original >= 0 &&
+          (!options_.use_user_constraints || mask_.Check(j, original))) {
+        best_score = ScoreCandidate(j, original, row_codes) +
+                     options_.repair_margin;
+        ++last_stats_.candidates_evaluated;
+      }
+      for (int32_t c : candidates[j]) {
+        if (c == original) continue;
+        double score = ScoreCandidate(j, c, row_codes);
+        ++last_stats_.candidates_evaluated;
+        if (score > best_score) {
+          best_score = score;
+          best = c;
+        }
+      }
+      if (best != original && best >= 0) {
+        result.set_cell(r, j, stats_.column(j).ValueOf(best));
+        ++last_stats_.cells_changed;
+        if (!options_.partitioned_inference) {
+          // Unpartitioned BClean repairs in place: later cells of the tuple
+          // see this repair (the paper's error-amplification path).
+          row_codes[j] = best;
+        }
+      }
+    }
+  }
+  last_stats_.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace bclean

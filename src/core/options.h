@@ -1,0 +1,108 @@
+// Options for the BClean engine. The four method variants evaluated in the
+// paper map onto flag combinations:
+//   BClean-UC : Basic() with use_user_constraints = false
+//   BClean    : Basic()            (full-joint scoring, in-place repairs)
+//   BCleanPI  : PartitionedInference()  (Markov-blanket scoring)
+//   BCleanPIP : PartitionedInferencePruning() (PI + tuple + domain pruning)
+#ifndef BCLEAN_CORE_OPTIONS_H_
+#define BCLEAN_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/fdx/structure_learning.h"
+
+namespace bclean {
+
+/// How corr(c, e, A_j, A_k) is normalized into Score_corr.
+enum class CorrNormalization {
+  /// The paper's Equation 2 as printed: weighted joint count / |D|.
+  /// Biased toward globally frequent candidates; kept for ablation.
+  kJointFrequency,
+  /// Conditional vote: weighted joint count / count(e). Each evidence
+  /// value votes for the candidates it actually co-occurs with, which
+  /// protects rare-but-correct cells (default; see DESIGN.md).
+  kConditionalVote,
+};
+
+/// Parameters of the compensatory scoring model (Section 5).
+struct CompensatoryOptions {
+  /// UC-violation penalty inside conf(T) (Equation 3). Paper default 1.
+  double lambda = 1.0;
+  /// Penalty applied to corr for low-confidence tuples (Alg. 2). Default 2.
+  double beta = 2.0;
+  /// Tuple-confidence threshold (Alg. 2). Paper default 0.5.
+  double tau = 0.5;
+  /// Score normalization (see CorrNormalization).
+  CorrNormalization normalization = CorrNormalization::kConditionalVote;
+  /// Weight each evidence attribute's vote by the normalized mutual
+  /// information of the attribute pair (the "pairwise attribute
+  /// correlation" of Section 3's modeling). Independent attributes then
+  /// contribute no vote, so their sampling noise cannot flip cells.
+  bool use_mi_weighting = true;
+};
+
+/// Full engine configuration.
+struct BCleanOptions {
+  CompensatoryOptions compensatory;
+
+  /// When false, UCs neither filter candidates nor feed conf(T)
+  /// (the BClean-UC variant).
+  bool use_user_constraints = true;
+
+  /// When false, only the BN term scores candidates (ablation).
+  bool use_compensatory = true;
+
+  /// Weight of the compensatory log-score relative to the BN log-score.
+  double cs_weight = 1.0;
+
+  /// A challenger must beat the original value's log-score by this margin
+  /// before the cell is repaired. Protects weakly-determined columns from
+  /// noise-driven flips; NULL or UC-violating originals are always
+  /// replaced by the best feasible candidate (no margin applies).
+  double repair_margin = 0.25;
+
+  /// Markov-blanket scoring against the original observation (BCleanPI).
+  /// When false, the engine scores the full joint and repairs in place,
+  /// so earlier repairs feed later cells — the paper's error-amplification
+  /// behaviour of unpartitioned inference.
+  bool partitioned_inference = false;
+
+  /// Skip cells whose co-occurrence filter passes tau_clean (Section 6.2).
+  bool tuple_pruning = false;
+  /// Filter threshold: cells with Filter(T, A_i) >= tau_clean are left as
+  /// is (pre-detection says they are likely clean).
+  double tau_clean = 0.35;
+
+  /// Restrict candidates per attribute to the TF-IDF top-k (Section 6.2).
+  bool domain_pruning = false;
+  /// Candidates kept per attribute under domain pruning.
+  size_t domain_top_k = 128;
+
+  /// Structure-learning configuration for automatic BN construction.
+  StructureOptions structure;
+
+  /// Convenience presets for the paper's variants.
+  static BCleanOptions Basic() { return BCleanOptions{}; }
+  static BCleanOptions WithoutUcs() {
+    BCleanOptions o;
+    o.use_user_constraints = false;
+    return o;
+  }
+  static BCleanOptions PartitionedInference() {
+    BCleanOptions o;
+    o.partitioned_inference = true;
+    return o;
+  }
+  static BCleanOptions PartitionedInferencePruning() {
+    BCleanOptions o;
+    o.partitioned_inference = true;
+    o.tuple_pruning = true;
+    o.domain_pruning = true;
+    return o;
+  }
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CORE_OPTIONS_H_

@@ -1,0 +1,32 @@
+#include "src/core/uc_mask.h"
+
+#include <string>
+
+namespace bclean {
+
+UcMask UcMask::Build(const UcRegistry& ucs, const DomainStats& stats) {
+  UcMask mask;
+  size_t m = stats.num_cols();
+  mask.ok_.resize(m);
+  mask.null_ok_.resize(m);
+  const std::string null_value;
+  for (size_t c = 0; c < m; ++c) {
+    const ColumnStats& column = stats.column(c);
+    mask.ok_[c].resize(column.DomainSize());
+    for (size_t v = 0; v < column.DomainSize(); ++v) {
+      mask.ok_[c][v] =
+          ucs.Check(c, column.ValueOf(static_cast<int32_t>(v))) ? 1 : 0;
+    }
+    mask.null_ok_[c] = ucs.Check(c, null_value) ? 1 : 0;
+  }
+  return mask;
+}
+
+size_t UcMask::CountSatisfying(size_t col) const {
+  assert(col < ok_.size());
+  size_t count = 0;
+  for (uint8_t ok : ok_[col]) count += ok;
+  return count;
+}
+
+}  // namespace bclean

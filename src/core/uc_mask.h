@@ -1,0 +1,40 @@
+// Pre-evaluated user constraints over each attribute's domain. UC(value)
+// depends only on the value, so evaluating once per distinct value (instead
+// of per cell or per candidate) turns regex checks into bit lookups on the
+// hot inference path.
+#ifndef BCLEAN_CORE_UC_MASK_H_
+#define BCLEAN_CORE_UC_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/constraints/registry.h"
+#include "src/data/domain_stats.h"
+
+namespace bclean {
+
+/// Per-column, per-code UC verdicts.
+class UcMask {
+ public:
+  /// Evaluates `ucs` over every distinct value of every column.
+  static UcMask Build(const UcRegistry& ucs, const DomainStats& stats);
+
+  /// UC verdict for code `code` of column `col` (kNullCode = the NULL value).
+  bool Check(size_t col, int32_t code) const {
+    assert(col < ok_.size());
+    if (code < 0) return null_ok_[col];
+    assert(static_cast<size_t>(code) < ok_[col].size());
+    return ok_[col][static_cast<size_t>(code)] != 0;
+  }
+
+  /// Number of domain values of `col` that satisfy the UCs.
+  size_t CountSatisfying(size_t col) const;
+
+ private:
+  std::vector<std::vector<uint8_t>> ok_;
+  std::vector<uint8_t> null_ok_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CORE_UC_MASK_H_

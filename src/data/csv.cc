@@ -1,0 +1,149 @@
+#include "src/data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace bclean {
+namespace {
+
+std::string NormalizeNull(std::string field) {
+  if (field == "NULL" || field == "null") return std::string(kNullValue);
+  return field;
+}
+
+bool NeedsQuoting(const std::string& field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& field, char sep) {
+  if (!NeedsQuoting(field, sep)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCsvLine(std::string_view line, char separator) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == separator) {
+      fields.push_back(NormalizeNull(std::move(current)));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(NormalizeNull(std::move(current)));
+  return fields;
+}
+
+Result<Table> ReadCsvString(std::string_view text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  size_t start = 0;
+  // Records are split on newlines outside quoted regions.
+  bool in_quotes = false;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    bool at_end = i == text.size();
+    char c = at_end ? '\n' : text[i];
+    if (!at_end && c == '"') in_quotes = !in_quotes;
+    if (c == '\n' && !in_quotes) {
+      std::string_view line = text.substr(start, i - start);
+      start = i + 1;
+      if (line.empty() && at_end) continue;
+      if (line.empty()) continue;
+      records.push_back(ParseCsvLine(line, options.separator));
+    }
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV input has no records");
+  }
+
+  Schema schema;
+  size_t first_data = 0;
+  if (options.has_header) {
+    schema = Schema::FromNames(records[0]);
+    first_data = 1;
+  } else {
+    std::vector<std::string> names;
+    names.reserve(records[0].size());
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      names.push_back("c" + std::to_string(c));
+    }
+    schema = Schema::FromNames(names);
+  }
+
+  Table table(schema);
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != schema.size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(schema.size()));
+    }
+    table.AddRowUnchecked(std::move(records[r]));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  char sep = options.separator;
+  if (options.has_header) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (c > 0) out += sep;
+      out += QuoteField(table.schema().attribute(c).name, sep);
+    }
+    out += '\n';
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (c > 0) out += sep;
+      out += QuoteField(table.cell(r, c), sep);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << WriteCsvString(table, options);
+  if (!out) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace bclean

@@ -1,0 +1,45 @@
+// RFC-4180-style CSV reader/writer: quoted fields, embedded separators,
+// doubled quotes. The literal tokens "NULL", "null" and the empty field all
+// load as the system NULL marker.
+#ifndef BCLEAN_DATA_CSV_H_
+#define BCLEAN_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/table.h"
+
+namespace bclean {
+
+/// CSV parsing/serialization options.
+struct CsvOptions {
+  char separator = ',';
+  /// First row holds attribute names.
+  bool has_header = true;
+};
+
+/// Splits one CSV record into fields, honoring double-quote escaping.
+std::vector<std::string> ParseCsvLine(std::string_view line,
+                                      char separator = ',');
+
+/// Parses full CSV text into a Table. Fails with InvalidArgument on ragged
+/// rows; with has_header=false, columns are named c0, c1, ...
+Result<Table> ReadCsvString(std::string_view text,
+                            const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes `table` to CSV text. NULL cells are written as empty fields.
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// Writes `table` to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace bclean
+
+#endif  // BCLEAN_DATA_CSV_H_

@@ -1,0 +1,53 @@
+#include "src/data/domain_stats.h"
+
+namespace bclean {
+
+int32_t ColumnStats::Intern(const std::string& value) {
+  if (IsNull(value)) {
+    ++null_count_;
+    return kNullCode;
+  }
+  auto [it, inserted] =
+      index_.try_emplace(value, static_cast<int32_t>(values_.size()));
+  if (inserted) {
+    values_.push_back(value);
+    counts_.push_back(1);
+  } else {
+    ++counts_[static_cast<size_t>(it->second)];
+  }
+  return it->second;
+}
+
+int32_t ColumnStats::CodeOf(const std::string& value) const {
+  if (IsNull(value)) return kNullCode;
+  auto it = index_.find(value);
+  return it == index_.end() ? kNullCode : it->second;
+}
+
+int32_t ColumnStats::MostFrequentCode() const {
+  int32_t best = kNullCode;
+  size_t best_count = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > best_count) {
+      best_count = counts_[i];
+      best = static_cast<int32_t>(i);
+    }
+  }
+  return best;
+}
+
+DomainStats DomainStats::Build(const Table& table) {
+  DomainStats stats;
+  stats.columns_.resize(table.num_cols());
+  stats.codes_.resize(table.num_cols());
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    auto& codes = stats.codes_[c];
+    codes.reserve(table.num_rows());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      codes.push_back(stats.columns_[c].Intern(table.cell(r, c)));
+    }
+  }
+  return stats;
+}
+
+}  // namespace bclean

@@ -1,0 +1,96 @@
+// Per-attribute domain statistics: the distinct-value dictionary (dom(A_j)
+// in the paper), value frequencies, and an integer-encoded view of the table
+// that the counting-heavy passes (CPTs, compensatory score, pruning) use
+// instead of hashing strings repeatedly.
+#ifndef BCLEAN_DATA_DOMAIN_STATS_H_
+#define BCLEAN_DATA_DOMAIN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/table.h"
+
+namespace bclean {
+
+/// Code reserved for NULL cells in the encoded view.
+inline constexpr int32_t kNullCode = -1;
+
+/// Dictionary and frequencies for one attribute.
+class ColumnStats {
+ public:
+  /// Interns `value`; returns its code. NULL interns to kNullCode.
+  int32_t Intern(const std::string& value);
+
+  /// Code for `value`, or kNullCode when NULL / not present.
+  int32_t CodeOf(const std::string& value) const;
+
+  /// Value for a code produced by Intern().
+  const std::string& ValueOf(int32_t code) const {
+    assert(code >= 0 && static_cast<size_t>(code) < values_.size());
+    return values_[static_cast<size_t>(code)];
+  }
+
+  /// Number of distinct non-NULL values.
+  size_t DomainSize() const { return values_.size(); }
+
+  /// Occurrences of `code` in the source column.
+  size_t Frequency(int32_t code) const {
+    if (code < 0) return null_count_;
+    return counts_[static_cast<size_t>(code)];
+  }
+
+  /// Occurrences of NULL in the source column.
+  size_t null_count() const { return null_count_; }
+
+  /// Most frequent non-NULL code, or kNullCode for an all-NULL column.
+  int32_t MostFrequentCode() const;
+
+  /// All distinct non-NULL values in first-occurrence order.
+  const std::vector<std::string>& Domain() const { return values_; }
+
+ private:
+  friend class DomainStats;
+
+  std::vector<std::string> values_;
+  std::vector<size_t> counts_;
+  std::unordered_map<std::string, int32_t> index_;
+  size_t null_count_ = 0;
+};
+
+/// Dictionary-encoded snapshot of a table.
+class DomainStats {
+ public:
+  /// Builds statistics (and the encoded view) for every column of `table`.
+  static DomainStats Build(const Table& table);
+
+  /// Per-column statistics.
+  const ColumnStats& column(size_t col) const {
+    assert(col < columns_.size());
+    return columns_[col];
+  }
+
+  /// Encoded cell: the dictionary code of table(row, col).
+  int32_t code(size_t row, size_t col) const {
+    assert(col < codes_.size() && row < codes_[col].size());
+    return codes_[col][row];
+  }
+
+  /// Encoded column in row order.
+  const std::vector<int32_t>& codes(size_t col) const {
+    assert(col < codes_.size());
+    return codes_[col];
+  }
+
+  size_t num_rows() const { return codes_.empty() ? 0 : codes_[0].size(); }
+  size_t num_cols() const { return codes_.size(); }
+
+ private:
+  std::vector<ColumnStats> columns_;
+  std::vector<std::vector<int32_t>> codes_;  // column-major
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_DATA_DOMAIN_STATS_H_

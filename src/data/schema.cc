@@ -1,0 +1,43 @@
+#include "src/data/schema.h"
+
+namespace bclean {
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const std::string& name : names) {
+    attrs.push_back(Attribute{name, AttributeType::kString});
+  }
+  return Schema(std::move(attrs));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Status Schema::AddAttribute(Attribute attribute) {
+  for (const Attribute& existing : attributes_) {
+    if (existing.name == attribute.name) {
+      return Status::AlreadyExists("attribute '" + attribute.name +
+                                   "' already in schema");
+    }
+  }
+  attributes_.push_back(std::move(attribute));
+  return Status::OK();
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].type != other.attributes_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bclean

@@ -1,0 +1,54 @@
+// Relational schema: attribute names and types. BClean operates on string
+// cells; attributes flagged kNumeric additionally support numeric similarity
+// and min/max-value constraints (the Beers dataset's ounces/abv columns).
+#ifndef BCLEAN_DATA_SCHEMA_H_
+#define BCLEAN_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace bclean {
+
+/// Logical type of an attribute.
+enum class AttributeType { kString, kNumeric };
+
+/// One attribute (column) of a relation.
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kString;
+};
+
+/// Ordered list of attributes with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  /// Convenience: all-string schema from names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  /// Number of attributes.
+  size_t size() const { return attributes_.size(); }
+  /// Attribute at position `index`.
+  const Attribute& attribute(size_t index) const { return attributes_[index]; }
+  /// All attributes in order.
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Appends an attribute; fails with AlreadyExists on duplicate names.
+  Status AddAttribute(Attribute attribute);
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_DATA_SCHEMA_H_

@@ -1,0 +1,48 @@
+#include "src/data/table.h"
+
+namespace bclean {
+
+std::vector<std::string> Table::Row(size_t row) const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    assert(row < col.size());
+    out.push_back(col[row]);
+  }
+  return out;
+}
+
+Status Table::AddRow(std::vector<std::string> values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) +
+        " does not match schema arity " + std::to_string(columns_.size()));
+  }
+  AddRowUnchecked(std::move(values));
+  return Status::OK();
+}
+
+void Table::AddRowUnchecked(std::vector<std::string> values) {
+  assert(values.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(std::move(values[c]));
+  }
+}
+
+Table Table::SelectRows(const std::vector<size_t>& rows) const {
+  Table out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c].reserve(rows.size());
+    for (size_t r : rows) {
+      assert(r < columns_[c].size());
+      out.columns_[c].push_back(columns_[c][r]);
+    }
+  }
+  return out;
+}
+
+bool Table::operator==(const Table& other) const {
+  return schema_ == other.schema_ && columns_ == other.columns_;
+}
+
+}  // namespace bclean

@@ -1,0 +1,80 @@
+// In-memory relation. Cells are strings; the empty string is the NULL
+// marker (kNullValue). Storage is column-major because almost every BClean
+// pass (domain building, similarity sorting, co-occurrence counting) walks
+// one attribute at a time.
+#ifndef BCLEAN_DATA_TABLE_H_
+#define BCLEAN_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/schema.h"
+
+namespace bclean {
+
+/// The NULL marker used across the system.
+inline constexpr const char* kNullValue = "";
+
+/// True iff `v` denotes a missing value.
+inline bool IsNull(const std::string& v) { return v.empty(); }
+
+/// Column-major relation with a fixed schema.
+class Table {
+ public:
+  Table() = default;
+  /// Empty table over `schema`.
+  explicit Table(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_.size()) {}
+
+  /// The table's schema.
+  const Schema& schema() const { return schema_; }
+  /// Number of rows.
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  /// Number of columns.
+  size_t num_cols() const { return columns_.size(); }
+  /// Total number of cells.
+  size_t num_cells() const { return num_rows() * num_cols(); }
+
+  /// Cell accessor. Bounds asserted in debug builds.
+  const std::string& cell(size_t row, size_t col) const {
+    assert(col < columns_.size() && row < columns_[col].size());
+    return columns_[col][row];
+  }
+  /// Overwrites a cell.
+  void set_cell(size_t row, size_t col, std::string value) {
+    assert(col < columns_.size() && row < columns_[col].size());
+    columns_[col][row] = std::move(value);
+  }
+
+  /// Whole column (values in row order).
+  const std::vector<std::string>& column(size_t col) const {
+    assert(col < columns_.size());
+    return columns_[col];
+  }
+
+  /// One row materialized as a vector of cell copies.
+  std::vector<std::string> Row(size_t row) const;
+
+  /// Appends a row; fails with InvalidArgument on arity mismatch.
+  Status AddRow(std::vector<std::string> values);
+
+  /// Appends a row without validation (datagen hot path).
+  void AddRowUnchecked(std::vector<std::string> values);
+
+  /// Returns a new table containing the given rows (in the given order).
+  Table SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Structural equality (schema and every cell).
+  bool operator==(const Table& other) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::string>> columns_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_DATA_TABLE_H_

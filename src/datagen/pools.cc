@@ -1,0 +1,253 @@
+#include "src/datagen/pools.h"
+
+#include "src/common/string_util.h"
+
+namespace bclean {
+
+const std::vector<CityEntry>& CityPool() {
+  static const std::vector<CityEntry>* pool = [] {
+    auto* cities = new std::vector<CityEntry>{
+        {"sylacauga", "al", "35150", "talladega"},
+        {"centre", "al", "35960", "cherokee"},
+        {"birmingham", "al", "35233", "jefferson"},
+        {"dothan", "al", "36301", "houston"},
+        {"phoenix", "az", "85006", "maricopa"},
+        {"tucson", "az", "85713", "pima"},
+        {"mesa", "az", "85201", "maricopa"},
+        {"little rock", "ar", "72201", "pulaski"},
+        {"los angeles", "ca", "90012", "los angeles"},
+        {"san diego", "ca", "92103", "san diego"},
+        {"fresno", "ca", "93701", "fresno"},
+        {"sacramento", "ca", "95814", "sacramento"},
+        {"denver", "co", "80204", "denver"},
+        {"pueblo", "co", "81003", "pueblo"},
+        {"hartford", "ct", "61023", "hartford"},
+        {"wilmington", "de", "19801", "new castle"},
+        {"miami", "fl", "33136", "miami-dade"},
+        {"tampa", "fl", "33606", "hillsborough"},
+        {"orlando", "fl", "32806", "orange"},
+        {"atlanta", "ga", "30303", "fulton"},
+        {"savannah", "ga", "31401", "chatham"},
+        {"honolulu", "hi", "96813", "honolulu"},
+        {"boise", "id", "83702", "ada"},
+        {"chicago", "il", "60612", "cook"},
+        {"peoria", "il", "61602", "peoria"},
+        {"indianapolis", "in", "46202", "marion"},
+        {"des moines", "ia", "50309", "polk"},
+        {"wichita", "ks", "67214", "sedgwick"},
+        {"louisville", "ky", "40202", "jefferson"},
+        {"lexington", "ky", "40508", "fayette"},
+        {"new orleans", "la", "70112", "orleans"},
+        {"portland", "me", "41011", "cumberland"},
+        {"baltimore", "md", "21201", "baltimore"},
+        {"boston", "ma", "21183", "suffolk"},
+        {"worcester", "ma", "16051", "worcester"},
+        {"detroit", "mi", "48201", "wayne"},
+        {"lansing", "mi", "48910", "ingham"},
+        {"minneapolis", "mn", "55415", "hennepin"},
+        {"jackson", "ms", "39201", "hinds"},
+        {"kansas city", "mo", "64108", "jackson"},
+        {"st louis", "mo", "63110", "st louis"},
+        {"billings", "mt", "59101", "yellowstone"},
+        {"omaha", "ne", "68105", "douglas"},
+        {"las vegas", "nv", "89102", "clark"},
+        {"concord", "nh", "33011", "merrimack"},
+        {"newark", "nj", "71012", "essex"},
+        {"albuquerque", "nm", "87102", "bernalillo"},
+        {"new york", "ny", "10016", "new york"},
+        {"buffalo", "ny", "14203", "erie"},
+        {"charlotte", "nc", "28203", "mecklenburg"},
+        {"raleigh", "nc", "27601", "wake"},
+        {"fargo", "nd", "58102", "cass"},
+        {"columbus", "oh", "43215", "franklin"},
+        {"cleveland", "oh", "44113", "cuyahoga"},
+        {"oklahoma city", "ok", "73104", "oklahoma"},
+        {"portland", "or", "97209", "multnomah"},
+        {"philadelphia", "pa", "19107", "philadelphia"},
+        {"pittsburgh", "pa", "15213", "allegheny"},
+        {"providence", "ri", "29031", "providence"},
+        {"charleston", "sc", "29401", "charleston"},
+        {"sioux falls", "sd", "57104", "minnehaha"},
+        {"memphis", "tn", "38103", "shelby"},
+        {"nashville", "tn", "37203", "davidson"},
+        {"houston", "tx", "77030", "harris"},
+    };
+    return cities;
+  }();
+  return *pool;
+}
+
+const std::vector<std::string>& StatePool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "al", "ak", "az", "ar", "ca", "co", "ct", "de", "fl", "ga",
+      "hi", "id", "il", "in", "ia", "ks", "ky", "la", "me", "md",
+      "ma", "mi", "mn", "ms", "mo", "mt", "ne", "nv", "nh", "nj",
+      "nm", "ny", "nc", "nd", "oh", "ok", "or", "pa", "ri", "sc",
+      "sd", "tn", "tx", "ut", "vt", "va", "wa", "wv", "wi", "wy"};
+  return *pool;
+}
+
+const std::vector<std::string>& FirstNamePool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "james", "mary",  "john",   "patricia", "robert", "jennifer",
+      "michael", "linda", "william", "elizabeth", "david", "barbara",
+      "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+      "charles", "karen", "henry", "nancy", "johnny", "lisa",
+      "daniel", "betty", "matthew", "margaret", "anthony", "sandra",
+      "mark", "ashley", "donald", "kimberly", "steven", "emily",
+      "paul", "donna", "andrew", "michelle"};
+  return *pool;
+}
+
+const std::vector<std::string>& LastNamePool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "smith", "johnson", "williams", "brown", "jones", "garcia",
+      "miller", "davis", "rodriguez", "martinez", "hernandez", "lopez",
+      "gonzalez", "wilson", "anderson", "thomas", "taylor", "moore",
+      "jackson", "martin", "lee", "perez", "thompson", "white",
+      "harris", "sanchez", "clark", "ramirez", "lewis", "robinson",
+      "walker", "young", "allen", "king", "wright", "scott",
+      "torres", "nguyen", "hill", "flores"};
+  return *pool;
+}
+
+const std::vector<std::string>& StreetPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "hickory", "northwood", "oak", "maple", "cedar", "pine",
+      "elm", "walnut", "chestnut", "sycamore", "willow", "magnolia",
+      "juniper", "laurel", "dogwood", "birch", "aspen", "poplar",
+      "spruce", "cypress", "redwood", "sequoia", "palmetto", "acacia"};
+  return *pool;
+}
+
+const std::vector<std::string>& WordPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "mercy",    "regional", "memorial", "community", "baptist",
+      "methodist", "general", "sacred",  "unity",     "harmony",
+      "summit",   "valley",   "riverside", "lakeside", "hillcrest",
+      "parkview", "westgate", "eastside", "northside", "southern",
+      "central",  "metro",    "united",   "providence", "grace",
+      "crescent", "beacon",   "horizon",  "pioneer",   "heritage"};
+  return *pool;
+}
+
+const std::vector<std::string>& HospitalTypePool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "acute care hospitals", "critical access hospitals",
+      "childrens hospitals"};
+  return *pool;
+}
+
+const std::vector<std::string>& OwnershipPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "government - federal", "government - state",
+      "government - local", "proprietary",
+      "voluntary non-profit - church", "voluntary non-profit - private",
+      "voluntary non-profit - other"};
+  return *pool;
+}
+
+const std::vector<std::string>& ConditionPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "heart attack", "heart failure", "pneumonia",
+      "surgical infection prevention"};
+  return *pool;
+}
+
+const std::vector<std::string>& BeerStylePool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "american ipa", "american pale ale", "american amber ale",
+      "american blonde ale", "american porter", "american stout",
+      "witbier", "hefeweizen", "saison", "kolsch", "pilsner",
+      "oatmeal stout", "imperial ipa", "red ale", "brown ale",
+      "cream ale", "scotch ale", "fruit beer", "gose", "altbier"};
+  return *pool;
+}
+
+const std::vector<std::string>& PositionPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "goalkeeper", "centre back", "left back", "right back",
+      "defensive midfield", "central midfield", "attacking midfield",
+      "left wing", "right wing", "centre forward"};
+  return *pool;
+}
+
+const std::vector<std::string>& LeaguePool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "premier league", "la liga", "bundesliga", "serie a", "ligue 1",
+      "eredivisie", "primeira liga", "super lig"};
+  return *pool;
+}
+
+const std::vector<std::string>& CountryPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "england", "spain", "germany", "italy", "france",
+      "netherlands", "portugal", "turkey"};
+  return *pool;
+}
+
+const std::vector<std::string>& CarrierPool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "aa", "ua", "dl", "wn", "b6", "as", "nk", "f9"};
+  return *pool;
+}
+
+const std::vector<std::string>& FlightSourcePool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "aa", "airtravelcenter", "myrateplan", "helloflight",
+      "flytecomm", "orbitz"};
+  return *pool;
+}
+
+const std::vector<std::string>& FacilityTypePool() {
+  static const std::vector<std::string>* pool = new std::vector<std::string>{
+      "dialysis facility", "nursing home", "home health agency",
+      "hospice", "rehabilitation center", "long-term care hospital"};
+  return *pool;
+}
+
+std::string FormatFlightTime(int minutes_past_midnight) {
+  int total = ((minutes_past_midnight % 1440) + 1440) % 1440;
+  int hour24 = total / 60;
+  int minute = total % 60;
+  const char* suffix = hour24 < 12 ? "a.m." : "p.m.";
+  int hour12 = hour24 % 12;
+  if (hour12 == 0) hour12 = 12;
+  return StrFormat("%d:%02d %s", hour12, minute, suffix);
+}
+
+std::string RandomPhone(Rng* rng) {
+  std::string phone;
+  phone += static_cast<char>('1' + rng->UniformIndex(9));
+  for (int i = 0; i < 9; ++i) {
+    phone += static_cast<char>('0' + rng->UniformIndex(10));
+  }
+  return phone;
+}
+
+std::string RandomAddress(Rng* rng) {
+  const auto& streets = StreetPool();
+  std::string number = std::to_string(100 + rng->UniformIndex(900));
+  const char* direction[] = {"n", "s", "e", "w"};
+  return number + " " + direction[rng->UniformIndex(4)] + " " +
+         streets[rng->UniformIndex(streets.size())] + " st";
+}
+
+std::string RandomPersonName(Rng* rng) {
+  const auto& first = FirstNamePool();
+  const auto& last = LastNamePool();
+  return first[rng->UniformIndex(first.size())] + " " +
+         last[rng->UniformIndex(last.size())];
+}
+
+uint64_t MixHash(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9E3779B97F4A7C15ull ^ (b + 0xBF58476D1CE4E5B9ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace bclean

@@ -1,0 +1,92 @@
+// Deterministic value pools used by the synthetic benchmark generators.
+// The paper evaluates on six real-world datasets we cannot ship; these pools
+// let the generators reproduce each dataset's schema, domain cardinalities,
+// value formats (so the Table 3 UCs apply verbatim), and FD structure.
+#ifndef BCLEAN_DATAGEN_POOLS_H_
+#define BCLEAN_DATAGEN_POOLS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace bclean {
+
+/// A city entity with the attributes that FD-determine each other
+/// (ZipCode -> City, State as in the Hospital/Inpatient schemas).
+struct CityEntry {
+  std::string city;
+  std::string state;   // two-letter code
+  std::string zip;     // five digits, no leading zero
+  std::string county;
+};
+
+/// 64 city entities with distinct zips.
+const std::vector<CityEntry>& CityPool();
+
+/// Two-letter US state codes.
+const std::vector<std::string>& StatePool();
+
+/// Common first names.
+const std::vector<std::string>& FirstNamePool();
+
+/// Common last names.
+const std::vector<std::string>& LastNamePool();
+
+/// Street base names ("hickory", "northwood", ...).
+const std::vector<std::string>& StreetPool();
+
+/// Generic nouns used to synthesize organization names.
+const std::vector<std::string>& WordPool();
+
+/// Hospital type strings.
+const std::vector<std::string>& HospitalTypePool();
+
+/// Hospital ownership strings.
+const std::vector<std::string>& OwnershipPool();
+
+/// Clinical conditions (Hospital measure groups).
+const std::vector<std::string>& ConditionPool();
+
+/// Beer style names.
+const std::vector<std::string>& BeerStylePool();
+
+/// Soccer position names.
+const std::vector<std::string>& PositionPool();
+
+/// Soccer league names.
+const std::vector<std::string>& LeaguePool();
+
+/// Country names aligned index-wise with LeaguePool().
+const std::vector<std::string>& CountryPool();
+
+/// Airline carrier codes.
+const std::vector<std::string>& CarrierPool();
+
+/// Flight data sources (websites), as in the Flights benchmark.
+const std::vector<std::string>& FlightSourcePool();
+
+/// Medical facility types.
+const std::vector<std::string>& FacilityTypePool();
+
+/// Deterministically formats minutes-past-midnight as the paper's flight
+/// time format, e.g. 433 -> "7:13 a.m." (the Table 3 regex format).
+std::string FormatFlightTime(int minutes_past_midnight);
+
+/// A ten-digit phone number with a non-zero leading digit.
+std::string RandomPhone(Rng* rng);
+
+/// A street address like "315 w hickory st".
+std::string RandomAddress(Rng* rng);
+
+/// A full person name like "johnny reyes".
+std::string RandomPersonName(Rng* rng);
+
+/// Stable 64-bit mix used to derive FD-determined values (e.g. the
+/// Hospital StateAvg from (State, MeasureCode)) without extra state.
+uint64_t MixHash(uint64_t a, uint64_t b);
+
+}  // namespace bclean
+
+#endif  // BCLEAN_DATAGEN_POOLS_H_

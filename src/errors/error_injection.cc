@@ -1,0 +1,215 @@
+#include "src/errors/error_injection.h"
+
+#include <algorithm>
+
+#include "src/data/domain_stats.h"
+
+namespace bclean {
+
+const char* ErrorTypeName(ErrorType type) {
+  switch (type) {
+    case ErrorType::kTypo: return "T";
+    case ErrorType::kMissing: return "M";
+    case ErrorType::kInconsistency: return "I";
+    case ErrorType::kSwapSame: return "S-same";
+    case ErrorType::kSwapDiff: return "S-diff";
+  }
+  return "?";
+}
+
+void GroundTruth::Record(InjectedError error) {
+  auto key = std::make_pair(error.row, error.col);
+  auto it = by_cell_.find(key);
+  if (it != by_cell_.end()) {
+    errors_[it->second] = std::move(error);
+    return;
+  }
+  by_cell_[key] = errors_.size();
+  errors_.push_back(std::move(error));
+}
+
+const InjectedError* GroundTruth::Find(size_t row, size_t col) const {
+  auto it = by_cell_.find(std::make_pair(row, col));
+  if (it == by_cell_.end()) return nullptr;
+  return &errors_[it->second];
+}
+
+std::map<ErrorType, size_t> GroundTruth::CountsByType() const {
+  std::map<ErrorType, size_t> counts;
+  for (const InjectedError& e : errors_) ++counts[e.type];
+  return counts;
+}
+
+std::string ApplyTypo(const std::string& value, Rng* rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  constexpr size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+  if (value.empty()) {
+    return std::string(1, kAlphabet[rng->UniformIndex(kAlphabetSize)]);
+  }
+  std::string out = value;
+  // Retry until the edit actually changes the string (replacing a char with
+  // itself would silently produce a "clean error").
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    out = value;
+    switch (rng->UniformIndex(3)) {
+      case 0: {  // add
+        size_t pos = rng->UniformIndex(out.size() + 1);
+        out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                   kAlphabet[rng->UniformIndex(kAlphabetSize)]);
+        break;
+      }
+      case 1: {  // delete
+        size_t pos = rng->UniformIndex(out.size());
+        out.erase(out.begin() + static_cast<ptrdiff_t>(pos));
+        break;
+      }
+      default: {  // replace
+        size_t pos = rng->UniformIndex(out.size());
+        out[pos] = kAlphabet[rng->UniformIndex(kAlphabetSize)];
+        break;
+      }
+    }
+    if (out != value && !out.empty()) return out;
+  }
+  // Fall back to an append, which always changes a non-empty value.
+  return value + kAlphabet[rng->UniformIndex(kAlphabetSize)];
+}
+
+namespace {
+
+// Picks a domain value of column `col` different from `current`, or empty
+// when the domain has no alternative.
+std::string DifferentDomainValue(const DomainStats& stats, size_t col,
+                                 const std::string& current, Rng* rng) {
+  const ColumnStats& column = stats.column(col);
+  if (column.DomainSize() < 2) return std::string();
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    int32_t code = static_cast<int32_t>(rng->UniformIndex(column.DomainSize()));
+    if (column.ValueOf(code) != current) return column.ValueOf(code);
+  }
+  return std::string();
+}
+
+}  // namespace
+
+Result<InjectionResult> InjectErrors(const Table& clean,
+                                     const InjectionOptions& options,
+                                     Rng* rng) {
+  if (options.error_rate < 0.0 || options.error_rate >= 1.0) {
+    return Status::InvalidArgument("error_rate must lie in [0, 1)");
+  }
+  std::vector<double> weights = {
+      options.typo_weight, options.missing_weight,
+      options.inconsistency_weight, options.swap_same_weight,
+      options.swap_diff_weight};
+  double total_weight = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("weights must be >= 0");
+    total_weight += w;
+  }
+  if (options.error_rate > 0.0 && total_weight <= 0.0) {
+    return Status::InvalidArgument("at least one error weight must be > 0");
+  }
+
+  InjectionResult result;
+  result.dirty = clean;
+  if (clean.num_cells() == 0 || options.error_rate == 0.0) return result;
+
+  DomainStats stats = DomainStats::Build(clean);
+  std::vector<bool> protected_col(clean.num_cols(), false);
+  for (size_t c : options.protected_columns) {
+    if (c < clean.num_cols()) protected_col[c] = true;
+  }
+
+  size_t target = static_cast<size_t>(
+      options.error_rate * static_cast<double>(clean.num_cells()));
+  std::vector<size_t> cells =
+      rng->SampleWithoutReplacement(clean.num_cells(), target * 2 + 16);
+
+  size_t injected = 0;
+  for (size_t flat : cells) {
+    if (injected >= target) break;
+    size_t row = flat / clean.num_cols();
+    size_t col = flat % clean.num_cols();
+    if (protected_col[col]) continue;
+    // Skip cells already corrupted (swaps touch two cells).
+    if (result.ground_truth.Find(row, col) != nullptr) continue;
+    const std::string clean_value = clean.cell(row, col);
+
+    ErrorType type;
+    switch (rng->Weighted(weights)) {
+      case 0: type = ErrorType::kTypo; break;
+      case 1: type = ErrorType::kMissing; break;
+      case 2: type = ErrorType::kInconsistency; break;
+      case 3: type = ErrorType::kSwapSame; break;
+      default: type = ErrorType::kSwapDiff; break;
+    }
+
+    switch (type) {
+      case ErrorType::kTypo: {
+        if (IsNull(clean_value)) continue;
+        std::string dirty = ApplyTypo(clean_value, rng);
+        result.dirty.set_cell(row, col, dirty);
+        result.ground_truth.Record({row, col, type, clean_value, dirty});
+        ++injected;
+        break;
+      }
+      case ErrorType::kMissing: {
+        if (IsNull(clean_value)) continue;
+        result.dirty.set_cell(row, col, kNullValue);
+        result.ground_truth.Record(
+            {row, col, type, clean_value, kNullValue});
+        ++injected;
+        break;
+      }
+      case ErrorType::kInconsistency: {
+        std::string dirty = DifferentDomainValue(stats, col, clean_value, rng);
+        if (dirty.empty()) continue;
+        result.dirty.set_cell(row, col, dirty);
+        result.ground_truth.Record({row, col, type, clean_value, dirty});
+        ++injected;
+        break;
+      }
+      case ErrorType::kSwapSame: {
+        if (clean.num_rows() < 2 || IsNull(clean_value)) continue;
+        size_t other_row = rng->UniformIndex(clean.num_rows());
+        if (other_row == row ||
+            result.ground_truth.Find(other_row, col) != nullptr) {
+          continue;
+        }
+        const std::string other_value = clean.cell(other_row, col);
+        if (other_value == clean_value || IsNull(other_value)) continue;
+        result.dirty.set_cell(row, col, other_value);
+        result.dirty.set_cell(other_row, col, clean_value);
+        result.ground_truth.Record(
+            {row, col, type, clean_value, other_value});
+        result.ground_truth.Record(
+            {other_row, col, type, other_value, clean_value});
+        injected += 2;
+        break;
+      }
+      case ErrorType::kSwapDiff: {
+        if (clean.num_cols() < 2 || IsNull(clean_value)) continue;
+        size_t other_col = rng->UniformIndex(clean.num_cols());
+        if (other_col == col || protected_col[other_col] ||
+            result.ground_truth.Find(row, other_col) != nullptr) {
+          continue;
+        }
+        const std::string other_value = clean.cell(row, other_col);
+        if (other_value == clean_value || IsNull(other_value)) continue;
+        result.dirty.set_cell(row, col, other_value);
+        result.dirty.set_cell(row, other_col, clean_value);
+        result.ground_truth.Record(
+            {row, col, type, clean_value, other_value});
+        result.ground_truth.Record(
+            {row, other_col, type, other_value, clean_value});
+        injected += 2;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bclean

@@ -1,0 +1,93 @@
+// Error injection following the paper's benchmark protocol (Section 7.1):
+// typos (T) add/delete/replace one character; missing values (M) blank the
+// cell; inconsistencies (I) substitute a different value from the same
+// attribute's domain (a value that is valid somewhere but wrong here); and
+// swapping errors (S) exchange two values — either two rows of the same
+// attribute ("Same" in Figure 4e/f) or two attributes of the same tuple
+// ("Different"). Injection records ground truth per corrupted cell.
+#ifndef BCLEAN_ERRORS_ERROR_INJECTION_H_
+#define BCLEAN_ERRORS_ERROR_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/data/table.h"
+
+namespace bclean {
+
+/// Error categories of the benchmark protocol.
+enum class ErrorType { kTypo, kMissing, kInconsistency, kSwapSame, kSwapDiff };
+
+/// Short name: "T", "M", "I", "S-same", "S-diff".
+const char* ErrorTypeName(ErrorType type);
+
+/// One corrupted cell.
+struct InjectedError {
+  size_t row = 0;
+  size_t col = 0;
+  ErrorType type = ErrorType::kTypo;
+  std::string clean_value;
+  std::string dirty_value;
+};
+
+/// Ground truth of an injection run.
+class GroundTruth {
+ public:
+  /// Records an error (last writer wins per cell).
+  void Record(InjectedError error);
+
+  /// All recorded errors.
+  const std::vector<InjectedError>& errors() const { return errors_; }
+
+  /// Error type at (row, col), or nullptr when the cell is clean.
+  const InjectedError* Find(size_t row, size_t col) const;
+
+  /// Number of corrupted cells.
+  size_t size() const { return errors_.size(); }
+
+  /// Count of errors of each type (Figure 4a).
+  std::map<ErrorType, size_t> CountsByType() const;
+
+ private:
+  std::vector<InjectedError> errors_;
+  std::map<std::pair<size_t, size_t>, size_t> by_cell_;
+};
+
+/// Injection configuration. `error_rate` is the fraction of cells corrupted;
+/// the per-type weights partition it (weights need not sum to 1).
+struct InjectionOptions {
+  double error_rate = 0.05;
+  double typo_weight = 1.0;
+  double missing_weight = 1.0;
+  double inconsistency_weight = 1.0;
+  double swap_same_weight = 0.0;
+  double swap_diff_weight = 0.0;
+  /// Columns exempt from injection (e.g. a key column kept clean).
+  std::vector<size_t> protected_columns;
+};
+
+/// A dirty copy of a table plus its ground truth.
+struct InjectionResult {
+  Table dirty;
+  GroundTruth ground_truth;
+};
+
+/// Corrupts `error_rate` of the cells of `clean`, sampling the error type
+/// per cell according to the weights. Deterministic given `rng`'s seed.
+/// Fails with InvalidArgument for rates outside [0, 1) or all-zero weights.
+Result<InjectionResult> InjectErrors(const Table& clean,
+                                     const InjectionOptions& options,
+                                     Rng* rng);
+
+/// Applies one typo (random add/delete/replace of one character) to `value`.
+/// Guaranteed to differ from the input for non-empty inputs.
+std::string ApplyTypo(const std::string& value, Rng* rng);
+
+}  // namespace bclean
+
+#endif  // BCLEAN_ERRORS_ERROR_INJECTION_H_

@@ -1,0 +1,89 @@
+#include "src/eval/metrics.h"
+
+#include "src/common/string_util.h"
+
+namespace bclean {
+namespace {
+
+Status CheckShapes(const Table& a, const Table& b, const char* which) {
+  if (a.num_rows() != b.num_rows() || a.num_cols() != b.num_cols()) {
+    return Status::InvalidArgument(std::string("shape mismatch between ") +
+                                   which);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CleaningMetrics> Evaluate(const Table& clean, const Table& dirty,
+                                 const Table& cleaned) {
+  BCLEAN_RETURN_IF_ERROR(CheckShapes(clean, dirty, "clean and dirty"));
+  BCLEAN_RETURN_IF_ERROR(CheckShapes(clean, cleaned, "clean and cleaned"));
+
+  CleaningMetrics m;
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    for (size_t c = 0; c < clean.num_cols(); ++c) {
+      const std::string& truth = clean.cell(r, c);
+      const std::string& observed = dirty.cell(r, c);
+      const std::string& repaired = cleaned.cell(r, c);
+      bool is_error = observed != truth;
+      bool is_modified = repaired != observed;
+      bool is_correct_now = repaired == truth;
+      if (is_error) {
+        ++m.errors;
+        if (is_correct_now) ++m.repaired_errors;
+      }
+      if (is_modified) {
+        ++m.modified;
+        if (is_correct_now) ++m.correct_repairs;
+      }
+    }
+  }
+  m.precision = m.modified == 0
+                    ? 0.0
+                    : static_cast<double>(m.correct_repairs) /
+                          static_cast<double>(m.modified);
+  m.recall = m.errors == 0 ? 0.0
+                           : static_cast<double>(m.repaired_errors) /
+                                 static_cast<double>(m.errors);
+  m.f1 = (m.precision + m.recall) == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+Result<std::map<ErrorType, double>> RecallByType(
+    const Table& clean, const Table& cleaned,
+    const GroundTruth& ground_truth) {
+  BCLEAN_RETURN_IF_ERROR(CheckShapes(clean, cleaned, "clean and cleaned"));
+  std::map<ErrorType, size_t> total;
+  std::map<ErrorType, size_t> repaired;
+  for (const InjectedError& e : ground_truth.errors()) {
+    if (e.row >= clean.num_rows() || e.col >= clean.num_cols()) {
+      return Status::OutOfRange("ground-truth cell outside the table");
+    }
+    ++total[e.type];
+    if (cleaned.cell(e.row, e.col) == clean.cell(e.row, e.col)) {
+      ++repaired[e.type];
+    }
+  }
+  std::map<ErrorType, double> out;
+  for (const auto& [type, count] : total) {
+    out[type] = count == 0 ? 0.0
+                           : static_cast<double>(repaired[type]) /
+                                 static_cast<double>(count);
+  }
+  return out;
+}
+
+std::string FormatMetricsRow(const std::string& label,
+                             const std::vector<double>& values,
+                             int label_width, int value_width) {
+  std::string row = StrFormat("%-*s", label_width, label.c_str());
+  for (double v : values) {
+    row += StrFormat("%*.3f", value_width, v);
+  }
+  return row;
+}
+
+}  // namespace bclean

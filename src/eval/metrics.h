@@ -1,0 +1,48 @@
+// Cleaning-quality metrics as defined in Section 7.1: precision is the
+// fraction of correctly repaired cells over all modified cells, recall is
+// the fraction of correctly repaired errors over all errors, F1 is their
+// harmonic mean. Also per-error-type recall (Table 6) and swap-error recall
+// (Figure 4e/f).
+#ifndef BCLEAN_EVAL_METRICS_H_
+#define BCLEAN_EVAL_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/table.h"
+#include "src/errors/error_injection.h"
+
+namespace bclean {
+
+/// Aggregate repair quality.
+struct CleaningMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t errors = 0;            ///< cells where dirty != clean
+  size_t modified = 0;          ///< cells where cleaned != dirty
+  size_t correct_repairs = 0;   ///< modified cells where cleaned == clean
+  size_t repaired_errors = 0;   ///< error cells where cleaned == clean
+};
+
+/// Compares the cleaner's output against ground truth. All three tables
+/// must have identical shape; fails with InvalidArgument otherwise.
+Result<CleaningMetrics> Evaluate(const Table& clean, const Table& dirty,
+                                 const Table& cleaned);
+
+/// Recall split by injected error type (Table 6 / Figure 4e-f). Only cells
+/// recorded in `ground_truth` contribute.
+Result<std::map<ErrorType, double>> RecallByType(
+    const Table& clean, const Table& cleaned, const GroundTruth& ground_truth);
+
+/// Formats a fixed-width row for the experiment tables, e.g.
+/// FormatRow("BClean", {0.998, 0.956, 0.976}).
+std::string FormatMetricsRow(const std::string& label,
+                             const std::vector<double>& values,
+                             int label_width = 14, int value_width = 8);
+
+}  // namespace bclean
+
+#endif  // BCLEAN_EVAL_METRICS_H_

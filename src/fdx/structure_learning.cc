@@ -1,0 +1,170 @@
+#include "src/fdx/structure_learning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/matrix/decomposition.h"
+#include "src/text/similarity.h"
+
+namespace bclean {
+namespace {
+
+// Heuristic LDL ordering: attributes with larger observed domains first.
+// For an FD X -> Y, |dom(X)| >= |dom(Y)| almost always (the determinant
+// refines the dependent), so determinants come earlier and B's strictly-
+// lower-triangular support orients edges determinant -> dependent.
+std::vector<size_t> DomainSizeOrdering(const Table& table) {
+  DomainStats stats = DomainStats::Build(table);
+  std::vector<size_t> order(table.num_cols());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return stats.column(a).DomainSize() > stats.column(b).DomainSize();
+  });
+  return order;
+}
+
+}  // namespace
+
+Matrix BuildSimilarityObservations(const Table& table,
+                                   const StructureOptions& options) {
+  const size_t n = table.num_rows();
+  const size_t m = table.num_cols();
+  if (n < 2 || m == 0) return Matrix();
+
+  size_t pairs_per_attr = std::min(n - 1, options.max_pairs_per_attribute);
+  // Stride so samples cover the whole sorted sequence, not a prefix.
+  size_t stride = std::max<size_t>(1, (n - 1) / pairs_per_attr);
+
+  std::vector<std::vector<double>> rows;
+  rows.reserve(m * pairs_per_attr);
+  std::vector<size_t> index(n);
+  for (size_t sort_col = 0; sort_col < m; ++sort_col) {
+    std::iota(index.begin(), index.end(), size_t{0});
+    const auto& column = table.column(sort_col);
+    std::stable_sort(index.begin(), index.end(), [&](size_t a, size_t b) {
+      return column[a] < column[b];
+    });
+    for (size_t k = 0; k + 1 < n; k += stride) {
+      size_t i = index[k];
+      size_t j = index[k + 1];
+      std::vector<double> obs(m);
+      for (size_t a = 0; a < m; ++a) {
+        obs[a] = ValueSimilarity(table.cell(i, a), table.cell(j, a));
+      }
+      rows.push_back(std::move(obs));
+    }
+  }
+  return Matrix::FromRows(rows);
+}
+
+Result<LearnedStructure> LearnStructure(const Table& table,
+                                        const StructureOptions& options) {
+  if (table.num_rows() < 3) {
+    return Status::InvalidArgument(
+        "structure learning requires at least 3 rows");
+  }
+  if (table.num_cols() < 2) {
+    return Status::InvalidArgument(
+        "structure learning requires at least 2 columns");
+  }
+  const size_t m = table.num_cols();
+
+  Matrix observations = BuildSimilarityObservations(table, options);
+  Result<Matrix> cov = EmpiricalCovariance(observations);
+  if (!cov.ok()) return cov.status();
+
+  Matrix s = cov.value();
+  if (options.standardize) {
+    // Convert to a correlation matrix; near-constant columns (similarity
+    // variance ~ 0) get a unit diagonal and zero correlations.
+    std::vector<double> scale(m);
+    for (size_t i = 0; i < m; ++i) {
+      scale[i] = s.At(i, i) > 1e-12 ? 1.0 / std::sqrt(s.At(i, i)) : 0.0;
+    }
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        s.At(i, j) = i == j ? 1.0 : s.At(i, j) * scale[i] * scale[j];
+      }
+    }
+  }
+
+  Result<GlassoResult> glasso = GraphicalLasso(s, options.glasso);
+  if (!glasso.ok()) return glasso.status();
+  const Matrix& theta = glasso.value().precision;
+
+  // Permute Theta into the heuristic ordering, LDL-decompose, and read B.
+  std::vector<size_t> order = DomainSizeOrdering(table);
+  Matrix permuted(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      permuted.At(i, j) = theta.At(order[i], order[j]);
+    }
+  }
+  Result<LdlResult> ldl = Ldl(permuted);
+  if (!ldl.ok()) {
+    // Theta from glasso can be numerically indefinite on degenerate input;
+    // retry with a ridge, which only dampens edge weights.
+    Matrix ridged = permuted;
+    for (size_t i = 0; i < m; ++i) ridged.At(i, i) += 1e-3;
+    ldl = Ldl(ridged);
+    if (!ldl.ok()) return ldl.status();
+  }
+
+  // B = I - L in permuted coordinates; map back to attribute indices.
+  LearnedStructure out;
+  out.precision = theta;
+  out.ordering = order;
+  out.autoregression = Matrix(m, m);
+  std::vector<std::pair<double, std::pair<size_t, size_t>>> weighted;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      double b = -ldl.value().lower.At(i, j);
+      size_t child = order[i];
+      size_t parent = order[j];
+      out.autoregression.At(child, parent) = b;
+      // Positive-only: an FD-style dependency shows up as positive
+      // association in similarity space (equal X -> equal Y); negative
+      // weights are artifacts of pooling the per-attribute sorted passes.
+      // The paper keeps edges whose weight *exceeds* the threshold.
+      if (b >= options.edge_threshold) {
+        weighted.push_back({b, {parent, child}});
+      }
+    }
+  }
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Cap parents per child, strongest first.
+  std::vector<size_t> parent_count(m, 0);
+  for (const auto& [weight, edge] : weighted) {
+    if (parent_count[edge.second] >= options.max_parents) continue;
+    ++parent_count[edge.second];
+    out.edges.push_back(edge);
+  }
+  BCLEAN_LOG(Debug) << "LearnStructure: " << out.edges.size()
+                    << " edges above threshold " << options.edge_threshold;
+  return out;
+}
+
+Result<BayesianNetwork> BuildNetwork(const Table& table,
+                                     const DomainStats& stats,
+                                     const StructureOptions& options) {
+  Result<LearnedStructure> learned = LearnStructure(table, options);
+  if (!learned.ok()) return learned.status();
+  BayesianNetwork bn(table.schema());
+  for (const auto& [parent, child] : learned.value().edges) {
+    Status s = bn.AddEdge(parent, child);
+    // Cycle-creating edges are skipped (ordering should prevent them, but
+    // the DAG stays authoritative).
+    if (!s.ok()) {
+      BCLEAN_LOG(Debug) << "skipping edge " << parent << "->" << child << ": "
+                        << s.ToString();
+    }
+  }
+  bn.Fit(stats);
+  return bn;
+}
+
+}  // namespace bclean

@@ -1,0 +1,72 @@
+// Automatic BN construction (paper Section 4): extend the FDX structure-
+// learning recipe with similarity functions. Pipeline:
+//   1. Sort tuples per attribute; take similarity observations only between
+//      adjacent tuples (the paper's n*m*log n remark).
+//   2. Empirical covariance of those observations -> graphical lasso ->
+//      precision matrix Theta.
+//   3. Decompose Theta = (I - B) Omega (I - B)^T via LDL^T under a heuristic
+//      variable ordering; B = I - L is the autoregression/adjacency matrix.
+//   4. Keep edges with |B| above a threshold, oriented parent -> child
+//      along the ordering; cap the parent count per node.
+#ifndef BCLEAN_FDX_STRUCTURE_LEARNING_H_
+#define BCLEAN_FDX_STRUCTURE_LEARNING_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/bn/network.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/data/domain_stats.h"
+#include "src/data/table.h"
+#include "src/matrix/glasso.h"
+
+namespace bclean {
+
+/// Tunables for LearnStructure().
+struct StructureOptions {
+  GlassoOptions glasso;
+  /// Standardize the empirical covariance to a correlation matrix before
+  /// glasso, making the L1 penalty and edge threshold scale-free across
+  /// attributes with very different similarity spreads.
+  bool standardize = true;
+  /// Keep edges with |B[i][j]| above this.
+  double edge_threshold = 0.10;
+  /// Adjacent-pair observations taken per attribute (stride-sampled above).
+  size_t max_pairs_per_attribute = 20000;
+  /// Parent-count cap per node; weakest parents are dropped first.
+  size_t max_parents = 3;
+};
+
+/// Output of structure learning.
+struct LearnedStructure {
+  /// Glasso precision matrix over attributes.
+  Matrix precision;
+  /// Autoregression matrix B in the *original* attribute indexing.
+  Matrix autoregression;
+  /// Directed edges (parent attr, child attr), strongest first.
+  std::vector<std::pair<size_t, size_t>> edges;
+  /// Variable ordering used for the LDL decomposition (attribute indices;
+  /// earlier entries may only be parents of later ones).
+  std::vector<size_t> ordering;
+};
+
+/// Builds the similarity observation matrix: one row per adjacent tuple
+/// pair (under each per-attribute sort), one column per attribute.
+Matrix BuildSimilarityObservations(const Table& table,
+                                   const StructureOptions& options);
+
+/// Runs the full structure-learning pipeline on (dirty) `table`.
+/// Fails when the table has fewer than 3 rows or 2 columns.
+Result<LearnedStructure> LearnStructure(const Table& table,
+                                        const StructureOptions& options = {});
+
+/// Convenience: learns a structure, builds a BayesianNetwork over the
+/// table's schema with those edges, and fits CPTs from `stats`.
+Result<BayesianNetwork> BuildNetwork(const Table& table,
+                                     const DomainStats& stats,
+                                     const StructureOptions& options = {});
+
+}  // namespace bclean
+
+#endif  // BCLEAN_FDX_STRUCTURE_LEARNING_H_

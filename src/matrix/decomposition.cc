@@ -1,0 +1,118 @@
+#include "src/matrix/decomposition.h"
+
+#include <cmath>
+
+namespace bclean {
+
+Result<CholeskyResult> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-8)) {
+    return Status::InvalidArgument("Cholesky requires a symmetric matrix");
+  }
+  size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a.At(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l.At(j, k) * l.At(j, k);
+    if (diag <= 0.0) {
+      return Status::FailedPrecondition("matrix is not positive definite");
+    }
+    l.At(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) v -= l.At(i, k) * l.At(j, k);
+      l.At(i, j) = v / l.At(j, j);
+    }
+  }
+  return CholeskyResult{std::move(l)};
+}
+
+Result<LdlResult> Ldl(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LDL requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-8)) {
+    return Status::InvalidArgument("LDL requires a symmetric matrix");
+  }
+  size_t n = a.rows();
+  Matrix l = Matrix::Identity(n);
+  std::vector<double> d(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double dj = a.At(j, j);
+    for (size_t k = 0; k < j; ++k) dj -= l.At(j, k) * l.At(j, k) * d[k];
+    if (std::fabs(dj) < 1e-12) {
+      return Status::FailedPrecondition("LDL pivot vanished");
+    }
+    d[j] = dj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) v -= l.At(i, k) * l.At(j, k) * d[k];
+      l.At(i, j) = v / dj;
+    }
+  }
+  return LdlResult{std::move(l), std::move(d)};
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Inverse requires a square matrix");
+  }
+  size_t n = a.rows();
+  // Augmented [A | I], reduced in place.
+  Matrix work = a;
+  Matrix inv = Matrix::Identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(work.At(r, col)) > std::fabs(work.At(pivot, col))) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(work.At(pivot, col)) < 1e-12) {
+      return Status::FailedPrecondition("matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(work.At(pivot, c), work.At(col, c));
+        std::swap(inv.At(pivot, c), inv.At(col, c));
+      }
+    }
+    double scale = work.At(col, col);
+    for (size_t c = 0; c < n; ++c) {
+      work.At(col, c) /= scale;
+      inv.At(col, c) /= scale;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double factor = work.At(r, col);
+      if (factor == 0.0) continue;
+      for (size_t c = 0; c < n; ++c) {
+        work.At(r, c) -= factor * work.At(col, c);
+        inv.At(r, c) -= factor * inv.At(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+Result<std::vector<double>> Solve(const Matrix& a,
+                                  const std::vector<double>& b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("Solve requires square A and matching b");
+  }
+  Result<Matrix> inv = Inverse(a);
+  if (!inv.ok()) return inv.status();
+  size_t n = b.size();
+  std::vector<double> x(n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) x[r] += inv.value().At(r, c) * b[c];
+  }
+  return x;
+}
+
+bool IsPositiveDefinite(const Matrix& a) { return Cholesky(a).ok(); }
+
+}  // namespace bclean

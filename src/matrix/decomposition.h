@@ -1,0 +1,49 @@
+// Matrix decompositions used by the structure-learning pipeline:
+// Cholesky (positive-definite check + inversion), LDL^T (the paper's
+// Theta = (I - B) Omega (I - B)^T factorization), and a pivoted
+// Gauss-Jordan inverse for general matrices.
+#ifndef BCLEAN_MATRIX_DECOMPOSITION_H_
+#define BCLEAN_MATRIX_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/matrix/matrix.h"
+
+namespace bclean {
+
+/// Result of a Cholesky factorization A = L * L^T (L lower-triangular).
+struct CholeskyResult {
+  Matrix lower;
+};
+
+/// Result of an LDL^T factorization A = L * D * L^T where L is
+/// unit-lower-triangular and D is diagonal. Matches the paper's
+/// Theta = (I - B) * Omega * (I - B)^T with B = I - L and Omega = D.
+struct LdlResult {
+  Matrix lower;                // unit diagonal
+  std::vector<double> diag;    // entries of D
+};
+
+/// Cholesky-factorizes a symmetric positive-definite matrix.
+/// Fails with InvalidArgument when `a` is not square/symmetric and
+/// FailedPrecondition when it is not positive definite.
+Result<CholeskyResult> Cholesky(const Matrix& a);
+
+/// LDL^T-factorizes a symmetric matrix with non-vanishing pivots.
+Result<LdlResult> Ldl(const Matrix& a);
+
+/// Inverts a square matrix via Gauss-Jordan with partial pivoting.
+/// Fails with FailedPrecondition when (numerically) singular.
+Result<Matrix> Inverse(const Matrix& a);
+
+/// Solves a * x = b for x (b is a column vector as std::vector).
+Result<std::vector<double>> Solve(const Matrix& a,
+                                  const std::vector<double>& b);
+
+/// True iff `a` is symmetric positive-definite (by attempting Cholesky).
+bool IsPositiveDefinite(const Matrix& a);
+
+}  // namespace bclean
+
+#endif  // BCLEAN_MATRIX_DECOMPOSITION_H_

@@ -1,0 +1,172 @@
+#include "src/matrix/glasso.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/matrix/decomposition.h"
+
+namespace bclean {
+namespace {
+
+double SoftThreshold(double x, double t) {
+  if (x > t) return x - t;
+  if (x < -t) return x + t;
+  return 0.0;
+}
+
+// Solves the lasso subproblem for one glasso column by cyclic coordinate
+// descent:  min_beta 1/2 beta^T W11 beta - beta^T s12 + rho * ||beta||_1.
+// `beta` is used as the warm start and holds the solution on return.
+void LassoColumn(const Matrix& w11, const std::vector<double>& s12,
+                 double rho, const GlassoOptions& options,
+                 std::vector<double>* beta) {
+  size_t p = s12.size();
+  for (int it = 0; it < options.max_inner_iterations; ++it) {
+    double max_delta = 0.0;
+    for (size_t k = 0; k < p; ++k) {
+      double gradient = s12[k];
+      for (size_t l = 0; l < p; ++l) {
+        if (l == k) continue;
+        gradient -= w11.At(k, l) * (*beta)[l];
+      }
+      double denom = w11.At(k, k);
+      double updated = denom > 1e-12 ? SoftThreshold(gradient, rho) / denom
+                                     : 0.0;
+      max_delta = std::max(max_delta, std::fabs(updated - (*beta)[k]));
+      (*beta)[k] = updated;
+    }
+    if (max_delta < options.inner_tolerance) break;
+  }
+}
+
+}  // namespace
+
+Result<Matrix> EmpiricalCovariance(const Matrix& observations) {
+  size_t n = observations.rows();
+  size_t m = observations.cols();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "EmpiricalCovariance requires at least two samples");
+  }
+  std::vector<double> mean(m, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) mean[c] += observations.At(r, c);
+  }
+  for (double& v : mean) v /= static_cast<double>(n);
+  Matrix cov(m, m);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < m; ++i) {
+      double di = observations.At(r, i) - mean[i];
+      if (di == 0.0) continue;
+      for (size_t j = i; j < m; ++j) {
+        cov.At(i, j) += di * (observations.At(r, j) - mean[j]);
+      }
+    }
+  }
+  double denom = static_cast<double>(n - 1);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i; j < m; ++j) {
+      double v = cov.At(i, j) / denom;
+      cov.At(i, j) = v;
+      cov.At(j, i) = v;
+    }
+  }
+  return cov;
+}
+
+Result<GlassoResult> GraphicalLasso(const Matrix& s,
+                                    const GlassoOptions& options) {
+  if (s.rows() != s.cols()) {
+    return Status::InvalidArgument("GraphicalLasso requires a square matrix");
+  }
+  if (!s.IsSymmetric(1e-6)) {
+    return Status::InvalidArgument(
+        "GraphicalLasso requires a symmetric matrix");
+  }
+  size_t m = s.rows();
+  double rho = options.regularization;
+
+  // W starts at S + (rho + jitter) * I; the diagonal stays fixed afterwards.
+  Matrix w = s;
+  for (size_t i = 0; i < m; ++i) {
+    w.At(i, i) += rho + options.diagonal_jitter;
+  }
+
+  if (m == 1) {
+    GlassoResult result;
+    result.covariance = w;
+    result.precision = Matrix(1, 1);
+    result.precision.At(0, 0) = 1.0 / w.At(0, 0);
+    result.converged = true;
+    return result;
+  }
+
+  // Per-column lasso coefficients, kept across sweeps as warm starts.
+  std::vector<std::vector<double>> betas(m, std::vector<double>(m - 1, 0.0));
+
+  GlassoResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double total_change = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      // Build W11 (W without row/col j) and s12 (column j of S without j).
+      Matrix w11 = w.Minor(j, j);
+      std::vector<double> s12;
+      s12.reserve(m - 1);
+      for (size_t i = 0; i < m; ++i) {
+        if (i != j) s12.push_back(s.At(i, j));
+      }
+      LassoColumn(w11, s12, rho, options, &betas[j]);
+      // w12 = W11 * beta, written back into row/column j of W.
+      for (size_t i = 0, ii = 0; i < m; ++i) {
+        if (i == j) continue;
+        double v = 0.0;
+        for (size_t k = 0; k < m - 1; ++k) {
+          v += w11.At(ii, k) * betas[j][k];
+        }
+        total_change += std::fabs(w.At(i, j) - v);
+        w.At(i, j) = v;
+        w.At(j, i) = v;
+        ++ii;
+      }
+    }
+    result.iterations = iter + 1;
+    if (total_change / static_cast<double>(m * m) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Recover the precision matrix from the final W and coefficients:
+  // theta_jj = 1 / (w_jj - w12^T beta); theta_12 = -beta * theta_jj.
+  Matrix precision(m, m);
+  for (size_t j = 0; j < m; ++j) {
+    double dot = 0.0;
+    for (size_t i = 0, ii = 0; i < m; ++i) {
+      if (i == j) continue;
+      dot += w.At(i, j) * betas[j][ii];
+      ++ii;
+    }
+    double denom = w.At(j, j) - dot;
+    if (std::fabs(denom) < 1e-12) denom = 1e-12;
+    double theta_jj = 1.0 / denom;
+    precision.At(j, j) = theta_jj;
+    for (size_t i = 0, ii = 0; i < m; ++i) {
+      if (i == j) continue;
+      precision.At(i, j) = -betas[j][ii] * theta_jj;
+      ++ii;
+    }
+  }
+  // Symmetrize: the column-wise recovery can differ slightly across halves.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      double v = 0.5 * (precision.At(i, j) + precision.At(j, i));
+      precision.At(i, j) = v;
+      precision.At(j, i) = v;
+    }
+  }
+  result.covariance = std::move(w);
+  result.precision = std::move(precision);
+  return result;
+}
+
+}  // namespace bclean

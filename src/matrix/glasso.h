@@ -1,0 +1,53 @@
+// Graphical lasso: L1-penalized inverse-covariance estimation via block
+// coordinate descent (Friedman, Hastie & Tibshirani 2008). BClean feeds it
+// the empirical covariance of pairwise-similarity observations and uses the
+// resulting precision matrix to derive the BN skeleton (paper Section 4).
+#ifndef BCLEAN_MATRIX_GLASSO_H_
+#define BCLEAN_MATRIX_GLASSO_H_
+
+#include "src/common/status.h"
+#include "src/matrix/matrix.h"
+
+namespace bclean {
+
+/// Tunables for GraphicalLasso().
+struct GlassoOptions {
+  /// L1 penalty (rho). Larger values yield sparser precision matrices.
+  double regularization = 0.05;
+  /// Outer sweeps over all columns.
+  int max_iterations = 100;
+  /// Convergence threshold on the mean absolute change of W per sweep.
+  double tolerance = 1e-5;
+  /// Inner lasso coordinate-descent sweeps per column.
+  int max_inner_iterations = 200;
+  /// Inner convergence threshold on the coefficient change.
+  double inner_tolerance = 1e-6;
+  /// Diagonal jitter added to keep the problem well-conditioned when
+  /// attributes are (near-)constant.
+  double diagonal_jitter = 1e-6;
+};
+
+/// Output of GraphicalLasso().
+struct GlassoResult {
+  /// Estimated covariance W (= Sigma-hat).
+  Matrix covariance;
+  /// Estimated precision Theta (= W^-1 under the L1 penalty).
+  Matrix precision;
+  /// Outer sweeps actually performed.
+  int iterations = 0;
+  /// True when the tolerance was reached before max_iterations.
+  bool converged = false;
+};
+
+/// Computes empirical covariance of `observations` (rows = samples,
+/// columns = variables), subtracting column means. Requires >= 2 rows.
+Result<Matrix> EmpiricalCovariance(const Matrix& observations);
+
+/// Runs graphical lasso on empirical covariance `s`.
+/// Fails with InvalidArgument for non-square/asymmetric input.
+Result<GlassoResult> GraphicalLasso(const Matrix& s,
+                                    const GlassoOptions& options = {});
+
+}  // namespace bclean
+
+#endif  // BCLEAN_MATRIX_GLASSO_H_

@@ -1,0 +1,133 @@
+#include "src/matrix/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bclean {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const std::vector<double>& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) m.At(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scaled(double factor) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= factor;
+  return out;
+}
+
+Matrix Matrix::Minor(size_t r, size_t c) const {
+  assert(r < rows_ && c < cols_);
+  Matrix out(rows_ - 1, cols_ - 1);
+  for (size_t i = 0, oi = 0; i < rows_; ++i) {
+    if (i == r) continue;
+    for (size_t j = 0, oj = 0; j < cols_; ++j) {
+      if (j == c) continue;
+      out.At(oi, oj) = At(i, j);
+      ++oj;
+    }
+    ++oi;
+  }
+  return out;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = r + 1; c < cols_; ++c) {
+      if (std::fabs(At(r, c) - At(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  char buf[64];
+  for (size_t r = 0; r < rows_; ++r) {
+    out += "[ ";
+    for (size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%.*f ", precision, At(r, c));
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace bclean

@@ -1,0 +1,87 @@
+// Dense row-major matrix of doubles. The structure-learning pipeline only
+// ever sees m x m matrices where m is the attribute count (<= a few dozen),
+// so the implementation favours clarity and numerical care over blocking.
+#ifndef BCLEAN_MATRIX_MATRIX_H_
+#define BCLEAN_MATRIX_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bclean {
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer data (rows of equal length).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  /// n x n matrix with `diag` on the diagonal.
+  static Matrix Diagonal(const std::vector<double>& diag);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Element access (bounds asserted in debug builds).
+  double& At(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Element-wise sum; requires equal shapes.
+  Matrix Add(const Matrix& other) const;
+
+  /// Element-wise difference; requires equal shapes.
+  Matrix Subtract(const Matrix& other) const;
+
+  /// Scalar multiple.
+  Matrix Scaled(double factor) const;
+
+  /// Returns the matrix with row `r` and column `c` removed.
+  Matrix Minor(size_t r, size_t c) const;
+
+  /// Maximum absolute element; 0 for the empty matrix.
+  double MaxAbs() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// True iff shapes match and all elements differ by at most `tol`.
+  bool ApproxEquals(const Matrix& other, double tol = 1e-9) const;
+
+  /// True iff square and symmetric to within `tol`.
+  bool IsSymmetric(double tol = 1e-9) const;
+
+  /// Multi-line human-readable rendering (for debugging / examples).
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_MATRIX_MATRIX_H_

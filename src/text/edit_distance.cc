@@ -1,0 +1,47 @@
+#include "src/text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace bclean {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // ensure |b| <= |a|
+  if (b.empty()) return a.size();
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> curr(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t substitution = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitution});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > bound) return bound + 1;
+  if (b.empty()) return a.size();
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> curr(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    size_t row_min = curr[0];
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t substitution = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitution});
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > bound) return bound + 1;
+    std::swap(prev, curr);
+  }
+  return std::min(prev[b.size()], bound + 1);
+}
+
+}  // namespace bclean

@@ -1,0 +1,23 @@
+// Unit-cost Levenshtein distance, the ED(.,.) primitive of the paper's
+// softened functional dependencies (Section 4).
+#ifndef BCLEAN_TEXT_EDIT_DISTANCE_H_
+#define BCLEAN_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace bclean {
+
+/// Unit-cost Levenshtein distance between `a` and `b`.
+/// O(|a|*|b|) time, O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein distance with early exit: returns `bound + 1` as soon as the
+/// true distance provably exceeds `bound`. Used by candidate pruning where
+/// only near matches matter.
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound);
+
+}  // namespace bclean
+
+#endif  // BCLEAN_TEXT_EDIT_DISTANCE_H_

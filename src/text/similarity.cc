@@ -1,0 +1,35 @@
+#include "src/text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+#include "src/text/edit_distance.h"
+
+namespace bclean {
+
+double StringSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double ed = static_cast<double>(EditDistance(a, b));
+  double sim = 1.0 - 2.0 * ed / (static_cast<double>(a.size() + b.size()));
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+double NumericSimilarity(double a, double b) {
+  double scale = (std::fabs(a) + std::fabs(b)) / 2.0;
+  if (scale == 0.0) return 1.0;
+  double sim = 1.0 - std::fabs(a - b) / scale;
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+double ValueSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (IsNumeric(a) && IsNumeric(b)) {
+    return NumericSimilarity(ParseDouble(a), ParseDouble(b));
+  }
+  return StringSimilarity(a, b);
+}
+
+}  // namespace bclean

@@ -1,0 +1,26 @@
+// The paper's similarity measures (Section 4): normalized edit similarity
+// for strings and relative-difference similarity for numeric values. These
+// soften strict FD equality so structure learning tolerates dirty data.
+#ifndef BCLEAN_TEXT_SIMILARITY_H_
+#define BCLEAN_TEXT_SIMILARITY_H_
+
+#include <string_view>
+
+namespace bclean {
+
+/// String similarity: 1 - 2*ED(a,b) / (len(a)+len(b)), clamped to [0,1].
+/// Both empty -> 1 (identical); exactly one empty -> 0.
+double StringSimilarity(std::string_view a, std::string_view b);
+
+/// Numeric similarity: 1 - |a-b| / ((|a|+|b|)/2), clamped to [0,1].
+/// Both zero -> 1.
+double NumericSimilarity(double a, double b);
+
+/// Dispatches on content: when both values parse as numbers, uses
+/// NumericSimilarity; otherwise StringSimilarity. NULL markers (empty
+/// strings) compare as 1 to each other and 0 to anything else.
+double ValueSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace bclean
+
+#endif  // BCLEAN_TEXT_SIMILARITY_H_

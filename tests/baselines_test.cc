@@ -1,0 +1,192 @@
+// Unit tests for src/baselines: each comparator must repair what its
+// mechanism covers and show its published failure signature.
+#include <gtest/gtest.h>
+
+#include "src/baselines/garf_lite.h"
+#include "src/baselines/holoclean_lite.h"
+#include "src/baselines/pclean_lite.h"
+#include "src/baselines/rahabaran_lite.h"
+#include "src/common/rng.h"
+#include "src/datagen/benchmarks.h"
+#include "src/eval/metrics.h"
+
+namespace bclean {
+namespace {
+
+// zip -> city with one violation, one NULL, one rule-free column.
+Table BaselineFixture() {
+  Table t(Schema::FromNames({"zip", "city", "free"}));
+  for (int i = 0; i < 20; ++i) {
+    t.AddRowUnchecked({"10115", "berlin", "x" + std::to_string(i)});
+    t.AddRowUnchecked({"75001", "paris", "y" + std::to_string(i)});
+  }
+  t.AddRowUnchecked({"10115", "paris", "z"});   // FD violation (row 40)
+  t.AddRowUnchecked({"75001", "", "z2"});        // NULL city (row 41)
+  return t;
+}
+
+TEST(HoloCleanLiteTest, RepairsRuleViolationsOnly) {
+  Table dirty = BaselineFixture();
+  auto hc = HoloCleanLite::Create(dirty.schema(), {{{"zip"}, "city"}});
+  ASSERT_TRUE(hc.ok());
+  EXPECT_EQ(hc.value().num_rules(), 1u);
+  Table cleaned = hc.value().Clean(dirty);
+  EXPECT_EQ(cleaned.cell(40, 1), "berlin");  // violation repaired
+  EXPECT_EQ(cleaned.cell(41, 1), "paris");   // NULL filled from group
+  // Rule-free column untouched (the recall limitation).
+  for (size_t r = 0; r < dirty.num_rows(); ++r) {
+    EXPECT_EQ(cleaned.cell(r, 2), dirty.cell(r, 2));
+  }
+}
+
+TEST(HoloCleanLiteTest, NoRepairBelowMajorityThreshold) {
+  Table t(Schema::FromNames({"zip", "city"}));
+  // 50/50 split: no majority, nothing must change.
+  for (int i = 0; i < 5; ++i) {
+    t.AddRowUnchecked({"10115", "berlin"});
+    t.AddRowUnchecked({"10115", "munich"});
+  }
+  auto hc = HoloCleanLite::Create(t.schema(), {{{"zip"}, "city"}});
+  ASSERT_TRUE(hc.ok());
+  Table cleaned = hc.value().Clean(t);
+  EXPECT_TRUE(cleaned == t);
+}
+
+TEST(HoloCleanLiteTest, CompositeLhsRules) {
+  Table t(Schema::FromNames({"a", "b", "c"}));
+  for (int i = 0; i < 10; ++i) t.AddRowUnchecked({"1", "2", "x"});
+  for (int i = 0; i < 10; ++i) t.AddRowUnchecked({"1", "3", "y"});
+  t.AddRowUnchecked({"1", "2", "y"});  // violates (a,b) -> c
+  auto hc = HoloCleanLite::Create(t.schema(), {{{"a", "b"}, "c"}});
+  ASSERT_TRUE(hc.ok());
+  Table cleaned = hc.value().Clean(t);
+  EXPECT_EQ(cleaned.cell(20, 2), "x");
+}
+
+TEST(HoloCleanLiteTest, RejectsUnknownAttributes) {
+  Table dirty = BaselineFixture();
+  EXPECT_FALSE(
+      HoloCleanLite::Create(dirty.schema(), {{{"nope"}, "city"}}).ok());
+  EXPECT_FALSE(
+      HoloCleanLite::Create(dirty.schema(), {{{"zip"}, "nope"}}).ok());
+}
+
+TEST(RahaBaranLiteTest, DetectsAndCorrectsWithLabels) {
+  Table clean = BaselineFixture();
+  // Make row 40/41 clean in the reference.
+  clean.set_cell(40, 1, "berlin");
+  clean.set_cell(41, 1, "paris");
+  Table dirty = BaselineFixture();
+  std::vector<size_t> labels;
+  for (size_t r = 0; r < 40; ++r) labels.push_back(r);
+  auto rb = RahaBaranLite::Create(dirty, labels, clean);
+  ASSERT_TRUE(rb.ok());
+  Table cleaned = rb.value().Clean();
+  EXPECT_EQ(cleaned.cell(40, 1), "berlin");
+  EXPECT_EQ(cleaned.cell(41, 1), "paris");
+}
+
+TEST(RahaBaranLiteTest, ValidatesInputs) {
+  Table dirty = BaselineFixture();
+  Table wrong_shape(Schema::FromNames({"zip"}));
+  EXPECT_FALSE(RahaBaranLite::Create(dirty, {0}, wrong_shape).ok());
+  EXPECT_FALSE(RahaBaranLite::Create(dirty, {9999}, dirty).ok());
+}
+
+TEST(RahaBaranLiteTest, UndetectedErrorsPropagate) {
+  // An error that looks like a legitimate value (same format, common
+  // frequency, no FD violation) evades detection and is never corrected —
+  // the published detect-to-correct propagation weakness.
+  Table clean(Schema::FromNames({"a", "b"}));
+  for (int i = 0; i < 30; ++i) {
+    clean.AddRowUnchecked({"k" + std::to_string(i % 10),
+                           "v" + std::to_string(i % 3)});
+  }
+  Table dirty = clean;
+  dirty.set_cell(0, 1, "v1");  // swap-style error: valid value, wrong place
+  std::vector<size_t> labels = {5, 6, 7, 8, 9, 10};
+  auto rb = RahaBaranLite::Create(dirty, labels, clean);
+  ASSERT_TRUE(rb.ok());
+  Table cleaned = rb.value().Clean();
+  EXPECT_EQ(cleaned.cell(0, 1), "v1");  // not recovered
+}
+
+TEST(PCleanLiteTest, ProgramsExistForAllBenchmarks) {
+  for (const std::string& name : BenchmarkNames()) {
+    auto program = ProgramFor(name);
+    ASSERT_TRUE(program.ok()) << name;
+    EXPECT_FALSE(program.value().attributes.empty());
+    EXPECT_GT(program.value().ppl_lines, 0);
+  }
+  EXPECT_FALSE(ProgramFor("nope").ok());
+}
+
+TEST(PCleanLiteTest, PreciseModelRepairsTypos) {
+  Table dirty = BaselineFixture();
+  dirty.set_cell(4, 1, "berlxn");  // typo on a berlin row (zip 10115)
+  PCleanProgram program{
+      "fixture",
+      {{"zip", {}, 0.02}, {"city", {"zip"}, 0.1}, {"free", {}, 0.0}},
+      10};
+  auto pc = PCleanLite::Create(dirty.schema(), program);
+  ASSERT_TRUE(pc.ok());
+  Table cleaned = pc.value().Clean(dirty);
+  EXPECT_EQ(cleaned.cell(4, 1), "berlin");
+}
+
+TEST(PCleanLiteTest, MisspecifiedModelDoesLittle) {
+  Table dirty = BaselineFixture();
+  dirty.set_cell(4, 1, "berlxn");
+  // Independent priors with a zero-noise channel: nothing can move.
+  PCleanProgram flat{
+      "fixture",
+      {{"zip", {}, 0.0}, {"city", {}, 0.0}, {"free", {}, 0.0}},
+      5};
+  auto pc = PCleanLite::Create(dirty.schema(), flat);
+  ASSERT_TRUE(pc.ok());
+  Table cleaned = pc.value().Clean(dirty);
+  EXPECT_EQ(cleaned.cell(4, 1), "berlxn");
+}
+
+TEST(PCleanLiteTest, RejectsUnknownAttribute) {
+  Table dirty = BaselineFixture();
+  PCleanProgram bad{"x", {{"nope", {}, 0.1}}, 1};
+  EXPECT_FALSE(PCleanLite::Create(dirty.schema(), bad).ok());
+}
+
+TEST(GarfLiteTest, MinesAndAppliesHighConfidenceRules) {
+  Table dirty = BaselineFixture();
+  GarfLite garf = GarfLite::Train(dirty);
+  EXPECT_GT(garf.num_rules(), 0u);
+  Table cleaned = garf.Clean();
+  EXPECT_EQ(cleaned.cell(40, 1), "berlin");  // zip=10115 => city=berlin
+}
+
+TEST(GarfLiteTest, LowConfidencePatternsYieldNoRules) {
+  Table t(Schema::FromNames({"a", "b"}));
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    t.AddRowUnchecked({"k" + std::to_string(i % 4),
+                       "v" + std::to_string(rng.UniformIndex(10))});
+  }
+  GarfOptions options;
+  options.min_confidence = 0.95;
+  GarfLite garf = GarfLite::Train(t, options);
+  Table cleaned = garf.Clean();
+  EXPECT_TRUE(cleaned == t);  // nothing confidently repairable
+}
+
+TEST(GarfLiteTest, PrecisionOverRecallOnBenchmark) {
+  Dataset ds = MakeHospital(500, 3);
+  Rng rng(3);
+  auto inj = InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  GarfLite garf = GarfLite::Train(inj.dirty);
+  Table cleaned = garf.Clean();
+  auto m = Evaluate(ds.clean, inj.dirty, cleaned).value();
+  // Garf's signature: precise but partial.
+  EXPECT_GT(m.precision, 0.6);
+  EXPECT_LT(m.recall, 0.8);
+}
+
+}  // namespace
+}  // namespace bclean

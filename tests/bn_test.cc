@@ -1,0 +1,297 @@
+// Unit tests for src/bn: DAG invariants, CPT smoothing, parameter
+// learning, blanket scoring, and the user-editing operations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bn/cpt.h"
+#include "src/bn/graph.h"
+#include "src/bn/network.h"
+#include "src/data/domain_stats.h"
+#include "src/data/schema.h"
+
+namespace bclean {
+namespace {
+
+TEST(DagTest, AddAndRemoveEdges) {
+  Dag dag(3);
+  EXPECT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_TRUE(dag.AddEdge(1, 2).ok());
+  EXPECT_TRUE(dag.HasEdge(0, 1));
+  EXPECT_FALSE(dag.HasEdge(1, 0));
+  EXPECT_EQ(dag.num_edges(), 2u);
+  EXPECT_TRUE(dag.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(dag.HasEdge(0, 1));
+  EXPECT_EQ(dag.RemoveEdge(0, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(DagTest, RejectsBadEdges) {
+  Dag dag(3);
+  EXPECT_EQ(dag.AddEdge(0, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dag.AddEdge(0, 9).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_EQ(dag.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DagTest, RejectsCycles) {
+  Dag dag(3);
+  EXPECT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_TRUE(dag.AddEdge(1, 2).ok());
+  EXPECT_EQ(dag.AddEdge(2, 0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(dag.AddEdge(1, 0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DagTest, HasPathFollowsDirection) {
+  Dag dag(4);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  EXPECT_TRUE(dag.HasPath(0, 2));
+  EXPECT_FALSE(dag.HasPath(2, 0));
+  EXPECT_TRUE(dag.HasPath(1, 1));
+  EXPECT_FALSE(dag.HasPath(0, 3));
+}
+
+TEST(DagTest, MarkovBlanketIsParentsSelfChildren) {
+  Dag dag(5);
+  dag.AddEdge(0, 2);  // parent
+  dag.AddEdge(1, 2);  // parent
+  dag.AddEdge(2, 3);  // child
+  // node 4 unrelated
+  std::vector<size_t> blanket = dag.MarkovBlanket(2);
+  EXPECT_EQ(blanket, (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(dag.IsIsolated(4));
+  EXPECT_FALSE(dag.IsIsolated(2));
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag(4);
+  dag.AddEdge(3, 1);
+  dag.AddEdge(1, 0);
+  dag.AddEdge(3, 2);
+  std::vector<size_t> order = dag.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& [from, to] : dag.Edges()) {
+    EXPECT_LT(pos[from], pos[to]);
+  }
+}
+
+TEST(CptTest, LaplaceSmoothing) {
+  Cpt cpt(1.0);
+  cpt.AddObservation(7, 0);
+  cpt.AddObservation(7, 0);
+  cpt.AddObservation(7, 1);
+  // Domain {0, 1}: P(0|7) = (2+1)/(3+2) = 0.6.
+  EXPECT_NEAR(cpt.Prob(7, 0), 0.6, 1e-12);
+  EXPECT_NEAR(cpt.Prob(7, 1), 0.4, 1e-12);
+  // Unseen value under a seen configuration: (0+1)/(3+2).
+  EXPECT_NEAR(cpt.Prob(7, 99), 0.2, 1e-12);
+}
+
+TEST(CptTest, UnseenParentConfigFallsBackToMarginal) {
+  Cpt cpt(1.0);
+  cpt.AddObservation(7, 0);
+  cpt.AddObservation(8, 1);
+  // Marginal over {0,1}: P(0) = (1+1)/(2+2) = 0.5.
+  EXPECT_NEAR(cpt.Prob(12345, 0), 0.5, 1e-12);
+  EXPECT_NEAR(cpt.MarginalProb(0), 0.5, 1e-12);
+}
+
+TEST(CptTest, ProbsSumToOneOverDomain) {
+  Cpt cpt(0.5);
+  for (int i = 0; i < 10; ++i) cpt.AddObservation(1, i % 3);
+  double sum = 0.0;
+  for (int v = 0; v < 3; ++v) sum += cpt.Prob(1, v);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(cpt.domain_size(), 3u);
+  EXPECT_EQ(cpt.num_observations(), 10u);
+}
+
+TEST(CptTest, ClearResetsEverything) {
+  Cpt cpt;
+  cpt.AddObservation(1, 2);
+  cpt.Clear();
+  EXPECT_EQ(cpt.domain_size(), 0u);
+  EXPECT_EQ(cpt.num_observations(), 0u);
+  EXPECT_EQ(cpt.num_parent_configs(), 0u);
+}
+
+// A small relation with the FD zip -> city and a noisy third column.
+Table ZipCityFixture() {
+  Table t(Schema::FromNames({"zip", "city", "note"}));
+  for (int i = 0; i < 30; ++i) {
+    t.AddRowUnchecked({"10115", "berlin", "n" + std::to_string(i)});
+    t.AddRowUnchecked({"75001", "paris", "n" + std::to_string(i + 100)});
+  }
+  // One inconsistent row: zip says berlin, city says paris.
+  t.AddRowUnchecked({"10115", "paris", "x"});
+  return t;
+}
+
+TEST(NetworkTest, ConstructionFromSchema) {
+  Table t = ZipCityFixture();
+  BayesianNetwork bn(t.schema());
+  EXPECT_EQ(bn.num_variables(), 3u);
+  EXPECT_EQ(bn.variable(0).name, "zip");
+  EXPECT_EQ(bn.VariableOfAttr(2), 2u);
+  EXPECT_TRUE(bn.VariableByName("city").ok());
+  EXPECT_FALSE(bn.VariableByName("nope").ok());
+  EXPECT_EQ(bn.num_dirty(), 3u);  // everything awaits a fit
+}
+
+TEST(NetworkTest, FitAndConditionalScoring) {
+  Table t = ZipCityFixture();
+  DomainStats stats = DomainStats::Build(t);
+  BayesianNetwork bn(t.schema());
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "city").ok());
+  bn.Fit(stats);
+  EXPECT_EQ(bn.num_dirty(), 0u);
+
+  // Row 0: zip=10115, city=berlin. P(berlin | 10115) >> P(paris | 10115).
+  std::vector<int32_t> row = {stats.code(0, 0), stats.code(0, 1),
+                              stats.code(0, 2)};
+  int32_t berlin = stats.column(1).CodeOf("berlin");
+  int32_t paris = stats.column(1).CodeOf("paris");
+  size_t city_attr = 1;
+  double lp_berlin = bn.LogProbBlanket(city_attr, berlin, row);
+  double lp_paris = bn.LogProbBlanket(city_attr, paris, row);
+  EXPECT_GT(lp_berlin, lp_paris);
+}
+
+TEST(NetworkTest, BlanketIncludesChildTerm) {
+  Table t = ZipCityFixture();
+  DomainStats stats = DomainStats::Build(t);
+  BayesianNetwork bn(t.schema());
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "city").ok());
+  bn.Fit(stats);
+  // Scoring the *zip* attribute must use the child CPT P(city | zip):
+  // given city=berlin, candidate zip=10115 beats zip=75001.
+  std::vector<int32_t> row = {kNullCode, stats.column(1).CodeOf("berlin"),
+                              stats.code(0, 2)};
+  int32_t z_berlin = stats.column(0).CodeOf("10115");
+  int32_t z_paris = stats.column(0).CodeOf("75001");
+  EXPECT_GT(bn.LogProbBlanket(0, z_berlin, row),
+            bn.LogProbBlanket(0, z_paris, row));
+}
+
+TEST(NetworkTest, FullJointAgreesWithBlanketOnArgmax) {
+  Table t = ZipCityFixture();
+  DomainStats stats = DomainStats::Build(t);
+  BayesianNetwork bn(t.schema());
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "city").ok());
+  bn.Fit(stats);
+  std::vector<int32_t> row = {stats.code(0, 0), stats.code(0, 1),
+                              stats.code(0, 2)};
+  // Over candidates for `city`, full-joint and blanket scores differ by a
+  // constant, so their argmax agrees.
+  int32_t berlin = stats.column(1).CodeOf("berlin");
+  int32_t paris = stats.column(1).CodeOf("paris");
+  double full_gap = bn.LogProbFull(1, berlin, row) -
+                    bn.LogProbFull(1, paris, row);
+  double blanket_gap = bn.LogProbBlanket(1, berlin, row) -
+                       bn.LogProbBlanket(1, paris, row);
+  EXPECT_NEAR(full_gap, blanket_gap, 1e-9);
+}
+
+TEST(NetworkTest, IsolatedNodeScoresUniform) {
+  Table t = ZipCityFixture();
+  DomainStats stats = DomainStats::Build(t);
+  BayesianNetwork bn(t.schema());
+  bn.Fit(stats);  // no edges: everything isolated
+  std::vector<int32_t> row = {stats.code(0, 0), stats.code(0, 1),
+                              stats.code(0, 2)};
+  int32_t berlin = stats.column(1).CodeOf("berlin");
+  int32_t paris = stats.column(1).CodeOf("paris");
+  // Uniform prior: equal scores regardless of frequency.
+  EXPECT_DOUBLE_EQ(bn.LogProbBlanket(1, berlin, row),
+                   bn.LogProbBlanket(1, paris, row));
+  // And the value is -log(domain size).
+  EXPECT_NEAR(bn.LogProbBlanket(1, berlin, row), -std::log(2.0), 1e-12);
+}
+
+TEST(NetworkTest, NullEvidenceContributesNoFactor) {
+  Table t = ZipCityFixture();
+  DomainStats stats = DomainStats::Build(t);
+  BayesianNetwork bn(t.schema());
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "city").ok());
+  bn.Fit(stats);
+  std::vector<int32_t> row = {stats.code(0, 0), kNullCode, stats.code(0, 2)};
+  // city is NULL: its factor is skipped, not scored as a value.
+  EXPECT_DOUBLE_EQ(bn.LogProbVariable(1, row, /*subst_attr=*/3, 0), 0.0);
+}
+
+TEST(NetworkTest, EditMarksDirtyAndLocalizedRefit) {
+  Table t = ZipCityFixture();
+  DomainStats stats = DomainStats::Build(t);
+  BayesianNetwork bn(t.schema());
+  bn.Fit(stats);
+  EXPECT_EQ(bn.num_dirty(), 0u);
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "city").ok());
+  // Only the child ("city") needs refitting — the paper's localized update.
+  EXPECT_EQ(bn.num_dirty(), 1u);
+  bn.RefitDirty(stats);
+  EXPECT_EQ(bn.num_dirty(), 0u);
+  ASSERT_TRUE(bn.RemoveEdgeByName("zip", "city").ok());
+  EXPECT_EQ(bn.num_dirty(), 1u);
+}
+
+TEST(NetworkTest, MergeNodesRedirectsCommonEdges) {
+  // zip -> city, zip -> note; merging {city, note} must produce a single
+  // edge zip -> merged (both members had the incoming edge from zip).
+  Table t = ZipCityFixture();
+  DomainStats stats = DomainStats::Build(t);
+  BayesianNetwork bn(t.schema());
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "city").ok());
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "note").ok());
+  bn.Fit(stats);
+
+  size_t city = bn.VariableByName("city").value();
+  size_t note = bn.VariableByName("note").value();
+  ASSERT_TRUE(bn.MergeNodes({city, note}, "city+note").ok());
+  EXPECT_EQ(bn.num_variables(), 2u);
+  size_t merged = bn.VariableByName("city+note").value();
+  size_t zip = bn.VariableByName("zip").value();
+  EXPECT_TRUE(bn.dag().HasEdge(zip, merged));
+  EXPECT_EQ(bn.dag().num_edges(), 1u);
+  // Attr mapping follows the merge.
+  EXPECT_EQ(bn.VariableOfAttr(1), merged);
+  EXPECT_EQ(bn.VariableOfAttr(2), merged);
+  // The merged CPT refits and can score.
+  bn.RefitDirty(stats);
+  std::vector<int32_t> row = {stats.code(0, 0), stats.code(0, 1),
+                              stats.code(0, 2)};
+  EXPECT_LT(bn.LogProbBlanket(1, stats.code(0, 1), row), 0.0);
+}
+
+TEST(NetworkTest, MergeDropsNonCommonEdges) {
+  // zip -> city only; merging {city, note}: zip does not point to all
+  // members, so the edge is dropped.
+  Table t = ZipCityFixture();
+  BayesianNetwork bn(t.schema());
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "city").ok());
+  size_t city = bn.VariableByName("city").value();
+  size_t note = bn.VariableByName("note").value();
+  ASSERT_TRUE(bn.MergeNodes({city, note}, "m").ok());
+  EXPECT_EQ(bn.dag().num_edges(), 0u);
+}
+
+TEST(NetworkTest, MergeValidatesArguments) {
+  Table t = ZipCityFixture();
+  BayesianNetwork bn(t.schema());
+  EXPECT_EQ(bn.MergeNodes({0}, "m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bn.MergeNodes({0, 0}, "m").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bn.MergeNodes({0, 99}, "m").code(), StatusCode::kOutOfRange);
+}
+
+TEST(NetworkTest, ToStringListsEdges) {
+  Table t = ZipCityFixture();
+  BayesianNetwork bn(t.schema());
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "city").ok());
+  std::string s = bn.ToString();
+  EXPECT_NE(s.find("zip -> city"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bclean

@@ -1,0 +1,236 @@
+// Unit tests for src/common: Status/Result, Rng, string utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
+
+namespace bclean {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.value_or(0), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailsThenPropagates() {
+  BCLEAN_RETURN_IF_ERROR(Status::IOError("disk"));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(FailsThenPropagates().code(), StatusCode::kIOError);
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(7);
+  size_t low = 0;
+  const int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Zipf(100, 1.2) < 10) ++low;
+  }
+  // Under uniform sampling the first 10 ranks get ~10%; Zipf(1.2) gives far
+  // more mass to them.
+  EXPECT_GT(low, static_cast<size_t>(kTrials) / 4);
+}
+
+TEST(RngTest, WeightedMatchesSupport) {
+  Rng rng(9);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Weighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedAllZeroReturnsZero) {
+  Rng rng(9);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.Weighted(weights), 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(11);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(50, 20);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 20u);
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsToN) {
+  Rng rng(11);
+  EXPECT_EQ(rng.SampleWithoutReplacement(3, 10).size(), 3u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> items = {1, 2, 3, 4, 5};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, TrimRemovesWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("core"), "core");
+}
+
+TEST(StringUtilTest, ToLowerIsAsciiOnly) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+}
+
+TEST(StringUtilTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123456789"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("-12"));
+}
+
+TEST(StringUtilTest, IsNumericAcceptsFloats) {
+  EXPECT_TRUE(IsNumeric("3.14"));
+  EXPECT_TRUE(IsNumeric("-2"));
+  EXPECT_TRUE(IsNumeric(" 10 "));
+  EXPECT_TRUE(IsNumeric("1e3"));
+  EXPECT_FALSE(IsNumeric("abc"));
+  EXPECT_FALSE(IsNumeric(""));
+  EXPECT_FALSE(IsNumeric("12x"));
+}
+
+TEST(StringUtilTest, ParseDoubleFallsBack) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("junk", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("", 9.0), 9.0);
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringUtilTest, ZeroPad) {
+  EXPECT_EQ(ZeroPad(7, 3), "007");
+  EXPECT_EQ(ZeroPad(12345, 3), "12345");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d/%s", 3, "x"), "3/x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace bclean

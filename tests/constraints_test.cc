@@ -1,0 +1,154 @@
+// Unit tests for src/constraints: built-in UCs and the registry.
+#include <gtest/gtest.h>
+
+#include "src/constraints/builtin.h"
+#include "src/constraints/registry.h"
+#include "src/data/schema.h"
+
+namespace bclean {
+namespace {
+
+TEST(BuiltinUcTest, MinLength) {
+  auto uc = MinLength(3);
+  EXPECT_TRUE(uc->Check("abc"));
+  EXPECT_TRUE(uc->Check("abcd"));
+  EXPECT_FALSE(uc->Check("ab"));
+  EXPECT_TRUE(uc->Check(""));  // NULL passes; NotNull is separate
+  EXPECT_EQ(uc->kind(), UcKind::kMinLength);
+}
+
+TEST(BuiltinUcTest, MaxLength) {
+  auto uc = MaxLength(3);
+  EXPECT_TRUE(uc->Check("abc"));
+  EXPECT_FALSE(uc->Check("abcd"));
+  EXPECT_TRUE(uc->Check(""));
+  EXPECT_EQ(uc->kind(), UcKind::kMaxLength);
+}
+
+TEST(BuiltinUcTest, MinValue) {
+  auto uc = MinValue(2.5);
+  EXPECT_TRUE(uc->Check("2.5"));
+  EXPECT_TRUE(uc->Check("10"));
+  EXPECT_FALSE(uc->Check("2.4"));
+  EXPECT_FALSE(uc->Check("abc"));  // non-numeric fails a value bound
+  EXPECT_TRUE(uc->Check(""));
+  EXPECT_EQ(uc->kind(), UcKind::kMinValue);
+}
+
+TEST(BuiltinUcTest, MaxValue) {
+  auto uc = MaxValue(100.0);
+  EXPECT_TRUE(uc->Check("99.9"));
+  EXPECT_FALSE(uc->Check("100.5"));
+  EXPECT_FALSE(uc->Check("12x"));
+  EXPECT_EQ(uc->kind(), UcKind::kMaxValue);
+}
+
+TEST(BuiltinUcTest, NotNull) {
+  auto uc = NotNull();
+  EXPECT_TRUE(uc->Check("x"));
+  EXPECT_FALSE(uc->Check(""));
+  EXPECT_EQ(uc->kind(), UcKind::kNotNull);
+}
+
+TEST(BuiltinUcTest, PatternZipCode) {
+  // The Hospital UC from Table 3: five digits, no leading zero.
+  auto uc = Pattern("[1-9][0-9]{4}");
+  EXPECT_TRUE(uc->Check("35150"));
+  EXPECT_FALSE(uc->Check("3960"));     // the Table 1 error
+  EXPECT_FALSE(uc->Check("1xx18"));    // the Section 7.3.1 example
+  EXPECT_FALSE(uc->Check("05150"));
+  EXPECT_FALSE(uc->Check("351501"));
+  EXPECT_TRUE(uc->Check(""));
+  EXPECT_EQ(uc->kind(), UcKind::kPattern);
+}
+
+TEST(BuiltinUcTest, PatternFlightTime) {
+  // The Flights time format from Table 3, e.g. "7:10 a.m.".
+  auto uc = Pattern(R"(((1[0-2])|[1-9]):[0-5][0-9] [ap]\.m\.)");
+  EXPECT_TRUE(uc->Check("7:10 a.m."));
+  EXPECT_TRUE(uc->Check("12:59 p.m."));
+  EXPECT_FALSE(uc->Check("7:21 am"));  // the Section 7.3.1 example g1
+  EXPECT_FALSE(uc->Check("13:00 a.m."));
+  EXPECT_FALSE(uc->Check("7:60 a.m."));
+}
+
+TEST(BuiltinUcTest, CustomPredicate) {
+  auto uc = Custom("even length",
+                   [](const std::string& v) { return v.size() % 2 == 0; });
+  EXPECT_TRUE(uc->Check("ab"));
+  EXPECT_FALSE(uc->Check("abc"));
+  EXPECT_EQ(uc->kind(), UcKind::kCustom);
+  EXPECT_EQ(uc->Describe(), "even length");
+}
+
+TEST(UcKindNameTest, MatchesFigure5Labels) {
+  EXPECT_STREQ(UcKindName(UcKind::kMaxLength), "Max");
+  EXPECT_STREQ(UcKindName(UcKind::kMinLength), "Min");
+  EXPECT_STREQ(UcKindName(UcKind::kNotNull), "Nul");
+  EXPECT_STREQ(UcKindName(UcKind::kPattern), "Pat");
+}
+
+class UcRegistryTest : public ::testing::Test {
+ protected:
+  UcRegistryTest() : registry_(Schema::FromNames({"zip", "city"})) {
+    EXPECT_TRUE(registry_.Add(0, Pattern("[1-9][0-9]{4}")).ok());
+    EXPECT_TRUE(registry_.Add(0, NotNull()).ok());
+    EXPECT_TRUE(registry_.Add(1, MaxLength(16)).ok());
+  }
+  UcRegistry registry_;
+};
+
+TEST_F(UcRegistryTest, CheckAppliesAllConstraints) {
+  EXPECT_TRUE(registry_.Check(0, "35150"));
+  EXPECT_FALSE(registry_.Check(0, "abc"));
+  EXPECT_FALSE(registry_.Check(0, ""));  // NotNull fires
+  EXPECT_TRUE(registry_.Check(1, "small city"));
+  EXPECT_FALSE(registry_.Check(1, "a very long city name indeed"));
+}
+
+TEST_F(UcRegistryTest, UnconstrainedAttributePasses) {
+  UcRegistry empty(Schema::FromNames({"a"}));
+  EXPECT_TRUE(empty.Check(0, "anything"));
+  EXPECT_TRUE(empty.Check(0, ""));
+}
+
+TEST_F(UcRegistryTest, AddValidatesArguments) {
+  EXPECT_EQ(registry_.Add(9, NotNull()).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(registry_.Add(0, nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UcRegistryTest, CountTupleSplitsSatisfiedViolated) {
+  size_t satisfied = 0, violated = 0;
+  registry_.CountTuple({"35150", "berlin"}, &satisfied, &violated);
+  EXPECT_EQ(satisfied, 2u);
+  EXPECT_EQ(violated, 0u);
+  registry_.CountTuple({"badzip", "berlin"}, &satisfied, &violated);
+  EXPECT_EQ(satisfied, 1u);
+  EXPECT_EQ(violated, 1u);
+}
+
+TEST_F(UcRegistryTest, WithoutRemovesKinds) {
+  UcRegistry no_pattern = registry_.Without({UcKind::kPattern});
+  EXPECT_TRUE(no_pattern.Check(0, "abcdef"));  // pattern gone
+  EXPECT_FALSE(no_pattern.Check(0, ""));       // NotNull kept
+  EXPECT_EQ(no_pattern.TotalConstraints(), registry_.TotalConstraints() - 1);
+}
+
+TEST_F(UcRegistryTest, EmptyRemovesEverything) {
+  UcRegistry empty = registry_.Empty();
+  EXPECT_EQ(empty.TotalConstraints(), 0u);
+  EXPECT_TRUE(empty.Check(0, "anything at all"));
+  EXPECT_EQ(empty.num_attributes(), registry_.num_attributes());
+}
+
+TEST_F(UcRegistryTest, AddToAllCoversEveryAttribute) {
+  UcRegistry r(Schema::FromNames({"a", "b", "c"}));
+  r.AddToAll(NotNull());
+  EXPECT_EQ(r.TotalConstraints(), 3u);
+  for (size_t attr = 0; attr < 3; ++attr) {
+    EXPECT_FALSE(r.Check(attr, ""));
+  }
+}
+
+}  // namespace
+}  // namespace bclean

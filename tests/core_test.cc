@@ -1,0 +1,340 @@
+// Unit tests for src/core: UC mask, compensatory model (Equations 2-3,
+// Algorithm 2), pruning filters, and the Algorithm 1 engine on small
+// hand-checkable fixtures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/constraints/builtin.h"
+#include "src/core/engine.h"
+#include "src/data/schema.h"
+
+namespace bclean {
+namespace {
+
+// zip -> city with one typo, one missing value, one inconsistency.
+Table DirtyFixture() {
+  Table t(Schema::FromNames({"zip", "city", "note"}));
+  for (int i = 0; i < 20; ++i) {
+    t.AddRowUnchecked({"10115", "berlin", "a"});
+    t.AddRowUnchecked({"75001", "paris", "b"});
+  }
+  t.AddRowUnchecked({"10115", "berlxn", "a"});   // typo (row 40)
+  t.AddRowUnchecked({"75001", "", "b"});          // missing (row 41)
+  t.AddRowUnchecked({"10115", "paris", "a"});     // inconsistency (row 42)
+  return t;
+}
+
+UcRegistry FixtureUcs() {
+  UcRegistry ucs(3);
+  ucs.Add(0, Pattern("[1-9][0-9]{4}"));
+  ucs.AddToAll(NotNull());
+  return ucs;
+}
+
+TEST(UcMaskTest, MatchesRegistryVerdicts) {
+  Table t = DirtyFixture();
+  DomainStats stats = DomainStats::Build(t);
+  UcRegistry ucs = FixtureUcs();
+  UcMask mask = UcMask::Build(ucs, stats);
+  const ColumnStats& zip = stats.column(0);
+  for (size_t v = 0; v < zip.DomainSize(); ++v) {
+    int32_t code = static_cast<int32_t>(v);
+    EXPECT_EQ(mask.Check(0, code), ucs.Check(0, zip.ValueOf(code)));
+  }
+  // NULL violates NotNull on every column.
+  EXPECT_FALSE(mask.Check(0, kNullCode));
+  EXPECT_FALSE(mask.Check(1, kNullCode));
+  EXPECT_EQ(mask.CountSatisfying(0), zip.DomainSize());
+}
+
+TEST(CompensatoryTest, ConfReflectsUcViolations) {
+  Table t = DirtyFixture();
+  DomainStats stats = DomainStats::Build(t);
+  UcMask mask = UcMask::Build(FixtureUcs(), stats);
+  CompensatoryOptions options;  // lambda=1
+  CompensatoryModel model = CompensatoryModel::Build(stats, mask, options);
+  // Row 0 fully satisfies: conf = 1.
+  EXPECT_NEAR(model.Conf(0), 1.0, 1e-6);
+  // Row 41 has a NULL city: (2 - 1*1)/3 = 1/3.
+  EXPECT_NEAR(model.Conf(41), 1.0 / 3.0, 1e-6);
+}
+
+TEST(CompensatoryTest, ConfClampsAtZero) {
+  Table t(Schema::FromNames({"a", "b"}));
+  t.AddRowUnchecked({"", ""});
+  t.AddRowUnchecked({"x", "y"});
+  DomainStats stats = DomainStats::Build(t);
+  UcRegistry ucs(2);
+  ucs.AddToAll(NotNull());
+  UcMask mask = UcMask::Build(ucs, stats);
+  CompensatoryOptions options;
+  options.lambda = 5.0;
+  CompensatoryModel model = CompensatoryModel::Build(stats, mask, options);
+  EXPECT_DOUBLE_EQ(model.Conf(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Conf(1), 1.0);
+}
+
+TEST(CompensatoryTest, CorrCountsCooccurrences) {
+  Table t = DirtyFixture();
+  DomainStats stats = DomainStats::Build(t);
+  UcMask mask = UcMask::Build(FixtureUcs(), stats);
+  CompensatoryOptions exact;
+  exact.use_mi_weighting = false;  // exact corr values, no pair scaling
+  CompensatoryModel model = CompensatoryModel::Build(stats, mask, exact);
+  int32_t z = stats.column(0).CodeOf("10115");
+  int32_t berlin = stats.column(1).CodeOf("berlin");
+  int32_t paris = stats.column(1).CodeOf("paris");
+  // (10115, berlin) co-occurs 20 times, all confident tuples. Conditional
+  // vote: every one of berlin's 20 occurrences supports 10115.
+  EXPECT_EQ(model.PairCount(0, z, 1, berlin), 20u);
+  EXPECT_NEAR(model.Corr(0, z, 1, berlin), 1.0, 1e-6);
+  // (10115, paris) co-occurs once (the inconsistency): 1 of paris' 21.
+  EXPECT_EQ(model.PairCount(0, z, 1, paris), 1u);
+  EXPECT_NEAR(model.Corr(0, z, 1, paris), 1.0 / 21.0, 1e-6);
+  // Raw counts are symmetric; the conditional vote normalizes by the
+  // evidence side, so the directions differ by the frequency ratio.
+  EXPECT_EQ(model.PairCount(1, berlin, 0, z), 20u);
+  EXPECT_NEAR(model.Corr(1, berlin, 0, z), 20.0 / 22.0, 1e-6);
+}
+
+TEST(CompensatoryTest, PenaltyReducesCorr) {
+  // Same pair observed from a low-confidence tuple subtracts beta.
+  Table t(Schema::FromNames({"a", "b"}));
+  for (int i = 0; i < 5; ++i) t.AddRowUnchecked({"x", "y"});
+  t.AddRowUnchecked({"x", ""});  // low-conf tuple (NULL violates NotNull)
+  DomainStats stats = DomainStats::Build(t);
+  UcRegistry ucs(2);
+  ucs.AddToAll(NotNull());
+  UcMask mask = UcMask::Build(ucs, stats);
+  CompensatoryOptions options;
+  options.beta = 2.0;
+  options.tau = 0.9;
+  options.use_mi_weighting = false;
+  CompensatoryModel model = CompensatoryModel::Build(stats, mask, options);
+  int32_t x = stats.column(0).CodeOf("x");
+  int32_t y = stats.column(1).CodeOf("y");
+  // 5 confident co-occurrences; the NULL row contributes no (x,y) pair.
+  // Conditional vote: all 5 of y's occurrences support x.
+  EXPECT_NEAR(model.Corr(0, x, 1, y), 1.0, 1e-6);
+
+  Table t2(Schema::FromNames({"a", "b"}));
+  for (int i = 0; i < 5; ++i) t2.AddRowUnchecked({"x", "y"});
+  t2.AddRowUnchecked({"x", "y"});  // will be made low-conf via a length UC
+  UcRegistry ucs2(2);
+  ucs2.Add(0, MaxLength(0));  // every 'a' value violates => conf < tau
+  DomainStats stats2 = DomainStats::Build(t2);
+  UcMask mask2 = UcMask::Build(ucs2, stats2);
+  CompensatoryModel model2 = CompensatoryModel::Build(stats2, mask2, options);
+  int32_t x2 = stats2.column(0).CodeOf("x");
+  int32_t y2 = stats2.column(1).CodeOf("y");
+  // All 6 tuples low-confidence: corr = 6 * (-2) / 6 = -2.
+  EXPECT_NEAR(model2.Corr(0, x2, 1, y2), -2.0, 1e-9);
+}
+
+TEST(CompensatoryTest, ScoreCorrSumsEvidence) {
+  Table t = DirtyFixture();
+  DomainStats stats = DomainStats::Build(t);
+  UcMask mask = UcMask::Build(FixtureUcs(), stats);
+  CompensatoryModel model =
+      CompensatoryModel::Build(stats, mask, CompensatoryOptions{});
+  // Tuple (10115, ?, "a"): candidate berlin should outscore paris.
+  std::vector<int32_t> row = {stats.column(0).CodeOf("10115"), kNullCode,
+                              stats.column(2).CodeOf("a")};
+  int32_t berlin = stats.column(1).CodeOf("berlin");
+  int32_t paris = stats.column(1).CodeOf("paris");
+  EXPECT_GT(model.ScoreCorr(row, 1, berlin), model.ScoreCorr(row, 1, paris));
+  // NULL candidate scores zero.
+  EXPECT_DOUBLE_EQ(model.ScoreCorr(row, 1, kNullCode), 0.0);
+}
+
+TEST(CompensatoryTest, FilterSeparatesCleanFromDirty) {
+  Table t = DirtyFixture();
+  DomainStats stats = DomainStats::Build(t);
+  UcMask mask = UcMask::Build(FixtureUcs(), stats);
+  CompensatoryModel model =
+      CompensatoryModel::Build(stats, mask, CompensatoryOptions{});
+  std::vector<int32_t> clean_row = {stats.code(0, 0), stats.code(0, 1),
+                                    stats.code(0, 2)};
+  std::vector<int32_t> typo_row = {stats.code(40, 0), stats.code(40, 1),
+                                   stats.code(40, 2)};
+  // The clean city is strongly supported; the typo "berlxn" is not.
+  EXPECT_GT(model.Filter(clean_row, 1), 0.5);
+  EXPECT_LT(model.Filter(typo_row, 1), 0.1);
+  // NULL cells always pass to inference (filter 0).
+  std::vector<int32_t> null_row = {stats.code(41, 0), kNullCode,
+                                   stats.code(41, 2)};
+  EXPECT_DOUBLE_EQ(model.Filter(null_row, 1), 0.0);
+}
+
+class EngineVariantTest : public ::testing::TestWithParam<int> {
+ protected:
+  BCleanOptions VariantOptions() const {
+    switch (GetParam()) {
+      case 0: return BCleanOptions::Basic();
+      case 1: return BCleanOptions::WithoutUcs();
+      case 2: return BCleanOptions::PartitionedInference();
+      default: return BCleanOptions::PartitionedInferencePruning();
+    }
+  }
+};
+
+TEST_P(EngineVariantTest, RepairsTypoMissingAndInconsistency) {
+  Table dirty = DirtyFixture();
+  auto engine = BCleanEngine::Create(dirty, FixtureUcs(), VariantOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Table cleaned = engine.value()->Clean();
+  EXPECT_EQ(cleaned.cell(40, 1), "berlin");  // typo fixed
+  EXPECT_EQ(cleaned.cell(41, 1), "paris");   // missing filled
+  EXPECT_EQ(cleaned.cell(42, 1), "berlin");  // inconsistency fixed
+  // Clean cells untouched.
+  for (int r = 0; r < 40; ++r) {
+    EXPECT_EQ(cleaned.cell(r, 0), dirty.cell(r, 0));
+    EXPECT_EQ(cleaned.cell(r, 1), dirty.cell(r, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, EngineVariantTest,
+                         ::testing::Range(0, 4));
+
+TEST(EngineTest, StatsAreConsistent) {
+  Table dirty = DirtyFixture();
+  auto engine = BCleanEngine::Create(dirty, FixtureUcs(),
+                                     BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok());
+  engine.value()->Clean();
+  const CleanStats& s = engine.value()->last_stats();
+  EXPECT_EQ(s.cells_scanned, dirty.num_cells());
+  EXPECT_EQ(s.cells_scanned,
+            s.cells_inferred + s.cells_skipped_by_filter);
+  EXPECT_GE(s.cells_changed, 3u);
+  EXPECT_GT(s.candidates_evaluated, 0u);
+  EXPECT_GE(s.seconds, 0.0);
+}
+
+TEST(EngineTest, TuplePruningSkipsCells) {
+  Table dirty = DirtyFixture();
+  BCleanOptions pip = BCleanOptions::PartitionedInferencePruning();
+  auto engine = BCleanEngine::Create(dirty, FixtureUcs(), pip);
+  ASSERT_TRUE(engine.ok());
+  engine.value()->Clean();
+  // Most cells are clean and strongly co-occurring: the filter must skip
+  // a large share of them.
+  EXPECT_GT(engine.value()->last_stats().cells_skipped_by_filter,
+            dirty.num_cells() / 2);
+}
+
+TEST(EngineTest, UcFiltersCandidates) {
+  Table dirty = DirtyFixture();
+  auto with_ucs = BCleanEngine::Create(dirty, FixtureUcs(),
+                                       BCleanOptions::Basic());
+  ASSERT_TRUE(with_ucs.ok());
+  // Zip column: every value matches the pattern, so nothing is filtered;
+  // the city column has no pattern. Inject a UC that bans 'berlxn'.
+  UcRegistry strict = FixtureUcs();
+  strict.Add(1, Custom("no berlxn", [](const std::string& v) {
+               return v != "berlxn";
+             }));
+  auto engine = BCleanEngine::Create(dirty, strict, BCleanOptions::Basic());
+  ASSERT_TRUE(engine.ok());
+  auto candidates = engine.value()->CandidatesFor(1);
+  const auto& city = engine.value()->stats().column(1);
+  for (int32_t code : candidates) {
+    EXPECT_NE(city.ValueOf(code), "berlxn");
+  }
+}
+
+TEST(EngineTest, DomainPruningCapsCandidates) {
+  Table dirty = DirtyFixture();
+  BCleanOptions pip = BCleanOptions::PartitionedInferencePruning();
+  pip.domain_top_k = 1;
+  auto engine = BCleanEngine::Create(dirty, FixtureUcs(), pip);
+  ASSERT_TRUE(engine.ok());
+  // city domain = {berlin, paris, berlxn}; top-1 must survive and be a
+  // frequent value, not the singleton typo.
+  auto candidates = engine.value()->CandidatesFor(1);
+  ASSERT_EQ(candidates.size(), 1u);
+  std::string kept = engine.value()->stats().column(1).ValueOf(candidates[0]);
+  EXPECT_TRUE(kept == "berlin" || kept == "paris");
+}
+
+TEST(EngineTest, OriginalViolatingUcIsForcedOut) {
+  // A value violating its pattern must be replaced even if frequent.
+  Table t(Schema::FromNames({"zip", "city"}));
+  for (int i = 0; i < 10; ++i) t.AddRowUnchecked({"10115", "berlin"});
+  for (int i = 0; i < 3; ++i) t.AddRowUnchecked({"1011x", "berlin"});
+  UcRegistry ucs(2);
+  ucs.Add(0, Pattern("[1-9][0-9]{4}"));
+  auto engine =
+      BCleanEngine::Create(t, ucs, BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok());
+  Table cleaned = engine.value()->Clean();
+  for (size_t r = 10; r < 13; ++r) {
+    EXPECT_EQ(cleaned.cell(r, 0), "10115");
+  }
+}
+
+TEST(EngineTest, WithoutCompensatoryStillRuns) {
+  Table dirty = DirtyFixture();
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.use_compensatory = false;
+  auto engine = BCleanEngine::Create(dirty, FixtureUcs(), options);
+  ASSERT_TRUE(engine.ok());
+  Table cleaned = engine.value()->Clean();
+  EXPECT_EQ(cleaned.num_rows(), dirty.num_rows());
+}
+
+TEST(EngineTest, RejectsArityMismatch) {
+  Table dirty = DirtyFixture();
+  UcRegistry wrong(2);  // table has 3 columns
+  EXPECT_FALSE(BCleanEngine::Create(dirty, wrong, {}).ok());
+}
+
+TEST(EngineTest, CreateWithNetworkUsesGivenStructure) {
+  Table dirty = DirtyFixture();
+  BayesianNetwork bn(dirty.schema());
+  ASSERT_TRUE(bn.AddEdgeByName("zip", "city").ok());
+  auto engine = BCleanEngine::CreateWithNetwork(
+      dirty, FixtureUcs(), std::move(bn),
+      BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->network().dag().num_edges(), 1u);
+  Table cleaned = engine.value()->Clean();
+  EXPECT_EQ(cleaned.cell(42, 1), "berlin");
+}
+
+TEST(EngineTest, NetworkEditingRefitsLocally) {
+  Table dirty = DirtyFixture();
+  BayesianNetwork bn(dirty.schema());
+  auto engine = BCleanEngine::CreateWithNetwork(
+      dirty, FixtureUcs(), std::move(bn),
+      BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine.value()->AddNetworkEdge("zip", "city").ok());
+  EXPECT_EQ(engine.value()->network().num_dirty(), 0u);  // refit happened
+  EXPECT_TRUE(engine.value()->RemoveNetworkEdge("zip", "city").ok());
+  EXPECT_FALSE(engine.value()->AddNetworkEdge("zip", "nope").ok());
+  EXPECT_TRUE(
+      engine.value()->MergeNetworkNodes({"city", "note"}, "cn").ok());
+  EXPECT_TRUE(engine.value()->network().VariableByName("cn").ok());
+}
+
+TEST(EngineTest, BasicVariantPropagatesRepairsWithinTuple) {
+  // Unpartitioned inference repairs in place: after fixing the zip, the
+  // city inference sees the repaired zip. Construct a tuple where that
+  // matters: zip typo'd, city missing.
+  Table t(Schema::FromNames({"zip", "city"}));
+  for (int i = 0; i < 15; ++i) t.AddRowUnchecked({"10115", "berlin"});
+  for (int i = 0; i < 15; ++i) t.AddRowUnchecked({"75001", "paris"});
+  t.AddRowUnchecked({"1011x", ""});  // repairable zip, then city from zip
+  UcRegistry ucs(2);
+  ucs.Add(0, Pattern("[1-9][0-9]{4}"));
+  auto engine = BCleanEngine::Create(t, ucs, BCleanOptions::Basic());
+  ASSERT_TRUE(engine.ok());
+  Table cleaned = engine.value()->Clean();
+  EXPECT_EQ(cleaned.cell(30, 0), "10115");
+  EXPECT_EQ(cleaned.cell(30, 1), "berlin");
+}
+
+}  // namespace
+}  // namespace bclean

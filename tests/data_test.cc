@@ -1,0 +1,224 @@
+// Unit tests for src/data: schema, table, CSV round-trips, domain stats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/data/csv.h"
+#include "src/data/domain_stats.h"
+#include "src/data/schema.h"
+#include "src/data/table.h"
+
+namespace bclean {
+namespace {
+
+Schema TwoColumnSchema() { return Schema::FromNames({"name", "city"}); }
+
+TEST(SchemaTest, FromNamesAndLookup) {
+  Schema s = TwoColumnSchema();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.attribute(0).name, "name");
+  auto idx = s.IndexOf("city");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_EQ(s.IndexOf("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, AddAttributeRejectsDuplicates) {
+  Schema s = TwoColumnSchema();
+  EXPECT_TRUE(s.AddAttribute({"zip", AttributeType::kString}).ok());
+  EXPECT_EQ(s.AddAttribute({"zip", AttributeType::kString}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SchemaTest, EqualityChecksNamesAndTypes) {
+  Schema a = TwoColumnSchema();
+  Schema b = TwoColumnSchema();
+  EXPECT_TRUE(a == b);
+  Schema c({{"name", AttributeType::kString},
+            {"city", AttributeType::kNumeric}});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TableTest, AddRowAndAccess) {
+  Table t(TwoColumnSchema());
+  ASSERT_TRUE(t.AddRow({"alice", "berlin"}).ok());
+  ASSERT_TRUE(t.AddRow({"bob", "paris"}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.num_cells(), 4u);
+  EXPECT_EQ(t.cell(1, 0), "bob");
+  t.set_cell(1, 0, "carol");
+  EXPECT_EQ(t.cell(1, 0), "carol");
+}
+
+TEST(TableTest, AddRowRejectsArityMismatch) {
+  Table t(TwoColumnSchema());
+  EXPECT_EQ(t.AddRow({"only-one"}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, RowMaterialization) {
+  Table t(TwoColumnSchema());
+  ASSERT_TRUE(t.AddRow({"alice", "berlin"}).ok());
+  std::vector<std::string> row = t.Row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "alice");
+  EXPECT_EQ(row[1], "berlin");
+}
+
+TEST(TableTest, SelectRowsReordersAndFilters) {
+  Table t(TwoColumnSchema());
+  ASSERT_TRUE(t.AddRow({"a", "1"}).ok());
+  ASSERT_TRUE(t.AddRow({"b", "2"}).ok());
+  ASSERT_TRUE(t.AddRow({"c", "3"}).ok());
+  Table sub = t.SelectRows({2, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.cell(0, 0), "c");
+  EXPECT_EQ(sub.cell(1, 1), "1");
+}
+
+TEST(TableTest, NullMarker) {
+  EXPECT_TRUE(IsNull(""));
+  EXPECT_FALSE(IsNull("x"));
+  EXPECT_TRUE(IsNull(kNullValue));
+}
+
+TEST(CsvTest, ParseLineBasics) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, ParseLineQuotedFields) {
+  auto fields = ParseCsvLine(R"("a,b",c,"say ""hi""")");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "c");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(CsvTest, NullTokensNormalize) {
+  auto fields = ParseCsvLine("NULL,null,,x");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_TRUE(IsNull(fields[0]));
+  EXPECT_TRUE(IsNull(fields[1]));
+  EXPECT_TRUE(IsNull(fields[2]));
+  EXPECT_EQ(fields[3], "x");
+}
+
+TEST(CsvTest, ReadStringWithHeader) {
+  auto table = ReadCsvString("name,city\nalice,berlin\nbob,paris\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().num_rows(), 2u);
+  EXPECT_EQ(table.value().schema().attribute(1).name, "city");
+  EXPECT_EQ(table.value().cell(1, 1), "paris");
+}
+
+TEST(CsvTest, ReadStringWithoutHeaderNamesColumns) {
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ReadCsvString("1,2\n3,4\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().schema().attribute(0).name, "c0");
+  EXPECT_EQ(table.value().num_rows(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ReadCsvString("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvTest, RoundTripPreservesCells) {
+  Table t(TwoColumnSchema());
+  ASSERT_TRUE(t.AddRow({"has,comma", "has \"quote\""}).ok());
+  ASSERT_TRUE(t.AddRow({"", "plain"}).ok());  // NULL first field
+  std::string text = WriteCsvString(t);
+  auto back = ReadCsvString(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == t);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(TwoColumnSchema());
+  ASSERT_TRUE(t.AddRow({"alice", "berlin"}).ok());
+  std::string path = testing::TempDir() + "/bclean_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == t);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/x.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+Table StatsFixture() {
+  Table t(Schema::FromNames({"city", "zip"}));
+  t.AddRowUnchecked({"berlin", "10115"});
+  t.AddRowUnchecked({"berlin", "10115"});
+  t.AddRowUnchecked({"paris", "75001"});
+  t.AddRowUnchecked({"", "75001"});
+  return t;
+}
+
+TEST(DomainStatsTest, BuildsDictionaries) {
+  DomainStats stats = DomainStats::Build(StatsFixture());
+  const ColumnStats& city = stats.column(0);
+  EXPECT_EQ(city.DomainSize(), 2u);
+  EXPECT_EQ(city.null_count(), 1u);
+  int32_t berlin = city.CodeOf("berlin");
+  ASSERT_GE(berlin, 0);
+  EXPECT_EQ(city.Frequency(berlin), 2u);
+  EXPECT_EQ(city.ValueOf(berlin), "berlin");
+  EXPECT_EQ(city.MostFrequentCode(), berlin);
+}
+
+TEST(DomainStatsTest, EncodedViewMatchesTable) {
+  Table t = StatsFixture();
+  DomainStats stats = DomainStats::Build(t);
+  EXPECT_EQ(stats.num_rows(), 4u);
+  EXPECT_EQ(stats.num_cols(), 2u);
+  // Row 3's city is NULL.
+  EXPECT_EQ(stats.code(3, 0), kNullCode);
+  // Equal strings share codes.
+  EXPECT_EQ(stats.code(0, 0), stats.code(1, 0));
+  EXPECT_NE(stats.code(0, 0), stats.code(2, 0));
+  // Codes decode back to the original strings.
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_cols(); ++c) {
+      int32_t code = stats.code(r, c);
+      if (code == kNullCode) {
+        EXPECT_TRUE(IsNull(t.cell(r, c)));
+      } else {
+        EXPECT_EQ(stats.column(c).ValueOf(code), t.cell(r, c));
+      }
+    }
+  }
+}
+
+TEST(DomainStatsTest, UnknownValueCodesToNull) {
+  DomainStats stats = DomainStats::Build(StatsFixture());
+  EXPECT_EQ(stats.column(0).CodeOf("london"), kNullCode);
+  EXPECT_EQ(stats.column(0).CodeOf(""), kNullCode);
+}
+
+TEST(DomainStatsTest, AllNullColumn) {
+  Table t(Schema::FromNames({"only"}));
+  t.AddRowUnchecked({""});
+  t.AddRowUnchecked({""});
+  DomainStats stats = DomainStats::Build(t);
+  EXPECT_EQ(stats.column(0).DomainSize(), 0u);
+  EXPECT_EQ(stats.column(0).MostFrequentCode(), kNullCode);
+  EXPECT_EQ(stats.column(0).null_count(), 2u);
+}
+
+}  // namespace
+}  // namespace bclean

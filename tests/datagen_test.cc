@@ -1,0 +1,242 @@
+// Unit tests for src/datagen: the generators must reproduce the paper's
+// schemas, FD structure, value formats (so Table 3's UCs hold on clean
+// data), and default noise profiles (Table 2).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/datagen/benchmarks.h"
+#include "src/datagen/pools.h"
+
+namespace bclean {
+namespace {
+
+// Verifies the FD lhs -> rhs holds exactly on `table`.
+bool FdHolds(const Table& table, const std::string& lhs,
+             const std::string& rhs) {
+  size_t l = table.schema().IndexOf(lhs).value();
+  size_t r = table.schema().IndexOf(rhs).value();
+  std::map<std::string, std::string> mapping;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const std::string& key = table.cell(row, l);
+    const std::string& val = table.cell(row, r);
+    auto [it, inserted] = mapping.emplace(key, val);
+    if (!inserted && it->second != val) return false;
+  }
+  return true;
+}
+
+// Every cell of every attribute of the clean table satisfies its UCs
+// (the paper: "all attributes in these datasets adhere to UCs").
+void ExpectCleanSatisfiesUcs(const Dataset& ds) {
+  for (size_t r = 0; r < ds.clean.num_rows(); ++r) {
+    for (size_t c = 0; c < ds.clean.num_cols(); ++c) {
+      EXPECT_TRUE(ds.ucs.Check(c, ds.clean.cell(r, c)))
+          << ds.name << " cell (" << r << "," << c << ") = '"
+          << ds.clean.cell(r, c) << "' violates a UC";
+    }
+  }
+}
+
+TEST(HospitalTest, ShapeMatchesPaper) {
+  Dataset ds = MakeHospital(1000, 1);
+  EXPECT_EQ(ds.clean.num_rows(), 1000u);
+  EXPECT_EQ(ds.clean.num_cols(), 15u);  // Table 2: (1000, 15, 15k)
+  EXPECT_NEAR(ds.default_injection.error_rate, 0.05, 1e-9);
+}
+
+TEST(HospitalTest, FdsHold) {
+  Dataset ds = MakeHospital(600, 2);
+  EXPECT_TRUE(FdHolds(ds.clean, "provider_number", "hospital_name"));
+  EXPECT_TRUE(FdHolds(ds.clean, "provider_number", "phone_number"));
+  EXPECT_TRUE(FdHolds(ds.clean, "zip_code", "city"));
+  EXPECT_TRUE(FdHolds(ds.clean, "zip_code", "state"));
+  EXPECT_TRUE(FdHolds(ds.clean, "zip_code", "county_name"));
+  EXPECT_TRUE(FdHolds(ds.clean, "measure_code", "measure_name"));
+  EXPECT_TRUE(FdHolds(ds.clean, "measure_code", "condition"));
+}
+
+TEST(HospitalTest, CleanDataSatisfiesUcs) {
+  ExpectCleanSatisfiesUcs(MakeHospital(300, 3));
+}
+
+TEST(FlightsTest, ShapeMatchesPaper) {
+  Dataset ds = MakeFlights(2376, 1);
+  EXPECT_EQ(ds.clean.num_rows(), 2376u);
+  EXPECT_EQ(ds.clean.num_cols(), 6u);  // Table 2: (2376, 6, 14k)
+  EXPECT_NEAR(ds.default_injection.error_rate, 0.30, 1e-9);
+  // T and M only.
+  EXPECT_DOUBLE_EQ(ds.default_injection.inconsistency_weight, 0.0);
+}
+
+TEST(FlightsTest, FlightDeterminesTimes) {
+  Dataset ds = MakeFlights(1200, 2);
+  EXPECT_TRUE(FdHolds(ds.clean, "flight", "sched_dep_time"));
+  EXPECT_TRUE(FdHolds(ds.clean, "flight", "act_dep_time"));
+  EXPECT_TRUE(FdHolds(ds.clean, "flight", "sched_arr_time"));
+  EXPECT_TRUE(FdHolds(ds.clean, "flight", "act_arr_time"));
+}
+
+TEST(FlightsTest, EachFlightSeenFromMultipleSources) {
+  Dataset ds = MakeFlights(1200, 2);
+  size_t flight_col = ds.clean.schema().IndexOf("flight").value();
+  size_t src_col = ds.clean.schema().IndexOf("src").value();
+  std::map<std::string, std::set<std::string>> sources_per_flight;
+  for (size_t r = 0; r < ds.clean.num_rows(); ++r) {
+    sources_per_flight[ds.clean.cell(r, flight_col)].insert(
+        ds.clean.cell(r, src_col));
+  }
+  size_t multi = 0;
+  for (const auto& [flight, sources] : sources_per_flight) {
+    if (sources.size() >= 2) ++multi;
+  }
+  // Redundancy across sources is what makes the dataset cleanable.
+  EXPECT_GT(multi, sources_per_flight.size() / 2);
+}
+
+TEST(FlightsTest, CleanDataSatisfiesUcs) {
+  ExpectCleanSatisfiesUcs(MakeFlights(600, 3));
+}
+
+TEST(SoccerTest, ShapeAndFds) {
+  Dataset ds = MakeSoccer(5000, 1);
+  EXPECT_EQ(ds.clean.num_rows(), 5000u);
+  EXPECT_EQ(ds.clean.num_cols(), 10u);  // Table 2: 10 columns
+  EXPECT_TRUE(FdHolds(ds.clean, "club", "city"));
+  EXPECT_TRUE(FdHolds(ds.clean, "club", "stadium"));
+  EXPECT_TRUE(FdHolds(ds.clean, "club", "league"));
+  EXPECT_TRUE(FdHolds(ds.clean, "league", "country"));
+  EXPECT_TRUE(FdHolds(ds.clean, "name", "birthyear"));
+  EXPECT_TRUE(FdHolds(ds.clean, "name", "birthplace"));
+}
+
+TEST(SoccerTest, CleanDataSatisfiesUcs) {
+  ExpectCleanSatisfiesUcs(MakeSoccer(2000, 3));
+}
+
+TEST(BeersTest, ShapeAndNumericColumns) {
+  Dataset ds = MakeBeers(2410, 1);
+  EXPECT_EQ(ds.clean.num_rows(), 2410u);
+  EXPECT_EQ(ds.clean.num_cols(), 11u);  // Table 2: (2410, 11, 27k)
+  EXPECT_NEAR(ds.default_injection.error_rate, 0.13, 1e-9);
+  const Schema& s = ds.clean.schema();
+  EXPECT_EQ(s.attribute(s.IndexOf("ounces").value()).type,
+            AttributeType::kNumeric);
+  EXPECT_EQ(s.attribute(s.IndexOf("abv").value()).type,
+            AttributeType::kNumeric);
+}
+
+TEST(BeersTest, BreweryFdsHold) {
+  Dataset ds = MakeBeers(1200, 2);
+  EXPECT_TRUE(FdHolds(ds.clean, "brewery_id", "brewery_name"));
+  EXPECT_TRUE(FdHolds(ds.clean, "brewery_id", "city"));
+  EXPECT_TRUE(FdHolds(ds.clean, "brewery_id", "state"));
+  EXPECT_TRUE(FdHolds(ds.clean, "beer_name", "style"));
+}
+
+TEST(BeersTest, CleanDataSatisfiesUcs) {
+  ExpectCleanSatisfiesUcs(MakeBeers(600, 3));
+}
+
+TEST(InpatientTest, ShapeAndFds) {
+  Dataset ds = MakeInpatient(4017, 1);
+  EXPECT_EQ(ds.clean.num_rows(), 4017u);
+  EXPECT_EQ(ds.clean.num_cols(), 11u);  // Table 2: (4017, 11, 44k)
+  EXPECT_NEAR(ds.default_injection.error_rate, 0.10, 1e-9);
+  EXPECT_GT(ds.default_injection.swap_same_weight, 0.0);  // S errors
+  EXPECT_TRUE(FdHolds(ds.clean, "provider_id", "hospital_name"));
+  EXPECT_TRUE(FdHolds(ds.clean, "zip_code", "city"));
+  EXPECT_TRUE(FdHolds(ds.clean, "drg_code", "drg_definition"));
+}
+
+TEST(FacilitiesTest, ShapeAndFds) {
+  Dataset ds = MakeFacilities(7992, 1);
+  EXPECT_EQ(ds.clean.num_rows(), 7992u);
+  EXPECT_EQ(ds.clean.num_cols(), 11u);  // Table 2: (7992, 11, 88k)
+  EXPECT_TRUE(FdHolds(ds.clean, "facility_id", "facility_name"));
+  EXPECT_TRUE(FdHolds(ds.clean, "facility_id", "phone"));
+  EXPECT_TRUE(FdHolds(ds.clean, "zip_code", "state"));
+}
+
+TEST(CustomerExampleTest, MatchesTable1) {
+  Dataset ds = MakeCustomerExample();
+  EXPECT_EQ(ds.clean.num_rows(), 6u);
+  EXPECT_EQ(ds.clean.num_cols(), 8u);
+  // The highlighted Table 1 artifacts are present.
+  EXPECT_EQ(ds.clean.cell(4, 1), "400 nprthwood dr");
+  EXPECT_TRUE(IsNull(ds.clean.cell(0, 7)));
+  EXPECT_EQ(ds.clean.cell(4, 5), "3960");  // bad zip
+  // The zip UC rejects the bad zip and accepts good ones.
+  size_t zip = ds.clean.schema().IndexOf("zipcode").value();
+  EXPECT_FALSE(ds.ucs.Check(zip, "3960"));
+  EXPECT_TRUE(ds.ucs.Check(zip, "35150"));
+}
+
+TEST(MakeBenchmarkTest, DispatchesByName) {
+  for (const std::string& name : BenchmarkNames()) {
+    auto ds = MakeBenchmark(name, 200, 9);
+    ASSERT_TRUE(ds.ok()) << name;
+    EXPECT_EQ(ds.value().name, name);
+    EXPECT_EQ(ds.value().clean.num_rows(), 200u);
+  }
+  EXPECT_FALSE(MakeBenchmark("nope").ok());
+}
+
+TEST(MakeBenchmarkTest, DefaultRowCountsMatchTable2) {
+  EXPECT_EQ(MakeBenchmark("hospital").value().clean.num_rows(), 1000u);
+  EXPECT_EQ(MakeBenchmark("flights").value().clean.num_rows(), 2376u);
+  EXPECT_EQ(MakeBenchmark("beers").value().clean.num_rows(), 2410u);
+  EXPECT_EQ(MakeBenchmark("inpatient").value().clean.num_rows(), 4017u);
+  EXPECT_EQ(MakeBenchmark("facilities").value().clean.num_rows(), 7992u);
+}
+
+TEST(MakeBenchmarkTest, DeterministicAcrossCalls) {
+  Dataset a = MakeHospital(100, 77);
+  Dataset b = MakeHospital(100, 77);
+  EXPECT_TRUE(a.clean == b.clean);
+  Dataset c = MakeHospital(100, 78);
+  EXPECT_FALSE(a.clean == c.clean);
+}
+
+TEST(PoolsTest, FormatFlightTime) {
+  EXPECT_EQ(FormatFlightTime(0), "12:00 a.m.");
+  EXPECT_EQ(FormatFlightTime(433), "7:13 a.m.");
+  EXPECT_EQ(FormatFlightTime(12 * 60), "12:00 p.m.");
+  EXPECT_EQ(FormatFlightTime(13 * 60 + 5), "1:05 p.m.");
+  EXPECT_EQ(FormatFlightTime(24 * 60), "12:00 a.m.");  // wraps
+  EXPECT_EQ(FormatFlightTime(23 * 60 + 59), "11:59 p.m.");
+}
+
+TEST(PoolsTest, CityPoolZipsAreUniqueAndFiveDigits) {
+  std::set<std::string> zips;
+  for (const CityEntry& c : CityPool()) {
+    EXPECT_EQ(c.zip.size(), 5u);
+    EXPECT_NE(c.zip[0], '0');
+    zips.insert(c.zip);
+  }
+  EXPECT_EQ(zips.size(), CityPool().size());
+}
+
+TEST(PoolsTest, RandomGeneratorsRespectFormats) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    std::string phone = RandomPhone(&rng);
+    EXPECT_EQ(phone.size(), 10u);
+    EXPECT_NE(phone[0], '0');
+    std::string addr = RandomAddress(&rng);
+    EXPECT_GT(addr.size(), 6u);
+    EXPECT_NE(RandomPersonName(&rng).find(' '), std::string::npos);
+  }
+}
+
+TEST(PoolsTest, MixHashIsDeterministicAndSpread) {
+  EXPECT_EQ(MixHash(1, 2), MixHash(1, 2));
+  EXPECT_NE(MixHash(1, 2), MixHash(2, 1));
+  std::set<uint64_t> values;
+  for (uint64_t i = 0; i < 100; ++i) values.insert(MixHash(i, 7));
+  EXPECT_EQ(values.size(), 100u);
+}
+
+}  // namespace
+}  // namespace bclean

@@ -1,0 +1,258 @@
+// Unit tests for src/errors: typo generation, injection bookkeeping, and
+// the statistical properties the benchmark protocol relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/data/domain_stats.h"
+#include "src/data/schema.h"
+#include "src/errors/error_injection.h"
+#include "src/text/edit_distance.h"
+
+namespace bclean {
+namespace {
+
+Table MakeCleanTable(size_t rows) {
+  Table t(Schema::FromNames({"city", "zip", "code"}));
+  const char* cities[] = {"berlin", "paris", "london", "madrid"};
+  const char* zips[] = {"10115", "75001", "20095", "28001"};
+  for (size_t r = 0; r < rows; ++r) {
+    size_t e = r % 4;
+    t.AddRowUnchecked({cities[e], zips[e], "c" + std::to_string(e)});
+  }
+  return t;
+}
+
+TEST(ApplyTypoTest, AlwaysChangesNonEmptyValue) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    std::string original = i % 2 == 0 ? "hospital" : "x";
+    std::string mutated = ApplyTypo(original, &rng);
+    EXPECT_NE(mutated, original);
+    EXPECT_FALSE(mutated.empty());
+    // One edit operation -> edit distance exactly 1 (the paper's T errors).
+    EXPECT_EQ(EditDistance(original, mutated), 1u);
+  }
+}
+
+TEST(ApplyTypoTest, EmptyInputGetsOneCharacter) {
+  Rng rng(2);
+  std::string mutated = ApplyTypo("", &rng);
+  EXPECT_EQ(mutated.size(), 1u);
+}
+
+TEST(InjectErrorsTest, RespectsTargetRate) {
+  Table clean = MakeCleanTable(400);
+  InjectionOptions options;
+  options.error_rate = 0.10;
+  Rng rng(7);
+  auto result = InjectErrors(clean, options, &rng);
+  ASSERT_TRUE(result.ok());
+  size_t target = static_cast<size_t>(0.10 * clean.num_cells());
+  // Injection can fall slightly short (skipped cells) but never exceeds
+  // target by more than one swap pair.
+  EXPECT_LE(result.value().ground_truth.size(), target + 1);
+  EXPECT_GE(result.value().ground_truth.size(), target * 8 / 10);
+}
+
+TEST(InjectErrorsTest, GroundTruthMatchesTables) {
+  Table clean = MakeCleanTable(200);
+  InjectionOptions options;
+  options.error_rate = 0.15;
+  Rng rng(11);
+  auto result = InjectErrors(clean, options, &rng);
+  ASSERT_TRUE(result.ok());
+  const Table& dirty = result.value().dirty;
+  const GroundTruth& gt = result.value().ground_truth;
+  // Every recorded error matches the table contents.
+  for (const InjectedError& e : gt.errors()) {
+    EXPECT_EQ(clean.cell(e.row, e.col), e.clean_value);
+    EXPECT_EQ(dirty.cell(e.row, e.col), e.dirty_value);
+    EXPECT_NE(e.clean_value, e.dirty_value);
+  }
+  // Every differing cell is recorded.
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    for (size_t c = 0; c < clean.num_cols(); ++c) {
+      if (clean.cell(r, c) != dirty.cell(r, c)) {
+        EXPECT_NE(gt.Find(r, c), nullptr)
+            << "unrecorded diff at " << r << "," << c;
+      } else {
+        EXPECT_EQ(gt.Find(r, c), nullptr);
+      }
+    }
+  }
+}
+
+TEST(InjectErrorsTest, TypoOnly) {
+  Table clean = MakeCleanTable(100);
+  InjectionOptions options;
+  options.error_rate = 0.1;
+  options.missing_weight = 0.0;
+  options.inconsistency_weight = 0.0;
+  Rng rng(3);
+  auto result = InjectErrors(clean, options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (const InjectedError& e : result.value().ground_truth.errors()) {
+    EXPECT_EQ(e.type, ErrorType::kTypo);
+    EXPECT_EQ(EditDistance(e.clean_value, e.dirty_value), 1u);
+  }
+}
+
+TEST(InjectErrorsTest, MissingOnlyProducesNulls) {
+  Table clean = MakeCleanTable(100);
+  InjectionOptions options;
+  options.error_rate = 0.1;
+  options.typo_weight = 0.0;
+  options.inconsistency_weight = 0.0;
+  Rng rng(3);
+  auto result = InjectErrors(clean, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().ground_truth.size(), 0u);
+  for (const InjectedError& e : result.value().ground_truth.errors()) {
+    EXPECT_EQ(e.type, ErrorType::kMissing);
+    EXPECT_TRUE(IsNull(e.dirty_value));
+  }
+}
+
+TEST(InjectErrorsTest, InconsistencyDrawsFromDomain) {
+  Table clean = MakeCleanTable(100);
+  InjectionOptions options;
+  options.error_rate = 0.1;
+  options.typo_weight = 0.0;
+  options.missing_weight = 0.0;
+  Rng rng(3);
+  auto result = InjectErrors(clean, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().ground_truth.size(), 0u);
+  DomainStats stats = DomainStats::Build(clean);
+  for (const InjectedError& e : result.value().ground_truth.errors()) {
+    EXPECT_EQ(e.type, ErrorType::kInconsistency);
+    // The dirty value is a legitimate value of the same column.
+    EXPECT_GE(stats.column(e.col).CodeOf(e.dirty_value), 0);
+  }
+}
+
+TEST(InjectErrorsTest, SwapSameExchangesWithinColumn) {
+  Table clean = MakeCleanTable(100);
+  InjectionOptions options;
+  options.error_rate = 0.1;
+  options.typo_weight = 0.0;
+  options.missing_weight = 0.0;
+  options.inconsistency_weight = 0.0;
+  options.swap_same_weight = 1.0;
+  Rng rng(5);
+  auto result = InjectErrors(clean, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().ground_truth.size(), 0u);
+  for (const InjectedError& e : result.value().ground_truth.errors()) {
+    EXPECT_EQ(e.type, ErrorType::kSwapSame);
+  }
+  // Swaps preserve the multiset of column values.
+  const Table& dirty = result.value().dirty;
+  for (size_t c = 0; c < clean.num_cols(); ++c) {
+    std::multiset<std::string> a(clean.column(c).begin(),
+                                 clean.column(c).end());
+    std::multiset<std::string> b(dirty.column(c).begin(),
+                                 dirty.column(c).end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(InjectErrorsTest, SwapDiffExchangesWithinRow) {
+  Table clean = MakeCleanTable(100);
+  InjectionOptions options;
+  options.error_rate = 0.1;
+  options.typo_weight = 0.0;
+  options.missing_weight = 0.0;
+  options.inconsistency_weight = 0.0;
+  options.swap_diff_weight = 1.0;
+  Rng rng(5);
+  auto result = InjectErrors(clean, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().ground_truth.size(), 0u);
+  const Table& dirty = result.value().dirty;
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    std::multiset<std::string> a, b;
+    for (size_t c = 0; c < clean.num_cols(); ++c) {
+      a.insert(clean.cell(r, c));
+      b.insert(dirty.cell(r, c));
+    }
+    EXPECT_EQ(a, b) << "row " << r << " not a permutation";
+  }
+}
+
+TEST(InjectErrorsTest, ProtectedColumnsStayClean) {
+  Table clean = MakeCleanTable(200);
+  InjectionOptions options;
+  options.error_rate = 0.2;
+  options.protected_columns = {0};
+  Rng rng(13);
+  auto result = InjectErrors(clean, options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    EXPECT_EQ(result.value().dirty.cell(r, 0), clean.cell(r, 0));
+  }
+}
+
+TEST(InjectErrorsTest, ZeroRateLeavesTableClean) {
+  Table clean = MakeCleanTable(50);
+  InjectionOptions options;
+  options.error_rate = 0.0;
+  Rng rng(1);
+  auto result = InjectErrors(clean, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().dirty == clean);
+  EXPECT_EQ(result.value().ground_truth.size(), 0u);
+}
+
+TEST(InjectErrorsTest, ValidatesOptions) {
+  Table clean = MakeCleanTable(10);
+  Rng rng(1);
+  InjectionOptions bad_rate;
+  bad_rate.error_rate = 1.5;
+  EXPECT_FALSE(InjectErrors(clean, bad_rate, &rng).ok());
+  InjectionOptions no_weights;
+  no_weights.typo_weight = 0;
+  no_weights.missing_weight = 0;
+  no_weights.inconsistency_weight = 0;
+  EXPECT_FALSE(InjectErrors(clean, no_weights, &rng).ok());
+  InjectionOptions negative;
+  negative.typo_weight = -1;
+  EXPECT_FALSE(InjectErrors(clean, negative, &rng).ok());
+}
+
+TEST(InjectErrorsTest, DeterministicGivenSeed) {
+  Table clean = MakeCleanTable(100);
+  InjectionOptions options;
+  options.error_rate = 0.1;
+  Rng rng_a(99), rng_b(99);
+  auto a = InjectErrors(clean, options, &rng_a);
+  auto b = InjectErrors(clean, options, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value().dirty == b.value().dirty);
+}
+
+TEST(GroundTruthTest, CountsByType) {
+  GroundTruth gt;
+  gt.Record({0, 0, ErrorType::kTypo, "a", "b"});
+  gt.Record({0, 1, ErrorType::kTypo, "c", "d"});
+  gt.Record({1, 0, ErrorType::kMissing, "e", ""});
+  auto counts = gt.CountsByType();
+  EXPECT_EQ(counts[ErrorType::kTypo], 2u);
+  EXPECT_EQ(counts[ErrorType::kMissing], 1u);
+}
+
+TEST(GroundTruthTest, LastWriterWinsPerCell) {
+  GroundTruth gt;
+  gt.Record({0, 0, ErrorType::kTypo, "a", "b"});
+  gt.Record({0, 0, ErrorType::kMissing, "a", ""});
+  EXPECT_EQ(gt.size(), 1u);
+  EXPECT_EQ(gt.Find(0, 0)->type, ErrorType::kMissing);
+  EXPECT_EQ(gt.Find(2, 2), nullptr);
+}
+
+}  // namespace
+}  // namespace bclean

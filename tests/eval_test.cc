@@ -1,0 +1,107 @@
+// Unit tests for src/eval: the Section 7.1 metric definitions.
+#include <gtest/gtest.h>
+
+#include "src/data/schema.h"
+#include "src/eval/metrics.h"
+
+namespace bclean {
+namespace {
+
+Table MakeTable(const std::vector<std::vector<std::string>>& rows) {
+  Table t(Schema::FromNames({"a", "b"}));
+  for (const auto& row : rows) t.AddRowUnchecked(row);
+  return t;
+}
+
+TEST(EvaluateTest, PerfectRepair) {
+  Table clean = MakeTable({{"x", "y"}, {"u", "v"}});
+  Table dirty = MakeTable({{"x", "BAD"}, {"", "v"}});
+  auto m = Evaluate(clean, dirty, clean);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m.value().precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.value().recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.value().f1, 1.0);
+  EXPECT_EQ(m.value().errors, 2u);
+  EXPECT_EQ(m.value().modified, 2u);
+}
+
+TEST(EvaluateTest, NoRepairGivesZeroRecall) {
+  Table clean = MakeTable({{"x", "y"}});
+  Table dirty = MakeTable({{"x", "BAD"}});
+  auto m = Evaluate(clean, dirty, dirty);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m.value().precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.value().recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.value().f1, 0.0);
+  EXPECT_EQ(m.value().modified, 0u);
+}
+
+TEST(EvaluateTest, WrongRepairHurtsPrecision) {
+  Table clean = MakeTable({{"x", "y"}, {"u", "v"}});
+  Table dirty = MakeTable({{"x", "BAD"}, {"u", "v"}});
+  // Fixes the error but also breaks a clean cell.
+  Table cleaned = MakeTable({{"WRONG", "y"}, {"u", "v"}});
+  auto m = Evaluate(clean, dirty, cleaned);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m.value().precision, 0.5);  // 1 of 2 modifications right
+  EXPECT_DOUBLE_EQ(m.value().recall, 1.0);     // the single error was fixed
+  EXPECT_NEAR(m.value().f1, 2.0 * 0.5 / 1.5, 1e-12);
+}
+
+TEST(EvaluateTest, PartialRepair) {
+  Table clean = MakeTable({{"x", "y"}, {"u", "v"}, {"p", "q"}});
+  Table dirty = MakeTable({{"x", "B1"}, {"B2", "v"}, {"p", "B3"}});
+  // Repairs one error correctly, one wrongly, misses the third.
+  Table cleaned = MakeTable({{"x", "y"}, {"NOPE", "v"}, {"p", "B3"}});
+  auto m = Evaluate(clean, dirty, cleaned);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().errors, 3u);
+  EXPECT_EQ(m.value().modified, 2u);
+  EXPECT_EQ(m.value().correct_repairs, 1u);
+  EXPECT_DOUBLE_EQ(m.value().precision, 0.5);
+  EXPECT_NEAR(m.value().recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateTest, CleanInputNoChanges) {
+  Table clean = MakeTable({{"x", "y"}});
+  auto m = Evaluate(clean, clean, clean);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().errors, 0u);
+  EXPECT_DOUBLE_EQ(m.value().recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.value().precision, 0.0);
+}
+
+TEST(EvaluateTest, RejectsShapeMismatch) {
+  Table clean = MakeTable({{"x", "y"}});
+  Table dirty = MakeTable({{"x", "y"}, {"u", "v"}});
+  EXPECT_FALSE(Evaluate(clean, dirty, clean).ok());
+}
+
+TEST(RecallByTypeTest, SplitsByErrorType) {
+  Table clean = MakeTable({{"x", "y"}, {"u", "v"}});
+  Table cleaned = MakeTable({{"x", "y"}, {"u", "WRONG"}});
+  GroundTruth gt;
+  gt.Record({0, 0, ErrorType::kTypo, "x", "x1"});       // repaired
+  gt.Record({1, 1, ErrorType::kMissing, "v", ""});       // not repaired
+  auto recalls = RecallByType(clean, cleaned, gt);
+  ASSERT_TRUE(recalls.ok());
+  EXPECT_DOUBLE_EQ(recalls.value().at(ErrorType::kTypo), 1.0);
+  EXPECT_DOUBLE_EQ(recalls.value().at(ErrorType::kMissing), 0.0);
+}
+
+TEST(RecallByTypeTest, RejectsOutOfRangeGroundTruth) {
+  Table clean = MakeTable({{"x", "y"}});
+  GroundTruth gt;
+  gt.Record({5, 0, ErrorType::kTypo, "x", "x1"});
+  EXPECT_FALSE(RecallByType(clean, clean, gt).ok());
+}
+
+TEST(FormatMetricsRowTest, AlignsColumns) {
+  std::string row = FormatMetricsRow("BClean", {0.998, 0.956, 0.976});
+  EXPECT_NE(row.find("BClean"), std::string::npos);
+  EXPECT_NE(row.find("0.998"), std::string::npos);
+  EXPECT_NE(row.find("0.976"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bclean

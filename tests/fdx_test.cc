@@ -1,0 +1,177 @@
+// Unit tests for src/fdx: similarity observations and structure learning.
+// The key property: on data with a strong (even noisy) FD X -> Y, the
+// learned skeleton connects X and Y; independent columns stay unconnected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/data/schema.h"
+#include "src/errors/error_injection.h"
+#include "src/fdx/structure_learning.h"
+
+namespace bclean {
+namespace {
+
+// zip -> city FD with an unrelated random column.
+Table FdFixture(size_t rows, double noise, uint64_t seed) {
+  Rng rng(seed);
+  Table t(Schema::FromNames({"zip", "city", "random"}));
+  const char* zips[] = {"10115", "75001", "20095", "28001", "90012"};
+  const char* cities[] = {"berlin", "paris", "hamburg", "madrid",
+                          "losangeles"};
+  for (size_t r = 0; r < rows; ++r) {
+    size_t e = rng.UniformIndex(5);
+    std::string city = cities[e];
+    if (rng.Bernoulli(noise)) city = ApplyTypo(city, &rng);
+    t.AddRowUnchecked({zips[e], city,
+                       "r" + std::to_string(rng.UniformIndex(1000))});
+  }
+  return t;
+}
+
+bool HasEdgeEitherDirection(const LearnedStructure& s, size_t a, size_t b) {
+  for (const auto& [from, to] : s.edges) {
+    if ((from == a && to == b) || (from == b && to == a)) return true;
+  }
+  return false;
+}
+
+TEST(ObservationsTest, ShapeAndRange) {
+  Table t = FdFixture(100, 0.0, 1);
+  StructureOptions options;
+  Matrix obs = BuildSimilarityObservations(t, options);
+  EXPECT_EQ(obs.cols(), 3u);
+  // One pass per attribute, n-1 adjacent pairs each.
+  EXPECT_EQ(obs.rows(), 3u * 99u);
+  for (size_t r = 0; r < obs.rows(); ++r) {
+    for (size_t c = 0; c < obs.cols(); ++c) {
+      EXPECT_GE(obs.At(r, c), 0.0);
+      EXPECT_LE(obs.At(r, c), 1.0);
+    }
+  }
+}
+
+TEST(ObservationsTest, SamplingCapRespected) {
+  Table t = FdFixture(500, 0.0, 1);
+  StructureOptions options;
+  options.max_pairs_per_attribute = 50;
+  Matrix obs = BuildSimilarityObservations(t, options);
+  // Stride sampling: at most ~max_pairs_per_attribute + slack per column.
+  EXPECT_LE(obs.rows(), 3u * 64u);
+  EXPECT_GE(obs.rows(), 3u * 40u);
+}
+
+TEST(ObservationsTest, SortedPairsSeeEqualKeysTogether) {
+  // With a deterministic FD, adjacent pairs under the zip sort mostly have
+  // equal zips AND equal cities -> high similarity in both columns.
+  Table t = FdFixture(200, 0.0, 2);
+  StructureOptions options;
+  Matrix obs = BuildSimilarityObservations(t, options);
+  size_t both_high = 0, zip_high = 0;
+  for (size_t r = 0; r < 199; ++r) {  // first pass = zip-sorted pairs
+    if (obs.At(r, 0) > 0.99) {
+      ++zip_high;
+      if (obs.At(r, 1) > 0.99) ++both_high;
+    }
+  }
+  ASSERT_GT(zip_high, 100u);
+  EXPECT_EQ(both_high, zip_high);  // FD: equal zip implies equal city
+}
+
+TEST(LearnStructureTest, FindsFdOnCleanData) {
+  Table t = FdFixture(400, 0.0, 3);
+  auto learned = LearnStructure(t, {});
+  ASSERT_TRUE(learned.ok());
+  EXPECT_TRUE(HasEdgeEitherDirection(learned.value(), 0, 1))
+      << "zip-city dependency missed";
+}
+
+TEST(LearnStructureTest, ToleratesNoise) {
+  // The paper's motivation for softened FDs: 10% typos must not break
+  // structure discovery.
+  Table t = FdFixture(400, 0.10, 4);
+  auto learned = LearnStructure(t, {});
+  ASSERT_TRUE(learned.ok());
+  EXPECT_TRUE(HasEdgeEitherDirection(learned.value(), 0, 1));
+}
+
+TEST(LearnStructureTest, IndependentColumnUnconnected) {
+  Table t = FdFixture(400, 0.0, 5);
+  auto learned = LearnStructure(t, {});
+  ASSERT_TRUE(learned.ok());
+  EXPECT_FALSE(HasEdgeEitherDirection(learned.value(), 0, 2));
+  EXPECT_FALSE(HasEdgeEitherDirection(learned.value(), 1, 2));
+}
+
+TEST(LearnStructureTest, OrderingPutsDeterminantFirst) {
+  // `random` has ~1000 distinct values, zip/city 5: the domain-size
+  // ordering puts `random` before zip/city.
+  Table t = FdFixture(400, 0.0, 6);
+  auto learned = LearnStructure(t, {});
+  ASSERT_TRUE(learned.ok());
+  EXPECT_EQ(learned.value().ordering[0], 2u);
+}
+
+TEST(LearnStructureTest, MaxParentsCapEnforced) {
+  // Five mutually dependent columns (all copies of one key).
+  Rng rng(7);
+  Table t(Schema::FromNames({"a", "b", "c", "d", "e"}));
+  for (int r = 0; r < 300; ++r) {
+    std::string k = std::to_string(rng.UniformIndex(6));
+    t.AddRowUnchecked({"a" + k, "b" + k, "c" + k, "d" + k, "e" + k});
+  }
+  StructureOptions options;
+  options.max_parents = 2;
+  auto learned = LearnStructure(t, options);
+  ASSERT_TRUE(learned.ok());
+  std::vector<size_t> parents(5, 0);
+  for (const auto& [from, to] : learned.value().edges) {
+    (void)from;
+    ++parents[to];
+  }
+  for (size_t p : parents) EXPECT_LE(p, 2u);
+}
+
+TEST(LearnStructureTest, RejectsDegenerateInput) {
+  Table tiny(Schema::FromNames({"a", "b"}));
+  tiny.AddRowUnchecked({"1", "2"});
+  EXPECT_FALSE(LearnStructure(tiny, {}).ok());
+
+  Table one_col(Schema::FromNames({"a"}));
+  for (int i = 0; i < 10; ++i) one_col.AddRowUnchecked({"x"});
+  EXPECT_FALSE(LearnStructure(one_col, {}).ok());
+}
+
+TEST(LearnStructureTest, HigherThresholdGivesFewerEdges) {
+  Table t = FdFixture(400, 0.05, 8);
+  StructureOptions loose;
+  loose.edge_threshold = 0.02;
+  StructureOptions tight;
+  tight.edge_threshold = 0.5;
+  auto a = LearnStructure(t, loose);
+  auto b = LearnStructure(t, tight);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(a.value().edges.size(), b.value().edges.size());
+}
+
+TEST(BuildNetworkTest, ProducesFittedAcyclicNetwork) {
+  Table t = FdFixture(400, 0.05, 9);
+  DomainStats stats = DomainStats::Build(t);
+  auto bn = BuildNetwork(t, stats, {});
+  ASSERT_TRUE(bn.ok());
+  EXPECT_EQ(bn.value().num_variables(), 3u);
+  EXPECT_EQ(bn.value().num_dirty(), 0u);
+  // Topological order exists (DAG invariant).
+  EXPECT_EQ(bn.value().dag().TopologicalOrder().size(), 3u);
+  // The zip-city dependency is usable for scoring: conditional beats wrong.
+  size_t zip_var = bn.value().VariableByName("zip").value();
+  size_t city_var = bn.value().VariableByName("city").value();
+  bool connected = bn.value().dag().HasEdge(zip_var, city_var) ||
+                   bn.value().dag().HasEdge(city_var, zip_var);
+  EXPECT_TRUE(connected);
+}
+
+}  // namespace
+}  // namespace bclean

@@ -1,0 +1,201 @@
+// Integration tests: the full pipeline — generate, corrupt, learn, clean,
+// evaluate — on scaled-down versions of the paper's benchmarks, asserting
+// quality floors and the orderings the paper's evaluation reports.
+#include <gtest/gtest.h>
+
+#include "src/baselines/garf_lite.h"
+#include "src/baselines/holoclean_lite.h"
+#include "src/baselines/pclean_lite.h"
+#include "src/baselines/rahabaran_lite.h"
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/datagen/benchmarks.h"
+#include "src/eval/metrics.h"
+
+namespace bclean {
+namespace {
+
+struct Pipeline {
+  Dataset dataset;
+  InjectionResult injection;
+};
+
+Pipeline Prepare(const std::string& name, size_t rows, uint64_t seed = 7) {
+  Pipeline p;
+  p.dataset = MakeBenchmark(name, rows).value();
+  Rng rng(seed);
+  p.injection =
+      InjectErrors(p.dataset.clean, p.dataset.default_injection, &rng)
+          .value();
+  return p;
+}
+
+CleaningMetrics CleanAndScore(const Pipeline& p, const BCleanOptions& options,
+                              BayesianNetwork* network = nullptr) {
+  Result<std::unique_ptr<BCleanEngine>> engine =
+      network == nullptr
+          ? BCleanEngine::Create(p.injection.dirty, p.dataset.ucs, options)
+          : BCleanEngine::CreateWithNetwork(p.injection.dirty, p.dataset.ucs,
+                                            std::move(*network), options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  Table cleaned = engine.value()->Clean();
+  return Evaluate(p.dataset.clean, p.injection.dirty, cleaned).value();
+}
+
+TEST(IntegrationTest, HospitalQualityFloor) {
+  Pipeline p = Prepare("hospital", 800);
+  CleaningMetrics m =
+      CleanAndScore(p, BCleanOptions::PartitionedInference());
+  EXPECT_GT(m.precision, 0.8) << "hospital precision too low";
+  EXPECT_GT(m.recall, 0.8) << "hospital recall too low";
+  EXPECT_GT(m.f1, 0.8);
+}
+
+TEST(IntegrationTest, HospitalVariantsAgreeWithinTolerance) {
+  // Table 4: the four variants land within a few points of each other.
+  Pipeline p = Prepare("hospital", 600);
+  double f1_basic = CleanAndScore(p, BCleanOptions::Basic()).f1;
+  double f1_pi =
+      CleanAndScore(p, BCleanOptions::PartitionedInference()).f1;
+  double f1_pip =
+      CleanAndScore(p, BCleanOptions::PartitionedInferencePruning()).f1;
+  EXPECT_NEAR(f1_basic, f1_pi, 0.10);
+  EXPECT_NEAR(f1_pi, f1_pip, 0.10);
+}
+
+TEST(IntegrationTest, FlightsUserNetworkBeatsAutoNetwork) {
+  // Section 7.3.2: user adjustment of the Flights BN improves quality.
+  Pipeline p = Prepare("flights", 1200);
+  CleaningMetrics auto_bn =
+      CleanAndScore(p, BCleanOptions::PartitionedInference());
+  BayesianNetwork user_bn(p.dataset.clean.schema());
+  for (const char* t : {"sched_dep_time", "act_dep_time", "sched_arr_time",
+                        "act_arr_time"}) {
+    ASSERT_TRUE(user_bn.AddEdgeByName("flight", t).ok());
+  }
+  CleaningMetrics adjusted = CleanAndScore(
+      p, BCleanOptions::PartitionedInference(), &user_bn);
+  EXPECT_GE(adjusted.f1, auto_bn.f1 - 0.02);
+  EXPECT_GT(adjusted.f1, 0.5);
+}
+
+TEST(IntegrationTest, SoccerQualityFloor) {
+  Pipeline p = Prepare("soccer", 4000);
+  CleaningMetrics m =
+      CleanAndScore(p, BCleanOptions::PartitionedInference());
+  EXPECT_GT(m.f1, 0.7);
+  EXPECT_GT(m.recall, 0.75);
+}
+
+TEST(IntegrationTest, FacilitiesQualityFloor) {
+  Pipeline p = Prepare("facilities", 3000);
+  CleaningMetrics m =
+      CleanAndScore(p, BCleanOptions::PartitionedInference());
+  EXPECT_GT(m.precision, 0.9);
+  EXPECT_GT(m.recall, 0.9);
+}
+
+TEST(IntegrationTest, UcsImproveBeers) {
+  // Table 4's strongest UC effect: Beers with UCs beats Beers without.
+  Pipeline p = Prepare("beers", 1500);
+  double with_ucs =
+      CleanAndScore(p, BCleanOptions::PartitionedInference()).f1;
+  double without_ucs = CleanAndScore(p, BCleanOptions::WithoutUcs()).f1;
+  EXPECT_GE(with_ucs, without_ucs - 0.02);
+}
+
+TEST(IntegrationTest, BCleanBeatsBaselinesOnHospital) {
+  // The paper's headline: BClean outperforms the comparators on Hospital.
+  Pipeline p = Prepare("hospital", 800);
+  double bclean_f1 =
+      CleanAndScore(p, BCleanOptions::PartitionedInference()).f1;
+
+  auto hc = HoloCleanLite::Create(p.dataset.clean.schema(),
+                                  p.dataset.fd_rules);
+  ASSERT_TRUE(hc.ok());
+  auto hc_metrics = Evaluate(p.dataset.clean, p.injection.dirty,
+                             hc.value().Clean(p.injection.dirty))
+                        .value();
+
+  GarfLite garf = GarfLite::Train(p.injection.dirty);
+  auto garf_metrics =
+      Evaluate(p.dataset.clean, p.injection.dirty, garf.Clean()).value();
+
+  Rng rng(99);
+  std::vector<size_t> labels =
+      rng.SampleWithoutReplacement(p.injection.dirty.num_rows(), 40);
+  auto rb = RahaBaranLite::Create(p.injection.dirty, labels, p.dataset.clean);
+  ASSERT_TRUE(rb.ok());
+  auto rb_metrics =
+      Evaluate(p.dataset.clean, p.injection.dirty, rb.value().Clean())
+          .value();
+
+  EXPECT_GT(bclean_f1, hc_metrics.f1);
+  EXPECT_GT(bclean_f1, garf_metrics.f1);
+  EXPECT_GT(bclean_f1, rb_metrics.f1);
+  // HoloClean's published signature: precision well above its recall,
+  // which is bounded by the columns the DCs cover.
+  EXPECT_GT(hc_metrics.precision, 0.7);
+  EXPECT_LT(hc_metrics.recall, 0.7);
+  EXPECT_GT(hc_metrics.precision, hc_metrics.recall);
+}
+
+TEST(IntegrationTest, PruningPreservesQualityAndSkipsWork) {
+  Pipeline p = Prepare("hospital", 800);
+  auto engine_pi = BCleanEngine::Create(
+      p.injection.dirty, p.dataset.ucs,
+      BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine_pi.ok());
+  engine_pi.value()->Clean();
+  auto engine_pip = BCleanEngine::Create(
+      p.injection.dirty, p.dataset.ucs,
+      BCleanOptions::PartitionedInferencePruning());
+  ASSERT_TRUE(engine_pip.ok());
+  engine_pip.value()->Clean();
+  // PIP must evaluate strictly fewer candidates (that is its point).
+  EXPECT_LT(engine_pip.value()->last_stats().candidates_evaluated,
+            engine_pi.value()->last_stats().candidates_evaluated);
+  EXPECT_GT(engine_pip.value()->last_stats().cells_skipped_by_filter, 0u);
+}
+
+TEST(IntegrationTest, CleaningIsDeterministic) {
+  Pipeline p = Prepare("hospital", 400);
+  auto a = BCleanEngine::Create(p.injection.dirty, p.dataset.ucs,
+                                BCleanOptions::PartitionedInference());
+  auto b = BCleanEngine::Create(p.injection.dirty, p.dataset.ucs,
+                                BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value()->Clean() == b.value()->Clean());
+}
+
+// Error-rate sweep (Figure 4b-d shape): quality decreases monotonically-ish
+// with the error rate but stays usable at 30%.
+class ErrorRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErrorRateSweep, QualityDegradesGracefully) {
+  double rate = 0.1 * GetParam();
+  Dataset ds = MakeBenchmark("inpatient", 1500).value();
+  ds.default_injection.error_rate = rate;
+  Rng rng(7);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  auto engine = BCleanEngine::Create(injection.dirty, ds.ucs,
+                                     BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok());
+  Table cleaned = engine.value()->Clean();
+  auto m = Evaluate(ds.clean, injection.dirty, cleaned).value();
+  // Floors loosen as the rate climbs.
+  if (GetParam() <= 1) {
+    EXPECT_GT(m.f1, 0.6);
+  } else if (GetParam() <= 3) {
+    EXPECT_GT(m.f1, 0.5);
+  } else {
+    EXPECT_GT(m.f1, 0.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ErrorRateSweep, ::testing::Values(1, 3, 5));
+
+}  // namespace
+}  // namespace bclean

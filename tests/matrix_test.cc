@@ -1,0 +1,299 @@
+// Unit tests for src/matrix: Matrix ops, decompositions, graphical lasso.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/matrix/decomposition.h"
+#include "src/matrix/glasso.h"
+#include "src/matrix/matrix.h"
+
+namespace bclean {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 0), -2.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id.At(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+  Matrix d = Matrix::Diagonal({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.At(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 0.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+  EXPECT_TRUE(t.Transposed().ApproxEquals(m));
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_TRUE(c.ApproxEquals(Matrix::FromRows({{19, 22}, {43, 50}})));
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_TRUE(a.Multiply(Matrix::Identity(2)).ApproxEquals(a));
+  EXPECT_TRUE(Matrix::Identity(2).Multiply(a).ApproxEquals(a));
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{4, 3}, {2, 1}});
+  EXPECT_TRUE(a.Add(b).ApproxEquals(Matrix::FromRows({{5, 5}, {5, 5}})));
+  EXPECT_TRUE(a.Subtract(a).ApproxEquals(Matrix(2, 2)));
+  EXPECT_TRUE(a.Scaled(2.0).ApproxEquals(Matrix::FromRows({{2, 4}, {6, 8}})));
+}
+
+TEST(MatrixTest, MinorDropsRowAndColumn) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix m = a.Minor(1, 1);
+  EXPECT_TRUE(m.ApproxEquals(Matrix::FromRows({{1, 3}, {7, 9}})));
+}
+
+TEST(MatrixTest, NormsAndSymmetry) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+  EXPECT_TRUE(a.IsSymmetric());
+  Matrix b = Matrix::FromRows({{0, 1}, {2, 0}});
+  EXPECT_FALSE(b.IsSymmetric());
+}
+
+TEST(CholeskyTest, FactorizesSpdMatrix) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto result = Cholesky(a);
+  ASSERT_TRUE(result.ok());
+  const Matrix& l = result.value().lower;
+  EXPECT_TRUE(l.Multiply(l.Transposed()).ApproxEquals(a, 1e-9));
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky(a).ok());
+  EXPECT_FALSE(IsPositiveDefinite(a));
+  EXPECT_TRUE(IsPositiveDefinite(Matrix::Identity(4)));
+}
+
+TEST(CholeskyTest, RejectsNonSquareAndAsymmetric) {
+  EXPECT_EQ(Cholesky(Matrix(2, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+  Matrix asym = Matrix::FromRows({{1, 2}, {0, 1}});
+  EXPECT_EQ(Cholesky(asym).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LdlTest, ReconstructsInput) {
+  Matrix a = Matrix::FromRows({{4, 2, 0.5}, {2, 3, 1}, {0.5, 1, 2}});
+  auto result = Ldl(a);
+  ASSERT_TRUE(result.ok());
+  const Matrix& l = result.value().lower;
+  Matrix d = Matrix::Diagonal(result.value().diag);
+  EXPECT_TRUE(l.Multiply(d).Multiply(l.Transposed()).ApproxEquals(a, 1e-9));
+  // Unit diagonal of L.
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(l.At(i, i), 1.0);
+}
+
+TEST(LdlTest, MatchesPaperDecompositionShape) {
+  // Theta = (I - B) Omega (I - B)^T with B strictly lower triangular:
+  // recover B = I - L and verify it is strictly lower triangular.
+  Matrix theta = Matrix::FromRows({{2, -1, 0}, {-1, 2, -1}, {0, -1, 2}});
+  auto result = Ldl(theta);
+  ASSERT_TRUE(result.ok());
+  Matrix b = Matrix::Identity(3).Subtract(result.value().lower);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = i; j < 3; ++j) {
+      EXPECT_NEAR(b.At(i, j), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(InverseTest, InvertsGeneralMatrix) {
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(a.Multiply(inv.value()).ApproxEquals(Matrix::Identity(2), 1e-9));
+}
+
+TEST(InverseTest, RejectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_EQ(Inverse(a).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InverseTest, PivotsWhenDiagonalIsZero) {
+  Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(a.Multiply(inv.value()).ApproxEquals(Matrix::Identity(2), 1e-9));
+}
+
+TEST(SolveTest, SolvesLinearSystem) {
+  Matrix a = Matrix::FromRows({{3, 1}, {1, 2}});
+  auto x = Solve(a, {9, 8});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-9);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-9);
+}
+
+TEST(SolveTest, RejectsShapeMismatch) {
+  EXPECT_FALSE(Solve(Matrix(2, 2, 1.0), {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(EmpiricalCovarianceTest, MatchesHandComputation) {
+  // Two variables, perfectly correlated.
+  Matrix obs = Matrix::FromRows({{1, 2}, {2, 4}, {3, 6}});
+  auto cov = EmpiricalCovariance(obs);
+  ASSERT_TRUE(cov.ok());
+  EXPECT_NEAR(cov.value().At(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(cov.value().At(0, 1), 2.0, 1e-9);
+  EXPECT_NEAR(cov.value().At(1, 1), 4.0, 1e-9);
+  EXPECT_TRUE(cov.value().IsSymmetric());
+}
+
+TEST(EmpiricalCovarianceTest, RequiresTwoSamples) {
+  EXPECT_FALSE(EmpiricalCovariance(Matrix(1, 3)).ok());
+}
+
+TEST(GlassoTest, IdentityCovarianceGivesDiagonalPrecision) {
+  Matrix s = Matrix::Identity(4);
+  auto result = GraphicalLasso(s, {});
+  ASSERT_TRUE(result.ok());
+  const Matrix& theta = result.value().precision;
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i != j) EXPECT_NEAR(theta.At(i, j), 0.0, 1e-6);
+    }
+  }
+  EXPECT_TRUE(result.value().converged);
+}
+
+TEST(GlassoTest, RecoversStrongPartialCorrelation) {
+  // Covariance of a chain X1 -> X2 (strong) with X3 independent.
+  Matrix s = Matrix::FromRows({{1.0, 0.8, 0.0},
+                               {0.8, 1.0, 0.0},
+                               {0.0, 0.0, 1.0}});
+  GlassoOptions options;
+  options.regularization = 0.05;
+  auto result = GraphicalLasso(s, options);
+  ASSERT_TRUE(result.ok());
+  const Matrix& theta = result.value().precision;
+  // Edge 0-1 present, edges to 2 absent.
+  EXPECT_GT(std::fabs(theta.At(0, 1)), 0.2);
+  EXPECT_NEAR(theta.At(0, 2), 0.0, 1e-4);
+  EXPECT_NEAR(theta.At(1, 2), 0.0, 1e-4);
+}
+
+TEST(GlassoTest, HeavierPenaltyGivesSparserPrecision) {
+  Matrix s = Matrix::FromRows({{1.0, 0.3, 0.2},
+                               {0.3, 1.0, 0.25},
+                               {0.2, 0.25, 1.0}});
+  GlassoOptions weak;
+  weak.regularization = 0.01;
+  GlassoOptions strong;
+  strong.regularization = 0.5;
+  auto weak_result = GraphicalLasso(s, weak);
+  auto strong_result = GraphicalLasso(s, strong);
+  ASSERT_TRUE(weak_result.ok());
+  ASSERT_TRUE(strong_result.ok());
+  auto count_nonzero = [](const Matrix& m) {
+    int count = 0;
+    for (size_t i = 0; i < m.rows(); ++i) {
+      for (size_t j = i + 1; j < m.cols(); ++j) {
+        if (std::fabs(m.At(i, j)) > 1e-6) ++count;
+      }
+    }
+    return count;
+  };
+  EXPECT_GE(count_nonzero(weak_result.value().precision),
+            count_nonzero(strong_result.value().precision));
+  // Under the strong penalty everything should be shrunk away.
+  EXPECT_EQ(count_nonzero(strong_result.value().precision), 0);
+}
+
+TEST(GlassoTest, PrecisionApproximatesCovarianceInverse) {
+  Matrix s = Matrix::FromRows({{2.0, 0.5}, {0.5, 1.5}});
+  GlassoOptions options;
+  options.regularization = 1e-4;  // nearly unpenalized
+  auto result = GraphicalLasso(s, options);
+  ASSERT_TRUE(result.ok());
+  // With a tiny penalty W ~= S and Theta ~= S^-1.
+  auto inv = Inverse(result.value().covariance);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(result.value().precision.ApproxEquals(inv.value(), 1e-2));
+}
+
+TEST(GlassoTest, HandlesSingletonMatrix) {
+  Matrix s(1, 1);
+  s.At(0, 0) = 2.0;
+  auto result = GraphicalLasso(s, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().precision.At(0, 0), 0.0);
+}
+
+TEST(GlassoTest, RejectsAsymmetricInput) {
+  Matrix s = Matrix::FromRows({{1, 0.5}, {0.2, 1}});
+  EXPECT_FALSE(GraphicalLasso(s, {}).ok());
+}
+
+TEST(GlassoTest, ToleratesNearSingularCovariance) {
+  // Duplicated variable: S is rank-deficient; jitter must keep glasso sane.
+  Matrix s = Matrix::FromRows({{1.0, 1.0}, {1.0, 1.0}});
+  auto result = GraphicalLasso(s, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result.value().precision.At(0, 0)));
+  EXPECT_TRUE(std::isfinite(result.value().precision.At(0, 1)));
+}
+
+// Property sweep: for random SPD matrices, glasso's covariance estimate has
+// the penalized diagonal and the precision is symmetric and finite.
+class GlassoPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlassoPropertyTest, InvariantsHoldOnRandomSpdInput) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t m = 2 + rng.UniformIndex(5);
+  // Random factor A -> SPD S = A A^T / m + small ridge.
+  Matrix a(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) a.At(i, j) = rng.Gaussian(0, 1);
+  }
+  Matrix s = a.Multiply(a.Transposed()).Scaled(1.0 / static_cast<double>(m));
+  for (size_t i = 0; i < m; ++i) s.At(i, i) += 0.1;
+
+  GlassoOptions options;
+  options.regularization = 0.05;
+  auto result = GraphicalLasso(s, options);
+  ASSERT_TRUE(result.ok());
+  const GlassoResult& g = result.value();
+  EXPECT_TRUE(g.precision.IsSymmetric(1e-6));
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(g.covariance.At(i, i),
+                s.At(i, i) + options.regularization + 1e-6, 1e-9);
+    EXPECT_GT(g.precision.At(i, i), 0.0);
+    for (size_t j = 0; j < m; ++j) {
+      EXPECT_TRUE(std::isfinite(g.precision.At(i, j)));
+      EXPECT_TRUE(std::isfinite(g.covariance.At(i, j)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, GlassoPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace bclean

@@ -1,0 +1,131 @@
+// Unit tests for src/text: edit distance and similarity functions.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/text/edit_distance.h"
+#include "src/text/similarity.h"
+
+namespace bclean {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+}
+
+TEST(EditDistanceTest, PaperExampleDepartment) {
+  // "315 w hicky st" vs "315 w hickory st" (Table 1 / Section 4): ED = 2,
+  // similarity = 1 - 2*2/(14+16) ~ 0.867, the 0.86 quoted in the paper.
+  EXPECT_EQ(EditDistance("315 w hicky st", "315 w hickory st"), 2u);
+  EXPECT_NEAR(StringSimilarity("315 w hicky st", "315 w hickory st"), 0.8667,
+              1e-3);
+}
+
+TEST(EditDistanceTest, SingleEditOperations) {
+  EXPECT_EQ(EditDistance("abc", "abcd"), 1u);  // insert
+  EXPECT_EQ(EditDistance("abc", "ab"), 1u);    // delete
+  EXPECT_EQ(EditDistance("abc", "axc"), 1u);   // substitute
+}
+
+TEST(BoundedEditDistanceTest, AgreesWithinBound) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 0), 0u);
+}
+
+TEST(BoundedEditDistanceTest, ExceedsBoundReturnsBoundPlusOne) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 2), 3u);
+  EXPECT_EQ(BoundedEditDistance("aaaa", "bbbb", 1), 2u);
+  // Length-difference shortcut.
+  EXPECT_EQ(BoundedEditDistance("a", "aaaaaa", 2), 3u);
+}
+
+TEST(StringSimilarityTest, RangeAndIdentity) {
+  EXPECT_DOUBLE_EQ(StringSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(StringSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(StringSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(StringSimilarity("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(StringSimilarity("ab", "cd"), 0.0);
+}
+
+TEST(StringSimilarityTest, Symmetry) {
+  EXPECT_DOUBLE_EQ(StringSimilarity("hello", "help"),
+                   StringSimilarity("help", "hello"));
+}
+
+TEST(NumericSimilarityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(0.0, 0.0), 1.0);
+  // |10-8| / 9 = 0.222...
+  EXPECT_NEAR(NumericSimilarity(10.0, 8.0), 1.0 - 2.0 / 9.0, 1e-12);
+  // Far apart values clamp to 0.
+  EXPECT_DOUBLE_EQ(NumericSimilarity(1.0, 100.0), 0.0);
+}
+
+TEST(NumericSimilarityTest, SymmetryAndRange) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.Gaussian(0, 50);
+    double b = rng.Gaussian(0, 50);
+    double sab = NumericSimilarity(a, b);
+    EXPECT_DOUBLE_EQ(sab, NumericSimilarity(b, a));
+    EXPECT_GE(sab, 0.0);
+    EXPECT_LE(sab, 1.0);
+  }
+}
+
+TEST(ValueSimilarityTest, DispatchesOnContent) {
+  // Numeric strings use relative difference, not edit distance.
+  EXPECT_NEAR(ValueSimilarity("10", "8"), 1.0 - 2.0 / 9.0, 1e-12);
+  // Non-numeric falls back to edit similarity.
+  EXPECT_NEAR(ValueSimilarity("cat", "cart"), 1.0 - 2.0 / 7.0, 1e-12);
+  // Mixed types: treated as strings.
+  EXPECT_GT(ValueSimilarity("12a", "12b"), 0.5);
+}
+
+TEST(ValueSimilarityTest, NullHandling) {
+  EXPECT_DOUBLE_EQ(ValueSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity("", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity("x", ""), 0.0);
+}
+
+// Property sweep: metric-like behaviour of edit distance on random strings
+// (identity, symmetry, triangle inequality) and agreement with the bounded
+// variant.
+class EditDistancePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EditDistancePropertyTest, MetricAxiomsOnRandomStrings) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  auto random_string = [&rng]() {
+    size_t len = rng.UniformIndex(12);
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.UniformIndex(4));
+    }
+    return s;
+  };
+  std::string a = random_string();
+  std::string b = random_string();
+  std::string c = random_string();
+
+  EXPECT_EQ(EditDistance(a, a), 0u);
+  EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+  EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+  // Bounded variant agrees when the bound is generous.
+  EXPECT_EQ(BoundedEditDistance(a, b, 64), EditDistance(a, b));
+  // Similarity stays within [0, 1].
+  double sim = StringSimilarity(a, b);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, EditDistancePropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace bclean
