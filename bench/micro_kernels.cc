@@ -94,6 +94,40 @@ void BM_CompensatoryBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CompensatoryBuild);
 
+void BM_CptBatchLookup(benchmark::State& state) {
+  // Scalar map-free probes vs. the hash-once-probe-many batch path on one
+  // fitted CPT (zip_code -> city on Hospital).
+  Dataset ds = MakeHospital(1000, 7);
+  DomainStats stats = DomainStats::Build(ds.clean);
+  BayesianNetwork bn(ds.clean.schema());
+  bn.AddEdgeByName("zip_code", "city");
+  bn.Fit(stats);
+  size_t city = bn.VariableByName("city").value();
+  const Cpt& cpt = bn.cpt(city);
+  size_t city_attr = bn.variable(city).attrs[0];
+  std::vector<int64_t> values;
+  for (size_t v = 0; v < stats.column(city_attr).DomainSize(); ++v) {
+    values.push_back(static_cast<int64_t>(v));
+  }
+  std::vector<double> out(values.size());
+  uint64_t key = bn.ParentKey(city, std::vector<int32_t>(stats.num_cols(), 0),
+                              stats.num_cols(), 0);
+  bool batch = state.range(0) == 1;
+  for (auto _ : state) {
+    if (batch) {
+      cpt.LogProbBatch(key, values, out.data());
+    } else {
+      for (size_t i = 0; i < values.size(); ++i) {
+        out[i] = cpt.LogProb(key, values[i]);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+  state.SetLabel(batch ? "batch" : "scalar");
+}
+BENCHMARK(BM_CptBatchLookup)->Arg(0)->Arg(1);
+
 void BM_CleanThroughput(benchmark::State& state) {
   Dataset ds = MakeHospital(500, 7);
   Rng rng(7);
@@ -103,14 +137,20 @@ void BM_CleanThroughput(benchmark::State& state) {
   BCleanOptions options = pip
                               ? BCleanOptions::PartitionedInferencePruning()
                               : BCleanOptions::PartitionedInference();
+  options.num_threads = static_cast<size_t>(state.range(1));
   auto engine = BCleanEngine::Create(injection.dirty, ds.ucs, options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.value()->Clean());
   }
   state.SetItemsProcessed(state.iterations() * ds.clean.num_cells());
-  state.SetLabel(pip ? "PIP" : "PI");
+  state.SetLabel(std::string(pip ? "PIP" : "PI") + "/t" +
+                 std::to_string(state.range(1)));
 }
-BENCHMARK(BM_CleanThroughput)->Arg(0)->Arg(1);
+BENCHMARK(BM_CleanThroughput)
+    ->Args({0, 1})
+    ->Args({0, 4})
+    ->Args({1, 1})
+    ->Args({1, 4});
 
 }  // namespace
 }  // namespace bclean

@@ -11,6 +11,7 @@ void Cpt::AddObservation(uint64_t parent_key, int64_t value) {
   marginal_.by_value[value] += 1.0;
   marginal_.total += 1.0;
   ++total_observations_;
+  finalized_ = false;
 }
 
 double Cpt::SmoothedProb(const Counts& counts, int64_t value) const {
@@ -22,6 +23,48 @@ double Cpt::SmoothedProb(const Counts& counts, int64_t value) const {
   return (count + alpha_) / (counts.total + alpha_ * k);
 }
 
+Cpt::ConfigRef Cpt::FlattenConfig(const Counts& counts) {
+  double k = static_cast<double>(marginal_.by_value.size());
+  if (k == 0.0) k = 1.0;
+  double denom = counts.total + alpha_ * k;
+  ConfigRef ref;
+  ref.offset = static_cast<uint32_t>(slot_value_.size());
+  size_t cap = FlatTableCapacity(counts.by_value.size());
+  ref.mask = static_cast<uint32_t>(cap - 1);
+  ref.log_miss = std::log(alpha_ / denom);
+  slot_value_.resize(slot_value_.size() + cap, kEmptySlot);
+  slot_logp_.resize(slot_logp_.size() + cap, 0.0);
+  for (const auto& [value, count] : counts.by_value) {
+    size_t i = HashKey64(static_cast<uint64_t>(value)) & ref.mask;
+    while (slot_value_[ref.offset + i] != kEmptySlot) i = (i + 1) & ref.mask;
+    slot_value_[ref.offset + i] = value;
+    slot_logp_[ref.offset + i] = std::log((count + alpha_) / denom);
+  }
+  return ref;
+}
+
+void Cpt::Finalize() {
+  slot_value_.clear();
+  slot_logp_.clear();
+  // Reserve the exact flat footprint up front so FlattenConfig's resize
+  // calls never reallocate mid-build.
+  size_t footprint = FlatTableCapacity(marginal_.by_value.size());
+  for (const auto& [key, counts] : conditional_) {
+    footprint += FlatTableCapacity(counts.by_value.size());
+  }
+  slot_value_.reserve(footprint);
+  slot_logp_.reserve(footprint);
+
+  marginal_ref_ = FlattenConfig(marginal_);
+  std::vector<std::pair<uint64_t, ConfigRef>> refs;
+  refs.reserve(conditional_.size());
+  for (const auto& [key, counts] : conditional_) {
+    refs.push_back({key, FlattenConfig(counts)});
+  }
+  configs_.Build(refs.begin(), refs.end(), refs.size());
+  finalized_ = true;
+}
+
 double Cpt::Prob(uint64_t parent_key, int64_t value) const {
   auto it = conditional_.find(parent_key);
   if (it == conditional_.end()) return SmoothedProb(marginal_, value);
@@ -29,6 +72,7 @@ double Cpt::Prob(uint64_t parent_key, int64_t value) const {
 }
 
 double Cpt::LogProb(uint64_t parent_key, int64_t value) const {
+  if (finalized_) return LogProbAt(FindConfig(parent_key), value);
   return std::log(Prob(parent_key, value));
 }
 
@@ -41,6 +85,11 @@ void Cpt::Clear() {
   marginal_.by_value.clear();
   marginal_.total = 0.0;
   total_observations_ = 0;
+  finalized_ = false;
+  configs_.Clear();
+  marginal_ref_ = ConfigRef{};
+  slot_value_.clear();
+  slot_logp_.clear();
 }
 
 }  // namespace bclean

@@ -2,12 +2,24 @@
 // fall-back for unseen parent configurations. Values and parent
 // configurations are dictionary codes (the DomainStats encoding), so a CPT
 // never touches strings on the scoring path.
+//
+// Storage is two-phase. AddObservation() accumulates counts into hash maps;
+// Finalize() flattens them into an open-addressed table with the log
+// probability of every observed (parent configuration, value) precomputed.
+// After finalization the scoring path is hash-once-probe-many:
+// FindConfig() resolves the parent configuration a single time per cell and
+// LogProbBatch() then scores a whole candidate span with one flat-array
+// probe per candidate — no map hops and no log() in the inner loop.
 #ifndef BCLEAN_BN_CPT_H_
 #define BCLEAN_BN_CPT_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <vector>
+
+#include "src/common/flat_hash.h"
 
 namespace bclean {
 
@@ -15,14 +27,32 @@ namespace bclean {
 inline constexpr uint64_t kEmptyParentKey = 0x9E3779B97F4A7C15ull;
 
 /// One node's CPT. Populated by AddObservation() during parameter learning,
-/// queried by Prob()/LogProb() during inference.
+/// queried by Prob()/LogProb()/LogProbBatch() during inference.
 class Cpt {
  public:
+  /// One parent configuration in the finalized flat storage: a contiguous
+  /// open-addressed region of (value, log-prob) slots plus the precomputed
+  /// log probability of any value unseen under this configuration.
+  struct ConfigRef {
+    uint32_t offset = 0;    ///< first slot in the flat arrays
+    uint32_t mask = 0;      ///< region capacity - 1 (capacity is a power of 2)
+    double log_miss = 0.0;  ///< log P(value unseen under this configuration)
+  };
+
   /// `alpha` is the Laplace smoothing pseudo-count.
   explicit Cpt(double alpha = 0.5) : alpha_(alpha) {}
 
-  /// Records one (parent configuration, value) observation.
+  /// Records one (parent configuration, value) observation. Invalidates any
+  /// previous finalization.
   void AddObservation(uint64_t parent_key, int64_t value);
+
+  /// Builds the flat log-probability storage from the accumulated counts.
+  /// Must be called (single-threaded) before the batch path is used; the
+  /// scalar Prob()/LogProb() work either way.
+  void Finalize();
+
+  /// True once Finalize() has run on the current counts.
+  bool finalized() const { return finalized_; }
 
   /// P(value | parent configuration). Falls back to the marginal
   /// distribution when the configuration was never observed. Uses Laplace
@@ -31,6 +61,35 @@ class Cpt {
 
   /// log of Prob().
   double LogProb(uint64_t parent_key, int64_t value) const;
+
+  /// Resolves a parent configuration once (requires finalized()). Unseen
+  /// configurations resolve to the marginal region, mirroring Prob().
+  const ConfigRef& FindConfig(uint64_t parent_key) const {
+    assert(finalized_);
+    const ConfigRef* ref = configs_.Find(parent_key);
+    return ref != nullptr ? *ref : marginal_ref_;
+  }
+
+  /// log P(value | resolved configuration) via one flat probe.
+  double LogProbAt(const ConfigRef& ref, int64_t value) const {
+    size_t i = HashKey64(static_cast<uint64_t>(value)) & ref.mask;
+    while (true) {
+      size_t slot = ref.offset + i;
+      if (slot_value_[slot] == value) return slot_logp_[slot];
+      if (slot_value_[slot] == kEmptySlot) return ref.log_miss;
+      i = (i + 1) & ref.mask;
+    }
+  }
+
+  /// Scores every value of `values` under one parent configuration,
+  /// writing log probabilities to `out` (requires finalized()).
+  void LogProbBatch(uint64_t parent_key, std::span<const int64_t> values,
+                    double* out) const {
+    const ConfigRef& ref = FindConfig(parent_key);
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = LogProbAt(ref, values[i]);
+    }
+  }
 
   /// Marginal P(value) over all observations.
   double MarginalProb(int64_t value) const;
@@ -48,17 +107,29 @@ class Cpt {
   void Clear();
 
  private:
+  /// Slot sentinel in the flat value arrays. Dictionary and folded compound
+  /// codes are non-negative, so INT64_MIN can never be a stored value.
+  static constexpr int64_t kEmptySlot = INT64_MIN;
+
   struct Counts {
     std::unordered_map<int64_t, double> by_value;
     double total = 0.0;
   };
 
   double SmoothedProb(const Counts& counts, int64_t value) const;
+  ConfigRef FlattenConfig(const Counts& counts);
 
   double alpha_;
   std::unordered_map<uint64_t, Counts> conditional_;
   Counts marginal_;
   size_t total_observations_ = 0;
+
+  // Finalized storage.
+  bool finalized_ = false;
+  FlatKeyMap<ConfigRef> configs_;
+  ConfigRef marginal_ref_;
+  std::vector<int64_t> slot_value_;
+  std::vector<double> slot_logp_;
 };
 
 }  // namespace bclean

@@ -18,13 +18,25 @@ BayesianNetwork::BayesianNetwork(const Schema& schema) {
   dag_ = Dag(schema.size());
   cpts_.assign(schema.size(), Cpt(alpha_));
   dirty_.assign(schema.size(), true);
+  RebuildNameIndex();
+}
+
+void BayesianNetwork::RebuildNameIndex() {
+  name_to_var_.clear();
+  name_to_var_.reserve(variables_.size());
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    // emplace keeps the first occurrence, matching lookup-by-scan order
+    // should two variables ever share a name.
+    name_to_var_.emplace(variables_[v].name, v);
+  }
 }
 
 Result<size_t> BayesianNetwork::VariableByName(const std::string& name) const {
-  for (size_t v = 0; v < variables_.size(); ++v) {
-    if (variables_[v].name == name) return v;
+  auto it = name_to_var_.find(name);
+  if (it == name_to_var_.end()) {
+    return Status::NotFound("no variable named '" + name + "'");
   }
-  return Status::NotFound("no variable named '" + name + "'");
+  return it->second;
 }
 
 Status BayesianNetwork::AddEdge(size_t parent, size_t child) {
@@ -148,6 +160,7 @@ Status BayesianNetwork::MergeNodes(const std::vector<size_t>& vars,
   for (size_t v = 0; v < variables_.size(); ++v) {
     for (size_t attr : variables_[v].attrs) attr_to_var_[attr] = v;
   }
+  RebuildNameIndex();
   return Status::OK();
 }
 
@@ -180,7 +193,7 @@ uint64_t BayesianNetwork::ParentKey(size_t var,
                                     int32_t subst_code) const {
   const std::vector<size_t>& parents = dag_.parents(var);
   if (parents.empty()) return kEmptyParentKey;
-  uint64_t key = 0x2545F4914F6CDD1Dull;
+  uint64_t key = kParentKeySeed;
   for (size_t parent : parents) {
     int64_t code = VariableCode(parent, row_codes, subst_attr, subst_code);
     key = MixHash(key, static_cast<uint64_t>(code + 2));
@@ -201,6 +214,7 @@ void BayesianNetwork::RefitVariable(size_t var, const DomainStats& stats) {
     if (value == kNullCode64) continue;  // NULLs are not learned as values
     cpt.AddObservation(ParentKey(var, row, kNoSubst, 0), value);
   }
+  cpt.Finalize();
   dirty_[var] = false;
 }
 

@@ -8,6 +8,7 @@
 #define BCLEAN_BN_NETWORK_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/bn/cpt.h"
@@ -24,6 +25,11 @@ struct BnVariable {
   std::string name;
   std::vector<size_t> attrs;
 };
+
+/// Seed of the MixHash chain that folds a variable's (sorted) parent codes
+/// into a CPT parent key. Exposed so the scoring path can hoist the
+/// candidate-invariant prefix of the chain (see core/cell_scorer.h).
+inline constexpr uint64_t kParentKeySeed = 0x2545F4914F6CDD1Dull;
 
 /// Prior used for variables with no parents.
 enum class RootPrior {
@@ -91,6 +97,18 @@ class BayesianNetwork {
   int64_t VariableCode(size_t var, const std::vector<int32_t>& row_codes,
                        size_t subst_attr, int32_t subst_code) const;
 
+  /// CPT parent key of `var` for the given row with the substitution
+  /// applied: kParentKeySeed MixHash-folded with each (sorted) parent's
+  /// VariableCode. kEmptyParentKey for parentless variables.
+  uint64_t ParentKey(size_t var, const std::vector<int32_t>& row_codes,
+                     size_t subst_attr, int32_t subst_code) const;
+
+  /// The (finalized after Fit/RefitDirty) CPT of `var`.
+  const Cpt& cpt(size_t var) const {
+    assert(var < cpts_.size());
+    return cpts_[var];
+  }
+
   /// log P(var's value | its parents) for the given row with the
   /// substitution applied. Skips (returns 0) when the variable's value is
   /// NULL. Isolated variables score a uniform prior over the observed
@@ -120,10 +138,10 @@ class BayesianNetwork {
 
  private:
   void RefitVariable(size_t var, const DomainStats& stats);
-  uint64_t ParentKey(size_t var, const std::vector<int32_t>& row_codes,
-                     size_t subst_attr, int32_t subst_code) const;
+  void RebuildNameIndex();
 
   std::vector<BnVariable> variables_;
+  std::unordered_map<std::string, size_t> name_to_var_;
   std::vector<size_t> attr_to_var_;
   Dag dag_;
   std::vector<Cpt> cpts_;

@@ -1,0 +1,107 @@
+// Open-addressed, read-optimized hash map over precomputed uint64 keys.
+// Built once from an accumulation map, then probed lock-free from any number
+// of threads on the scoring hot path: one multiply-shift hash, then linear
+// probing over a flat array (two cache lines touched in the common case)
+// instead of the bucket-pointer chase of unordered_map.
+#ifndef BCLEAN_COMMON_FLAT_HASH_H_
+#define BCLEAN_COMMON_FLAT_HASH_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bclean {
+
+/// Finalizing mix (splitmix64): spreads packed/sequential keys across the
+/// table. Keys produced by MixHash are already well mixed, but packed keys
+/// (bit-field layouts) are not.
+inline uint64_t HashKey64(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xFF51AFD7ED558CCDull;
+  key ^= key >> 33;
+  key *= 0xC4CEB9FE1A85EC53ull;
+  key ^= key >> 33;
+  return key;
+}
+
+/// Smallest power of two >= max(2 * n, 2): keeps the load factor <= 0.5 so
+/// linear probe chains stay short.
+inline size_t FlatTableCapacity(size_t n) {
+  size_t cap = 2;
+  while (cap < 2 * n) cap <<= 1;
+  return cap;
+}
+
+/// Immutable open-addressed map from uint64 keys to V. Keys may take any
+/// value (the all-ones sentinel is stored out of line).
+template <typename V>
+class FlatKeyMap {
+ public:
+  static constexpr uint64_t kEmptyKey = ~0ull;
+
+  FlatKeyMap() = default;
+
+  /// (Re)builds the table from `n` (key, value) pairs. Duplicate keys are a
+  /// programming error (asserted).
+  template <typename Iter>
+  void Build(Iter begin, Iter end, size_t n) {
+    size_ = n;
+    has_sentinel_ = false;
+    size_t cap = FlatTableCapacity(n);
+    mask_ = cap - 1;
+    keys_.assign(cap, kEmptyKey);
+    vals_.assign(cap, V{});
+    for (Iter it = begin; it != end; ++it) {
+      uint64_t key = it->first;
+      if (key == kEmptyKey) {
+        assert(!has_sentinel_);
+        has_sentinel_ = true;
+        sentinel_val_ = it->second;
+        continue;
+      }
+      size_t i = HashKey64(key) & mask_;
+      while (keys_[i] != kEmptyKey) {
+        assert(keys_[i] != key && "duplicate key");
+        i = (i + 1) & mask_;
+      }
+      keys_[i] = key;
+      vals_[i] = it->second;
+    }
+  }
+
+  /// Pointer to the value stored under `key`, or nullptr.
+  const V* Find(uint64_t key) const {
+    if (key == kEmptyKey) return has_sentinel_ ? &sentinel_val_ : nullptr;
+    if (keys_.empty()) return nullptr;
+    size_t i = HashKey64(key) & mask_;
+    while (true) {
+      if (keys_[i] == key) return &vals_[i];
+      if (keys_[i] == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Number of entries stored.
+  size_t size() const { return size_; }
+
+  void Clear() {
+    keys_.clear();
+    vals_.clear();
+    mask_ = 0;
+    size_ = 0;
+    has_sentinel_ = false;
+  }
+
+ private:
+  std::vector<uint64_t> keys_;
+  std::vector<V> vals_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  bool has_sentinel_ = false;
+  V sentinel_val_{};
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_FLAT_HASH_H_

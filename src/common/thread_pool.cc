@@ -1,0 +1,74 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace bclean {
+
+size_t ThreadPool::DefaultThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t spawned = num_threads == 0 ? 0 : num_threads - 1;
+  workers_.reserve(spawned);
+  for (size_t w = 0; w < spawned; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || epoch_ != seen_epoch; });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    const std::function<void(size_t, size_t)>* fn = fn_;
+    size_t count = count_;
+    lock.unlock();
+    size_t i;
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
+      (*fn)(i, worker_id);
+    }
+    lock.lock();
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    remaining_ = workers_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller is worker 0.
+  size_t i;
+  while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
+    fn(i, 0);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace bclean

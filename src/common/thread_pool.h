@@ -1,0 +1,62 @@
+// Small fixed-size thread pool for data-parallel loops. Workers are spawned
+// once and parked on a condition variable between jobs; ParallelFor hands
+// out loop indices through a shared atomic counter, so uneven per-index cost
+// (rows whose cells are pruned vs. rows needing full inference) balances
+// automatically. The calling thread participates as worker 0 — a pool of
+// size N uses exactly N concurrent executors, and a pool of size 1 runs
+// everything inline with no threads at all.
+#ifndef BCLEAN_COMMON_THREAD_POOL_H_
+#define BCLEAN_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bclean {
+
+/// Fixed-size pool executing index-parallel jobs.
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` total executors (`num_threads - 1` spawned
+  /// threads plus the caller). 0 is clamped to 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total number of executors (spawned threads + the caller).
+  size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(index, worker) for every index in [0, count), distributing
+  /// indices dynamically over the pool, and blocks until all complete.
+  /// `worker` is in [0, size()); the caller runs as worker 0. `fn` must be
+  /// safe to call concurrently from distinct workers.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t index, size_t worker)>& fn);
+
+  /// Default pool width: the hardware concurrency (at least 1).
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop(size_t worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;
+  size_t count_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t remaining_ = 0;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,129 @@
+#include "src/core/cell_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/datagen/pools.h"  // MixHash
+
+namespace bclean {
+namespace {
+
+// Smoothing added to the (clipped) compensatory score before the log.
+// Only relative order matters (Section 5 remark); the floor is large
+// enough that residual noise votes (w * corr ~ 0.01) cannot open a gap
+// bigger than the repair margin, while true evidence (corr ~ 0.5+) still
+// dominates by multiple nats.
+constexpr double kCsFloor = 0.05;
+
+}  // namespace
+
+CellScorer::CellScorer(const BayesianNetwork& bn,
+                       const CompensatoryModel& compensatory,
+                       const BCleanOptions& options, size_t num_cols)
+    : bn_(bn),
+      compensatory_(compensatory),
+      options_(options),
+      no_subst_(num_cols) {}
+
+void CellScorer::BeginCell(size_t attr,
+                           const std::vector<int32_t>& row_codes) {
+  attr_ = attr;
+  row_codes_ = &row_codes;
+  var_ = bn_.VariableOfAttr(attr);
+  const BnVariable& variable = bn_.variable(var_);
+  var_is_singleton_ = variable.attrs.size() == 1;
+  const Dag& dag = bn_.dag();
+
+  // Own factor: the substituted variable's parents never contain `attr`
+  // (attributes partition across variables), so the parent configuration is
+  // invariant — resolve it to a flat CPT region once.
+  own_cpt_ = &bn_.cpt(var_);
+  own_uniform_ =
+      dag.parents(var_).empty() &&
+      (bn_.root_prior() == RootPrior::kUniform || dag.IsIsolated(var_));
+  if (own_uniform_) {
+    size_t k = std::max<size_t>(1, own_cpt_->domain_size());
+    own_constant_ = -std::log(static_cast<double>(k));
+  } else {
+    own_config_ = own_cpt_->FindConfig(
+        bn_.ParentKey(var_, row_codes, no_subst_, 0));
+  }
+
+  // Child factors: the substituted variable is one parent among the
+  // (sorted) parent set, so hoist the MixHash prefix before it and the
+  // parent codes after it. Children whose value is NULL contribute no
+  // factor for any candidate and drop out here.
+  children_.clear();
+  suffix_codes_.clear();
+  for (size_t child : dag.children(var_)) {
+    int64_t value = bn_.VariableCode(child, row_codes, no_subst_, 0);
+    if (value == kNullCode64) continue;
+    ChildFactor factor;
+    factor.cpt = &bn_.cpt(child);
+    factor.value = value;
+    factor.prefix = kParentKeySeed;
+    const std::vector<size_t>& parents = dag.parents(child);
+    size_t pos = 0;
+    while (parents[pos] != var_) {
+      int64_t code = bn_.VariableCode(parents[pos], row_codes, no_subst_, 0);
+      factor.prefix =
+          MixHash(factor.prefix, static_cast<uint64_t>(code + 2));
+      ++pos;
+    }
+    factor.suffix_begin = static_cast<uint32_t>(suffix_codes_.size());
+    for (size_t i = pos + 1; i < parents.size(); ++i) {
+      suffix_codes_.push_back(
+          bn_.VariableCode(parents[i], row_codes, no_subst_, 0));
+    }
+    factor.suffix_end = static_cast<uint32_t>(suffix_codes_.size());
+    children_.push_back(factor);
+  }
+
+  // Full-joint scoring differs from the blanket by the factors of every
+  // variable outside {var} ∪ children(var) — all candidate-invariant, so
+  // they fold into one constant.
+  invariant_base_ = 0.0;
+  if (!options_.partitioned_inference) {
+    for (size_t v = 0; v < bn_.num_variables(); ++v) {
+      if (v == var_ || dag.HasEdge(var_, v)) continue;
+      invariant_base_ += bn_.LogProbVariable(v, row_codes, no_subst_, 0);
+    }
+  }
+
+  if (options_.use_compensatory) {
+    compensatory_.PrepareScoreCorrBatch(row_codes, attr, &corr_);
+  }
+}
+
+void CellScorer::ScoreCandidates(std::span<const int32_t> candidates,
+                                 double* out) {
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    int32_t candidate = candidates[i];
+    // Candidate codes are >= 0, so the substituted variable's value is
+    // never NULL and its factor always applies.
+    int64_t var_code =
+        var_is_singleton_
+            ? static_cast<int64_t>(candidate)
+            : bn_.VariableCode(var_, *row_codes_, attr_, candidate);
+    double total = invariant_base_;
+    total += own_uniform_ ? own_constant_
+                          : own_cpt_->LogProbAt(own_config_, var_code);
+    for (const ChildFactor& factor : children_) {
+      uint64_t key =
+          MixHash(factor.prefix, static_cast<uint64_t>(var_code + 2));
+      for (uint32_t s = factor.suffix_begin; s < factor.suffix_end; ++s) {
+        key = MixHash(key, static_cast<uint64_t>(suffix_codes_[s] + 2));
+      }
+      total += factor.cpt->LogProbAt(factor.cpt->FindConfig(key),
+                                     factor.value);
+    }
+    if (options_.use_compensatory) {
+      double cs = corr_.acc[static_cast<size_t>(candidate)];
+      total +=
+          options_.cs_weight * std::log(std::max(cs, 0.0) + kCsFloor);
+    }
+    out[i] = total;
+  }
+}
+
+}  // namespace bclean

@@ -1,0 +1,85 @@
+// Batched candidate scoring for one cell (the inner loop of Algorithm 1).
+//
+// The seed path re-derived per-cell-invariant state for every candidate:
+// parent-key hashes of variables the substituted attribute cannot reach,
+// chained map lookups plus a log() per CPT factor, and the compensatory
+// evidence scan. BeginCell() hoists everything that is constant across a
+// cell's candidate set once —
+//   * the substituted variable's own parent configuration (its parents never
+//     contain the substituted attribute), resolved to a flat CPT region,
+//   * for each child CPT: the child's value code, the MixHash prefix of its
+//     parent key up to the substituted parent, and the suffix codes after
+//     it,
+//   * under full-joint scoring, the summed log-probability of every
+//     variable outside the substituted variable's family,
+//   * the compensatory evidence workspace (codes, frequencies, pair
+//     weights),
+// so ScoreCandidates() costs one flat probe per CPT factor and per evidence
+// cell per candidate. Scores equal the seed's BN-plus-compensatory
+// objective; a CellScorer is single-threaded (one per worker), while the
+// model state it reads is shared and immutable.
+#ifndef BCLEAN_CORE_CELL_SCORER_H_
+#define BCLEAN_CORE_CELL_SCORER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/bn/network.h"
+#include "src/core/compensatory.h"
+#include "src/core/options.h"
+
+namespace bclean {
+
+/// Reusable scorer of candidate repairs for one cell at a time.
+class CellScorer {
+ public:
+  /// All referenced models must outlive the scorer and stay unmodified
+  /// while it is in use.
+  CellScorer(const BayesianNetwork& bn, const CompensatoryModel& compensatory,
+             const BCleanOptions& options, size_t num_cols);
+
+  /// Hoists the candidate-invariant state of cell (`row_codes`, `attr`).
+  /// `row_codes` must stay alive and unchanged until the cell's scoring is
+  /// done.
+  void BeginCell(size_t attr, const std::vector<int32_t>& row_codes);
+
+  /// Scores each candidate (all codes >= 0) of the current cell into
+  /// `out[i]`. Matches the seed ScoreCandidate objective: BN term
+  /// (blanket or full joint per options) plus the weighted compensatory
+  /// log-score.
+  void ScoreCandidates(std::span<const int32_t> candidates, double* out);
+
+ private:
+  /// One child CPT factor: P(child value | ..., substituted var, ...).
+  struct ChildFactor {
+    const Cpt* cpt;
+    int64_t value;         ///< child's value code (candidate-invariant)
+    uint64_t prefix;       ///< MixHash chain up to the substituted parent
+    uint32_t suffix_begin; ///< range into suffix_codes_ of trailing parents
+    uint32_t suffix_end;
+  };
+
+  const BayesianNetwork& bn_;
+  const CompensatoryModel& compensatory_;
+  const BCleanOptions& options_;
+  const size_t no_subst_;  ///< attribute index that never matches
+
+  // Per-cell hoisted state.
+  size_t attr_ = 0;
+  size_t var_ = 0;
+  bool var_is_singleton_ = true;
+  const std::vector<int32_t>* row_codes_ = nullptr;
+  bool own_uniform_ = false;     ///< own term is the uniform root prior
+  double own_constant_ = 0.0;    ///< -log(domain) when own_uniform_
+  const Cpt* own_cpt_ = nullptr;
+  Cpt::ConfigRef own_config_;    ///< resolved own parent configuration
+  double invariant_base_ = 0.0;  ///< full-joint terms outside the family
+  std::vector<ChildFactor> children_;
+  std::vector<int64_t> suffix_codes_;
+  CompensatoryModel::CorrWorkspace corr_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CORE_CELL_SCORER_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <unordered_map>
 
 namespace bclean {
 namespace {
@@ -31,11 +33,33 @@ uint64_t CompensatoryModel::PackKey(size_t attr_j, int32_t c, size_t attr_k,
     std::swap(c, e);
   }
   uint64_t pair_id = static_cast<uint64_t>(attr_j * num_cols_ + attr_k);
-  // Layout: 16 bits pair id | 24 bits code c | 24 bits code e. Codes are
-  // dictionary indices (< 2^24 for any benchmark size used here).
+  assert(pair_id <= 0xFFFF && "attribute pair id overflows 16 bits");
+  assert(static_cast<uint32_t>(c) <= 0xFFFFFF &&
+         static_cast<uint32_t>(e) <= 0xFFFFFF &&
+         "dictionary code overflows 24 bits");
   return (pair_id << 48) |
          ((static_cast<uint64_t>(static_cast<uint32_t>(c)) & 0xFFFFFF) << 24) |
          (static_cast<uint64_t>(static_cast<uint32_t>(e)) & 0xFFFFFF);
+}
+
+Status CompensatoryModel::CheckCapacity(const DomainStats& stats) {
+  const size_t m = stats.num_cols();
+  if (m * m > 0x10000) {
+    return Status::InvalidArgument(
+        "table has " + std::to_string(m) +
+        " columns; the compensatory pair key supports at most 256 "
+        "(attribute pair id would overflow 16 bits)");
+  }
+  for (size_t c = 0; c < m; ++c) {
+    if (stats.column(c).DomainSize() > (1u << 24)) {
+      return Status::InvalidArgument(
+          "column " + std::to_string(c) + " has " +
+          std::to_string(stats.column(c).DomainSize()) +
+          " distinct values; the compensatory pair key supports at most "
+          "2^24 per attribute");
+    }
+  }
+  return Status::OK();
 }
 
 CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
@@ -56,6 +80,9 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
         static_cast<double>(n - stats.column(c).null_count());
   }
 
+  // Accumulation happens in a map; the table is flattened for probing once
+  // the counts are complete.
+  std::unordered_map<uint64_t, PairStat> pair_acc;
   std::vector<int32_t> row(m);
   for (size_t r = 0; r < n; ++r) {
     // conf(T) per Equation 3, via the pre-evaluated UC mask.
@@ -91,7 +118,7 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
         float delta = (j_ok && mask.Check(k, row[k]))
                           ? trusted
                           : -static_cast<float>(options.beta);
-        PairStat& stat = model.pairs_[model.PackKey(j, row[j], k, row[k])];
+        PairStat& stat = pair_acc[model.PackKey(j, row[j], k, row[k])];
         stat.weighted += delta;
         stat.count += 1;
       }
@@ -108,10 +135,10 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
     for (size_t c = 0; c < m; ++c) entropy[c] = ColumnEntropy(stats.column(c));
     std::vector<double> mi(m * m, 0.0);
     std::vector<double> joint_total(m * m, 0.0);
-    for (const auto& [key, stat] : model.pairs_) {
+    for (const auto& [key, stat] : pair_acc) {
       joint_total[key >> 48] += static_cast<double>(stat.count);
     }
-    for (const auto& [key, stat] : model.pairs_) {
+    for (const auto& [key, stat] : pair_acc) {
       // Singleton joints dominate sparse-data MI estimates and make
       // independent attribute pairs look dependent (every once-seen pair
       // is "surprising"); only recurring co-occurrences carry evidence
@@ -142,6 +169,44 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
       }
     }
   }
+
+  model.pairs_.Build(pair_acc.begin(), pair_acc.end(), pair_acc.size());
+
+  // Oriented co-occurrence index for the batch Score_corr path: for every
+  // (candidate attribute, evidence attribute, evidence value) triple, the
+  // list of candidate codes that co-occurred with the evidence and their
+  // weighted counts. Each unordered pair entry appears once per direction.
+  std::vector<std::pair<uint64_t, Posting>> oriented;
+  oriented.reserve(2 * pair_acc.size());
+  for (const auto& [key, stat] : pair_acc) {
+    size_t pair_id = key >> 48;
+    size_t j = pair_id / m;
+    size_t k = pair_id % m;
+    int32_t c = static_cast<int32_t>((key >> 24) & 0xFFFFFF);
+    int32_t e = static_cast<int32_t>(key & 0xFFFFFF);
+    oriented.push_back({model.OrientedKey(j, k, e), {c, stat.weighted}});
+    oriented.push_back({model.OrientedKey(k, j, c), {e, stat.weighted}});
+  }
+  // Sort by (key, code): contiguous postings per key, in a deterministic
+  // layout independent of the accumulation map's iteration order.
+  std::sort(oriented.begin(), oriented.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.code < b.second.code;
+            });
+  model.postings_.reserve(oriented.size());
+  std::vector<std::pair<uint64_t, CorrRange>> ranges;
+  for (size_t i = 0; i < oriented.size();) {
+    size_t begin = i;
+    uint64_t key = oriented[i].first;
+    while (i < oriented.size() && oriented[i].first == key) {
+      model.postings_.push_back(oriented[i].second);
+      ++i;
+    }
+    ranges.push_back({key, CorrRange{static_cast<uint32_t>(begin),
+                                     static_cast<uint32_t>(i)}});
+  }
+  model.oriented_.Build(ranges.begin(), ranges.end(), ranges.size());
   return model;
 }
 
@@ -157,37 +222,103 @@ double CompensatoryModel::PairWeight(size_t attr_j, size_t attr_k) const {
 double CompensatoryModel::Corr(size_t attr_j, int32_t c, size_t attr_k,
                                int32_t e) const {
   if (c < 0 || e < 0) return 0.0;
-  auto it = pairs_.find(PackKey(attr_j, c, attr_k, e));
-  if (it == pairs_.end()) return 0.0;
+  const PairStat* stat = pairs_.Find(PackKey(attr_j, c, attr_k, e));
+  if (stat == nullptr) return 0.0;
   if (normalization_ == CorrNormalization::kJointFrequency) {
-    return static_cast<double>(it->second.weighted) * inv_n_;
+    return static_cast<double>(stat->weighted) * inv_n_;
   }
   // Conditional vote: among the tuples carrying evidence e, how strongly
   // do they support candidate c (confidence-weighted)?
   double evidence_count =
       static_cast<double>(stats_->column(attr_k).Frequency(e));
   if (evidence_count <= 0.0) return 0.0;
-  return static_cast<double>(it->second.weighted) / evidence_count;
+  return static_cast<double>(stat->weighted) / evidence_count;
 }
 
 size_t CompensatoryModel::PairCount(size_t attr_j, int32_t c, size_t attr_k,
                                     int32_t e) const {
   if (c < 0 || e < 0) return 0;
-  auto it = pairs_.find(PackKey(attr_j, c, attr_k, e));
-  if (it == pairs_.end()) return 0;
-  return it->second.count;
+  const PairStat* stat = pairs_.Find(PackKey(attr_j, c, attr_k, e));
+  return stat == nullptr ? 0 : stat->count;
+}
+
+double CompensatoryModel::EvidenceMult(size_t attr_j, size_t attr_k,
+                                       int32_t e) const {
+  if (!mask_->Check(attr_k, e)) return 0.0;  // untrusted evidence
+  double w = PairWeight(attr_j, attr_k);
+  if (w == 0.0) return 0.0;  // independent pair: every candidate scores +0
+  if (normalization_ == CorrNormalization::kJointFrequency) {
+    return w * inv_n_;
+  }
+  double evidence_count =
+      static_cast<double>(stats_->column(attr_k).Frequency(e));
+  if (evidence_count <= 0.0) return 0.0;
+  return w / evidence_count;
+}
+
+void CompensatoryModel::PrepareScoreCorr(const std::vector<int32_t>& row_codes,
+                                         size_t attr_j,
+                                         CorrWorkspace* ws) const {
+  ws->evidence.clear();
+  for (size_t k = 0; k < num_cols_; ++k) {
+    if (k == attr_j || row_codes[k] < 0) continue;
+    double mult = EvidenceMult(attr_j, k, row_codes[k]);
+    if (mult == 0.0) continue;
+    uint64_t e = static_cast<uint64_t>(static_cast<uint32_t>(row_codes[k])) &
+                 0xFFFFFF;
+    CorrEvidence ev;
+    ev.mult = mult;
+    if (attr_j < k) {
+      // PackKey(attr_j, c, k, e) = pair | c << 24 | e.
+      ev.base_key = (static_cast<uint64_t>(attr_j * num_cols_ + k) << 48) | e;
+      ev.shift = 24;
+    } else {
+      // Normalized to (k, attr_j): PackKey = pair | e << 24 | c.
+      ev.base_key =
+          (static_cast<uint64_t>(k * num_cols_ + attr_j) << 48) | (e << 24);
+      ev.shift = 0;
+    }
+    ws->evidence.push_back(ev);
+  }
+}
+
+void CompensatoryModel::PrepareScoreCorrBatch(
+    const std::vector<int32_t>& row_codes, size_t attr_j,
+    CorrWorkspace* ws) const {
+  // Sparse reset: only codes the previous cell's postings touched can be
+  // non-zero.
+  for (const CorrEvidenceRange& er : ws->ranges) {
+    for (uint32_t i = er.range.begin; i < er.range.end; ++i) {
+      ws->acc[postings_[i].code] = 0.0;
+    }
+  }
+  ws->ranges.clear();
+  size_t domain = stats_->column(attr_j).DomainSize();
+  if (ws->acc.size() < domain) ws->acc.resize(domain, 0.0);
+
+  // Evidence accumulates in ascending attribute order, so each candidate's
+  // final sum adds terms in exactly the order ScoreCorr does.
+  for (size_t k = 0; k < num_cols_; ++k) {
+    if (k == attr_j || row_codes[k] < 0) continue;
+    double mult = EvidenceMult(attr_j, k, row_codes[k]);
+    if (mult == 0.0) continue;
+    const CorrRange* range =
+        oriented_.Find(OrientedKey(attr_j, k, row_codes[k]));
+    if (range == nullptr) continue;
+    ws->ranges.push_back({*range, mult});
+    for (uint32_t i = range->begin; i < range->end; ++i) {
+      ws->acc[postings_[i].code] +=
+          mult * static_cast<double>(postings_[i].weighted);
+    }
+  }
 }
 
 double CompensatoryModel::ScoreCorr(const std::vector<int32_t>& row_codes,
                                     size_t attr_j, int32_t candidate) const {
   if (candidate < 0) return 0.0;
-  double score = 0.0;
-  for (size_t k = 0; k < num_cols_; ++k) {
-    if (k == attr_j || row_codes[k] < 0) continue;
-    if (!mask_->Check(k, row_codes[k])) continue;  // untrusted evidence
-    score += PairWeight(attr_j, k) * Corr(attr_j, candidate, k, row_codes[k]);
-  }
-  return score;
+  CorrWorkspace ws;
+  PrepareScoreCorr(row_codes, attr_j, &ws);
+  return ScoreCorrPrepared(ws, candidate);
 }
 
 double CompensatoryModel::Filter(const std::vector<int32_t>& row_codes,

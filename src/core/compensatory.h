@@ -2,13 +2,21 @@
 // conf(T) from UC verdicts (Equation 3), confidence-weighted value-pair
 // correlations corr(c, e, A_j, A_k), and Score_corr (Equation 2). Also owns
 // the raw pair counts that tuple pruning's Filter (Section 6.2) needs.
+//
+// Pair statistics live in a flat open-addressed table after Build. The
+// candidate-scoring hot path is two-phase: PrepareScoreCorr() hoists
+// everything that is invariant across a cell's candidate set (usable
+// evidence cells, their pair weights, frequencies, and partial pack keys —
+// zero-weight attribute pairs drop out entirely), then ScoreCorrPrepared()
+// scores each candidate with one flat probe per surviving evidence cell.
 #ifndef BCLEAN_CORE_COMPENSATORY_H_
 #define BCLEAN_CORE_COMPENSATORY_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_hash.h"
+#include "src/common/status.h"
 #include "src/core/options.h"
 #include "src/core/uc_mask.h"
 #include "src/data/domain_stats.h"
@@ -18,10 +26,47 @@ namespace bclean {
 /// Confidence-weighted co-occurrence statistics over a table.
 class CompensatoryModel {
  public:
+  /// One usable evidence cell of a tuple, with everything that does not
+  /// depend on the candidate precomputed. Completing `base_key` with the
+  /// candidate code shifted by `shift` reproduces PackKey; `mult` folds the
+  /// pair weight and the normalization denominator.
+  struct CorrEvidence {
+    uint64_t base_key = 0;
+    uint32_t shift = 0;
+    double mult = 0.0;
+  };
+
+  /// Postings range of one (candidate attribute, evidence attribute,
+  /// evidence value) triple in the oriented co-occurrence index.
+  struct CorrRange {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  /// One evidence cell resolved to its postings range plus the hoisted
+  /// weight/normalization multiplier.
+  struct CorrEvidenceRange {
+    CorrRange range;
+    double mult = 0.0;
+  };
+
+  /// Reusable per-cell workspace for the prepared Score_corr paths.
+  struct CorrWorkspace {
+    std::vector<CorrEvidence> evidence;      ///< probe path
+    std::vector<CorrEvidenceRange> ranges;   ///< batch (postings) path
+    std::vector<double> acc;                 ///< Score_corr per candidate code
+  };
+
   /// Scans the encoded table once (Algorithm 2), computing conf(T) per
   /// tuple from `mask` and accumulating weighted/raw pair counts.
   static CompensatoryModel Build(const DomainStats& stats, const UcMask& mask,
                                  const CompensatoryOptions& options);
+
+  /// Validates that `stats` fits PackKey's bit layout: the attribute-pair
+  /// id needs m*m <= 2^16 and every dictionary code must fit in 24 bits.
+  /// Callers building an engine should fail fast on this instead of
+  /// silently colliding keys.
+  static Status CheckCapacity(const DomainStats& stats);
 
   /// conf(T) of row `row` (Equation 3).
   double Conf(size_t row) const { return conf_[row]; }
@@ -44,6 +89,40 @@ class CompensatoryModel {
   double ScoreCorr(const std::vector<int32_t>& row_codes, size_t attr_j,
                    int32_t candidate) const;
 
+  /// Hoists the candidate-invariant half of Score_corr for one cell:
+  /// evidence codes, UC verdicts, pair weights, and evidence frequencies.
+  void PrepareScoreCorr(const std::vector<int32_t>& row_codes, size_t attr_j,
+                        CorrWorkspace* ws) const;
+
+  /// Batch variant for whole candidate sets: instead of probing the pair
+  /// table per (candidate, evidence), walks each evidence cell's postings
+  /// (the candidates it actually co-occurred with) once, accumulating into
+  /// a dense per-code array. After this, ws->acc[c] == ScoreCorr(row, j, c)
+  /// for every candidate code c of attribute `attr_j`, and reading it is
+  /// one array load. The workspace's previous accumulation is reset
+  /// sparsely (only previously-touched codes), so repeated per-cell use
+  /// costs O(active postings), not O(domain).
+  void PrepareScoreCorrBatch(const std::vector<int32_t>& row_codes,
+                             size_t attr_j, CorrWorkspace* ws) const;
+
+  /// Score_corr for one candidate against a prepared workspace. Summation
+  /// order matches ScoreCorr (evidence attributes ascending).
+  double ScoreCorrPrepared(const CorrWorkspace& ws, int32_t candidate) const {
+    if (candidate < 0) return 0.0;
+    double score = 0.0;
+    for (const CorrEvidence& ev : ws.evidence) {
+      uint64_t key =
+          ev.base_key |
+          (static_cast<uint64_t>(static_cast<uint32_t>(candidate)) & 0xFFFFFF)
+              << ev.shift;
+      const PairStat* stat = pairs_.Find(key);
+      if (stat != nullptr) {
+        score += ev.mult * static_cast<double>(stat->weighted);
+      }
+    }
+    return score;
+  }
+
   /// Filter(T, A_i) (Section 6.2): mean over other attributes of
   /// count(T[A_i], T[A_j]) / count(T[A_j]). NULL cells filter to 0;
   /// UC-violating evidence is skipped as in ScoreCorr.
@@ -61,9 +140,31 @@ class CompensatoryModel {
     uint32_t count = 0;     // raw co-occurrences
   };
 
+  // Shared evidence-eligibility + normalization rule of the two prepared
+  // Score_corr paths: the multiplier of evidence value `e` at `attr_k` when
+  // scoring candidates of `attr_j`, or 0 when the evidence is unusable
+  // (UC-violating, independent attribute pair, zero evidence frequency).
+  double EvidenceMult(size_t attr_j, size_t attr_k, int32_t e) const;
+
   // Packs (unordered attribute pair, value pair) into a 64-bit key.
   // Attribute pairs are normalized to j < k with codes swapped to match.
+  // Layout: 16 bits pair id | 24 bits code c | 24 bits code e (the bounds
+  // CheckCapacity enforces and checked builds assert).
   uint64_t PackKey(size_t attr_j, int32_t c, size_t attr_k, int32_t e) const;
+
+  /// One supporter in the oriented index: candidate-side code plus the
+  /// confidence-weighted count of the (candidate, evidence) pair.
+  struct Posting {
+    int32_t code = 0;
+    float weighted = 0.0f;
+  };
+
+  // Key of the oriented index: ordered attribute pair (candidate side
+  // first) in bits 24..39, evidence code in bits 0..23.
+  uint64_t OrientedKey(size_t cand_attr, size_t evid_attr, int32_t e) const {
+    return (static_cast<uint64_t>(cand_attr * num_cols_ + evid_attr) << 24) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(e)) & 0xFFFFFF);
+  }
 
   size_t num_cols_ = 0;
   double inv_n_ = 0.0;
@@ -72,7 +173,9 @@ class CompensatoryModel {
   std::vector<double> column_counts_;  // non-null cells per column
   const DomainStats* stats_ = nullptr;
   const UcMask* mask_ = nullptr;
-  std::unordered_map<uint64_t, PairStat> pairs_;
+  FlatKeyMap<PairStat> pairs_;
+  std::vector<Posting> postings_;   // oriented co-occurrence lists
+  FlatKeyMap<CorrRange> oriented_;  // (cand attr, evid attr, e) -> postings
   bool use_mi_weighting_ = true;
   std::vector<float> pair_weight_;  // indexed j * num_cols_ + k, j < k
 };

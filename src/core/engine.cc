@@ -5,27 +5,22 @@
 #include <limits>
 
 #include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
 #include "src/fdx/structure_learning.h"
 
 namespace bclean {
 namespace {
 
-// Smoothing added to the (clipped) compensatory score before the log.
-// Only relative order matters (Section 5 remark); the floor is large
-// enough that residual noise votes (w * corr ~ 0.01) cannot open a gap
-// bigger than the repair margin, while true evidence (corr ~ 0.5+) still
-// dominates by multiple nats.
-constexpr double kCsFloor = 0.05;
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 }  // namespace
 
 BCleanEngine::BCleanEngine(const Table& dirty, const UcRegistry& ucs,
-                           const BCleanOptions& options)
+                           const BCleanOptions& options, DomainStats stats)
     : dirty_(dirty),
       ucs_(options.use_user_constraints ? ucs : ucs.Empty()),
       options_(options),
-      stats_(DomainStats::Build(dirty)),
+      stats_(std::move(stats)),
       mask_(UcMask::Build(ucs_, stats_)),
       compensatory_(CompensatoryModel::Build(stats_, mask_,
                                              options.compensatory)) {}
@@ -36,8 +31,10 @@ Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
     return Status::InvalidArgument(
         "UC registry arity does not match the table");
   }
+  DomainStats stats = DomainStats::Build(dirty);
+  BCLEAN_RETURN_IF_ERROR(CompensatoryModel::CheckCapacity(stats));
   std::unique_ptr<BCleanEngine> engine(
-      new BCleanEngine(dirty, ucs, options));
+      new BCleanEngine(dirty, ucs, options, std::move(stats)));
   Result<BayesianNetwork> bn =
       BuildNetwork(dirty, engine->stats_, options.structure);
   if (!bn.ok()) return bn.status();
@@ -52,8 +49,10 @@ Result<std::unique_ptr<BCleanEngine>> BCleanEngine::CreateWithNetwork(
     return Status::InvalidArgument(
         "UC registry arity does not match the table");
   }
+  DomainStats stats = DomainStats::Build(dirty);
+  BCLEAN_RETURN_IF_ERROR(CompensatoryModel::CheckCapacity(stats));
   std::unique_ptr<BCleanEngine> engine(
-      new BCleanEngine(dirty, ucs, options));
+      new BCleanEngine(dirty, ucs, options, std::move(stats)));
   engine->bn_ = std::move(network);
   engine->bn_.Fit(engine->stats_);
   return engine;
@@ -141,16 +140,75 @@ std::vector<int32_t> BCleanEngine::CandidatesFor(size_t attr) const {
   return pruned;
 }
 
-double BCleanEngine::ScoreCandidate(
-    size_t attr, int32_t candidate,
-    const std::vector<int32_t>& row_codes) const {
-  double bn_term = options_.partitioned_inference
-                       ? bn_.LogProbBlanket(attr, candidate, row_codes)
-                       : bn_.LogProbFull(attr, candidate, row_codes);
-  if (!options_.use_compensatory) return bn_term;
-  double cs = compensatory_.ScoreCorr(row_codes, attr, candidate);
-  double cs_term = std::log(std::max(cs, 0.0) + kCsFloor);
-  return bn_term + options_.cs_weight * cs_term;
+void BCleanEngine::CleanRowRange(
+    size_t row_begin, size_t row_end,
+    const std::vector<std::vector<int32_t>>& candidates, CellScorer& scorer,
+    Table& result, CleanStats& stats) const {
+  const size_t m = dirty_.num_cols();
+  std::vector<int32_t> row_codes(m);
+  std::vector<int32_t> batch;
+  std::vector<double> scores;
+  for (size_t r = row_begin; r < row_end; ++r) {
+    for (size_t c = 0; c < m; ++c) row_codes[c] = stats_.code(r, c);
+    for (size_t j = 0; j < m; ++j) {
+      ++stats.cells_scanned;
+      int32_t original = row_codes[j];
+
+      // Tuple pruning (pre-detection): confidently supported cells skip
+      // inference entirely.
+      if (options_.tuple_pruning && original >= 0 &&
+          compensatory_.Filter(row_codes, j) >= options_.tau_clean) {
+        ++stats.cells_skipped_by_filter;
+        continue;
+      }
+      ++stats.cells_inferred;
+
+      // One batch: the original value first (when it competes), then every
+      // challenger. The scorer hoists the cell's invariants once for all
+      // of them.
+      bool original_competes =
+          original >= 0 &&
+          (!options_.use_user_constraints || mask_.Check(j, original));
+      batch.clear();
+      if (original_competes) batch.push_back(original);
+      for (int32_t c : candidates[j]) {
+        if (c == original) continue;
+        batch.push_back(c);
+      }
+      if (batch.empty()) continue;
+      scores.resize(batch.size());
+      scorer.BeginCell(j, row_codes);
+      scorer.ScoreCandidates(batch, scores.data());
+      stats.candidates_evaluated += batch.size();
+
+      int32_t best = original;
+      double best_score = kNegInf;
+      size_t i = 0;
+      // The original value competes under the same score unless it is NULL
+      // or fails its UCs (then any feasible candidate must replace it,
+      // margin-free). Otherwise a challenger needs a clear advantage —
+      // repair_margin — so near-ties never flip clean cells.
+      if (original_competes) {
+        best_score = scores[0] + options_.repair_margin;
+        i = 1;
+      }
+      for (; i < batch.size(); ++i) {
+        if (scores[i] > best_score) {
+          best_score = scores[i];
+          best = batch[i];
+        }
+      }
+      if (best != original && best >= 0) {
+        result.set_cell(r, j, stats_.column(j).ValueOf(best));
+        ++stats.cells_changed;
+        if (!options_.partitioned_inference) {
+          // Unpartitioned BClean repairs in place: later cells of the tuple
+          // see this repair (the paper's error-amplification path).
+          row_codes[j] = best;
+        }
+      }
+    }
+  }
 }
 
 Table BCleanEngine::Clean() {
@@ -164,52 +222,44 @@ Table BCleanEngine::Clean() {
   std::vector<std::vector<int32_t>> candidates(m);
   for (size_t a = 0; a < m; ++a) candidates[a] = CandidatesFor(a);
 
-  std::vector<int32_t> row_codes(m);
-  for (size_t r = 0; r < n; ++r) {
-    for (size_t c = 0; c < m; ++c) row_codes[c] = stats_.code(r, c);
-    for (size_t j = 0; j < m; ++j) {
-      ++last_stats_.cells_scanned;
-      int32_t original = row_codes[j];
+  size_t threads = options_.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                             : options_.num_threads;
+  // In-place repair mode is inherently sequential within the whole pass
+  // (the paper's error-amplification path); rows are only independent
+  // under partitioned inference.
+  if (!options_.partitioned_inference) threads = 1;
+  threads = std::min(threads, std::max<size_t>(1, n));
 
-      // Tuple pruning (pre-detection): confidently supported cells skip
-      // inference entirely.
-      if (options_.tuple_pruning && original >= 0 &&
-          compensatory_.Filter(row_codes, j) >= options_.tau_clean) {
-        ++last_stats_.cells_skipped_by_filter;
-        continue;
-      }
-      ++last_stats_.cells_inferred;
-
-      int32_t best = original;
-      double best_score = kNegInf;
-      // The original value competes under the same score unless it is NULL
-      // or fails its UCs (then any feasible candidate must replace it,
-      // margin-free). Otherwise a challenger needs a clear advantage —
-      // repair_margin — so near-ties never flip clean cells.
-      if (original >= 0 &&
-          (!options_.use_user_constraints || mask_.Check(j, original))) {
-        best_score = ScoreCandidate(j, original, row_codes) +
-                     options_.repair_margin;
-        ++last_stats_.candidates_evaluated;
-      }
-      for (int32_t c : candidates[j]) {
-        if (c == original) continue;
-        double score = ScoreCandidate(j, c, row_codes);
-        ++last_stats_.candidates_evaluated;
-        if (score > best_score) {
-          best_score = score;
-          best = c;
-        }
-      }
-      if (best != original && best >= 0) {
-        result.set_cell(r, j, stats_.column(j).ValueOf(best));
-        ++last_stats_.cells_changed;
-        if (!options_.partitioned_inference) {
-          // Unpartitioned BClean repairs in place: later cells of the tuple
-          // see this repair (the paper's error-amplification path).
-          row_codes[j] = best;
-        }
-      }
+  if (threads <= 1) {
+    CellScorer scorer(bn_, compensatory_, options_, m);
+    CleanRowRange(0, n, candidates, scorer, result, last_stats_);
+  } else {
+    // Row-sharded Clean: blocks are handed out dynamically, each worker
+    // scores with its own CellScorer into its own CleanStats, and rows map
+    // to disjoint cells of `result`. Counters are order-independent sums,
+    // so stats (and the output bytes) are identical for any thread count.
+    constexpr size_t kRowBlock = 32;
+    const size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
+    ThreadPool pool(threads);
+    std::vector<CleanStats> worker_stats(pool.size());
+    std::vector<std::unique_ptr<CellScorer>> scorers;
+    scorers.reserve(pool.size());
+    for (size_t w = 0; w < pool.size(); ++w) {
+      scorers.push_back(
+          std::make_unique<CellScorer>(bn_, compensatory_, options_, m));
+    }
+    pool.ParallelFor(num_blocks, [&](size_t block, size_t worker) {
+      size_t begin = block * kRowBlock;
+      size_t end = std::min(n, begin + kRowBlock);
+      CleanRowRange(begin, end, candidates, *scorers[worker], result,
+                    worker_stats[worker]);
+    });
+    for (const CleanStats& s : worker_stats) {
+      last_stats_.cells_scanned += s.cells_scanned;
+      last_stats_.cells_skipped_by_filter += s.cells_skipped_by_filter;
+      last_stats_.cells_inferred += s.cells_inferred;
+      last_stats_.cells_changed += s.cells_changed;
+      last_stats_.candidates_evaluated += s.candidates_evaluated;
     }
   }
   last_stats_.seconds = watch.ElapsedSeconds();

@@ -14,6 +14,7 @@
 #include "src/bn/network.h"
 #include "src/common/status.h"
 #include "src/constraints/registry.h"
+#include "src/core/cell_scorer.h"
 #include "src/core/compensatory.h"
 #include "src/core/options.h"
 #include "src/core/uc_mask.h"
@@ -75,10 +76,16 @@ class BCleanEngine {
 
  private:
   BCleanEngine(const Table& dirty, const UcRegistry& ucs,
-               const BCleanOptions& options);
+               const BCleanOptions& options, DomainStats stats);
 
-  double ScoreCandidate(size_t attr, int32_t candidate,
-                        const std::vector<int32_t>& row_codes) const;
+  /// Runs Algorithm 1 over rows [row_begin, row_end), scoring through
+  /// `scorer` and accumulating into `stats`. Repairs are written to
+  /// `result`; under unpartitioned inference they are also applied to the
+  /// working row so later cells of the tuple see them.
+  void CleanRowRange(size_t row_begin, size_t row_end,
+                     const std::vector<std::vector<int32_t>>& candidates,
+                     CellScorer& scorer, Table& result,
+                     CleanStats& stats) const;
 
   Table dirty_;
   UcRegistry ucs_;

@@ -79,6 +79,13 @@ struct BCleanOptions {
   /// Candidates kept per attribute under domain pruning.
   size_t domain_top_k = 128;
 
+  /// Worker threads for Clean() under partitioned inference (rows are
+  /// scored independently, so the table shards by row block). 0 means
+  /// hardware_concurrency. Output is byte-identical for every thread
+  /// count. Unpartitioned inference repairs in place (earlier repairs feed
+  /// later cells of the tuple) and therefore always runs single-threaded.
+  size_t num_threads = 0;
+
   /// Structure-learning configuration for automatic BN construction.
   StructureOptions structure;
 

@@ -276,6 +276,22 @@ TEST(NetworkTest, MergeDropsNonCommonEdges) {
   EXPECT_EQ(bn.dag().num_edges(), 0u);
 }
 
+TEST(NetworkTest, NameIndexFollowsMerges) {
+  // VariableByName is served by a maintained name->index map; a merge
+  // renumbers variables, drops the merged names, and adds the new one.
+  Table t = ZipCityFixture();
+  BayesianNetwork bn(t.schema());
+  size_t city = bn.VariableByName("city").value();
+  size_t note = bn.VariableByName("note").value();
+  ASSERT_TRUE(bn.MergeNodes({city, note}, "cn").ok());
+  EXPECT_FALSE(bn.VariableByName("city").ok());
+  EXPECT_FALSE(bn.VariableByName("note").ok());
+  size_t merged = bn.VariableByName("cn").value();
+  EXPECT_EQ(bn.variable(merged).name, "cn");
+  size_t zip = bn.VariableByName("zip").value();
+  EXPECT_EQ(bn.variable(zip).name, "zip");
+}
+
 TEST(NetworkTest, MergeValidatesArguments) {
   Table t = ZipCityFixture();
   BayesianNetwork bn(t.schema());

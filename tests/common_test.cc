@@ -1,12 +1,16 @@
 // Unit tests for src/common: Status/Result, Rng, string utilities.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
+#include "src/common/flat_hash.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 
 namespace bclean {
 namespace {
@@ -230,6 +234,57 @@ TEST(StopwatchTest, MeasuresNonNegativeTime) {
   EXPECT_GE(sw.ElapsedSeconds(), 0.0);
   sw.Restart();
   EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::atomic<size_t> bad_worker{0};
+  pool.ParallelFor(kCount, [&](size_t i, size_t worker) {
+    hits[i].fetch_add(1);
+    if (worker >= pool.size()) bad_worker.fetch_add(1);
+  });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(bad_worker.load(), 0u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobsAndHandlesEdgeCases) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(0, [&](size_t, size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 0u);
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(17, [&](size_t, size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 85u);
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<size_t> workers;
+  pool.ParallelFor(8, [&](size_t, size_t worker) {
+    workers.push_back(worker);  // safe: no threads are spawned
+  });
+  ASSERT_EQ(workers.size(), 8u);
+  for (size_t w : workers) EXPECT_EQ(w, 0u);
+}
+
+TEST(FlatKeyMapTest, FindsAllInsertedKeysIncludingSentinel) {
+  std::vector<std::pair<uint64_t, int>> entries;
+  for (uint64_t k = 0; k < 300; ++k) entries.push_back({k * k + 1, int(k)});
+  entries.push_back({~0ull, 777});  // the internal empty-slot sentinel
+  FlatKeyMap<int> map;
+  map.Build(entries.begin(), entries.end(), entries.size());
+  EXPECT_EQ(map.size(), entries.size());
+  for (const auto& [key, value] : entries) {
+    const int* found = map.Find(key);
+    ASSERT_NE(found, nullptr) << key;
+    EXPECT_EQ(*found, value);
+  }
+  EXPECT_EQ(map.Find(123456789ull), nullptr);
 }
 
 }  // namespace

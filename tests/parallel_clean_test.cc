@@ -1,0 +1,140 @@
+// Regression tests for the batched, parallel cleaning hot path: thread-count
+// determinism of Clean(), flat-CPT batch-vs-scalar equivalence, and the
+// compensatory pair-key capacity guard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/bn/cpt.h"
+#include "src/common/rng.h"
+#include "src/core/compensatory.h"
+#include "src/core/engine.h"
+#include "src/data/schema.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+
+namespace bclean {
+namespace {
+
+// Everything but the wall-clock field.
+void ExpectSameCounters(const CleanStats& a, const CleanStats& b) {
+  EXPECT_EQ(a.cells_scanned, b.cells_scanned);
+  EXPECT_EQ(a.cells_skipped_by_filter, b.cells_skipped_by_filter);
+  EXPECT_EQ(a.cells_inferred, b.cells_inferred);
+  EXPECT_EQ(a.cells_changed, b.cells_changed);
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<int> {
+ protected:
+  BCleanOptions VariantOptions() const {
+    return GetParam() == 0 ? BCleanOptions::PartitionedInference()
+                           : BCleanOptions::PartitionedInferencePruning();
+  }
+};
+
+TEST_P(ParallelDeterminismTest, EightThreadsMatchOneByteForByte) {
+  Dataset ds = MakeHospital(300, 7);
+  Rng rng(7);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+
+  BCleanOptions serial = VariantOptions();
+  serial.num_threads = 1;
+  auto serial_engine = BCleanEngine::Create(injection.dirty, ds.ucs, serial);
+  ASSERT_TRUE(serial_engine.ok()) << serial_engine.status().ToString();
+  Table serial_out = serial_engine.value()->Clean();
+  CleanStats serial_stats = serial_engine.value()->last_stats();
+  EXPECT_GT(serial_stats.cells_changed, 0u);
+
+  BCleanOptions parallel = VariantOptions();
+  parallel.num_threads = 8;
+  auto parallel_engine =
+      BCleanEngine::Create(injection.dirty, ds.ucs, parallel);
+  ASSERT_TRUE(parallel_engine.ok()) << parallel_engine.status().ToString();
+  Table parallel_out = parallel_engine.value()->Clean();
+
+  EXPECT_TRUE(serial_out == parallel_out);
+  ExpectSameCounters(serial_stats, parallel_engine.value()->last_stats());
+
+  // Repeated parallel runs of the same engine are stable too.
+  Table again = parallel_engine.value()->Clean();
+  EXPECT_TRUE(parallel_out == again);
+  ExpectSameCounters(serial_stats, parallel_engine.value()->last_stats());
+}
+
+INSTANTIATE_TEST_SUITE_P(PiAndPip, ParallelDeterminismTest,
+                         ::testing::Range(0, 2));
+
+TEST(CptBatchTest, BatchMatchesScalarOnSeenAndUnseen) {
+  Cpt cpt(0.7);
+  Rng rng(11);
+  std::vector<uint64_t> keys = {kEmptyParentKey, 42u, 0xDEADBEEFu};
+  for (int i = 0; i < 500; ++i) {
+    uint64_t key = keys[rng.UniformIndex(keys.size())];
+    int64_t value = static_cast<int64_t>(rng.UniformIndex(20));
+    cpt.AddObservation(key, value);
+  }
+  ASSERT_FALSE(cpt.finalized());
+  cpt.Finalize();
+  ASSERT_TRUE(cpt.finalized());
+
+  // Values 0..19 were (mostly) observed; 20..24 are unseen. 999 probes the
+  // marginal fallback for an unseen parent configuration.
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 25; ++v) values.push_back(v);
+  std::vector<double> batch(values.size());
+  for (uint64_t key : {kEmptyParentKey, uint64_t{42}, uint64_t{999}}) {
+    cpt.LogProbBatch(key, values, batch.data());
+    for (size_t i = 0; i < values.size(); ++i) {
+      // The scalar path recomputes from raw counts; the batch path reads
+      // precomputed logs. They must agree to rounding.
+      EXPECT_NEAR(batch[i], std::log(cpt.Prob(key, values[i])), 1e-12)
+          << "key=" << key << " value=" << values[i];
+      EXPECT_DOUBLE_EQ(batch[i], cpt.LogProb(key, values[i]));
+    }
+    double sum = 0.0;
+    for (int64_t v = 0; v < static_cast<int64_t>(cpt.domain_size()); ++v) {
+      sum += cpt.Prob(key, v);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(CptBatchTest, ClearResetsFinalizedState) {
+  Cpt cpt;
+  cpt.AddObservation(1, 2);
+  cpt.Finalize();
+  EXPECT_TRUE(cpt.finalized());
+  cpt.AddObservation(1, 3);  // new counts invalidate the flat tables
+  EXPECT_FALSE(cpt.finalized());
+  cpt.Clear();
+  EXPECT_FALSE(cpt.finalized());
+  EXPECT_EQ(cpt.num_observations(), 0u);
+}
+
+TEST(CompensatoryCapacityTest, RejectsTooManyColumns) {
+  // 257 columns: the attribute-pair id would need more than 16 bits.
+  std::vector<std::string> names;
+  for (int i = 0; i < 257; ++i) names.push_back("c" + std::to_string(i));
+  Table t(Schema::FromNames(names));
+  t.AddRowUnchecked(std::vector<std::string>(names.size(), "x"));
+  DomainStats stats = DomainStats::Build(t);
+  Status status = CompensatoryModel::CheckCapacity(stats);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  UcRegistry ucs(names.size());
+  EXPECT_EQ(BCleanEngine::Create(t, ucs, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CompensatoryCapacityTest, AcceptsNormalTables) {
+  Dataset ds = MakeHospital(50, 7);
+  DomainStats stats = DomainStats::Build(ds.clean);
+  EXPECT_TRUE(CompensatoryModel::CheckCapacity(stats).ok());
+}
+
+}  // namespace
+}  // namespace bclean
