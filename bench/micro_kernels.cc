@@ -94,6 +94,36 @@ void BM_CompensatoryBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CompensatoryBuild);
 
+void BM_CompensatoryBuildParallel(benchmark::State& state) {
+  // Row-sharded Build at 1 vs 8 workers (bit-identical output; the spread
+  // is wall-clock only and collapses to ~1x on single-core containers).
+  Dataset ds = MakeInpatient(4000, 7);
+  DomainStats stats = DomainStats::Build(ds.clean);
+  UcMask mask = UcMask::Build(ds.ucs, stats);
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CompensatoryModel::Build(stats, mask, CompensatoryOptions{},
+                                 threads));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.clean.num_cells());
+  state.SetLabel("t" + std::to_string(threads));
+}
+BENCHMARK(BM_CompensatoryBuildParallel)->Arg(1)->Arg(8);
+
+void BM_SimilarityObservations(benchmark::State& state) {
+  // The structure-learning statistics pass, sharded by attribute.
+  Dataset ds = MakeHospital(1000, 7);
+  StructureOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildSimilarityObservations(ds.clean, options));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.clean.num_cells());
+  state.SetLabel("t" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SimilarityObservations)->Arg(1)->Arg(8);
+
 void BM_CptBatchLookup(benchmark::State& state) {
   // Scalar map-free probes vs. the hash-once-probe-many batch path on one
   // fitted CPT (zip_code -> city on Hospital).
@@ -151,6 +181,52 @@ BENCHMARK(BM_CleanThroughput)
     ->Args({0, 4})
     ->Args({1, 1})
     ->Args({1, 4});
+
+void BM_MemoizedClean(benchmark::State& state) {
+  // The repair cache on a duplicate-heavy table (every dirty tuple appears
+  // 8x, the entity-resolution shape BayesWipe/PClean amortize): arg0
+  // toggles the cache, arg1 picks PI/PIP. The label carries the measured
+  // hit rate.
+  Dataset ds = MakeHospital(200, 7);
+  Rng rng(7);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  std::vector<size_t> rows;
+  for (size_t copy = 0; copy < 8; ++copy) {
+    for (size_t r = 0; r < injection.dirty.num_rows(); ++r) {
+      rows.push_back(r);
+    }
+  }
+  Table dirty = injection.dirty.SelectRows(rows);
+  bool cache = state.range(0) == 1;
+  bool pip = state.range(1) == 1;
+  BCleanOptions options = pip
+                              ? BCleanOptions::PartitionedInferencePruning()
+                              : BCleanOptions::PartitionedInference();
+  options.repair_cache = cache;
+  options.num_threads = 1;
+  auto engine = BCleanEngine::Create(dirty, ds.ucs, options);
+  size_t hits = 0;
+  size_t lookups = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.value()->Clean());
+    hits += engine.value()->last_stats().cache_hits;
+    lookups += engine.value()->last_stats().cells_scanned;
+  }
+  state.SetItemsProcessed(state.iterations() * dirty.num_cells());
+  double hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) /
+                               static_cast<double>(lookups);
+  state.SetLabel(std::string(pip ? "PIP" : "PI") +
+                 (cache ? "/cache hit_rate=" +
+                              std::to_string(hit_rate).substr(0, 5)
+                        : "/nocache"));
+}
+BENCHMARK(BM_MemoizedClean)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
 
 }  // namespace
 }  // namespace bclean

@@ -85,6 +85,17 @@ class FlatKeyMap {
   /// Number of entries stored.
   size_t size() const { return size_; }
 
+  /// Calls f(key, value) for every stored entry. Iteration order follows
+  /// the internal layout (insertion-dependent); callers needing a
+  /// deterministic result must fold commutatively or sort.
+  template <typename F>
+  void ForEach(F f) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) f(keys_[i], vals_[i]);
+    }
+    if (has_sentinel_) f(kEmptyKey, sentinel_val_);
+  }
+
   void Clear() {
     keys_.clear();
     vals_.clear();

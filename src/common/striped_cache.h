@@ -1,0 +1,80 @@
+// Striped concurrent cache: a fixed array of independently-locked shards,
+// each an open-hashed map, so concurrent readers/writers from the cleaning
+// workers contend only when they land on the same stripe. Values are small
+// PODs and are copied out under the stripe lock (a later rehash of the
+// shard can never invalidate what a caller already read). Insertion stops
+// silently once the entry cap is reached: the cache is a pure memo of a
+// deterministic function, so dropping an insert affects cost, never
+// results.
+#ifndef BCLEAN_COMMON_STRIPED_CACHE_H_
+#define BCLEAN_COMMON_STRIPED_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace bclean {
+
+/// Sharded map protected by per-stripe mutexes.
+template <typename K, typename V, typename Hash>
+class StripedCache {
+ public:
+  /// `max_entries` caps the total entry count (approximately: the cap is
+  /// split evenly across stripes). `num_stripes` is rounded up to a power
+  /// of two.
+  explicit StripedCache(size_t max_entries, size_t num_stripes = 64) {
+    size_t stripes = 1;
+    while (stripes < num_stripes) stripes <<= 1;
+    stripes_ = std::vector<Stripe>(stripes);
+    mask_ = stripes - 1;
+    per_stripe_cap_ = max_entries / stripes + 1;
+  }
+
+  /// Copies the value stored under `key` into `*out`. Returns false on
+  /// miss.
+  bool Lookup(const K& key, V* out) const {
+    const Stripe& stripe = stripes_[Hash{}(key)&mask_];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(key);
+    if (it == stripe.map.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  /// Publishes (key, value); keeps the existing entry if one is already
+  /// present (both racers computed the same deterministic value), and
+  /// drops the insert when the stripe is at capacity.
+  void Insert(const K& key, const V& value) {
+    Stripe& stripe = stripes_[Hash{}(key)&mask_];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.map.size() >= per_stripe_cap_) return;
+    stripe.map.emplace(key, value);
+  }
+
+  /// Total entries across all stripes (racy under concurrent writes; exact
+  /// once writers are done).
+  size_t size() const {
+    size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      total += stripe.map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<K, V, Hash> map;
+  };
+
+  std::vector<Stripe> stripes_;
+  size_t mask_ = 0;
+  size_t per_stripe_cap_ = 0;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_STRIPED_CACHE_H_

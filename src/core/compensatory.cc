@@ -1,12 +1,30 @@
 #include "src/core/compensatory.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <unordered_map>
 
+#include "src/common/thread_pool.h"
+
 namespace bclean {
 namespace {
+
+// Rows per accumulation block. The blocked structure is part of the
+// algorithm, not just the scheduling: per-key float sums fold block
+// partials in ascending block order, so the result is bit-identical for
+// every thread count (a 1-thread Build runs the same blocks inline).
+constexpr size_t kBuildRowBlock = 1024;
+
+// Key stripes for the merge phase. Fixed (never derived from the thread
+// count) so the merge tree, and therefore the float folds, are invariant.
+constexpr size_t kBuildStripes = 8;
+
+// Stripe of a pair key: top 3 bits of the finalizing mix.
+inline size_t StripeOf(uint64_t key) { return HashKey64(key) >> 61; }
 
 // Shannon entropy of one column's (non-null) value distribution.
 double ColumnEntropy(const ColumnStats& column) {
@@ -64,7 +82,8 @@ Status CompensatoryModel::CheckCapacity(const DomainStats& stats) {
 
 CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
                                            const UcMask& mask,
-                                           const CompensatoryOptions& options) {
+                                           const CompensatoryOptions& options,
+                                           size_t num_threads) {
   CompensatoryModel model;
   const size_t n = stats.num_rows();
   const size_t m = stats.num_cols();
@@ -80,133 +99,193 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
         static_cast<double>(n - stats.column(c).null_count());
   }
 
-  // Accumulation happens in a map; the table is flattened for probing once
-  // the counts are complete.
-  std::unordered_map<uint64_t, PairStat> pair_acc;
-  std::vector<int32_t> row(m);
-  for (size_t r = 0; r < n; ++r) {
-    // conf(T) per Equation 3, via the pre-evaluated UC mask.
-    size_t satisfied = 0;
-    size_t violated = 0;
-    for (size_t c = 0; c < m; ++c) {
-      row[c] = stats.code(r, c);
-      if (mask.Check(c, row[c])) {
-        ++satisfied;
-      } else {
-        ++violated;
-      }
-    }
-    double conf =
-        (static_cast<double>(satisfied) -
-         options.lambda * static_cast<double>(violated)) /
-        static_cast<double>(m);
-    conf = std::max(0.0, conf);
-    model.conf_[r] = static_cast<float>(conf);
+  const size_t num_blocks = (n + kBuildRowBlock - 1) / kBuildRowBlock;
+  size_t threads =
+      num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads;
+  threads = std::min(threads, std::max<size_t>(1, num_blocks));
+  ThreadPool pool(threads);
 
-    // Algorithm 2's accumulation, refined per pair: a pair containing a
-    // UC-violating value is penalized by beta (Example 3: correlations of
-    // "400 nprthwood dr" must go negative); pairs of clean values inside a
-    // low-confidence tuple earn partial trust conf(T) instead of a flat
-    // penalty, so high-noise datasets (Flights at 30%) don't lose the
-    // correlations of their remaining clean values.
-    float trusted = conf >= options.tau ? 1.0f : static_cast<float>(conf);
-    for (size_t j = 0; j < m; ++j) {
-      if (row[j] < 0) continue;  // NULLs carry no correlation evidence
-      bool j_ok = mask.Check(j, row[j]);
-      for (size_t k = j + 1; k < m; ++k) {
-        if (row[k] < 0) continue;
-        float delta = (j_ok && mask.Check(k, row[k]))
-                          ? trusted
-                          : -static_cast<float>(options.beta);
-        PairStat& stat = pair_acc[model.PackKey(j, row[j], k, row[k])];
-        stat.weighted += delta;
-        stat.count += 1;
+  // Phase 1 — row-sharded pair extraction: each block accumulates its rows
+  // (in row order) into stripe-split partial tables; conf(T) writes are
+  // per-row and disjoint. No synchronization beyond the block handout.
+  using PartialMap = std::unordered_map<uint64_t, PairStat>;
+  std::vector<std::array<PartialMap, kBuildStripes>> block_acc(num_blocks);
+  pool.ParallelFor(num_blocks, [&](size_t block, size_t) {
+    std::vector<int32_t> row(m);
+    std::array<PartialMap, kBuildStripes>& maps = block_acc[block];
+    const size_t row_begin = block * kBuildRowBlock;
+    const size_t row_end = std::min(n, row_begin + kBuildRowBlock);
+    for (size_t r = row_begin; r < row_end; ++r) {
+      // conf(T) per Equation 3, via the pre-evaluated UC mask.
+      size_t satisfied = 0;
+      size_t violated = 0;
+      for (size_t c = 0; c < m; ++c) {
+        row[c] = stats.code(r, c);
+        if (mask.Check(c, row[c])) {
+          ++satisfied;
+        } else {
+          ++violated;
+        }
+      }
+      double conf =
+          (static_cast<double>(satisfied) -
+           options.lambda * static_cast<double>(violated)) /
+          static_cast<double>(m);
+      conf = std::max(0.0, conf);
+      model.conf_[r] = static_cast<float>(conf);
+
+      // Algorithm 2's accumulation, refined per pair: a pair containing a
+      // UC-violating value is penalized by beta (Example 3: correlations of
+      // "400 nprthwood dr" must go negative); pairs of clean values inside
+      // a low-confidence tuple earn partial trust conf(T) instead of a flat
+      // penalty, so high-noise datasets (Flights at 30%) don't lose the
+      // correlations of their remaining clean values.
+      float trusted = conf >= options.tau ? 1.0f : static_cast<float>(conf);
+      for (size_t j = 0; j < m; ++j) {
+        if (row[j] < 0) continue;  // NULLs carry no correlation evidence
+        bool j_ok = mask.Check(j, row[j]);
+        for (size_t k = j + 1; k < m; ++k) {
+          if (row[k] < 0) continue;
+          float delta = (j_ok && mask.Check(k, row[k]))
+                            ? trusted
+                            : -static_cast<float>(options.beta);
+          uint64_t key = model.PackKey(j, row[j], k, row[k]);
+          PairStat& stat = maps[StripeOf(key)][key];
+          stat.weighted += delta;
+          stat.count += 1;
+        }
       }
     }
+  });
+
+  // Phase 2 — stripe-parallel merge. Every key lives in exactly one
+  // stripe, and each stripe folds block partials in ascending block order,
+  // so per-key totals are independent of both the worker that produced a
+  // block and the number of merge workers. A single-block table is already
+  // merged (moving a map neither reorders nor re-adds anything).
+  std::array<PartialMap, kBuildStripes> stripe_acc;
+  if (num_blocks == 1) {
+    stripe_acc = std::move(block_acc[0]);
+  } else {
+    pool.ParallelFor(kBuildStripes, [&](size_t s, size_t) {
+      PartialMap& acc = stripe_acc[s];
+      for (size_t block = 0; block < num_blocks; ++block) {
+        for (const auto& [key, stat] : block_acc[block][s]) {
+          PairStat& out = acc[key];
+          out.weighted += stat.weighted;
+          out.count += stat.count;
+        }
+        block_acc[block][s] = PartialMap();  // release as we go
+      }
+    });
   }
 
-  // Pairwise attribute dependency (Section 3's "pairwise attribute
-  // correlation"): normalized mutual information per attribute pair,
-  // estimated from the accumulated raw co-occurrence counts.
-  model.use_mi_weighting_ = options.use_mi_weighting;
-  model.pair_weight_.assign(m * m, 1.0f);
-  if (options.use_mi_weighting && n > 0) {
-    std::vector<double> entropy(m);
-    for (size_t c = 0; c < m; ++c) entropy[c] = ColumnEntropy(stats.column(c));
-    std::vector<double> mi(m * m, 0.0);
-    std::vector<double> joint_total(m * m, 0.0);
-    for (const auto& [key, stat] : pair_acc) {
-      joint_total[key >> 48] += static_cast<double>(stat.count);
-    }
-    for (const auto& [key, stat] : pair_acc) {
-      // Singleton joints dominate sparse-data MI estimates and make
-      // independent attribute pairs look dependent (every once-seen pair
-      // is "surprising"); only recurring co-occurrences carry evidence
-      // of real dependency.
-      if (stat.count < 2) continue;
-      size_t pair_id = key >> 48;
-      size_t j = pair_id / m;
-      size_t k = pair_id % m;
-      double n_jk = joint_total[pair_id];
-      if (n_jk <= 0.0) continue;
-      int32_t c = static_cast<int32_t>((key >> 24) & 0xFFFFFF);
-      int32_t e = static_cast<int32_t>(key & 0xFFFFFF);
-      double p_ce = static_cast<double>(stat.count) / n_jk;
-      double p_c = static_cast<double>(stats.column(j).Frequency(c)) /
-                   static_cast<double>(n);
-      double p_e = static_cast<double>(stats.column(k).Frequency(e)) /
-                   static_cast<double>(n);
-      if (p_c > 0.0 && p_e > 0.0) {
-        mi[pair_id] += p_ce * std::log(p_ce / (p_c * p_e));
-      }
-    }
-    for (size_t j = 0; j < m; ++j) {
-      for (size_t k = j + 1; k < m; ++k) {
-        size_t pair_id = j * m + k;
-        double h = std::min(entropy[j], entropy[k]);
-        double w = h > 1e-9 ? std::clamp(mi[pair_id] / h, 0.0, 1.0) : 0.0;
-        model.pair_weight_[pair_id] = static_cast<float>(w);
-      }
-    }
+  size_t total_pairs = 0;
+  for (const PartialMap& acc : stripe_acc) total_pairs += acc.size();
+  std::vector<std::pair<uint64_t, PairStat>> entries;
+  entries.reserve(total_pairs);
+  for (const PartialMap& acc : stripe_acc) {
+    for (const auto& entry : acc) entries.push_back(entry);
   }
+  model.pairs_.Build(entries.begin(), entries.end(), entries.size());
 
-  model.pairs_.Build(pair_acc.begin(), pair_acc.end(), pair_acc.size());
-
-  // Oriented co-occurrence index for the batch Score_corr path: for every
-  // (candidate attribute, evidence attribute, evidence value) triple, the
-  // list of candidate codes that co-occurred with the evidence and their
-  // weighted counts. Each unordered pair entry appears once per direction.
-  std::vector<std::pair<uint64_t, Posting>> oriented;
-  oriented.reserve(2 * pair_acc.size());
-  for (const auto& [key, stat] : pair_acc) {
+  // Oriented co-occurrence index for the batch Score_corr path, built by
+  // per-pair bucketing instead of one global sort: each (candidate
+  // attribute, evidence attribute) direction collects its entries, buckets
+  // sort independently (in parallel), and the concatenation in direction
+  // order reproduces the exact layout the global (key, code) sort produced.
+  struct OrientedEntry {
+    int32_t e = 0;
+    int32_t code = 0;
+    float weighted = 0.0f;
+    uint32_t count = 0;  // raw count, consumed by the MI pass below
+  };
+  std::vector<std::vector<OrientedEntry>> buckets(m * m);
+  for (const auto& [key, stat] : entries) {
     size_t pair_id = key >> 48;
     size_t j = pair_id / m;
     size_t k = pair_id % m;
     int32_t c = static_cast<int32_t>((key >> 24) & 0xFFFFFF);
     int32_t e = static_cast<int32_t>(key & 0xFFFFFF);
-    oriented.push_back({model.OrientedKey(j, k, e), {c, stat.weighted}});
-    oriented.push_back({model.OrientedKey(k, j, c), {e, stat.weighted}});
+    buckets[j * m + k].push_back({e, c, stat.weighted, stat.count});
+    buckets[k * m + j].push_back({c, e, stat.weighted, stat.count});
   }
-  // Sort by (key, code): contiguous postings per key, in a deterministic
-  // layout independent of the accumulation map's iteration order.
-  std::sort(oriented.begin(), oriented.end(),
-            [](const auto& a, const auto& b) {
-              if (a.first != b.first) return a.first < b.first;
-              return a.second.code < b.second.code;
-            });
-  model.postings_.reserve(oriented.size());
+  pool.ParallelFor(m * m, [&](size_t d, size_t) {
+    std::sort(buckets[d].begin(), buckets[d].end(),
+              [](const OrientedEntry& a, const OrientedEntry& b) {
+                if (a.e != b.e) return a.e < b.e;
+                return a.code < b.code;
+              });
+  });
+  model.postings_.reserve(2 * entries.size());
   std::vector<std::pair<uint64_t, CorrRange>> ranges;
-  for (size_t i = 0; i < oriented.size();) {
-    size_t begin = i;
-    uint64_t key = oriented[i].first;
-    while (i < oriented.size() && oriented[i].first == key) {
-      model.postings_.push_back(oriented[i].second);
-      ++i;
+  for (size_t d = 0; d < m * m; ++d) {
+    const std::vector<OrientedEntry>& bucket = buckets[d];
+    for (size_t i = 0; i < bucket.size();) {
+      int32_t e = bucket[i].e;
+      uint32_t begin = static_cast<uint32_t>(model.postings_.size());
+      while (i < bucket.size() && bucket[i].e == e) {
+        model.postings_.push_back({bucket[i].code, bucket[i].weighted});
+        ++i;
+      }
+      ranges.push_back(
+          {model.OrientedKey(d / m, d % m, e),
+           CorrRange{begin, static_cast<uint32_t>(model.postings_.size())}});
     }
-    ranges.push_back({key, CorrRange{static_cast<uint32_t>(begin),
-                                     static_cast<uint32_t>(i)}});
   }
   model.oriented_.Build(ranges.begin(), ranges.end(), ranges.size());
+
+  // Pairwise attribute dependency (Section 3's "pairwise attribute
+  // correlation"): normalized mutual information per attribute pair,
+  // estimated from the accumulated raw co-occurrence counts. Each pair's
+  // sums walk its sorted bucket, so the float folds are deterministic and
+  // the pairs compute independently in parallel.
+  model.use_mi_weighting_ = options.use_mi_weighting;
+  model.pair_weight_.assign(m * m, 1.0f);
+  if (options.use_mi_weighting && n > 0) {
+    std::vector<double> entropy(m);
+    for (size_t c = 0; c < m; ++c) entropy[c] = ColumnEntropy(stats.column(c));
+    std::vector<size_t> pair_ids;
+    pair_ids.reserve(m * (m - 1) / 2);
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t k = j + 1; k < m; ++k) pair_ids.push_back(j * m + k);
+    }
+    pool.ParallelFor(pair_ids.size(), [&](size_t t, size_t) {
+      size_t pair_id = pair_ids[t];
+      size_t j = pair_id / m;
+      size_t k = pair_id % m;
+      // The j<k direction bucket holds each (c, e) entry exactly once,
+      // sorted by (e, c): candidate side = column j, evidence side = k.
+      const std::vector<OrientedEntry>& bucket = buckets[pair_id];
+      double joint_total = 0.0;
+      for (const OrientedEntry& entry : bucket) {
+        joint_total += static_cast<double>(entry.count);
+      }
+      double mi = 0.0;
+      if (joint_total > 0.0) {
+        for (const OrientedEntry& entry : bucket) {
+          // Singleton joints dominate sparse-data MI estimates and make
+          // independent attribute pairs look dependent (every once-seen
+          // pair is "surprising"); only recurring co-occurrences carry
+          // evidence of real dependency.
+          if (entry.count < 2) continue;
+          double p_ce = static_cast<double>(entry.count) / joint_total;
+          double p_c =
+              static_cast<double>(stats.column(j).Frequency(entry.code)) /
+              static_cast<double>(n);
+          double p_e =
+              static_cast<double>(stats.column(k).Frequency(entry.e)) /
+              static_cast<double>(n);
+          if (p_c > 0.0 && p_e > 0.0) {
+            mi += p_ce * std::log(p_ce / (p_c * p_e));
+          }
+        }
+      }
+      double h = std::min(entropy[j], entropy[k]);
+      double w = h > 1e-9 ? std::clamp(mi / h, 0.0, 1.0) : 0.0;
+      model.pair_weight_[pair_id] = static_cast<float>(w);
+    });
+  }
   return model;
 }
 
@@ -337,6 +416,91 @@ double CompensatoryModel::Filter(const std::vector<int32_t>& row_codes,
              denom;
   }
   return total / static_cast<double>(num_cols_ - 1);
+}
+
+void CompensatoryModel::FilterRow(const std::vector<int32_t>& row_codes,
+                                  std::vector<double>* out) const {
+  const size_t m = num_cols_;
+  out->assign(m, 0.0);
+  if (m < 2) return;
+  // Hoist the per-column evidence eligibility and denominators once.
+  // Engine-built models satisfy CheckCapacity (m <= 256) and stay on the
+  // stack; standalone callers with wider tables get a heap workspace
+  // instead of an overflow.
+  double denom_stack[256];
+  unsigned char usable_stack[256];
+  std::vector<double> denom_heap;
+  std::vector<unsigned char> usable_heap;
+  double* denom = denom_stack;
+  unsigned char* usable = usable_stack;
+  if (m > 256) {
+    denom_heap.resize(m);
+    usable_heap.resize(m);
+    denom = denom_heap.data();
+    usable = usable_heap.data();
+  }
+  for (size_t j = 0; j < m; ++j) {
+    usable[j] = row_codes[j] >= 0 && mask_->Check(j, row_codes[j]);
+    denom[j] = usable[j] ? static_cast<double>(
+                               stats_->column(j).Frequency(row_codes[j]))
+                         : 0.0;
+  }
+  // One probe per unordered pair: count(c, e) is symmetric, so it feeds
+  // both Filter(T, A_i) (evidence j) and Filter(T, A_j) (evidence i).
+  // Iterating i ascending, then j > i, lands each attribute's terms in
+  // ascending-evidence order — exactly the per-cell Filter's summation
+  // order, so the results (and tau_clean verdicts) are bit-equal.
+  for (size_t i = 0; i < m; ++i) {
+    if (row_codes[i] < 0) continue;
+    for (size_t j = i + 1; j < m; ++j) {
+      if (row_codes[j] < 0) continue;
+      const PairStat* stat =
+          pairs_.Find(PackKey(i, row_codes[i], j, row_codes[j]));
+      if (stat == nullptr || stat->count == 0) continue;
+      double count = static_cast<double>(stat->count);
+      if (usable[j] && denom[j] > 0.0) (*out)[i] += count / denom[j];
+      if (usable[i] && denom[i] > 0.0) (*out)[j] += count / denom[i];
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    (*out)[i] = row_codes[i] < 0
+                    ? 0.0  // NULL cells always need inference
+                    : (*out)[i] / static_cast<double>(m - 1);
+  }
+}
+
+uint64_t CompensatoryModel::Fingerprint() const {
+  // Sequential chain over the deterministically-laid-out state, plus
+  // commutative folds over the flat maps (their internal layout depends on
+  // insertion order, which is not part of the model's contract).
+  auto chain = [](uint64_t h, uint64_t v) {
+    return HashKey64(h ^ (v * 0x9E3779B97F4A7C15ull));
+  };
+  uint64_t h = 0xBC1EA2ull;
+  h = chain(h, num_cols_);
+  h = chain(h, std::bit_cast<uint64_t>(inv_n_));
+  for (float c : conf_) h = chain(h, std::bit_cast<uint32_t>(c));
+  for (double c : column_counts_) h = chain(h, std::bit_cast<uint64_t>(c));
+  for (float w : pair_weight_) h = chain(h, std::bit_cast<uint32_t>(w));
+  uint64_t pair_fold = 0;
+  pairs_.ForEach([&](uint64_t key, const PairStat& stat) {
+    uint64_t packed =
+        (static_cast<uint64_t>(std::bit_cast<uint32_t>(stat.weighted)) << 32) |
+        stat.count;
+    pair_fold += HashKey64(key ^ HashKey64(packed));
+  });
+  h = chain(h, pair_fold);
+  for (const Posting& p : postings_) {
+    h = chain(h, static_cast<uint32_t>(p.code));
+    h = chain(h, std::bit_cast<uint32_t>(p.weighted));
+  }
+  uint64_t range_fold = 0;
+  oriented_.ForEach([&range_fold](uint64_t key, const CorrRange& range) {
+    uint64_t packed = (static_cast<uint64_t>(range.begin) << 32) | range.end;
+    range_fold += HashKey64(key ^ HashKey64(packed));
+  });
+  h = chain(h, range_fold);
+  return h;
 }
 
 }  // namespace bclean

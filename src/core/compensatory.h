@@ -3,12 +3,16 @@
 // correlations corr(c, e, A_j, A_k), and Score_corr (Equation 2). Also owns
 // the raw pair counts that tuple pruning's Filter (Section 6.2) needs.
 //
-// Pair statistics live in a flat open-addressed table after Build. The
-// candidate-scoring hot path is two-phase: PrepareScoreCorr() hoists
-// everything that is invariant across a cell's candidate set (usable
-// evidence cells, their pair weights, frequencies, and partial pack keys —
-// zero-weight attribute pairs drop out entirely), then ScoreCorrPrepared()
-// scores each candidate with one flat probe per surviving evidence cell.
+// Pair statistics live in a flat open-addressed table after Build. Build
+// itself is row-sharded over a thread pool with a block-deterministic merge
+// (bit-identical for any thread count). The candidate-scoring hot path is
+// two-phase: PrepareScoreCorr() hoists everything that is invariant across
+// a cell's candidate set (usable evidence cells, their pair weights,
+// frequencies, and partial pack keys — zero-weight attribute pairs drop out
+// entirely), then ScoreCorrPrepared() scores each candidate with one flat
+// probe per surviving evidence cell. Tuple pruning goes through FilterRow,
+// which resolves a whole tuple with one symmetric pair probe per unordered
+// attribute pair instead of one probe per (cell, evidence column).
 #ifndef BCLEAN_CORE_COMPENSATORY_H_
 #define BCLEAN_CORE_COMPENSATORY_H_
 
@@ -58,9 +62,14 @@ class CompensatoryModel {
   };
 
   /// Scans the encoded table once (Algorithm 2), computing conf(T) per
-  /// tuple from `mask` and accumulating weighted/raw pair counts.
+  /// tuple from `mask` and accumulating weighted/raw pair counts. The scan
+  /// is sharded by fixed-size row blocks over `num_threads` workers with
+  /// per-worker flat partial tables merged in ascending block order, so the
+  /// resulting model is bit-identical for every thread count (including 1:
+  /// the serial path runs the same blocked algorithm inline).
   static CompensatoryModel Build(const DomainStats& stats, const UcMask& mask,
-                                 const CompensatoryOptions& options);
+                                 const CompensatoryOptions& options,
+                                 size_t num_threads = 1);
 
   /// Validates that `stats` fits PackKey's bit layout: the attribute-pair
   /// id needs m*m <= 2^16 and every dictionary code must fit in 24 bits.
@@ -125,14 +134,34 @@ class CompensatoryModel {
 
   /// Filter(T, A_i) (Section 6.2): mean over other attributes of
   /// count(T[A_i], T[A_j]) / count(T[A_j]). NULL cells filter to 0;
-  /// UC-violating evidence is skipped as in ScoreCorr.
+  /// UC-violating evidence is skipped as in ScoreCorr. Reference
+  /// implementation probing the pair table per evidence column; the
+  /// engine's pruning pass uses FilterRow instead.
   double Filter(const std::vector<int32_t>& row_codes, size_t attr_i) const;
+
+  /// Batched Filter over one tuple: `out` receives Filter(T, A_i) for every
+  /// attribute i, bit-identical to the per-cell reference. Instead of
+  /// probing the pair table per (cell, evidence column) — m*(m-1) probes
+  /// per tuple — it probes each unordered pair once (the raw count is
+  /// symmetric, so one probe serves both directions) and hoists the
+  /// per-column mask/frequency checks: m*(m-1)/2 probes per tuple. (An
+  /// evidence-keyed postings orientation was prototyped for this and
+  /// measured ~4x slower than the direct probes on dense low-cardinality
+  /// evidence, whose ranges span most of the table — see BENCH_pr2.json.)
+  void FilterRow(const std::vector<int32_t>& row_codes,
+                 std::vector<double>* out) const;
 
   /// Number of distinct (attribute-pair, value-pair) entries stored.
   size_t num_pairs() const { return pairs_.size(); }
 
   /// Number of rows scanned.
   size_t num_rows() const { return conf_.size(); }
+
+  /// Order-independent digest of the full model state (conf, pair stats,
+  /// MI weights, postings, filter postings). Two Builds over the same input
+  /// must produce equal fingerprints regardless of thread count; the
+  /// differential tests pin that down.
+  uint64_t Fingerprint() const;
 
  private:
   struct PairStat {

@@ -6,12 +6,17 @@
 
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
+#include "src/core/repair_cache.h"
 #include "src/fdx/structure_learning.h"
 
 namespace bclean {
 namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+size_t ResolveThreads(size_t num_threads) {
+  return num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads;
+}
 
 }  // namespace
 
@@ -22,8 +27,9 @@ BCleanEngine::BCleanEngine(const Table& dirty, const UcRegistry& ucs,
       options_(options),
       stats_(std::move(stats)),
       mask_(UcMask::Build(ucs_, stats_)),
-      compensatory_(CompensatoryModel::Build(stats_, mask_,
-                                             options.compensatory)) {}
+      compensatory_(CompensatoryModel::Build(
+          stats_, mask_, options.compensatory,
+          ResolveThreads(options.num_threads))) {}
 
 Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
     const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options) {
@@ -35,8 +41,14 @@ Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
   BCLEAN_RETURN_IF_ERROR(CompensatoryModel::CheckCapacity(stats));
   std::unique_ptr<BCleanEngine> engine(
       new BCleanEngine(dirty, ucs, options, std::move(stats)));
+  // The engine-level thread budget governs model construction too; an
+  // explicit StructureOptions::num_threads still wins.
+  StructureOptions structure = options.structure;
+  if (structure.num_threads == 0) {
+    structure.num_threads = ResolveThreads(options.num_threads);
+  }
   Result<BayesianNetwork> bn =
-      BuildNetwork(dirty, engine->stats_, options.structure);
+      BuildNetwork(dirty, engine->stats_, structure);
   if (!bn.ok()) return bn.status();
   engine->bn_ = std::move(bn).value();
   return engine;
@@ -140,26 +152,134 @@ std::vector<int32_t> BCleanEngine::CandidatesFor(size_t attr) const {
   return pruned;
 }
 
-void BCleanEngine::CleanRowRange(
-    size_t row_begin, size_t row_end,
-    const std::vector<std::vector<int32_t>>& candidates, CellScorer& scorer,
-    Table& result, CleanStats& stats) const {
+std::vector<uint32_t> BCleanEngine::SignatureColumns(size_t attr) const {
   const size_t m = dirty_.num_cols();
+  std::vector<bool> used(m, false);
+  used[attr] = true;
+  // Full-joint scoring reads every variable's code; tuple pruning's Filter
+  // reads every evidence column. Either way the whole tuple is signature.
+  if (!options_.partitioned_inference || options_.tuple_pruning) {
+    used.assign(m, true);
+  } else {
+    // Markov-blanket evidence: the variable's own attributes (a merged
+    // variable's code folds its sibling attributes), its parents, its
+    // children, and the children's other parents.
+    const Dag& dag = bn_.dag();
+    size_t var = bn_.VariableOfAttr(attr);
+    auto use_var = [&](size_t v) {
+      for (size_t a : bn_.variable(v).attrs) used[a] = true;
+    };
+    use_var(var);
+    for (size_t p : dag.parents(var)) use_var(p);
+    for (size_t child : dag.children(var)) {
+      use_var(child);
+      for (size_t p : dag.parents(child)) use_var(p);
+    }
+    // Compensatory evidence: every column whose pair weight against `attr`
+    // is non-zero can vote on candidates (zero-weight pairs provably
+    // contribute nothing, so they stay out and raise the hit rate).
+    if (options_.use_compensatory) {
+      for (size_t k = 0; k < m; ++k) {
+        if (k != attr && compensatory_.PairWeight(attr, k) > 0.0) {
+          used[k] = true;
+        }
+      }
+    }
+  }
+  std::vector<uint32_t> cols;
+  for (size_t c = 0; c < m; ++c) {
+    if (used[c]) cols.push_back(static_cast<uint32_t>(c));
+  }
+  return cols;
+}
+
+struct BCleanEngine::CleanShared {
+  std::vector<std::vector<int32_t>> candidates;     // per attribute
+  std::vector<uint64_t> candidate_hash;             // per attribute
+  std::vector<std::vector<uint32_t>> sig_cols;      // per attribute
+  std::vector<bool> sig_all;  // per attribute: signature spans the tuple
+  RepairCache* cache = nullptr;
+  std::vector<std::unique_ptr<CellScorer>> scorers;  // per worker
+  std::vector<RepairCache::Local> locals;            // per worker
+  std::vector<std::vector<double>> filter_ws;        // per worker
+};
+
+void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
+                                 CleanShared& shared, size_t worker,
+                                 Table& result, CleanStats& stats) const {
+  const size_t m = dirty_.num_cols();
+  CellScorer& scorer = *shared.scorers[worker];
+  RepairCache::Local* local =
+      shared.cache == nullptr ? nullptr : &shared.locals[worker];
+  std::vector<double>& filter = shared.filter_ws[worker];
   std::vector<int32_t> row_codes(m);
   std::vector<int32_t> batch;
   std::vector<double> scores;
   for (size_t r = row_begin; r < row_end; ++r) {
     for (size_t c = 0; c < m; ++c) row_codes[c] = stats_.code(r, c);
+    // The row's Filter values and whole-tuple signature prefix are
+    // computed at most once and recomputed only after an in-place repair
+    // changes the tuple.
+    bool filter_valid = false;
+    bool row_sig_valid = false;
+    RepairSignature row_sig;
     for (size_t j = 0; j < m; ++j) {
       ++stats.cells_scanned;
       int32_t original = row_codes[j];
 
+      // Memoized fast path: a cell with a known (attribute, evidence,
+      // candidate-set) signature replays the cached outcome — including
+      // the exact counter increments — instead of filtering and scoring.
+      RepairSignature sig;
+      if (shared.cache != nullptr) {
+        if (shared.sig_all[j]) {
+          if (!row_sig_valid) {
+            row_sig = ComputeRowSignature(row_codes);
+            row_sig_valid = true;
+          }
+          sig = FinalizeCellSignature(row_sig, j, shared.candidate_hash[j]);
+        } else {
+          sig = ComputeRepairSignature(j, shared.candidate_hash[j],
+                                       shared.sig_cols[j], row_codes);
+        }
+        CachedRepair hit;
+        if (shared.cache->Lookup(sig, *local, &hit)) {
+          ++stats.cache_hits;
+          if (hit.filtered) {
+            ++stats.cells_skipped_by_filter;
+          } else {
+            ++stats.cells_inferred;
+            stats.candidates_evaluated += hit.candidates_evaluated;
+            if (hit.best != original && hit.best >= 0) {
+              result.set_cell(r, j, stats_.column(j).ValueOf(hit.best));
+              ++stats.cells_changed;
+              if (!options_.partitioned_inference) {
+                row_codes[j] = hit.best;
+                filter_valid = false;
+                row_sig_valid = false;
+              }
+            }
+          }
+          continue;
+        }
+        ++stats.cache_misses;
+      }
+
       // Tuple pruning (pre-detection): confidently supported cells skip
       // inference entirely.
-      if (options_.tuple_pruning && original >= 0 &&
-          compensatory_.Filter(row_codes, j) >= options_.tau_clean) {
-        ++stats.cells_skipped_by_filter;
-        continue;
+      if (options_.tuple_pruning && original >= 0) {
+        if (!filter_valid) {
+          compensatory_.FilterRow(row_codes, &filter);
+          filter_valid = true;
+        }
+        if (filter[j] >= options_.tau_clean) {
+          ++stats.cells_skipped_by_filter;
+          if (shared.cache != nullptr) {
+            shared.cache->Insert(sig, CachedRepair{original, 0, true},
+                                 *local);
+          }
+          continue;
+        }
       }
       ++stats.cells_inferred;
 
@@ -171,11 +291,16 @@ void BCleanEngine::CleanRowRange(
           (!options_.use_user_constraints || mask_.Check(j, original));
       batch.clear();
       if (original_competes) batch.push_back(original);
-      for (int32_t c : candidates[j]) {
+      for (int32_t c : shared.candidates[j]) {
         if (c == original) continue;
         batch.push_back(c);
       }
-      if (batch.empty()) continue;
+      if (batch.empty()) {
+        if (shared.cache != nullptr) {
+          shared.cache->Insert(sig, CachedRepair{original, 0, false}, *local);
+        }
+        continue;
+      }
       scores.resize(batch.size());
       scorer.BeginCell(j, row_codes);
       scorer.ScoreCandidates(batch, scores.data());
@@ -198,6 +323,12 @@ void BCleanEngine::CleanRowRange(
           best = batch[i];
         }
       }
+      if (shared.cache != nullptr) {
+        shared.cache->Insert(
+            sig,
+            CachedRepair{best, static_cast<uint32_t>(batch.size()), false},
+            *local);
+      }
       if (best != original && best >= 0) {
         result.set_cell(r, j, stats_.column(j).ValueOf(best));
         ++stats.cells_changed;
@@ -205,6 +336,8 @@ void BCleanEngine::CleanRowRange(
           // Unpartitioned BClean repairs in place: later cells of the tuple
           // see this repair (the paper's error-amplification path).
           row_codes[j] = best;
+          filter_valid = false;
+          row_sig_valid = false;
         }
       }
     }
@@ -218,40 +351,61 @@ Table BCleanEngine::Clean() {
   const size_t n = dirty_.num_rows();
   const size_t m = dirty_.num_cols();
 
+  CleanShared shared;
   // Candidate lists are computed once per attribute, not per cell.
-  std::vector<std::vector<int32_t>> candidates(m);
-  for (size_t a = 0; a < m; ++a) candidates[a] = CandidatesFor(a);
+  shared.candidates.resize(m);
+  for (size_t a = 0; a < m; ++a) shared.candidates[a] = CandidatesFor(a);
 
-  size_t threads = options_.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                             : options_.num_threads;
+  size_t threads = ResolveThreads(options_.num_threads);
   // In-place repair mode is inherently sequential within the whole pass
   // (the paper's error-amplification path); rows are only independent
   // under partitioned inference.
   if (!options_.partitioned_inference) threads = 1;
   threads = std::min(threads, std::max<size_t>(1, n));
 
+  std::unique_ptr<RepairCache> cache;
+  if (options_.repair_cache) {
+    cache = std::make_unique<RepairCache>(options_.repair_cache_max_entries,
+                                          /*use_shared=*/threads > 1);
+    shared.cache = cache.get();
+    shared.candidate_hash.resize(m);
+    shared.sig_cols.resize(m);
+    shared.sig_all.resize(m);
+    for (size_t a = 0; a < m; ++a) {
+      shared.candidate_hash[a] = HashCandidateSet(shared.candidates[a]);
+      shared.sig_cols[a] = SignatureColumns(a);
+      shared.sig_all[a] = shared.sig_cols[a].size() == m;
+    }
+  }
+
   if (threads <= 1) {
-    CellScorer scorer(bn_, compensatory_, options_, m);
-    CleanRowRange(0, n, candidates, scorer, result, last_stats_);
+    shared.scorers.push_back(
+        std::make_unique<CellScorer>(bn_, compensatory_, options_, m));
+    shared.locals.resize(1);
+    shared.filter_ws.resize(1);
+    CleanRowRange(0, n, shared, 0, result, last_stats_);
   } else {
     // Row-sharded Clean: blocks are handed out dynamically, each worker
     // scores with its own CellScorer into its own CleanStats, and rows map
-    // to disjoint cells of `result`. Counters are order-independent sums,
-    // so stats (and the output bytes) are identical for any thread count.
+    // to disjoint cells of `result`. Counters are order-independent sums
+    // and cache replay reproduces a miss's exact increments, so stats (and
+    // the output bytes) are identical for any thread count — only the
+    // hit/miss split depends on interleaving.
     constexpr size_t kRowBlock = 32;
     const size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
     ThreadPool pool(threads);
     std::vector<CleanStats> worker_stats(pool.size());
-    std::vector<std::unique_ptr<CellScorer>> scorers;
-    scorers.reserve(pool.size());
+    shared.scorers.reserve(pool.size());
     for (size_t w = 0; w < pool.size(); ++w) {
-      scorers.push_back(
+      shared.scorers.push_back(
           std::make_unique<CellScorer>(bn_, compensatory_, options_, m));
     }
+    shared.locals.resize(pool.size());
+    shared.filter_ws.resize(pool.size());
     pool.ParallelFor(num_blocks, [&](size_t block, size_t worker) {
       size_t begin = block * kRowBlock;
       size_t end = std::min(n, begin + kRowBlock);
-      CleanRowRange(begin, end, candidates, *scorers[worker], result,
+      CleanRowRange(begin, end, shared, worker, result,
                     worker_stats[worker]);
     });
     for (const CleanStats& s : worker_stats) {
@@ -260,6 +414,8 @@ Table BCleanEngine::Clean() {
       last_stats_.cells_inferred += s.cells_inferred;
       last_stats_.cells_changed += s.cells_changed;
       last_stats_.candidates_evaluated += s.candidates_evaluated;
+      last_stats_.cache_hits += s.cache_hits;
+      last_stats_.cache_misses += s.cache_misses;
     }
   }
   last_stats_.seconds = watch.ElapsedSeconds();

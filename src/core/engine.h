@@ -7,6 +7,7 @@
 #ifndef BCLEAN_CORE_ENGINE_H_
 #define BCLEAN_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,13 +24,18 @@
 
 namespace bclean {
 
-/// Counters from one Clean() pass.
+/// Counters from one Clean() pass. The first five are deterministic
+/// functions of the input (identical across thread counts and cache
+/// settings); the cache counters depend on worker interleaving and only
+/// their sum (cells consulting the cache) is stable.
 struct CleanStats {
   size_t cells_scanned = 0;
   size_t cells_skipped_by_filter = 0;  ///< tuple pruning hits
   size_t cells_inferred = 0;           ///< cells whose candidates were scored
   size_t cells_changed = 0;            ///< repairs applied
   size_t candidates_evaluated = 0;
+  size_t cache_hits = 0;    ///< cells replayed from the repair cache
+  size_t cache_misses = 0;  ///< cells scored and published to the cache
   double seconds = 0.0;
 };
 
@@ -74,18 +80,30 @@ class BCleanEngine {
   /// filtering and, when enabled, domain pruning). Exposed for tests.
   std::vector<int32_t> CandidatesFor(size_t attr) const;
 
+  /// Columns whose codes the repair decision for `attr` can read: the
+  /// attribute itself, its variable's Markov-blanket attributes, every
+  /// compensatory evidence column with non-zero pair weight, and — under
+  /// full-joint scoring or tuple pruning — the whole tuple. This is the
+  /// repair-cache signature domain; any column outside it provably cannot
+  /// change the cell's outcome. Exposed for the signature property tests.
+  std::vector<uint32_t> SignatureColumns(size_t attr) const;
+
  private:
   BCleanEngine(const Table& dirty, const UcRegistry& ucs,
                const BCleanOptions& options, DomainStats stats);
 
-  /// Runs Algorithm 1 over rows [row_begin, row_end), scoring through
-  /// `scorer` and accumulating into `stats`. Repairs are written to
-  /// `result`; under unpartitioned inference they are also applied to the
-  /// working row so later cells of the tuple see them.
-  void CleanRowRange(size_t row_begin, size_t row_end,
-                     const std::vector<std::vector<int32_t>>& candidates,
-                     CellScorer& scorer, Table& result,
-                     CleanStats& stats) const;
+  /// Per-Clean() state shared across workers: candidate lists and their
+  /// digests, signature column lists, the repair cache, and the per-worker
+  /// scorers / cache L1s / filter workspaces.
+  struct CleanShared;
+
+  /// Runs Algorithm 1 over rows [row_begin, row_end) as worker `worker`,
+  /// accumulating into `stats`. Repairs are written to `result`; under
+  /// unpartitioned inference they are also applied to the working row so
+  /// later cells of the tuple see them. Cells whose signature is already
+  /// memoized replay the cached outcome instead of scoring.
+  void CleanRowRange(size_t row_begin, size_t row_end, CleanShared& shared,
+                     size_t worker, Table& result, CleanStats& stats) const;
 
   Table dirty_;
   UcRegistry ucs_;

@@ -80,11 +80,25 @@ struct BCleanOptions {
   size_t domain_top_k = 128;
 
   /// Worker threads for Clean() under partitioned inference (rows are
-  /// scored independently, so the table shards by row block). 0 means
-  /// hardware_concurrency. Output is byte-identical for every thread
-  /// count. Unpartitioned inference repairs in place (earlier repairs feed
-  /// later cells of the tuple) and therefore always runs single-threaded.
+  /// scored independently, so the table shards by row block) and for model
+  /// construction (CompensatoryModel::Build shards by row block with a
+  /// deterministic merge). 0 means hardware_concurrency. Output is
+  /// byte-identical for every thread count. Unpartitioned inference repairs
+  /// in place (earlier repairs feed later cells of the tuple) and therefore
+  /// always runs its scoring pass single-threaded.
   size_t num_threads = 0;
+
+  /// Memoize whole per-cell repair decisions across rows: cells sharing a
+  /// (column, evidence codes, candidate set) signature cost one cache
+  /// lookup instead of a candidate-span scoring pass. Output is
+  /// byte-identical with the cache off (the memoized function is
+  /// deterministic); only wall-clock changes.
+  bool repair_cache = true;
+
+  /// Memory cap for the repair cache: maximum memoized cell signatures in
+  /// the shared level (each worker's private level obeys the same cap).
+  /// Once full, further outcomes are computed but not stored.
+  size_t repair_cache_max_entries = 1 << 20;
 
   /// Structure-learning configuration for automatic BN construction.
   StructureOptions structure;

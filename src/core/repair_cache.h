@@ -1,0 +1,164 @@
+// Cross-row repair memoization (the BayesWipe/PClean amortization idea):
+// the per-cell argmax of Algorithm 1 is a pure function of the attribute,
+// the candidate set, and the codes of the columns the scorer actually reads
+// (Markov-blanket evidence, compensatory evidence, and — under tuple
+// pruning or full-joint scoring — the whole tuple). Cells that share that
+// signature across rows therefore share the entire repair decision, so the
+// engine computes a 128-bit signature per cell and memoizes the outcome:
+// identical cells cost one cache probe instead of a candidate-span scoring
+// pass.
+//
+// The cache is two-level: a per-worker unordered map (lock-free L1) in
+// front of a shared striped-lock map (L2), so hot signatures migrate to
+// every worker while cold ones are published once. Because the memoized
+// function is deterministic, racing workers insert identical values and
+// Clean() output stays byte-identical for any thread count and for the
+// cache being on or off.
+#ifndef BCLEAN_CORE_REPAIR_CACHE_H_
+#define BCLEAN_CORE_REPAIR_CACHE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/striped_cache.h"
+
+namespace bclean {
+
+/// 128-bit cell signature: two independent 64-bit mixing chains over the
+/// same inputs, so a false hit needs a simultaneous collision in both.
+struct RepairSignature {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const RepairSignature&) const = default;
+};
+
+struct RepairSignatureHash {
+  size_t operator()(const RepairSignature& sig) const {
+    return static_cast<size_t>(sig.lo ^ (sig.hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// One splitmix-style mixing step: fold `v` into `h` under `mult`.
+inline uint64_t SigStep(uint64_t h, uint64_t v, uint64_t mult) {
+  h = (h ^ v) * mult;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+/// Digest of an attribute's candidate list (computed once per Clean pass).
+inline uint64_t HashCandidateSet(std::span<const int32_t> candidates) {
+  uint64_t h = SigStep(0x853C49E6748FEA9Bull, candidates.size(),
+                       0xFF51AFD7ED558CCDull);
+  for (int32_t c : candidates) {
+    h = SigStep(h, static_cast<uint32_t>(c), 0xFF51AFD7ED558CCDull);
+  }
+  return h;
+}
+
+/// Signature of cell (`row_codes`, `attr`) given the attribute's candidate
+/// digest and the ascending list of columns the repair decision can read.
+/// Any change to the attribute, the candidate set, or a single evidence
+/// code in `sig_cols` yields a different signature (up to 2^-64-scale
+/// collisions per chain).
+inline RepairSignature ComputeRepairSignature(
+    size_t attr, uint64_t candidate_hash, std::span<const uint32_t> sig_cols,
+    const std::vector<int32_t>& row_codes) {
+  RepairSignature sig;
+  sig.lo = SigStep(0x2545F4914F6CDD1Dull ^ candidate_hash, attr,
+                   0xFF51AFD7ED558CCDull);
+  sig.hi = SigStep(0xDA942042E4DD58B5ull ^ candidate_hash, attr,
+                   0xC4CEB9FE1A85EC53ull);
+  for (uint32_t col : sig_cols) {
+    uint64_t code = static_cast<uint32_t>(row_codes[col]);
+    sig.lo = SigStep(sig.lo, code, 0xFF51AFD7ED558CCDull);
+    sig.hi = SigStep(sig.hi, code, 0xC4CEB9FE1A85EC53ull);
+  }
+  return sig;
+}
+
+/// Whole-tuple signature prefix: when an attribute's signature domain is
+/// every column (tuple pruning or full-joint scoring), the fold over the
+/// row's codes is shared by all its cells — compute it once per row and
+/// finalize per cell, making the per-cell hashing cost O(1) instead of
+/// O(columns).
+inline RepairSignature ComputeRowSignature(
+    const std::vector<int32_t>& row_codes) {
+  RepairSignature sig{0x2545F4914F6CDD1Dull, 0xDA942042E4DD58B5ull};
+  for (int32_t code : row_codes) {
+    uint64_t v = static_cast<uint32_t>(code);
+    sig.lo = SigStep(sig.lo, v, 0xFF51AFD7ED558CCDull);
+    sig.hi = SigStep(sig.hi, v, 0xC4CEB9FE1A85EC53ull);
+  }
+  return sig;
+}
+
+/// Cell signature from a whole-tuple prefix: folds the attribute and its
+/// candidate digest on top of ComputeRowSignature's result. (A different
+/// mixing order than ComputeRepairSignature — the two variants never apply
+/// to the same cell, and both discriminate all three inputs.)
+inline RepairSignature FinalizeCellSignature(const RepairSignature& row_sig,
+                                             size_t attr,
+                                             uint64_t candidate_hash) {
+  return RepairSignature{
+      SigStep(row_sig.lo ^ candidate_hash, attr, 0xFF51AFD7ED558CCDull),
+      SigStep(row_sig.hi ^ candidate_hash, attr, 0xC4CEB9FE1A85EC53ull)};
+}
+
+/// The memoized outcome of one cell: enough to replay the repair and the
+/// CleanStats accounting without rescoring.
+struct CachedRepair {
+  int32_t best = -1;                 ///< chosen code (== original: no change)
+  uint32_t candidates_evaluated = 0; ///< batch size the scorer would report
+  bool filtered = false;             ///< tuple pruning skipped the cell
+};
+
+/// Shared repair memo plus the per-worker L1 type.
+class RepairCache {
+ public:
+  using Local =
+      std::unordered_map<RepairSignature, CachedRepair, RepairSignatureHash>;
+
+  /// `use_shared` enables the striped L2; a single-worker Clean() pass
+  /// sees every signature through its own L1 anyway, so it skips the
+  /// shared level (and its locking) entirely with an identical hit
+  /// pattern.
+  explicit RepairCache(size_t max_entries, bool use_shared = true)
+      : shared_(use_shared ? max_entries : 0),
+        use_shared_(use_shared),
+        local_cap_(max_entries) {}
+
+  /// L1-then-L2 lookup; L2 hits are promoted into `local`.
+  bool Lookup(const RepairSignature& sig, Local& local, CachedRepair* out) {
+    auto it = local.find(sig);
+    if (it != local.end()) {
+      *out = it->second;
+      return true;
+    }
+    if (!use_shared_ || !shared_.Lookup(sig, out)) return false;
+    if (local.size() < local_cap_) local.emplace(sig, *out);
+    return true;
+  }
+
+  /// Publishes a freshly computed outcome to both levels.
+  void Insert(const RepairSignature& sig, const CachedRepair& value,
+              Local& local) {
+    if (local.size() < local_cap_) local.emplace(sig, value);
+    if (use_shared_) shared_.Insert(sig, value);
+  }
+
+  /// Entries in the shared level.
+  size_t size() const { return shared_.size(); }
+
+ private:
+  StripedCache<RepairSignature, CachedRepair, RepairSignatureHash> shared_;
+  bool use_shared_;
+  size_t local_cap_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CORE_REPAIR_CACHE_H_

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/matrix/decomposition.h"
 #include "src/text/similarity.h"
 
@@ -36,16 +37,25 @@ Matrix BuildSimilarityObservations(const Table& table,
   size_t pairs_per_attr = std::min(n - 1, options.max_pairs_per_attribute);
   // Stride so samples cover the whole sorted sequence, not a prefix.
   size_t stride = std::max<size_t>(1, (n - 1) / pairs_per_attr);
+  // Samples actually taken per attribute: k = 0, stride, ... while k+1 < n.
+  size_t samples = (n - 2) / stride + 1;
 
-  std::vector<std::vector<double>> rows;
-  rows.reserve(m * pairs_per_attr);
-  std::vector<size_t> index(n);
-  for (size_t sort_col = 0; sort_col < m; ++sort_col) {
+  // Row-sharded statistics pass: each attribute's sort and its sampled
+  // similarity rows are independent of every other attribute's, and each
+  // writes a fixed, precomputed slice of the observation matrix — so the
+  // result is identical for any worker count.
+  std::vector<std::vector<double>> rows(m * samples);
+  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                            : options.num_threads;
+  ThreadPool pool(std::min(threads, m));
+  pool.ParallelFor(m, [&](size_t sort_col, size_t) {
+    std::vector<size_t> index(n);
     std::iota(index.begin(), index.end(), size_t{0});
     const auto& column = table.column(sort_col);
     std::stable_sort(index.begin(), index.end(), [&](size_t a, size_t b) {
       return column[a] < column[b];
     });
+    size_t slot = sort_col * samples;
     for (size_t k = 0; k + 1 < n; k += stride) {
       size_t i = index[k];
       size_t j = index[k + 1];
@@ -53,9 +63,9 @@ Matrix BuildSimilarityObservations(const Table& table,
       for (size_t a = 0; a < m; ++a) {
         obs[a] = ValueSimilarity(table.cell(i, a), table.cell(j, a));
       }
-      rows.push_back(std::move(obs));
+      rows[slot++] = std::move(obs);
     }
-  }
+  });
   return Matrix::FromRows(rows);
 }
 

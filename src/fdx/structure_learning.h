@@ -36,6 +36,11 @@ struct StructureOptions {
   size_t max_pairs_per_attribute = 20000;
   /// Parent-count cap per node; weakest parents are dropped first.
   size_t max_parents = 3;
+  /// Worker threads for the similarity-observation pass (each attribute's
+  /// sort + sampled similarity rows are independent and write to disjoint
+  /// observation slots, so the matrix is identical for every thread
+  /// count). 0 means hardware_concurrency.
+  size_t num_threads = 0;
 };
 
 /// Output of structure learning.

@@ -167,6 +167,43 @@ TEST(CompensatoryTest, FilterSeparatesCleanFromDirty) {
   EXPECT_DOUBLE_EQ(model.Filter(null_row, 1), 0.0);
 }
 
+TEST(CompensatoryTest, FilterRowMatchesPerCellFilterExactly) {
+  // The engine's tuple pruning uses FilterRow (one symmetric pair probe
+  // per unordered attribute pair); the per-cell Filter probes the pair
+  // table per evidence column. They must make bit-identical tau_clean
+  // decisions on every cell of every tuple.
+  Table t = DirtyFixture();
+  DomainStats stats = DomainStats::Build(t);
+  UcMask mask = UcMask::Build(FixtureUcs(), stats);
+  CompensatoryModel model =
+      CompensatoryModel::Build(stats, mask, CompensatoryOptions{});
+  const size_t m = t.num_cols();
+  std::vector<int32_t> row(m);
+  std::vector<double> batched;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < m; ++c) row[c] = stats.code(r, c);
+    model.FilterRow(row, &batched);
+    ASSERT_EQ(batched.size(), m);
+    for (size_t i = 0; i < m; ++i) {
+      double reference = model.Filter(row, i);
+      EXPECT_EQ(batched[i], reference)
+          << "row " << r << " attr " << i << " diverged";
+      for (double tau : {0.1, 0.35, 0.5}) {
+        EXPECT_EQ(batched[i] >= tau, reference >= tau);
+      }
+    }
+  }
+  // Rows the table never contained (unseen evidence combinations) agree
+  // too: the index lookup misses exactly where the pair probes miss.
+  std::vector<int32_t> unseen = {stats.column(0).CodeOf("75001"),
+                                 stats.column(1).CodeOf("berlin"),
+                                 stats.column(2).CodeOf("b")};
+  model.FilterRow(unseen, &batched);
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(batched[i], model.Filter(unseen, i));
+  }
+}
+
 class EngineVariantTest : public ::testing::TestWithParam<int> {
  protected:
   BCleanOptions VariantOptions() const {

@@ -1,0 +1,196 @@
+// Differential harness for the memoized, parallel cleaning pipeline: on
+// randomized tables from src/datagen, Clean() output must be byte-identical
+// across {repair cache on/off} x {1, 2, 8 threads} x {PI, PIP}, parallel
+// CompensatoryModel::Build must reproduce the serial model bit-for-bit, and
+// the sharded structure-learning statistics pass must reproduce the serial
+// observation matrix. Any column the repair decision reads but the cache
+// signature misses would surface here as a byte diff.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/core/compensatory.h"
+#include "src/core/engine.h"
+#include "src/core/uc_mask.h"
+#include "src/data/domain_stats.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+#include "src/fdx/structure_learning.h"
+
+namespace bclean {
+namespace {
+
+// The counters that must be identical across thread counts and cache
+// settings (everything except the wall clock and the hit/miss split).
+void ExpectSameStableCounters(const CleanStats& a, const CleanStats& b) {
+  EXPECT_EQ(a.cells_scanned, b.cells_scanned);
+  EXPECT_EQ(a.cells_skipped_by_filter, b.cells_skipped_by_filter);
+  EXPECT_EQ(a.cells_inferred, b.cells_inferred);
+  EXPECT_EQ(a.cells_changed, b.cells_changed);
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+}
+
+// A dirty table with real cross-row duplication: the injected table plus a
+// replicated prefix, so the cache sees repeated (evidence, candidate-set)
+// signatures the way entity-heavy production data would.
+Table MakeDuplicateHeavy(const Table& dirty) {
+  std::vector<size_t> rows(dirty.num_rows());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  for (size_t copy = 0; copy < 2; ++copy) {
+    for (size_t r = 0; r < dirty.num_rows() / 2; ++r) rows.push_back(r);
+  }
+  return dirty.SelectRows(rows);
+}
+
+struct DiffCase {
+  std::string dataset;
+  uint64_t seed;
+};
+
+class DifferentialCleanTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialCleanTest, OutputIsInvariantAcrossCacheAndThreads) {
+  const DiffCase& c = GetParam();
+  Dataset ds = MakeBenchmark(c.dataset, 220, 42).value();
+  Rng rng(c.seed);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  Table dirty = MakeDuplicateHeavy(injection.dirty);
+
+  struct Mode {
+    const char* name;
+    BCleanOptions options;
+    std::vector<size_t> thread_counts;
+  };
+  // The unpartitioned in-place mode always scans single-threaded, but its
+  // cache path is the trickiest (hit replay mutates the working row and
+  // must invalidate the row signature), so it joins the cache on/off
+  // byte-equality sweep at 1 thread.
+  const std::vector<Mode> modes = {
+      {"PI", BCleanOptions::PartitionedInference(), {1, 2, 8}},
+      {"PIP", BCleanOptions::PartitionedInferencePruning(), {1, 2, 8}},
+      {"Basic", BCleanOptions::Basic(), {1}},
+  };
+  for (const Mode& mode : modes) {
+    BCleanOptions reference_options = mode.options;
+    reference_options.repair_cache = false;
+    reference_options.num_threads = 1;
+    auto reference = BCleanEngine::Create(dirty, ds.ucs, reference_options);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    Table reference_out = reference.value()->Clean();
+    CleanStats reference_stats = reference.value()->last_stats();
+    EXPECT_GT(reference_stats.cells_changed, 0u);
+
+    for (bool cache : {false, true}) {
+      for (size_t threads : mode.thread_counts) {
+        BCleanOptions options = reference_options;
+        options.repair_cache = cache;
+        options.num_threads = threads;
+        auto engine = BCleanEngine::Create(dirty, ds.ucs, options);
+        ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+        Table out = engine.value()->Clean();
+        const CleanStats& stats = engine.value()->last_stats();
+        SCOPED_TRACE("dataset=" + c.dataset + " mode=" + mode.name +
+                     " cache=" + std::to_string(cache) +
+                     " threads=" + std::to_string(threads));
+        EXPECT_TRUE(out == reference_out)
+            << "Clean() bytes diverged from the reference run";
+        ExpectSameStableCounters(reference_stats, stats);
+        if (cache) {
+          // Every cell consults the cache exactly once...
+          EXPECT_EQ(stats.cache_hits + stats.cache_misses,
+                    stats.cells_scanned);
+          // ...and the replicated rows guarantee cross-row hits.
+          EXPECT_GT(stats.cache_hits, 0u);
+        } else {
+          EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialCleanTest,
+    ::testing::Values(DiffCase{"hospital", 3}, DiffCase{"hospital", 17},
+                      DiffCase{"beers", 3}, DiffCase{"flights", 17}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return info.param.dataset + "_s" + std::to_string(info.param.seed);
+    });
+
+// Parallel model construction must be bit-identical to the serial path.
+// The table spans several 1024-row accumulation blocks so the blocked merge
+// actually exercises cross-block folding.
+TEST(DifferentialBuildTest, ParallelBuildReproducesSerialModel) {
+  for (const char* name : {"hospital", "inpatient"}) {
+    Dataset ds = MakeBenchmark(name, 2600, 42).value();
+    Rng rng(11);
+    InjectionResult injection =
+        InjectErrors(ds.clean, ds.default_injection, &rng).value();
+    DomainStats stats = DomainStats::Build(injection.dirty);
+    UcMask mask = UcMask::Build(ds.ucs, stats);
+
+    CompensatoryModel serial =
+        CompensatoryModel::Build(stats, mask, CompensatoryOptions{}, 1);
+    for (size_t threads : {2u, 8u}) {
+      CompensatoryModel parallel =
+          CompensatoryModel::Build(stats, mask, CompensatoryOptions{},
+                                   threads);
+      SCOPED_TRACE(std::string(name) + " threads=" +
+                   std::to_string(threads));
+      EXPECT_EQ(serial.num_pairs(), parallel.num_pairs());
+      EXPECT_EQ(serial.Fingerprint(), parallel.Fingerprint());
+      // Spot-check the public surface too, so a fingerprint bug cannot
+      // mask a real divergence.
+      const size_t m = stats.num_cols();
+      std::vector<int32_t> row(m);
+      for (size_t r = 0; r < stats.num_rows(); r += 97) {
+        EXPECT_EQ(serial.Conf(r), parallel.Conf(r));
+        for (size_t c = 0; c < m; ++c) row[c] = stats.code(r, c);
+        for (size_t j = 0; j + 1 < m; ++j) {
+          EXPECT_EQ(serial.PairCount(j, row[j], j + 1, row[j + 1]),
+                    parallel.PairCount(j, row[j], j + 1, row[j + 1]));
+          EXPECT_EQ(serial.Corr(j, row[j], j + 1, row[j + 1]),
+                    parallel.Corr(j, row[j], j + 1, row[j + 1]));
+          EXPECT_EQ(serial.PairWeight(j, j + 1),
+                    parallel.PairWeight(j, j + 1));
+        }
+      }
+    }
+  }
+}
+
+// The sharded similarity-observation pass must reproduce the serial matrix
+// element-for-element, and the learned structure must be unchanged.
+TEST(DifferentialStructureTest, ShardedObservationsMatchSerial) {
+  Dataset ds = MakeBenchmark("hospital", 500, 42).value();
+  StructureOptions serial_options;
+  serial_options.num_threads = 1;
+  Matrix serial = BuildSimilarityObservations(ds.clean, serial_options);
+  ASSERT_GT(serial.rows(), 0u);
+  for (size_t threads : {2u, 8u}) {
+    StructureOptions options;
+    options.num_threads = threads;
+    Matrix sharded = BuildSimilarityObservations(ds.clean, options);
+    ASSERT_EQ(serial.rows(), sharded.rows());
+    ASSERT_EQ(serial.cols(), sharded.cols());
+    for (size_t r = 0; r < serial.rows(); ++r) {
+      for (size_t c = 0; c < serial.cols(); ++c) {
+        EXPECT_EQ(serial.At(r, c), sharded.At(r, c))
+            << "observation (" << r << ", " << c << ") diverged at "
+            << threads << " threads";
+      }
+    }
+    auto a = LearnStructure(ds.clean, serial_options);
+    auto b = LearnStructure(ds.clean, options);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().edges, b.value().edges);
+    EXPECT_EQ(a.value().ordering, b.value().ordering);
+  }
+}
+
+}  // namespace
+}  // namespace bclean

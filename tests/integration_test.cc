@@ -9,6 +9,7 @@
 #include "src/baselines/rahabaran_lite.h"
 #include "src/common/rng.h"
 #include "src/core/engine.h"
+#include "src/data/csv.h"
 #include "src/datagen/benchmarks.h"
 #include "src/eval/metrics.h"
 
@@ -156,6 +157,43 @@ TEST(IntegrationTest, PruningPreservesQualityAndSkipsWork) {
   EXPECT_LT(engine_pip.value()->last_stats().candidates_evaluated,
             engine_pi.value()->last_stats().candidates_evaluated);
   EXPECT_GT(engine_pip.value()->last_stats().cells_skipped_by_filter, 0u);
+}
+
+TEST(IntegrationTest, GoldenHospitalFixturePinsQuality) {
+  // Checked-in dirty/clean CSV pair with the exact expected metrics: a
+  // perf-motivated PR that changes a single repair decision fails this
+  // test instead of drifting quality silently. Regenerate the pins only
+  // for a deliberate, reviewed behavior change (see tests/data/README.md).
+  const std::string dir = BCLEAN_TEST_DATA_DIR;
+  auto dirty = ReadCsvFile(dir + "/golden_hospital_dirty.csv");
+  auto clean = ReadCsvFile(dir + "/golden_hospital_clean.csv");
+  ASSERT_TRUE(dirty.ok()) << dirty.status().ToString();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  // UCs come from the generator; its schema must still match the fixture.
+  Dataset ds = MakeHospital(150, 42);
+  ASSERT_EQ(ds.clean.num_cols(), dirty.value().num_cols());
+  for (size_t c = 0; c < ds.clean.num_cols(); ++c) {
+    ASSERT_EQ(ds.clean.schema().attribute(c).name,
+              dirty.value().schema().attribute(c).name)
+        << "hospital schema drifted from the checked-in fixture";
+  }
+
+  auto engine = BCleanEngine::Create(dirty.value(), ds.ucs,
+                                     BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Table cleaned = engine.value()->Clean();
+  CleaningMetrics m =
+      Evaluate(clean.value(), dirty.value(), cleaned).value();
+
+  // Pinned counts (exact) and derived ratios (to float printing).
+  EXPECT_EQ(m.errors, 112u);
+  EXPECT_EQ(m.modified, 139u);
+  EXPECT_EQ(m.correct_repairs, 98u);
+  EXPECT_EQ(m.repaired_errors, 98u);
+  EXPECT_NEAR(m.precision, 0.70503597122302153, 1e-12);
+  EXPECT_NEAR(m.recall, 0.875, 1e-12);
+  EXPECT_NEAR(m.f1, 0.78087649402390424, 1e-12);
 }
 
 TEST(IntegrationTest, CleaningIsDeterministic) {

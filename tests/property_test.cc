@@ -2,7 +2,11 @@
 // seed, and variant — swept with parameterized gtest.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "src/core/engine.h"
+#include "src/core/repair_cache.h"
 #include "src/datagen/benchmarks.h"
 #include "src/errors/error_injection.h"
 #include "src/eval/metrics.h"
@@ -125,6 +129,108 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, MetricFixedPointTest,
                          ::testing::Values("hospital", "flights", "soccer",
                                            "beers", "inpatient",
                                            "facilities"));
+
+// Repair-cache signature properties. Equal (evidence, candidate set)
+// inputs must produce equal signatures — that is what makes the memo a
+// memo — while perturbing the attribute, any single signature-column code,
+// or the candidate digest must change it (no false cache hits).
+TEST(RepairSignatureTest, DeterministicAndSensitiveToEveryInput) {
+  Dataset ds = MakeHospital(200, 42);
+  Rng rng(13);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  auto engine = BCleanEngine::Create(injection.dirty, ds.ucs,
+                                     BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok());
+  const DomainStats& stats = engine.value()->stats();
+  const size_t m = injection.dirty.num_cols();
+
+  std::vector<int32_t> row(m);
+  for (size_t r : {size_t{0}, size_t{57}, size_t{123}}) {
+    for (size_t c = 0; c < m; ++c) row[c] = stats.code(r, c);
+    for (size_t attr = 0; attr < m; ++attr) {
+      std::vector<uint32_t> cols = engine.value()->SignatureColumns(attr);
+      ASSERT_FALSE(cols.empty());
+      // The attribute's own column is always part of its signature.
+      ASSERT_NE(std::find(cols.begin(), cols.end(),
+                          static_cast<uint32_t>(attr)),
+                cols.end());
+      uint64_t cand_hash =
+          HashCandidateSet(engine.value()->CandidatesFor(attr));
+      RepairSignature base =
+          ComputeRepairSignature(attr, cand_hash, cols, row);
+      // Determinism: equal inputs, equal signature.
+      EXPECT_EQ(base, ComputeRepairSignature(attr, cand_hash, cols, row));
+      // Sensitivity: every single evidence-code perturbation flips it.
+      for (uint32_t col : cols) {
+        std::vector<int32_t> perturbed = row;
+        perturbed[col] = perturbed[col] == kNullCode ? 0 : perturbed[col] + 1;
+        EXPECT_NE(base,
+                  ComputeRepairSignature(attr, cand_hash, cols, perturbed))
+            << "perturbing column " << col
+            << " did not change the signature of attribute " << attr;
+      }
+      // A different candidate set or a different attribute is a different
+      // cell family.
+      EXPECT_NE(base, ComputeRepairSignature(attr, cand_hash ^ 1, cols, row));
+      EXPECT_NE(base, ComputeRepairSignature((attr + 1) % m, cand_hash, cols,
+                                             row));
+    }
+  }
+}
+
+// The whole-tuple signature variant (used when an attribute's signature
+// spans every column) obeys the same determinism/sensitivity contract.
+TEST(RepairSignatureTest, RowSignatureVariantIsSensitive) {
+  std::vector<int32_t> row = {4, kNullCode, 0, 17, 3};
+  RepairSignature row_sig = ComputeRowSignature(row);
+  EXPECT_EQ(row_sig, ComputeRowSignature(row));
+  RepairSignature base = FinalizeCellSignature(row_sig, 2, 0xABCDu);
+  EXPECT_EQ(base, FinalizeCellSignature(ComputeRowSignature(row), 2, 0xABCDu));
+  for (size_t col = 0; col < row.size(); ++col) {
+    std::vector<int32_t> perturbed = row;
+    perturbed[col] = perturbed[col] == kNullCode ? 0 : perturbed[col] + 1;
+    EXPECT_NE(base,
+              FinalizeCellSignature(ComputeRowSignature(perturbed), 2,
+                                    0xABCDu))
+        << "perturbing column " << col << " kept the row signature";
+  }
+  EXPECT_NE(base, FinalizeCellSignature(row_sig, 3, 0xABCDu));
+  EXPECT_NE(base, FinalizeCellSignature(row_sig, 2, 0xABCEu));
+}
+
+// Equal evidence implies equal cached repair: duplicated dirty tuples must
+// come out of a cache-enabled Clean() cell-for-cell identical, in both
+// inference modes.
+TEST(RepairSignatureTest, DuplicateTuplesRepairIdentically) {
+  Dataset ds = MakeHospital(150, 42);
+  Rng rng(29);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  const size_t n = injection.dirty.num_rows();
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  for (size_t r = 0; r < n; ++r) rows.push_back(r);  // every row twice
+  Table doubled = injection.dirty.SelectRows(rows);
+
+  for (int variant = 0; variant < 2; ++variant) {
+    BCleanOptions options =
+        variant == 0 ? BCleanOptions::PartitionedInference()
+                     : BCleanOptions::PartitionedInferencePruning();
+    options.repair_cache = true;
+    auto engine = BCleanEngine::Create(doubled, ds.ucs, options);
+    ASSERT_TRUE(engine.ok());
+    Table cleaned = engine.value()->Clean();
+    EXPECT_GT(engine.value()->last_stats().cache_hits, 0u);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < doubled.num_cols(); ++c) {
+        ASSERT_EQ(cleaned.cell(r, c), cleaned.cell(n + r, c))
+            << "duplicate tuples " << r << " and " << n + r
+            << " were repaired differently in column " << c;
+      }
+    }
+  }
+}
 
 // Structure-learning determinism: equal inputs yield equal skeletons.
 TEST(StructureDeterminismTest, SameInputSameEdges) {
