@@ -1,16 +1,17 @@
 // User-interaction scenario (paper Section 7.3.2): the automatically
 // learned Flights network is wrong; a user inspects it, removes the bad
-// edges and installs flight -> time dependencies through the editing API.
-// CPTs are refit locally (only the touched variables), and cleaning quality
-// recovers.
+// edges and installs flight -> time dependencies through the session's
+// editing API. CPTs are refit locally (only the touched variables), the
+// model fingerprint moves with every edit — invalidating the persistent
+// repair cache precisely — and cleaning quality recovers.
 //
 //   ./build/examples/flights_interactive
 #include <cstdio>
 
-#include "src/core/engine.h"
 #include "src/datagen/benchmarks.h"
 #include "src/errors/error_injection.h"
 #include "src/eval/metrics.h"
+#include "src/service/service.h"
 
 using namespace bclean;
 
@@ -20,38 +21,60 @@ int main() {
   auto injection =
       InjectErrors(flights.clean, flights.default_injection, &rng).value();
 
-  auto engine = BCleanEngine::Create(injection.dirty, flights.ucs,
-                                     BCleanOptions::PartitionedInference());
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+  Service service;
+  auto session = service.Open("flights", injection.dirty, flights.ucs,
+                              BCleanOptions::PartitionedInference());
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
     return 1;
   }
-  BCleanEngine& e = *engine.value();
+  Session& s = *session.value();
 
   std::printf("=== automatically learned network ===\n%s\n",
-              e.network().ToString().c_str());
-  Table before = e.Clean();
-  auto m0 = Evaluate(flights.clean, injection.dirty, before).value();
+              s.network().ToString().c_str());
+  std::printf("model fingerprint: %016llx\n\n",
+              static_cast<unsigned long long>(s.model_fingerprint()));
+
+  CleanResult before = s.Clean();
+  auto m0 =
+      Evaluate(flights.clean, injection.dirty, before.table).value();
   std::printf("before user adjustment: P=%.3f R=%.3f F1=%.3f\n\n",
               m0.precision, m0.recall, m0.f1);
 
-  // The user wipes the mislearned edges...
-  for (const auto& [from, to] : e.network().dag().Edges()) {
-    e.RemoveNetworkEdge(e.network().variable(from).name,
-                        e.network().variable(to).name);
+  // The user wipes the mislearned edges... (the first edit transparently
+  // detaches this session from the shared cached engine — other sessions
+  // on the same dataset keep the pristine model).
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const auto& [from, to] : s.network().dag().Edges()) {
+    edges.push_back({s.network().variable(from).name,
+                     s.network().variable(to).name});
+  }
+  for (const auto& [from, to] : edges) {
+    Status st = s.EditNetwork(NetworkEdit::RemoveEdge(from, to));
+    if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
   }
   // ...and declares what they know: one flight, one set of times.
   for (const char* t : {"sched_dep_time", "act_dep_time", "sched_arr_time",
                         "act_arr_time"}) {
-    Status s = e.AddNetworkEdge("flight", t);
-    if (!s.ok()) std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    Status st = s.AddNetworkEdge("flight", t);
+    if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
   }
   std::printf("=== network after user adjustment ===\n%s\n",
-              e.network().ToString().c_str());
+              s.network().ToString().c_str());
+  std::printf("model fingerprint: %016llx  (moved -> repair cache "
+              "invalidated)\n\n",
+              static_cast<unsigned long long>(s.model_fingerprint()));
 
-  Table after = e.Clean();
-  auto m1 = Evaluate(flights.clean, injection.dirty, after).value();
+  CleanResult after = s.Clean();
+  auto m1 = Evaluate(flights.clean, injection.dirty, after.table).value();
   std::printf("after user adjustment:  P=%.3f R=%.3f F1=%.3f\n",
               m1.precision, m1.recall, m1.f1);
+
+  // Re-cleans under the adjusted model replay its own warm cache.
+  CleanResult warm = s.Clean();
+  std::printf("warm re-clean under the edited model: identical=%s "
+              "(%zu/%zu cache hits)\n",
+              warm.table == after.table ? "yes" : "NO",
+              warm.stats.cache_hits, warm.stats.cells_scanned);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "src/common/digest.h"
 #include "src/datagen/pools.h"  // MixHash
 
 namespace bclean {
@@ -271,6 +272,28 @@ double BayesianNetwork::LogProbBlanket(size_t attr, int32_t candidate,
     total += LogProbVariable(child, row_codes, attr, candidate);
   }
   return total;
+}
+
+uint64_t BayesianNetwork::Digest() const {
+  uint64_t h = 0xB41E5ull;
+  h = DigestCombine(h, variables_.size());
+  for (const BnVariable& var : variables_) {
+    h = DigestString(h, var.name);
+    h = DigestCombine(h, var.attrs.size());
+    for (size_t a : var.attrs) h = DigestCombine(h, a);
+  }
+  for (const auto& [from, to] : dag_.Edges()) {
+    h = DigestCombine(h, from);
+    h = DigestCombine(h, to);
+  }
+  h = DigestDouble(h, alpha_);
+  h = DigestCombine(h, static_cast<uint64_t>(root_prior_));
+  for (const Cpt& cpt : cpts_) {
+    h = DigestCombine(h, cpt.domain_size());
+    h = DigestCombine(h, cpt.num_parent_configs());
+    h = DigestCombine(h, cpt.num_observations());
+  }
+  return h;
 }
 
 std::string BayesianNetwork::ToString() const {

@@ -129,6 +129,16 @@ class BayesianNetwork {
   /// Multi-line rendering of variables and edges (examples, debugging).
   std::string ToString() const;
 
+  /// Stable digest of the decision-relevant network state: variables (names
+  /// and attribute membership), edges, the smoothing and root-prior
+  /// configuration, and per-CPT shape summaries. CPT probabilities are a
+  /// deterministic function of (structure, fitted stats, alpha, root prior),
+  /// so combining this digest with a digest of the training data — the
+  /// service layer pairs it with CompensatoryModel::Fingerprint() — pins the
+  /// full scoring model. Any AddEdge/RemoveEdge/MergeNodes edit changes the
+  /// digest; an edit sequence that restores the exact structure restores it.
+  uint64_t Digest() const;
+
   /// Laplace smoothing pseudo-count used when (re)fitting CPTs.
   void set_alpha(double alpha) { alpha_ = alpha; }
 

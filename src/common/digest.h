@@ -1,0 +1,49 @@
+// Order-sensitive 64-bit content digests used by the service layer's
+// fingerprints (engine cache keys, model fingerprints, options digests).
+// These are stability hashes, not cryptography: they identify "same content,
+// same decisions" across process lifetimes, so every fold is defined purely
+// in terms of the digested values (never pointers, container layout, or
+// iteration order of unordered structures).
+#ifndef BCLEAN_COMMON_DIGEST_H_
+#define BCLEAN_COMMON_DIGEST_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/flat_hash.h"
+
+namespace bclean {
+
+/// Folds `v` into the running digest `h`.
+inline uint64_t DigestCombine(uint64_t h, uint64_t v) {
+  return HashKey64(h ^ (v * 0x9E3779B97F4A7C15ull));
+}
+
+/// Folds a double bit-exactly (two doubles digest equal iff their bit
+/// patterns are equal; -0.0 and 0.0 are deliberately distinct).
+inline uint64_t DigestDouble(uint64_t h, double v) {
+  return DigestCombine(h, std::bit_cast<uint64_t>(v));
+}
+
+/// FNV-1a over a byte range; the workhorse for cell/string content.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Folds a string's length and bytes.
+inline uint64_t DigestString(uint64_t h, const std::string& s) {
+  h = DigestCombine(h, s.size());
+  return DigestCombine(h, HashBytes(s.data(), s.size()));
+}
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_DIGEST_H_

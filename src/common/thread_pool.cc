@@ -48,6 +48,11 @@ void ThreadPool::WorkerLoop(size_t worker_id) {
 void ThreadPool::ParallelFor(
     size_t count, const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
+  // One job at a time: concurrent callers (several sessions cleaning on the
+  // service's shared pool) queue here, so the pool never runs more than
+  // size() executors. The inline single-executor path serializes too — a
+  // width-1 pool is a promise of one busy core, not one per caller.
+  std::lock_guard<std::mutex> job_lock(job_mu_);
   if (workers_.empty()) {
     for (size_t i = 0; i < count; ++i) fn(i, 0);
     return;

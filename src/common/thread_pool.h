@@ -5,6 +5,14 @@
 // automatically. The calling thread participates as worker 0 — a pool of
 // size N uses exactly N concurrent executors, and a pool of size 1 runs
 // everything inline with no threads at all.
+//
+// ParallelFor may be called concurrently from multiple threads (the service
+// layer shares one pool across every session's Clean and model build): whole
+// jobs serialize on an internal job lock — one at a time, in no guaranteed
+// order (std::mutex wake-up order is unspecified) — so the pool's width
+// bounds total parallelism instead of multiplying under concurrent
+// callers. Jobs must not submit nested ParallelFor calls to the same pool
+// (the job lock is not reentrant).
 #ifndef BCLEAN_COMMON_THREAD_POOL_H_
 #define BCLEAN_COMMON_THREAD_POOL_H_
 
@@ -35,7 +43,9 @@ class ThreadPool {
   /// Runs fn(index, worker) for every index in [0, count), distributing
   /// indices dynamically over the pool, and blocks until all complete.
   /// `worker` is in [0, size()); the caller runs as worker 0. `fn` must be
-  /// safe to call concurrently from distinct workers.
+  /// safe to call concurrently from distinct workers. Safe to call from
+  /// several threads at once — concurrent jobs run one at a time (order
+  /// unspecified); must not be called from inside a running job.
   void ParallelFor(size_t count,
                    const std::function<void(size_t index, size_t worker)>& fn);
 
@@ -46,6 +56,7 @@ class ThreadPool {
   void WorkerLoop(size_t worker_id);
 
   std::vector<std::thread> workers_;
+  std::mutex job_mu_;  // serializes whole ParallelFor jobs across callers
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

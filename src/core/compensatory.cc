@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/common/digest.h"
 #include "src/common/thread_pool.h"
 
 namespace bclean {
@@ -83,7 +84,8 @@ Status CompensatoryModel::CheckCapacity(const DomainStats& stats) {
 CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
                                            const UcMask& mask,
                                            const CompensatoryOptions& options,
-                                           size_t num_threads) {
+                                           size_t num_threads,
+                                           ThreadPool* pool) {
   CompensatoryModel model;
   const size_t n = stats.num_rows();
   const size_t m = stats.num_cols();
@@ -103,79 +105,100 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
   size_t threads =
       num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads;
   threads = std::min(threads, std::max<size_t>(1, num_blocks));
-  ThreadPool pool(threads);
-
-  // Phase 1 — row-sharded pair extraction: each block accumulates its rows
-  // (in row order) into stripe-split partial tables; conf(T) writes are
-  // per-row and disjoint. No synchronization beyond the block handout.
-  using PartialMap = std::unordered_map<uint64_t, PairStat>;
-  std::vector<std::array<PartialMap, kBuildStripes>> block_acc(num_blocks);
-  pool.ParallelFor(num_blocks, [&](size_t block, size_t) {
-    std::vector<int32_t> row(m);
-    std::array<PartialMap, kBuildStripes>& maps = block_acc[block];
-    const size_t row_begin = block * kBuildRowBlock;
-    const size_t row_end = std::min(n, row_begin + kBuildRowBlock);
-    for (size_t r = row_begin; r < row_end; ++r) {
-      // conf(T) per Equation 3, via the pre-evaluated UC mask.
-      size_t satisfied = 0;
-      size_t violated = 0;
-      for (size_t c = 0; c < m; ++c) {
-        row[c] = stats.code(r, c);
-        if (mask.Check(c, row[c])) {
-          ++satisfied;
-        } else {
-          ++violated;
-        }
-      }
-      double conf =
-          (static_cast<double>(satisfied) -
-           options.lambda * static_cast<double>(violated)) /
-          static_cast<double>(m);
-      conf = std::max(0.0, conf);
-      model.conf_[r] = static_cast<float>(conf);
-
-      // Algorithm 2's accumulation, refined per pair: a pair containing a
-      // UC-violating value is penalized by beta (Example 3: correlations of
-      // "400 nprthwood dr" must go negative); pairs of clean values inside
-      // a low-confidence tuple earn partial trust conf(T) instead of a flat
-      // penalty, so high-noise datasets (Flights at 30%) don't lose the
-      // correlations of their remaining clean values.
-      float trusted = conf >= options.tau ? 1.0f : static_cast<float>(conf);
-      for (size_t j = 0; j < m; ++j) {
-        if (row[j] < 0) continue;  // NULLs carry no correlation evidence
-        bool j_ok = mask.Check(j, row[j]);
-        for (size_t k = j + 1; k < m; ++k) {
-          if (row[k] < 0) continue;
-          float delta = (j_ok && mask.Check(k, row[k]))
-                            ? trusted
-                            : -static_cast<float>(options.beta);
-          uint64_t key = model.PackKey(j, row[j], k, row[k]);
-          PairStat& stat = maps[StripeOf(key)][key];
-          stat.weighted += delta;
-          stat.count += 1;
-        }
-      }
-    }
-  });
-
-  // Phase 2 — stripe-parallel merge. Every key lives in exactly one
-  // stripe, and each stripe folds block partials in ascending block order,
-  // so per-key totals are independent of both the worker that produced a
-  // block and the number of merge workers. A single-block table is already
-  // merged (moving a map neither reorders nor re-adds anything).
-  std::array<PartialMap, kBuildStripes> stripe_acc;
-  if (num_blocks == 1) {
-    stripe_acc = std::move(block_acc[0]);
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(threads);
+    pool = owned_pool.get();
   } else {
-    pool.ParallelFor(kBuildStripes, [&](size_t s, size_t) {
+    threads = pool->size();
+  }
+
+  // Blocks are extracted and merged in waves: at most `wave` block partials
+  // are ever alive, capping the merge footprint for huge tables (the old
+  // all-blocks-then-merge layout held every partial at once). The fold
+  // order — ascending block, wave by wave — equals the all-at-once block
+  // order, so the per-key float sums (and the model fingerprint) are
+  // bit-identical for every wave size and thread count.
+  const size_t wave =
+      std::max<size_t>(kBuildStripes, std::min(num_blocks, threads * 4));
+
+  // Wave phase 1 — row-sharded pair extraction: each block accumulates its
+  // rows (in row order) into stripe-split partial tables; conf(T) writes
+  // are per-row and disjoint. No synchronization beyond the block handout.
+  using PartialMap = std::unordered_map<uint64_t, PairStat>;
+  std::vector<std::array<PartialMap, kBuildStripes>> wave_acc(
+      std::min(wave, num_blocks));
+  std::array<PartialMap, kBuildStripes> stripe_acc;
+  for (size_t wave_begin = 0; wave_begin < num_blocks; wave_begin += wave) {
+    const size_t wave_count = std::min(wave, num_blocks - wave_begin);
+    pool->ParallelFor(wave_count, [&](size_t slot, size_t) {
+      std::vector<int32_t> row(m);
+      std::array<PartialMap, kBuildStripes>& maps = wave_acc[slot];
+      const size_t row_begin = (wave_begin + slot) * kBuildRowBlock;
+      const size_t row_end = std::min(n, row_begin + kBuildRowBlock);
+      for (size_t r = row_begin; r < row_end; ++r) {
+        // conf(T) per Equation 3, via the pre-evaluated UC mask.
+        size_t satisfied = 0;
+        size_t violated = 0;
+        for (size_t c = 0; c < m; ++c) {
+          row[c] = stats.code(r, c);
+          if (mask.Check(c, row[c])) {
+            ++satisfied;
+          } else {
+            ++violated;
+          }
+        }
+        double conf =
+            (static_cast<double>(satisfied) -
+             options.lambda * static_cast<double>(violated)) /
+            static_cast<double>(m);
+        conf = std::max(0.0, conf);
+        model.conf_[r] = static_cast<float>(conf);
+
+        // Algorithm 2's accumulation, refined per pair: a pair containing a
+        // UC-violating value is penalized by beta (Example 3: correlations
+        // of "400 nprthwood dr" must go negative); pairs of clean values
+        // inside a low-confidence tuple earn partial trust conf(T) instead
+        // of a flat penalty, so high-noise datasets (Flights at 30%) don't
+        // lose the correlations of their remaining clean values.
+        float trusted = conf >= options.tau ? 1.0f : static_cast<float>(conf);
+        for (size_t j = 0; j < m; ++j) {
+          if (row[j] < 0) continue;  // NULLs carry no correlation evidence
+          bool j_ok = mask.Check(j, row[j]);
+          for (size_t k = j + 1; k < m; ++k) {
+            if (row[k] < 0) continue;
+            float delta = (j_ok && mask.Check(k, row[k]))
+                              ? trusted
+                              : -static_cast<float>(options.beta);
+            uint64_t key = model.PackKey(j, row[j], k, row[k]);
+            PairStat& stat = maps[StripeOf(key)][key];
+            stat.weighted += delta;
+            stat.count += 1;
+          }
+        }
+      }
+    });
+
+    // Wave phase 2 — stripe-parallel merge. Every key lives in exactly one
+    // stripe, and each stripe folds this wave's block partials in ascending
+    // block order on top of the previous waves' totals, so per-key sums are
+    // independent of the worker that produced a block, the merge worker
+    // count, and the wave size. Partials are released as they fold. A
+    // single-block table is already merged (moving a map neither reorders
+    // nor re-adds anything), so small tables skip the fold outright.
+    if (num_blocks == 1) {
+      stripe_acc = std::move(wave_acc[0]);
+      continue;
+    }
+    pool->ParallelFor(kBuildStripes, [&](size_t s, size_t) {
       PartialMap& acc = stripe_acc[s];
-      for (size_t block = 0; block < num_blocks; ++block) {
-        for (const auto& [key, stat] : block_acc[block][s]) {
+      for (size_t slot = 0; slot < wave_count; ++slot) {
+        for (const auto& [key, stat] : wave_acc[slot][s]) {
           PairStat& out = acc[key];
           out.weighted += stat.weighted;
           out.count += stat.count;
         }
-        block_acc[block][s] = PartialMap();  // release as we go
+        wave_acc[slot][s] = PartialMap();  // release (and reset for reuse)
       }
     });
   }
@@ -210,7 +233,7 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
     buckets[j * m + k].push_back({e, c, stat.weighted, stat.count});
     buckets[k * m + j].push_back({c, e, stat.weighted, stat.count});
   }
-  pool.ParallelFor(m * m, [&](size_t d, size_t) {
+  pool->ParallelFor(m * m, [&](size_t d, size_t) {
     std::sort(buckets[d].begin(), buckets[d].end(),
               [](const OrientedEntry& a, const OrientedEntry& b) {
                 if (a.e != b.e) return a.e < b.e;
@@ -250,7 +273,7 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
     for (size_t j = 0; j < m; ++j) {
       for (size_t k = j + 1; k < m; ++k) pair_ids.push_back(j * m + k);
     }
-    pool.ParallelFor(pair_ids.size(), [&](size_t t, size_t) {
+    pool->ParallelFor(pair_ids.size(), [&](size_t t, size_t) {
       size_t pair_id = pair_ids[t];
       size_t j = pair_id / m;
       size_t k = pair_id % m;
@@ -472,10 +495,10 @@ void CompensatoryModel::FilterRow(const std::vector<int32_t>& row_codes,
 uint64_t CompensatoryModel::Fingerprint() const {
   // Sequential chain over the deterministically-laid-out state, plus
   // commutative folds over the flat maps (their internal layout depends on
-  // insertion order, which is not part of the model's contract).
-  auto chain = [](uint64_t h, uint64_t v) {
-    return HashKey64(h ^ (v * 0x9E3779B97F4A7C15ull));
-  };
+  // insertion order, which is not part of the model's contract). The chain
+  // is the shared DigestCombine fold, so fingerprints stay compatible with
+  // the other service-layer digests.
+  auto chain = [](uint64_t h, uint64_t v) { return DigestCombine(h, v); };
   uint64_t h = 0xBC1EA2ull;
   h = chain(h, num_cols_);
   h = chain(h, std::bit_cast<uint64_t>(inv_n_));

@@ -27,6 +27,8 @@
 
 namespace bclean {
 
+class ThreadPool;
+
 /// Confidence-weighted co-occurrence statistics over a table.
 class CompensatoryModel {
  public:
@@ -64,12 +66,18 @@ class CompensatoryModel {
   /// Scans the encoded table once (Algorithm 2), computing conf(T) per
   /// tuple from `mask` and accumulating weighted/raw pair counts. The scan
   /// is sharded by fixed-size row blocks over `num_threads` workers with
-  /// per-worker flat partial tables merged in ascending block order, so the
+  /// per-block partial tables merged in ascending block order, so the
   /// resulting model is bit-identical for every thread count (including 1:
-  /// the serial path runs the same blocked algorithm inline).
+  /// the serial path runs the same blocked algorithm inline). Blocks are
+  /// processed in waves of a bounded number of partials — the wave merge
+  /// folds in the same global block order, so the wave size changes peak
+  /// memory, never a bit of the result. When `pool` is non-null the build
+  /// runs on that (possibly shared) pool and `num_threads` is ignored;
+  /// otherwise a private pool of `num_threads` workers is used.
   static CompensatoryModel Build(const DomainStats& stats, const UcMask& mask,
                                  const CompensatoryOptions& options,
-                                 size_t num_threads = 1);
+                                 size_t num_threads = 1,
+                                 ThreadPool* pool = nullptr);
 
   /// Validates that `stats` fits PackKey's bit layout: the attribute-pair
   /// id needs m*m <= 2^16 and every dictionary code must fit in 24 bits.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/common/digest.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
 #include "src/core/repair_cache.h"
@@ -21,7 +22,8 @@ size_t ResolveThreads(size_t num_threads) {
 }  // namespace
 
 BCleanEngine::BCleanEngine(const Table& dirty, const UcRegistry& ucs,
-                           const BCleanOptions& options, DomainStats stats)
+                           const BCleanOptions& options, DomainStats stats,
+                           ThreadPool* pool)
     : dirty_(dirty),
       ucs_(options.use_user_constraints ? ucs : ucs.Empty()),
       options_(options),
@@ -29,10 +31,11 @@ BCleanEngine::BCleanEngine(const Table& dirty, const UcRegistry& ucs,
       mask_(UcMask::Build(ucs_, stats_)),
       compensatory_(CompensatoryModel::Build(
           stats_, mask_, options.compensatory,
-          ResolveThreads(options.num_threads))) {}
+          ResolveThreads(options.num_threads), pool)) {}
 
 Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
-    const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options) {
+    const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
+    ThreadPool* pool) {
   if (dirty.num_cols() != ucs.num_attributes()) {
     return Status::InvalidArgument(
         "UC registry arity does not match the table");
@@ -40,15 +43,17 @@ Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
   DomainStats stats = DomainStats::Build(dirty);
   BCLEAN_RETURN_IF_ERROR(CompensatoryModel::CheckCapacity(stats));
   std::unique_ptr<BCleanEngine> engine(
-      new BCleanEngine(dirty, ucs, options, std::move(stats)));
+      new BCleanEngine(dirty, ucs, options, std::move(stats), pool));
   // The engine-level thread budget governs model construction too; an
-  // explicit StructureOptions::num_threads still wins.
+  // explicit StructureOptions::num_threads still wins. An external pool
+  // hosts the statistics pass itself, so every build phase obeys the
+  // (service-) pool's width bound.
   StructureOptions structure = options.structure;
   if (structure.num_threads == 0) {
     structure.num_threads = ResolveThreads(options.num_threads);
   }
   Result<BayesianNetwork> bn =
-      BuildNetwork(dirty, engine->stats_, structure);
+      BuildNetwork(dirty, engine->stats_, structure, pool);
   if (!bn.ok()) return bn.status();
   engine->bn_ = std::move(bn).value();
   return engine;
@@ -56,7 +61,7 @@ Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
 
 Result<std::unique_ptr<BCleanEngine>> BCleanEngine::CreateWithNetwork(
     const Table& dirty, const UcRegistry& ucs, BayesianNetwork network,
-    const BCleanOptions& options) {
+    const BCleanOptions& options, ThreadPool* pool) {
   if (dirty.num_cols() != ucs.num_attributes()) {
     return Status::InvalidArgument(
         "UC registry arity does not match the table");
@@ -64,10 +69,19 @@ Result<std::unique_ptr<BCleanEngine>> BCleanEngine::CreateWithNetwork(
   DomainStats stats = DomainStats::Build(dirty);
   BCLEAN_RETURN_IF_ERROR(CompensatoryModel::CheckCapacity(stats));
   std::unique_ptr<BCleanEngine> engine(
-      new BCleanEngine(dirty, ucs, options, std::move(stats)));
+      new BCleanEngine(dirty, ucs, options, std::move(stats), pool));
   engine->bn_ = std::move(network);
   engine->bn_.Fit(engine->stats_);
   return engine;
+}
+
+uint64_t BCleanEngine::ModelFingerprint() const {
+  uint64_t h = 0xB5EA7ull;
+  h = DigestCombine(h, compensatory_.Fingerprint());
+  h = DigestCombine(h, bn_.Digest());
+  h = DigestCombine(h, mask_.Digest());
+  h = DigestCombine(h, options_.Digest());
+  return h;
 }
 
 Status BCleanEngine::AddNetworkEdge(const std::string& parent,
@@ -344,10 +358,10 @@ void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
   }
 }
 
-Table BCleanEngine::Clean() {
+CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
+                                   std::optional<bool> per_pass_cache) const {
   Stopwatch watch;
-  last_stats_ = CleanStats{};
-  Table result = dirty_;
+  CleanResult result{dirty_, CleanStats{}};
   const size_t n = dirty_.num_rows();
   const size_t m = dirty_.num_cols();
 
@@ -356,18 +370,29 @@ Table BCleanEngine::Clean() {
   shared.candidates.resize(m);
   for (size_t a = 0; a < m; ++a) shared.candidates[a] = CandidatesFor(a);
 
-  size_t threads = ResolveThreads(options_.num_threads);
+  size_t threads =
+      pool != nullptr ? pool->size() : ResolveThreads(options_.num_threads);
   // In-place repair mode is inherently sequential within the whole pass
   // (the paper's error-amplification path); rows are only independent
   // under partitioned inference.
   if (!options_.partitioned_inference) threads = 1;
   threads = std::min(threads, std::max<size_t>(1, n));
 
-  std::unique_ptr<RepairCache> cache;
-  if (options_.repair_cache) {
-    cache = std::make_unique<RepairCache>(options_.repair_cache_max_entries,
-                                          /*use_shared=*/threads > 1);
-    shared.cache = cache.get();
+  // An external cache (the service layer's fingerprint-keyed persistent
+  // cache) takes precedence; otherwise the caller's per-pass preference
+  // (defaulting to options_.repair_cache) governs a cache scoped to this
+  // pass. Replay from a warm external cache changes only the hit/miss
+  // split — outcomes and the other counters are pure functions of the
+  // signature under this engine's model.
+  std::unique_ptr<RepairCache> owned_cache;
+  if (cache == nullptr && per_pass_cache.value_or(options_.repair_cache)) {
+    owned_cache =
+        std::make_unique<RepairCache>(options_.repair_cache_max_entries,
+                                      /*use_shared=*/threads > 1);
+    cache = owned_cache.get();
+  }
+  if (cache != nullptr) {
+    shared.cache = cache;
     shared.candidate_hash.resize(m);
     shared.sig_cols.resize(m);
     shared.sig_all.resize(m);
@@ -383,43 +408,66 @@ Table BCleanEngine::Clean() {
         std::make_unique<CellScorer>(bn_, compensatory_, options_, m));
     shared.locals.resize(1);
     shared.filter_ws.resize(1);
-    CleanRowRange(0, n, shared, 0, result, last_stats_);
+    if (pool != nullptr) {
+      // Even a serial scan runs as a pool job when a shared pool is
+      // supplied: concurrent callers (several sessions' futures, or a
+      // width-1 service pool) then serialize on the pool's job lock, so
+      // the pool width stays an honest bound on busy cores. The single
+      // index may land on any executor; the scan itself still uses the
+      // one per-"worker" workspace slot.
+      pool->ParallelFor(1, [&](size_t, size_t) {
+        CleanRowRange(0, n, shared, 0, result.table, result.stats);
+      });
+    } else {
+      CleanRowRange(0, n, shared, 0, result.table, result.stats);
+    }
   } else {
     // Row-sharded Clean: blocks are handed out dynamically, each worker
     // scores with its own CellScorer into its own CleanStats, and rows map
-    // to disjoint cells of `result`. Counters are order-independent sums
+    // to disjoint cells of the result. Counters are order-independent sums
     // and cache replay reproduces a miss's exact increments, so stats (and
     // the output bytes) are identical for any thread count — only the
     // hit/miss split depends on interleaving.
     constexpr size_t kRowBlock = 32;
     const size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
-    ThreadPool pool(threads);
-    std::vector<CleanStats> worker_stats(pool.size());
-    shared.scorers.reserve(pool.size());
-    for (size_t w = 0; w < pool.size(); ++w) {
+    std::unique_ptr<ThreadPool> owned_pool;
+    if (pool == nullptr) {
+      owned_pool = std::make_unique<ThreadPool>(threads);
+      pool = owned_pool.get();
+    }
+    const size_t workers = pool->size();
+    std::vector<CleanStats> worker_stats(workers);
+    shared.scorers.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
       shared.scorers.push_back(
           std::make_unique<CellScorer>(bn_, compensatory_, options_, m));
     }
-    shared.locals.resize(pool.size());
-    shared.filter_ws.resize(pool.size());
-    pool.ParallelFor(num_blocks, [&](size_t block, size_t worker) {
+    shared.locals.resize(workers);
+    shared.filter_ws.resize(workers);
+    pool->ParallelFor(num_blocks, [&](size_t block, size_t worker) {
       size_t begin = block * kRowBlock;
       size_t end = std::min(n, begin + kRowBlock);
-      CleanRowRange(begin, end, shared, worker, result,
+      CleanRowRange(begin, end, shared, worker, result.table,
                     worker_stats[worker]);
     });
     for (const CleanStats& s : worker_stats) {
-      last_stats_.cells_scanned += s.cells_scanned;
-      last_stats_.cells_skipped_by_filter += s.cells_skipped_by_filter;
-      last_stats_.cells_inferred += s.cells_inferred;
-      last_stats_.cells_changed += s.cells_changed;
-      last_stats_.candidates_evaluated += s.candidates_evaluated;
-      last_stats_.cache_hits += s.cache_hits;
-      last_stats_.cache_misses += s.cache_misses;
+      result.stats.cells_scanned += s.cells_scanned;
+      result.stats.cells_skipped_by_filter += s.cells_skipped_by_filter;
+      result.stats.cells_inferred += s.cells_inferred;
+      result.stats.cells_changed += s.cells_changed;
+      result.stats.candidates_evaluated += s.candidates_evaluated;
+      result.stats.cache_hits += s.cache_hits;
+      result.stats.cache_misses += s.cache_misses;
     }
   }
-  last_stats_.seconds = watch.ElapsedSeconds();
+  result.stats.seconds = watch.ElapsedSeconds();
   return result;
+}
+
+Table BCleanEngine::Clean() {
+  CleanResult result = RunClean();
+  last_stats_ = result.stats;
+  return std::move(result.table);
 }
 
 }  // namespace bclean

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,9 @@
 #include "src/data/table.h"
 
 namespace bclean {
+
+class RepairCache;
+class ThreadPool;
 
 /// Counters from one Clean() pass. The first five are deterministic
 /// functions of the input (identical across thread counts and cache
@@ -39,20 +43,30 @@ struct CleanStats {
   double seconds = 0.0;
 };
 
+/// Value result of one cleaning pass: the cleaned table plus this run's
+/// counters. Returned by value so concurrent passes over a shared engine
+/// never race on engine state.
+struct CleanResult {
+  Table table;
+  CleanStats stats;
+};
+
 /// One configured cleaning run over one dirty table.
 class BCleanEngine {
  public:
-  /// Construction stage with automatic BN learning (Section 4).
+  /// Construction stage with automatic BN learning (Section 4). When `pool`
+  /// is non-null, model construction runs on that (possibly shared) pool;
+  /// otherwise a private pool of options.num_threads workers is used.
   static Result<std::unique_ptr<BCleanEngine>> Create(
       const Table& dirty, const UcRegistry& ucs,
-      const BCleanOptions& options = {});
+      const BCleanOptions& options = {}, ThreadPool* pool = nullptr);
 
   /// Construction with a caller-provided network structure. `network` must
   /// be defined over the table's schema (its attrs index this table's
   /// columns); its CPTs are (re)fitted from the table here.
   static Result<std::unique_ptr<BCleanEngine>> CreateWithNetwork(
       const Table& dirty, const UcRegistry& ucs, BayesianNetwork network,
-      const BCleanOptions& options = {});
+      const BCleanOptions& options = {}, ThreadPool* pool = nullptr);
 
   /// The (possibly user-edited) network.
   const BayesianNetwork& network() const { return bn_; }
@@ -64,14 +78,56 @@ class BCleanEngine {
   Status MergeNetworkNodes(const std::vector<std::string>& names,
                            const std::string& merged_name);
 
-  /// Inference stage (Algorithm 1): returns the cleaned table.
+  /// Inference stage (Algorithm 1) as a pure value-returning pass: scores
+  /// the dirty table and returns the cleaned table plus this run's counters
+  /// without touching engine state. Thread-safe — any number of concurrent
+  /// RunClean() calls (e.g. several sessions' futures sharing one cached
+  /// engine) may overlap. `pool` (optional) supplies the workers; `cache`
+  /// (optional) is an external repair cache that persists across calls —
+  /// it must only ever hold outcomes computed under this engine's
+  /// ModelFingerprint(), and because memoized decisions are pure functions
+  /// of their signature under a pinned model, a warm cache changes
+  /// wall-clock only: output bytes and the stable counters are identical to
+  /// a cold run. With `cache` null, `per_pass_cache` decides whether this
+  /// pass memoizes within itself; it defaults to options().repair_cache.
+  /// The service passes the *session's* repair_cache flag here, because a
+  /// cached engine may be shared by sessions whose cache preferences differ
+  /// (the engine cache key deliberately ignores cache knobs).
+  CleanResult RunClean(ThreadPool* pool = nullptr,
+                       RepairCache* cache = nullptr,
+                       std::optional<bool> per_pass_cache =
+                           std::nullopt) const;
+
+  /// Legacy one-shot surface: RunClean() on a private cache/pool, recording
+  /// the counters for last_stats(). Prefer RunClean() — this mutates engine
+  /// state and therefore must not race with itself.
   Table Clean();
 
-  /// Counters from the most recent Clean().
+  /// Deprecated: counters from the most recent Clean(). Kept as a
+  /// forwarding shim for the pre-service API; racy if futures share an
+  /// engine. Prefer CleanResult::stats from RunClean().
   const CleanStats& last_stats() const { return last_stats_; }
+
+  /// Stable digest of the full decision model: the compensatory model
+  /// fingerprint (which pins the training table content), the Bayesian
+  /// network digest (structure + fit configuration), the UC mask verdicts,
+  /// and the decision-affecting options. Two engines with equal model
+  /// fingerprints repair every cell identically, so repair-cache entries
+  /// are exchangeable between them; any network edit, data update, or
+  /// option change that could alter a decision changes the fingerprint.
+  uint64_t ModelFingerprint() const;
 
   /// Dictionary statistics of the dirty table.
   const DomainStats& stats() const { return stats_; }
+
+  /// The dirty table this engine was built over.
+  const Table& dirty() const { return dirty_; }
+
+  /// The engine's (UC-filtered) constraint registry.
+  const UcRegistry& ucs() const { return ucs_; }
+
+  /// The engine's configuration.
+  const BCleanOptions& options() const { return options_; }
 
   /// The compensatory model (exposed for diagnostics and benches).
   const CompensatoryModel& compensatory() const { return compensatory_; }
@@ -90,7 +146,8 @@ class BCleanEngine {
 
  private:
   BCleanEngine(const Table& dirty, const UcRegistry& ucs,
-               const BCleanOptions& options, DomainStats stats);
+               const BCleanOptions& options, DomainStats stats,
+               ThreadPool* pool);
 
   /// Per-Clean() state shared across workers: candidate lists and their
   /// digests, signature column lists, the repair cache, and the per-worker

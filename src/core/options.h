@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/common/digest.h"
 #include "src/fdx/structure_learning.h"
 
 namespace bclean {
@@ -103,6 +104,44 @@ struct BCleanOptions {
   /// Structure-learning configuration for automatic BN construction.
   StructureOptions structure;
 
+  /// Stable digest of every decision-affecting field, including the
+  /// compensatory and structure-learning configuration. Execution-only
+  /// knobs — num_threads (both here and in structure), repair_cache, and
+  /// repair_cache_max_entries — are deliberately excluded: Clean() output
+  /// is byte-identical across them by contract, so engines built under
+  /// different thread counts or cache settings may share a service cache
+  /// slot. Feeds the service layer's engine cache key and model
+  /// fingerprint.
+  uint64_t Digest() const {
+    uint64_t h = 0x0B71ull;
+    h = DigestDouble(h, compensatory.lambda);
+    h = DigestDouble(h, compensatory.beta);
+    h = DigestDouble(h, compensatory.tau);
+    h = DigestCombine(h, static_cast<uint64_t>(compensatory.normalization));
+    h = DigestCombine(h, compensatory.use_mi_weighting);
+    h = DigestCombine(h, use_user_constraints);
+    h = DigestCombine(h, use_compensatory);
+    h = DigestDouble(h, cs_weight);
+    h = DigestDouble(h, repair_margin);
+    h = DigestCombine(h, partitioned_inference);
+    h = DigestCombine(h, tuple_pruning);
+    h = DigestDouble(h, tau_clean);
+    h = DigestCombine(h, domain_pruning);
+    h = DigestCombine(h, domain_top_k);
+    h = DigestDouble(h, structure.glasso.regularization);
+    h = DigestCombine(h, static_cast<uint64_t>(structure.glasso.max_iterations));
+    h = DigestDouble(h, structure.glasso.tolerance);
+    h = DigestCombine(
+        h, static_cast<uint64_t>(structure.glasso.max_inner_iterations));
+    h = DigestDouble(h, structure.glasso.inner_tolerance);
+    h = DigestDouble(h, structure.glasso.diagonal_jitter);
+    h = DigestCombine(h, structure.standardize);
+    h = DigestDouble(h, structure.edge_threshold);
+    h = DigestCombine(h, structure.max_pairs_per_attribute);
+    h = DigestCombine(h, structure.max_parents);
+    return h;
+  }
+
   /// Convenience presets for the paper's variants.
   static BCleanOptions Basic() { return BCleanOptions{}; }
   static BCleanOptions WithoutUcs() {
@@ -122,6 +161,37 @@ struct BCleanOptions {
     o.domain_pruning = true;
     return o;
   }
+};
+
+/// Configuration of the long-lived bclean::Service (src/service/).
+struct ServiceOptions {
+  /// Width of the shared thread pool every session's Clean / model build
+  /// runs on. 0 means hardware_concurrency. Output bytes are independent
+  /// of this by the engine's determinism contract.
+  size_t num_threads = 0;
+
+  /// Engines kept in the fingerprint-keyed cache (schema digest + options
+  /// digest + table content digest + UC digest). Re-Open of an identical
+  /// dataset reuses the cached engine instead of rebuilding the model.
+  /// 0 disables engine reuse. Evicted least-recently-used first.
+  size_t engine_cache_capacity = 8;
+
+  /// Keep per-model-fingerprint repair caches alive across Clean() calls
+  /// (and across sessions sharing a fingerprint). Replayed outcomes are
+  /// pure functions of the signature under a pinned model, so warm runs
+  /// are byte-identical to cold ones — only faster. Sessions opened with
+  /// BCleanOptions::repair_cache = false opt out individually.
+  bool persistent_repair_cache = true;
+
+  /// Distinct model fingerprints whose repair caches are retained; older
+  /// fingerprints (e.g. pre-edit models) evict least-recently-used first.
+  /// A session whose fingerprint returns (an edit sequence that restores
+  /// the structure, an Update reverted) re-attaches to its warm cache.
+  size_t repair_cache_registry_capacity = 16;
+
+  /// Entry cap per persistent repair cache (see
+  /// BCleanOptions::repair_cache_max_entries).
+  size_t repair_cache_max_entries = 1 << 20;
 };
 
 }  // namespace bclean

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "src/common/digest.h"
+
 namespace bclean {
 
 UcMask UcMask::Build(const UcRegistry& ucs, const DomainStats& stats) {
@@ -20,6 +22,17 @@ UcMask UcMask::Build(const UcRegistry& ucs, const DomainStats& stats) {
     mask.null_ok_[c] = ucs.Check(c, null_value) ? 1 : 0;
   }
   return mask;
+}
+
+uint64_t UcMask::Digest() const {
+  uint64_t h = 0xAC3Dull;
+  h = DigestCombine(h, ok_.size());
+  for (size_t c = 0; c < ok_.size(); ++c) {
+    h = DigestCombine(h, ok_[c].size());
+    h = DigestCombine(h, HashBytes(ok_[c].data(), ok_[c].size()));
+    h = DigestCombine(h, null_ok_[c]);
+  }
+  return h;
 }
 
 size_t UcMask::CountSatisfying(size_t col) const {

@@ -30,6 +30,13 @@ class UcMask {
   /// Number of domain values of `col` that satisfy the UCs.
   size_t CountSatisfying(size_t col) const;
 
+  /// Stable digest of every per-code verdict. Because the engine consults
+  /// constraints exclusively through this mask, two engines over the same
+  /// encoded table with equal mask digests are constrained identically —
+  /// the service layer folds this into the model fingerprint, covering
+  /// even opaque Custom predicates that no registry digest could see.
+  uint64_t Digest() const;
+
  private:
   std::vector<std::vector<uint8_t>> ok_;
   std::vector<uint8_t> null_ok_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "src/common/logging.h"
@@ -29,7 +30,8 @@ std::vector<size_t> DomainSizeOrdering(const Table& table) {
 }  // namespace
 
 Matrix BuildSimilarityObservations(const Table& table,
-                                   const StructureOptions& options) {
+                                   const StructureOptions& options,
+                                   ThreadPool* pool) {
   const size_t n = table.num_rows();
   const size_t m = table.num_cols();
   if (n < 2 || m == 0) return Matrix();
@@ -45,10 +47,14 @@ Matrix BuildSimilarityObservations(const Table& table,
   // writes a fixed, precomputed slice of the observation matrix — so the
   // result is identical for any worker count.
   std::vector<std::vector<double>> rows(m * samples);
-  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                            : options.num_threads;
-  ThreadPool pool(std::min(threads, m));
-  pool.ParallelFor(m, [&](size_t sort_col, size_t) {
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                              : options.num_threads;
+    owned_pool = std::make_unique<ThreadPool>(std::min(threads, m));
+    pool = owned_pool.get();
+  }
+  pool->ParallelFor(m, [&](size_t sort_col, size_t) {
     std::vector<size_t> index(n);
     std::iota(index.begin(), index.end(), size_t{0});
     const auto& column = table.column(sort_col);
@@ -70,7 +76,8 @@ Matrix BuildSimilarityObservations(const Table& table,
 }
 
 Result<LearnedStructure> LearnStructure(const Table& table,
-                                        const StructureOptions& options) {
+                                        const StructureOptions& options,
+                                        ThreadPool* pool) {
   if (table.num_rows() < 3) {
     return Status::InvalidArgument(
         "structure learning requires at least 3 rows");
@@ -81,7 +88,7 @@ Result<LearnedStructure> LearnStructure(const Table& table,
   }
   const size_t m = table.num_cols();
 
-  Matrix observations = BuildSimilarityObservations(table, options);
+  Matrix observations = BuildSimilarityObservations(table, options, pool);
   Result<Matrix> cov = EmpiricalCovariance(observations);
   if (!cov.ok()) return cov.status();
 
@@ -160,8 +167,9 @@ Result<LearnedStructure> LearnStructure(const Table& table,
 
 Result<BayesianNetwork> BuildNetwork(const Table& table,
                                      const DomainStats& stats,
-                                     const StructureOptions& options) {
-  Result<LearnedStructure> learned = LearnStructure(table, options);
+                                     const StructureOptions& options,
+                                     ThreadPool* pool) {
+  Result<LearnedStructure> learned = LearnStructure(table, options, pool);
   if (!learned.ok()) return learned.status();
   BayesianNetwork bn(table.schema());
   for (const auto& [parent, child] : learned.value().edges) {

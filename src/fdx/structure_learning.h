@@ -56,21 +56,29 @@ struct LearnedStructure {
   std::vector<size_t> ordering;
 };
 
+class ThreadPool;
+
 /// Builds the similarity observation matrix: one row per adjacent tuple
-/// pair (under each per-attribute sort), one column per attribute.
+/// pair (under each per-attribute sort), one column per attribute. When
+/// `pool` is non-null the pass runs on that (possibly shared) pool and
+/// StructureOptions::num_threads is ignored; the matrix is identical
+/// either way.
 Matrix BuildSimilarityObservations(const Table& table,
-                                   const StructureOptions& options);
+                                   const StructureOptions& options,
+                                   ThreadPool* pool = nullptr);
 
 /// Runs the full structure-learning pipeline on (dirty) `table`.
 /// Fails when the table has fewer than 3 rows or 2 columns.
 Result<LearnedStructure> LearnStructure(const Table& table,
-                                        const StructureOptions& options = {});
+                                        const StructureOptions& options = {},
+                                        ThreadPool* pool = nullptr);
 
 /// Convenience: learns a structure, builds a BayesianNetwork over the
 /// table's schema with those edges, and fits CPTs from `stats`.
 Result<BayesianNetwork> BuildNetwork(const Table& table,
                                      const DomainStats& stats,
-                                     const StructureOptions& options = {});
+                                     const StructureOptions& options = {},
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace bclean
 

@@ -1,0 +1,53 @@
+#include "src/service/fingerprint.h"
+
+#include "src/common/digest.h"
+
+namespace bclean {
+
+uint64_t DigestSchema(const Schema& schema) {
+  uint64_t h = 0x5C4E3Aull;
+  h = DigestCombine(h, schema.size());
+  for (const Attribute& attr : schema.attributes()) {
+    h = DigestString(h, attr.name);
+    h = DigestCombine(h, static_cast<uint64_t>(attr.type));
+  }
+  return h;
+}
+
+uint64_t DigestTableContent(const Table& table) {
+  uint64_t h = DigestSchema(table.schema());
+  h = DigestCombine(h, table.num_rows());
+  // Column-major walk matches the table's storage; the digest is
+  // order-sensitive in (col, row), so any single-cell change moves it.
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    for (const std::string& cell : table.column(c)) {
+      h = DigestString(h, cell);
+    }
+  }
+  return h;
+}
+
+uint64_t DigestUcRegistry(const UcRegistry& ucs) {
+  uint64_t h = 0x0C5ull;
+  h = DigestCombine(h, ucs.num_attributes());
+  for (size_t a = 0; a < ucs.num_attributes(); ++a) {
+    const auto& constraints = ucs.constraints(a);
+    h = DigestCombine(h, constraints.size());
+    for (const UserConstraintPtr& uc : constraints) {
+      h = DigestCombine(h, static_cast<uint64_t>(uc->kind()));
+      h = DigestString(h, uc->Describe());
+    }
+  }
+  return h;
+}
+
+uint64_t EngineCacheKey(const Table& dirty, const UcRegistry& ucs,
+                        const BCleanOptions& options) {
+  uint64_t h = 0xE4617Eull;
+  h = DigestCombine(h, options.Digest());
+  h = DigestCombine(h, DigestUcRegistry(ucs));
+  h = DigestCombine(h, DigestTableContent(dirty));
+  return h;
+}
+
+}  // namespace bclean

@@ -1,0 +1,46 @@
+// Content fingerprints for the service layer: stable 64-bit digests of a
+// schema, a table's cell content, a UC registry, and the combined engine
+// cache key (schema + options + table content + UCs). Two Opens with equal
+// keys would build byte-identical engines, so the service hands out one
+// cached engine instead.
+//
+// The UC digest deserves a caveat: constraints are arbitrary predicates
+// (Section 2 allows even a neural net), so the digest folds each
+// constraint's observable identity — attribute, kind, Describe() — rather
+// than its behaviour. Two *different* Custom predicates that share a
+// description would collide; give custom constraints distinct descriptions.
+// (Post-build, the engine's ModelFingerprint() covers actual per-value
+// verdicts through UcMask::Digest(), so persistent repair caches never rely
+// on this proxy.)
+#ifndef BCLEAN_SERVICE_FINGERPRINT_H_
+#define BCLEAN_SERVICE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "src/constraints/registry.h"
+#include "src/core/options.h"
+#include "src/data/table.h"
+
+namespace bclean {
+
+/// Digest of attribute names and types, in order.
+uint64_t DigestSchema(const Schema& schema);
+
+/// Digest of the schema plus every cell, walked column-major (the table's
+/// storage order). One linear pass over the table's bytes — cheap next to
+/// model construction.
+uint64_t DigestTableContent(const Table& table);
+
+/// Digest of the registry's observable identity: per attribute, each
+/// constraint's kind and description, in registration order.
+uint64_t DigestUcRegistry(const UcRegistry& ucs);
+
+/// The engine cache key: schema + decision-affecting options + table
+/// content + UC identity. Thread counts and cache knobs are excluded
+/// (see BCleanOptions::Digest) — engines are output-identical across them.
+uint64_t EngineCacheKey(const Table& dirty, const UcRegistry& ucs,
+                        const BCleanOptions& options);
+
+}  // namespace bclean
+
+#endif  // BCLEAN_SERVICE_FINGERPRINT_H_

@@ -1,0 +1,370 @@
+#include "src/service/service.h"
+
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/thread_pool.h"
+#include "src/core/repair_cache.h"
+#include "src/service/fingerprint.h"
+
+namespace bclean {
+namespace internal {
+namespace {
+
+/// Fixed-capacity LRU map over fingerprint keys, shared by the engine
+/// cache and the repair-cache registry so the touch/evict protocol lives
+/// in one place. Not thread-safe; callers hold ServiceState::mu.
+template <typename V>
+class LruMap {
+ public:
+  /// Value under `key` (touched most-recent), or nullptr.
+  V* Find(uint64_t key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    Touch(key);
+    return &it->second;
+  }
+
+  /// Inserts value under `key`, or keeps the existing entry (then
+  /// `*inserted` is false and the argument is dropped). Touches the key.
+  V& InsertOrGet(uint64_t key, V value, bool* inserted) {
+    auto [it, did_insert] = map_.emplace(key, std::move(value));
+    *inserted = did_insert;
+    Touch(key);
+    return it->second;
+  }
+
+  /// Evicts least-recently-used entries down to `capacity` (>= 1; the
+  /// most-recently-touched entry always survives). Returns the count.
+  size_t EvictDownTo(size_t capacity) {
+    size_t evicted = 0;
+    while (map_.size() > capacity) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+ private:
+  void Touch(uint64_t key) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (*it == key) {
+        lru_.erase(it);
+        break;
+      }
+    }
+    lru_.push_front(key);
+  }
+
+  std::unordered_map<uint64_t, V> map_;
+  std::list<uint64_t> lru_;  // front = most recently used
+};
+
+}  // namespace
+
+/// Shared, reference-counted service state. Sessions and in-flight futures
+/// hold it, so the pool and caches outlive the Service facade if needed.
+struct ServiceState {
+  explicit ServiceState(ServiceOptions opts)
+      : options(opts),
+        pool(std::make_shared<ThreadPool>(
+            opts.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                  : opts.num_threads)) {}
+
+  const ServiceOptions options;
+  const std::shared_ptr<ThreadPool> pool;
+
+  std::mutex mu;
+  // Engine cache: content fingerprint -> pristine engine, LRU-evicted.
+  // Entries are shared with sessions; eviction only drops the cache's
+  // reference (sessions keep cleaning on their engine).
+  LruMap<std::shared_ptr<BCleanEngine>> engines;
+  // Repair-cache registry: model fingerprint -> persistent cache.
+  LruMap<std::shared_ptr<RepairCache>> caches;
+  ServiceStats stats;
+
+  /// Serves a cached engine for (dirty, ucs, options) or builds one on the
+  /// shared pool and caches it. `*reused` reports whether the session got
+  /// an already-built engine.
+  Result<std::shared_ptr<BCleanEngine>> AcquireEngine(
+      const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
+      bool* reused);
+
+  /// The persistent repair cache for `fingerprint` (created on first use),
+  /// or null when persistence is disabled.
+  std::shared_ptr<RepairCache> AcquireRepairCache(uint64_t fingerprint);
+};
+
+Result<std::shared_ptr<BCleanEngine>> ServiceState::AcquireEngine(
+    const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
+    bool* reused) {
+  const bool cacheable = this->options.engine_cache_capacity > 0;
+  const uint64_t key = cacheable ? EngineCacheKey(dirty, ucs, options) : 0;
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::shared_ptr<BCleanEngine>* hit = engines.Find(key);
+    if (hit != nullptr) {
+      ++stats.engine_cache_hits;
+      *reused = true;
+      return *hit;
+    }
+  }
+  // Build outside the lock: construction dominates, and racing Opens of the
+  // same table at worst build twice — the loser adopts the winner's engine
+  // below, so both sessions still share one model.
+  Result<std::unique_ptr<BCleanEngine>> built =
+      BCleanEngine::Create(dirty, ucs, options, pool.get());
+  if (!built.ok()) return built.status();
+  std::shared_ptr<BCleanEngine> engine = std::move(built).value();
+  *reused = false;
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(mu);
+    bool inserted = false;
+    engine = engines.InsertOrGet(key, std::move(engine), &inserted);
+    if (inserted) {
+      ++stats.engine_cache_misses;
+    } else {
+      // A racing Open won; this session shares the winner's engine, which
+      // counts as a hit so the stats always agree with engine_reused().
+      ++stats.engine_cache_hits;
+      *reused = true;
+    }
+    stats.engines_evicted +=
+        engines.EvictDownTo(this->options.engine_cache_capacity);
+  }
+  return engine;
+}
+
+std::shared_ptr<RepairCache> ServiceState::AcquireRepairCache(
+    uint64_t fingerprint) {
+  if (!options.persistent_repair_cache ||
+      options.repair_cache_registry_capacity == 0) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  std::shared_ptr<RepairCache>* hit = caches.Find(fingerprint);
+  if (hit != nullptr) return *hit;
+  bool inserted = false;
+  std::shared_ptr<RepairCache> cache = caches.InsertOrGet(
+      fingerprint,
+      std::make_shared<RepairCache>(options.repair_cache_max_entries,
+                                    /*use_shared=*/true),
+      &inserted);
+  ++stats.repair_caches_created;
+  caches.EvictDownTo(options.repair_cache_registry_capacity);
+  return cache;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------- Session
+
+Session::Session(std::string name,
+                 std::shared_ptr<internal::ServiceState> state, UcRegistry ucs,
+                 BCleanOptions options, std::shared_ptr<BCleanEngine> engine,
+                 bool engine_reused)
+    : name_(std::move(name)),
+      state_(std::move(state)),
+      ucs_(std::move(ucs)),
+      options_(std::move(options)),
+      engine_(std::move(engine)),
+      engine_reused_(engine_reused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AttachCacheLocked();
+}
+
+Session::~Session() = default;
+
+void Session::AttachCacheLocked() {
+  fingerprint_ = engine_->ModelFingerprint();
+  // A session whose BCleanOptions disabled the repair cache keeps that
+  // opt-out here: no persistent cache is acquired (and RunClean sees
+  // nullptr + repair_cache=false, so no per-pass cache either).
+  cache_ = options_.repair_cache
+               ? state_->AcquireRepairCache(fingerprint_)
+               : nullptr;
+}
+
+const Table& Session::dirty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_->dirty();
+}
+
+const BayesianNetwork& Session::network() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_->network();
+}
+
+uint64_t Session::model_fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fingerprint_;
+}
+
+bool Session::engine_reused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_reused_;
+}
+
+CleanResult Session::Clean() {
+  std::shared_ptr<BCleanEngine> engine;
+  std::shared_ptr<RepairCache> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine = engine_;
+    cache = cache_;
+  }
+  // The session's own repair_cache flag rides along: the shared engine may
+  // have been built by a session with a different cache preference.
+  return engine->RunClean(state_->pool.get(), cache.get(),
+                          options_.repair_cache);
+}
+
+std::future<CleanResult> Session::CleanAsync() {
+  std::shared_ptr<BCleanEngine> engine;
+  std::shared_ptr<RepairCache> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine = engine_;
+    cache = cache_;
+  }
+  // The task owns its snapshots (engine, cache, service state), so the
+  // future outlives any subsequent session mutation — it cleans the state
+  // it was launched against. Whole ParallelFor jobs from concurrent futures
+  // serialize inside the shared pool. Note each call spawns one OS thread
+  // (std::launch::async) that parks on the pool's job lock until its turn;
+  // CPU stays bounded by the pool, but a front that queues thousands of
+  // futures should add its own admission control (see ROADMAP).
+  std::shared_ptr<internal::ServiceState> state = state_;
+  const bool per_pass_cache = options_.repair_cache;
+  return std::async(std::launch::async, [engine, cache, state,
+                                         per_pass_cache]() {
+    return engine->RunClean(state->pool.get(), cache.get(), per_pass_cache);
+  });
+}
+
+Status Session::EditNetwork(const NetworkEdit& edit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Remember the pre-edit state: a failed edit must leave the session
+  // exactly as it was (in particular, it must not leave it detached —
+  // detachment changes how Update re-derives structure).
+  std::shared_ptr<BCleanEngine> prev_engine = engine_;
+  const bool prev_private = engine_private_;
+  const bool prev_reused = engine_reused_;
+  if (!engine_private_) {
+    // Detach: the cached engine is shared (other sessions, future Opens)
+    // and immutable by convention. Rebuild privately, seeded with the
+    // current structure — CPTs refit from the same table are identical, so
+    // the detached engine scores exactly like the shared one did.
+    Result<std::unique_ptr<BCleanEngine>> rebuilt =
+        BCleanEngine::CreateWithNetwork(engine_->dirty(), ucs_,
+                                        engine_->network(), options_,
+                                        state_->pool.get());
+    if (!rebuilt.ok()) return rebuilt.status();
+    engine_ = std::move(rebuilt).value();
+    engine_private_ = true;
+    engine_reused_ = false;
+  }
+  Status status = Status::OK();
+  switch (edit.kind) {
+    case NetworkEdit::Kind::kAddEdge:
+      status = engine_->AddNetworkEdge(edit.parent, edit.child);
+      break;
+    case NetworkEdit::Kind::kRemoveEdge:
+      status = engine_->RemoveNetworkEdge(edit.parent, edit.child);
+      break;
+    case NetworkEdit::Kind::kMergeNodes:
+      status = engine_->MergeNetworkNodes(edit.names, edit.merged_name);
+      break;
+  }
+  if (!status.ok()) {
+    engine_ = std::move(prev_engine);
+    engine_private_ = prev_private;
+    engine_reused_ = prev_reused;
+    return status;
+  }
+  // Fingerprint-precise invalidation: the old cache stays registered under
+  // the old fingerprint (a reverting edit re-attaches it); the session
+  // moves to the edited model's cache.
+  AttachCacheLocked();
+  return Status::OK();
+}
+
+Status Session::Update(const std::vector<RowEdit>& edits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Table updated = engine_->dirty();
+  for (const RowEdit& edit : edits) {
+    if (edit.row == RowEdit::kAppend) {
+      BCLEAN_RETURN_IF_ERROR(updated.AddRow(edit.values));
+    } else {
+      if (edit.row >= updated.num_rows()) {
+        return Status::InvalidArgument(
+            "RowEdit.row " + std::to_string(edit.row) +
+            " out of range (table has " +
+            std::to_string(updated.num_rows()) + " rows)");
+      }
+      if (edit.values.size() != updated.num_cols()) {
+        return Status::InvalidArgument(
+            "RowEdit.values arity " + std::to_string(edit.values.size()) +
+            " does not match the table (" +
+            std::to_string(updated.num_cols()) + " columns)");
+      }
+      for (size_t c = 0; c < updated.num_cols(); ++c) {
+        updated.set_cell(edit.row, c, edit.values[c]);
+      }
+    }
+  }
+  if (engine_private_) {
+    // Keep the user's edited network structure; refit its CPTs from the
+    // updated data. Private engines bypass the shared cache.
+    Result<std::unique_ptr<BCleanEngine>> rebuilt =
+        BCleanEngine::CreateWithNetwork(updated, ucs_, engine_->network(),
+                                        options_, state_->pool.get());
+    if (!rebuilt.ok()) return rebuilt.status();
+    engine_ = std::move(rebuilt).value();
+    engine_reused_ = false;
+  } else {
+    bool reused = false;
+    Result<std::shared_ptr<BCleanEngine>> acquired =
+        state_->AcquireEngine(updated, ucs_, options_, &reused);
+    if (!acquired.ok()) return acquired.status();
+    engine_ = std::move(acquired).value();
+    engine_reused_ = reused;
+  }
+  AttachCacheLocked();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- Service
+
+Service::Service(ServiceOptions options)
+    : state_(std::make_shared<internal::ServiceState>(options)) {}
+
+Service::~Service() = default;
+
+Result<std::shared_ptr<Session>> Service::Open(std::string session_name,
+                                               const Table& dirty,
+                                               const UcRegistry& ucs,
+                                               const BCleanOptions& options) {
+  bool reused = false;
+  Result<std::shared_ptr<BCleanEngine>> engine =
+      state_->AcquireEngine(dirty, ucs, options, &reused);
+  if (!engine.ok()) return engine.status();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->stats.sessions_opened;
+  }
+  return std::shared_ptr<Session>(
+      new Session(std::move(session_name), state_, ucs, options,
+                  std::move(engine).value(), reused));
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+size_t Service::pool_size() const { return state_->pool->size(); }
+
+}  // namespace bclean

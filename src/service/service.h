@@ -1,0 +1,223 @@
+// The long-lived BClean service (the ROADMAP's multi-table service layer):
+// callers register tables into named sessions, and the service owns the
+// amortizable state a one-shot BCleanEngine throws away —
+//
+//   * a shared ThreadPool every session's model build and Clean runs on
+//     (whole jobs interleave; the pool width bounds total CPU),
+//   * an engine cache keyed by content fingerprint (schema digest + options
+//     digest + table content digest + UC digest), so re-Open of an
+//     identical dataset reuses the built model instead of re-learning it,
+//   * a repair-cache registry keyed by model fingerprint
+//     (CompensatoryModel::Fingerprint() + BayesianNetwork::Digest() +
+//     UcMask::Digest() + options digest), so memoized per-cell decisions
+//     persist across Clean() calls, across sessions sharing a model, and
+//     across edits that are later reverted — and are invalidated precisely
+//     when the model they were computed under changes.
+//
+// Determinism contract: every memoized outcome is a pure function of its
+// signature under a pinned model fingerprint, so a session's Clean() is
+// byte-identical for any thread count, any interleaving of sessions on the
+// shared pool, and cache cold vs. warm. Warmth changes wall-clock only.
+//
+// Cached engines are shared and treated as immutable: a session that edits
+// its network (EditNetwork) or its data (Update) transparently detaches
+// onto a private or freshly-acquired engine; other sessions and future
+// Opens keep the pristine cached model.
+#ifndef BCLEAN_SERVICE_SERVICE_H_
+#define BCLEAN_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/constraints/registry.h"
+#include "src/core/engine.h"
+#include "src/core/options.h"
+#include "src/data/table.h"
+
+namespace bclean {
+
+namespace internal {
+struct ServiceState;
+}  // namespace internal
+
+/// One row-level change for Session::Update: replaces row `row`'s values,
+/// or appends a new row when `row == kAppend`.
+struct RowEdit {
+  static constexpr size_t kAppend = static_cast<size_t>(-1);
+  size_t row = kAppend;
+  std::vector<std::string> values;
+};
+
+/// One network edit for Session::EditNetwork, wrapping the engine's
+/// add/remove-edge and merge-nodes interaction (paper Section 4).
+struct NetworkEdit {
+  enum class Kind { kAddEdge, kRemoveEdge, kMergeNodes };
+
+  static NetworkEdit AddEdge(std::string parent, std::string child) {
+    return {Kind::kAddEdge, std::move(parent), std::move(child), {}, {}};
+  }
+  static NetworkEdit RemoveEdge(std::string parent, std::string child) {
+    return {Kind::kRemoveEdge, std::move(parent), std::move(child), {}, {}};
+  }
+  static NetworkEdit MergeNodes(std::vector<std::string> names,
+                                std::string merged_name) {
+    return {Kind::kMergeNodes, {}, {}, std::move(names),
+            std::move(merged_name)};
+  }
+
+  Kind kind = Kind::kAddEdge;
+  std::string parent;
+  std::string child;
+  std::vector<std::string> names;
+  std::string merged_name;
+};
+
+/// Cumulative counters of one Service. hits + misses equals the number of
+/// cacheable engine acquisitions, and every acquisition whose session
+/// reports engine_reused() counted as a hit (a racing Open that adopts a
+/// concurrently built engine is a hit, even though its own build was
+/// discarded).
+struct ServiceStats {
+  size_t sessions_opened = 0;
+  size_t engine_cache_hits = 0;    ///< served an already-built engine
+  size_t engine_cache_misses = 0;  ///< built and cached a new engine
+  size_t engines_evicted = 0;
+  size_t repair_caches_created = 0;
+};
+
+/// One registered table inside a Service: a handle over a (possibly shared)
+/// engine plus the persistent repair cache for its current model
+/// fingerprint. Thread-safe; Clean/CleanAsync snapshot the session state
+/// under a lock and then run lock-free, so an EditNetwork or Update racing
+/// an in-flight Clean never corrupts it — the in-flight pass completes
+/// against the pre-edit model.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The label this session was opened under.
+  const std::string& name() const { return name_; }
+
+  /// The session's current working (dirty) table. The reference is valid
+  /// until this session's next EditNetwork/Update (which swap engines).
+  const Table& dirty() const;
+
+  /// The session's current network. Same validity rule as dirty().
+  const BayesianNetwork& network() const;
+
+  /// The current model fingerprint (see BCleanEngine::ModelFingerprint).
+  /// Changes exactly when a decision-relevant part of the model changes:
+  /// any EditNetwork, any Update that changes the table. An edit sequence
+  /// that restores the model restores the fingerprint (and re-attaches the
+  /// warm repair cache).
+  uint64_t model_fingerprint() const;
+
+  /// True when the session's last engine acquisition (Open or Update) was
+  /// served from the service's engine cache.
+  bool engine_reused() const;
+
+  /// Algorithm 1 over the session's table on the service's shared pool,
+  /// reading and feeding the persistent repair cache. Byte-identical to a
+  /// cold one-shot BCleanEngine run over the same table/options/UCs.
+  CleanResult Clean();
+
+  /// Clean() as a future; multiple sessions' CleanAsync jobs interleave on
+  /// the shared pool. The future owns snapshots of everything it needs, so
+  /// it stays valid across subsequent session edits (it cleans the pre-edit
+  /// state) and even past the Session's destruction.
+  std::future<CleanResult> CleanAsync();
+
+  /// Applies one network edit (add/remove edge, merge nodes), refitting
+  /// only the CPTs the edit touches, and moves the session to the edited
+  /// model's fingerprint — the previous repair cache stays registered under
+  /// the old fingerprint (a later reverting edit re-attaches it) and a
+  /// fresh cache is attached for the new model. The first edit detaches
+  /// the session from the shared cached engine onto a private one.
+  Status EditNetwork(const NetworkEdit& edit);
+
+  /// Convenience wrappers over EditNetwork.
+  Status AddNetworkEdge(const std::string& parent, const std::string& child) {
+    return EditNetwork(NetworkEdit::AddEdge(parent, child));
+  }
+  Status RemoveNetworkEdge(const std::string& parent,
+                           const std::string& child) {
+    return EditNetwork(NetworkEdit::RemoveEdge(parent, child));
+  }
+  Status MergeNetworkNodes(const std::vector<std::string>& names,
+                           const std::string& merged_name) {
+    return EditNetwork(NetworkEdit::MergeNodes(names, merged_name));
+  }
+
+  /// Incremental re-clean support: applies the row edits/appends to the
+  /// working table and re-derives the model (through the service's engine
+  /// cache — an Update reverting to previously-seen content is a hit). The
+  /// model must be re-derived because every BClean statistic (conf(T), pair
+  /// counts, CPTs) is a function of the full table; the repair cache is
+  /// keyed by model fingerprint, so decisions memoized under the old model
+  /// are never replayed against the new one, and the next Clean() is
+  /// byte-identical to a cold engine over the updated table. A session with
+  /// user network edits keeps its edited structure (CPTs refit from the
+  /// updated data) instead of re-learning one.
+  Status Update(const std::vector<RowEdit>& edits);
+
+ private:
+  friend class Service;
+
+  Session(std::string name, std::shared_ptr<internal::ServiceState> state,
+          UcRegistry ucs, BCleanOptions options,
+          std::shared_ptr<BCleanEngine> engine, bool engine_reused);
+
+  /// Re-reads the engine's fingerprint and attaches the matching persistent
+  /// repair cache. Caller holds mu_.
+  void AttachCacheLocked();
+
+  mutable std::mutex mu_;
+  const std::string name_;
+  std::shared_ptr<internal::ServiceState> state_;
+  const UcRegistry ucs_;  ///< as passed to Open (pre-filtering), for keys
+  const BCleanOptions options_;
+  std::shared_ptr<BCleanEngine> engine_;
+  std::shared_ptr<RepairCache> cache_;  ///< null when persistence is off
+  uint64_t fingerprint_ = 0;
+  bool engine_private_ = false;  ///< detached by a network edit
+  bool engine_reused_ = false;
+};
+
+/// The service facade. Cheap to share; destroying the Service while
+/// sessions or futures are alive is safe (state is reference-counted).
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Registers `dirty` as a session named `session_name`. Engine
+  /// construction (structure learning + compensatory build) is served from
+  /// the fingerprint-keyed cache when an identical dataset was opened
+  /// before; otherwise the model is built on the shared pool and cached.
+  Result<std::shared_ptr<Session>> Open(std::string session_name,
+                                        const Table& dirty,
+                                        const UcRegistry& ucs,
+                                        const BCleanOptions& options = {});
+
+  /// Snapshot of the service counters.
+  ServiceStats stats() const;
+
+  /// Executors in the shared pool.
+  size_t pool_size() const;
+
+ private:
+  std::shared_ptr<internal::ServiceState> state_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_SERVICE_SERVICE_H_

@@ -121,11 +121,17 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // Parallel model construction must be bit-identical to the serial path.
-// The table spans several 1024-row accumulation blocks so the blocked merge
-// actually exercises cross-block folding.
+// The tables span several 1024-row accumulation blocks so the blocked merge
+// actually exercises cross-block folding; the 12000-row case spans more
+// blocks than one merge wave holds (waves of max(8, 4*threads) blocks), so
+// the serial build folds across a wave boundary while the 8-thread build
+// fits in one wave — the fingerprint equality pins the wave-structured
+// merge to the all-at-once block order.
 TEST(DifferentialBuildTest, ParallelBuildReproducesSerialModel) {
-  for (const char* name : {"hospital", "inpatient"}) {
-    Dataset ds = MakeBenchmark(name, 2600, 42).value();
+  for (const auto& [name, rows] :
+       {std::pair<const char*, size_t>{"hospital", 12000},
+        std::pair<const char*, size_t>{"inpatient", 2600}}) {
+    Dataset ds = MakeBenchmark(name, rows, 42).value();
     Rng rng(11);
     InjectionResult injection =
         InjectErrors(ds.clean, ds.default_injection, &rng).value();

@@ -1,0 +1,425 @@
+// Differential harness for the long-lived service layer: a warm session —
+// engine served from the fingerprint-keyed cache, repair cache persisted
+// across Clean() calls and across Session::Update — must produce bytes
+// identical to a cold one-shot BCleanEngine run, for PI, PIP, and Basic at
+// 1/2/8 threads. Plus: engine-cache hit/miss accounting on re-Open,
+// fingerprint-precise repair-cache invalidation under network edits, and
+// concurrent CleanAsync interleaving on the shared pool.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+#include "src/service/fingerprint.h"
+#include "src/service/service.h"
+
+namespace bclean {
+namespace {
+
+// The counters that must be identical across warm/cold, thread counts, and
+// session interleavings (everything except wall clock and hit/miss split).
+void ExpectSameStableCounters(const CleanStats& a, const CleanStats& b) {
+  EXPECT_EQ(a.cells_scanned, b.cells_scanned);
+  EXPECT_EQ(a.cells_skipped_by_filter, b.cells_skipped_by_filter);
+  EXPECT_EQ(a.cells_inferred, b.cells_inferred);
+  EXPECT_EQ(a.cells_changed, b.cells_changed);
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+}
+
+Dataset InjectedDataset(const std::string& name, size_t rows, uint64_t seed) {
+  Dataset ds = MakeBenchmark(name, rows, 42).value();
+  Rng rng(seed);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  ds.clean = std::move(injection.dirty);  // repurpose: .clean holds dirty
+  return ds;
+}
+
+struct ServiceDiffCase {
+  std::string mode;
+  size_t threads;
+};
+
+class ServiceDifferentialTest
+    : public ::testing::TestWithParam<ServiceDiffCase> {};
+
+BCleanOptions OptionsForMode(const std::string& mode) {
+  if (mode == "PI") return BCleanOptions::PartitionedInference();
+  if (mode == "PIP") return BCleanOptions::PartitionedInferencePruning();
+  return BCleanOptions::Basic();
+}
+
+// Acceptance differential: warm-session Clean — engine and repair cache
+// reused across calls and across a Session::Update — is byte-identical to
+// a cold one-shot BCleanEngine run.
+TEST_P(ServiceDifferentialTest, WarmSessionMatchesColdOneShot) {
+  const ServiceDiffCase& c = GetParam();
+  Dataset ds = InjectedDataset("hospital", 180, 5);
+  const Table& dirty = ds.clean;
+  BCleanOptions options = OptionsForMode(c.mode);
+  options.num_threads = c.threads;
+
+  // Cold reference: the pre-service one-shot surface.
+  auto cold = BCleanEngine::Create(dirty, ds.ucs, options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  Table cold_out = cold.value()->Clean();
+  CleanStats cold_stats = cold.value()->last_stats();
+  EXPECT_GT(cold_stats.cells_changed, 0u);
+
+  ServiceOptions service_options;
+  service_options.num_threads = c.threads;
+  Service service(service_options);
+  auto session = service.Open("diff", dirty, ds.ucs, options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  Session& s = *session.value();
+
+  // First Clean populates the persistent cache; the second replays from
+  // it. Both must equal the cold bytes and stable counters.
+  CleanResult first = s.Clean();
+  CleanResult second = s.Clean();
+  EXPECT_TRUE(first.table == cold_out) << "cold-session bytes diverged";
+  EXPECT_TRUE(second.table == cold_out) << "warm-session bytes diverged";
+  ExpectSameStableCounters(cold_stats, first.stats);
+  ExpectSameStableCounters(cold_stats, second.stats);
+  // Every signature was published on the first pass, so the warm pass
+  // never misses.
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+  EXPECT_EQ(second.stats.cache_hits, second.stats.cells_scanned);
+
+  // Update: append duplicates of the first rows and edit one row, then
+  // compare against a cold engine over the identically updated table.
+  Table updated = dirty;
+  std::vector<RowEdit> edits;
+  for (size_t r = 0; r < 12; ++r) {
+    RowEdit edit;
+    edit.values = dirty.Row(r);
+    edits.push_back(edit);
+    ASSERT_TRUE(updated.AddRow(dirty.Row(r)).ok());
+  }
+  RowEdit overwrite;
+  overwrite.row = 3;
+  overwrite.values = dirty.Row(7);
+  edits.push_back(overwrite);
+  for (size_t col = 0; col < updated.num_cols(); ++col) {
+    updated.set_cell(3, col, dirty.cell(7, col));
+  }
+  uint64_t fingerprint_before = s.model_fingerprint();
+  ASSERT_TRUE(s.Update(edits).ok());
+  EXPECT_NE(fingerprint_before, s.model_fingerprint())
+      << "a content-changing Update must move the model fingerprint";
+
+  auto cold_updated = BCleanEngine::Create(updated, ds.ucs, options);
+  ASSERT_TRUE(cold_updated.ok()) << cold_updated.status().ToString();
+  Table cold_updated_out = cold_updated.value()->Clean();
+  CleanResult after_update = s.Clean();
+  CleanResult after_update_warm = s.Clean();
+  EXPECT_TRUE(after_update.table == cold_updated_out)
+      << "post-Update bytes diverged from a cold run on the updated table";
+  EXPECT_TRUE(after_update_warm.table == cold_updated_out);
+  ExpectSameStableCounters(cold_updated.value()->last_stats(),
+                           after_update.stats);
+  EXPECT_EQ(after_update_warm.stats.cache_misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ServiceDifferentialTest,
+    ::testing::Values(ServiceDiffCase{"PI", 1}, ServiceDiffCase{"PI", 2},
+                      ServiceDiffCase{"PI", 8}, ServiceDiffCase{"PIP", 1},
+                      ServiceDiffCase{"PIP", 2}, ServiceDiffCase{"PIP", 8},
+                      ServiceDiffCase{"Basic", 1}, ServiceDiffCase{"Basic", 2},
+                      ServiceDiffCase{"Basic", 8}),
+    [](const ::testing::TestParamInfo<ServiceDiffCase>& info) {
+      return info.param.mode + "_t" + std::to_string(info.param.threads);
+    });
+
+TEST(ServiceTest, EngineCacheHitOnReopenOfIdenticalTable) {
+  Dataset ds = InjectedDataset("beers", 150, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  Service service;
+  auto s1 = service.Open("first", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_FALSE(s1.value()->engine_reused());
+  EXPECT_EQ(service.stats().engine_cache_misses, 1u);
+
+  // Identical table + options: served from the cache.
+  auto s2 = service.Open("second", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_TRUE(s2.value()->engine_reused());
+  EXPECT_EQ(service.stats().engine_cache_hits, 1u);
+  EXPECT_EQ(service.stats().engine_cache_misses, 1u);
+  // Shared model: both sessions report the same fingerprint, and their
+  // outputs are byte-equal.
+  EXPECT_EQ(s1.value()->model_fingerprint(), s2.value()->model_fingerprint());
+  EXPECT_TRUE(s1.value()->Clean().table == s2.value()->Clean().table);
+
+  // Thread count is execution-only: it must not split the cache.
+  BCleanOptions threaded = options;
+  threaded.num_threads = 7;
+  auto s3 = service.Open("threads-differ", ds.clean, ds.ucs, threaded);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_TRUE(s3.value()->engine_reused());
+
+  // A decision-affecting option change misses.
+  BCleanOptions margin = options;
+  margin.repair_margin += 0.5;
+  auto s4 = service.Open("margin-differs", ds.clean, ds.ucs, margin);
+  ASSERT_TRUE(s4.ok());
+  EXPECT_FALSE(s4.value()->engine_reused());
+
+  // A single-cell content change misses.
+  Table changed = ds.clean;
+  changed.set_cell(0, 0, changed.cell(1, 0));
+  auto s5 = service.Open("content-differs", changed, ds.ucs, options);
+  ASSERT_TRUE(s5.ok());
+  EXPECT_FALSE(s5.value()->engine_reused());
+}
+
+TEST(ServiceTest, NetworkEditsMoveTheFingerprintPrecisely) {
+  Dataset ds = InjectedDataset("hospital", 150, 7);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  Service service;
+  auto session = service.Open("edit", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+  Session& s = *session.value();
+  const uint64_t fp0 = s.model_fingerprint();
+
+  // Find a free variable pair for a fresh edge.
+  const BayesianNetwork& bn = s.network();
+  std::string parent, child;
+  for (size_t p = 0; p < bn.num_variables() && parent.empty(); ++p) {
+    for (size_t c = 0; c < bn.num_variables(); ++c) {
+      if (p == c || bn.dag().HasEdge(p, c) || bn.dag().HasPath(c, p)) {
+        continue;
+      }
+      parent = bn.variable(p).name;
+      child = bn.variable(c).name;
+      break;
+    }
+  }
+  ASSERT_FALSE(parent.empty());
+
+  ASSERT_TRUE(s.AddNetworkEdge(parent, child).ok());
+  const uint64_t fp_edge = s.model_fingerprint();
+  EXPECT_NE(fp0, fp_edge) << "AddNetworkEdge must invalidate";
+
+  // Reverting the edit restores the exact model, the fingerprint, and
+  // therefore the warm repair cache registered under it.
+  ASSERT_TRUE(s.RemoveNetworkEdge(parent, child).ok());
+  EXPECT_EQ(fp0, s.model_fingerprint())
+      << "a reverted edit must restore the fingerprint";
+
+  ASSERT_TRUE(s.MergeNetworkNodes({"city", "state"}, "city_state").ok());
+  const uint64_t fp_merge = s.model_fingerprint();
+  EXPECT_NE(fp0, fp_merge) << "MergeNetworkNodes must invalidate";
+  EXPECT_NE(fp_edge, fp_merge);
+
+  // The cached pristine engine was untouched by any of this: a re-Open
+  // still hits and still reports the original fingerprint.
+  auto fresh = service.Open("fresh", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh.value()->engine_reused());
+  EXPECT_EQ(fp0, fresh.value()->model_fingerprint());
+}
+
+TEST(ServiceTest, EditedSessionMatchesColdEngineWithSameEdits) {
+  Dataset ds = InjectedDataset("flights", 200, 17);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.num_threads = 2;
+
+  Service service;
+  auto session = service.Open("edit", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+  Session& s = *session.value();
+  s.Clean();  // warm the pre-edit cache; must not leak into post-edit runs
+
+  // The paper's Section 7.3.2 adjustment: drop the learned edges, declare
+  // flight -> time dependencies.
+  std::vector<std::pair<std::string, std::string>> removed;
+  for (const auto& [from, to] : s.network().dag().Edges()) {
+    removed.push_back({s.network().variable(from).name,
+                       s.network().variable(to).name});
+  }
+  for (const auto& [from, to] : removed) {
+    ASSERT_TRUE(s.RemoveNetworkEdge(from, to).ok());
+  }
+  for (const char* t : {"sched_dep_time", "act_dep_time", "sched_arr_time",
+                        "act_arr_time"}) {
+    ASSERT_TRUE(s.AddNetworkEdge("flight", t).ok());
+  }
+
+  // Cold equivalent: one-shot engine, same edit sequence.
+  auto cold = BCleanEngine::Create(ds.clean, ds.ucs, options);
+  ASSERT_TRUE(cold.ok());
+  for (const auto& [from, to] : removed) {
+    ASSERT_TRUE(cold.value()->RemoveNetworkEdge(from, to).ok());
+  }
+  for (const char* t : {"sched_dep_time", "act_dep_time", "sched_arr_time",
+                        "act_arr_time"}) {
+    ASSERT_TRUE(cold.value()->AddNetworkEdge("flight", t).ok());
+  }
+  EXPECT_EQ(cold.value()->ModelFingerprint(), s.model_fingerprint());
+  Table cold_out = cold.value()->Clean();
+  EXPECT_TRUE(s.Clean().table == cold_out);
+  EXPECT_TRUE(s.Clean().table == cold_out);  // warm replay, same bytes
+}
+
+TEST(ServiceTest, ConcurrentCleanAsyncMatchesSerialRuns) {
+  Dataset hospital = InjectedDataset("hospital", 160, 5);
+  Dataset beers = InjectedDataset("beers", 160, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+
+  // Serial references.
+  auto cold_h = BCleanEngine::Create(hospital.clean, hospital.ucs, options);
+  auto cold_b = BCleanEngine::Create(beers.clean, beers.ucs, options);
+  ASSERT_TRUE(cold_h.ok());
+  ASSERT_TRUE(cold_b.ok());
+  Table out_h = cold_h.value()->Clean();
+  Table out_b = cold_b.value()->Clean();
+
+  ServiceOptions service_options;
+  service_options.num_threads = 4;
+  Service service(service_options);
+  auto s1 = service.Open("hospital", hospital.clean, hospital.ucs, options);
+  auto s2 = service.Open("beers", beers.clean, beers.ucs, options);
+  // A third session sharing the first's engine, cleaning concurrently.
+  auto s3 = service.Open("hospital-again", hospital.clean, hospital.ucs,
+                         options);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(s3.ok());
+  EXPECT_TRUE(s3.value()->engine_reused());
+
+  for (int round = 0; round < 2; ++round) {  // round 1 replays warm caches
+    std::future<CleanResult> f1 = s1.value()->CleanAsync();
+    std::future<CleanResult> f2 = s2.value()->CleanAsync();
+    std::future<CleanResult> f3 = s3.value()->CleanAsync();
+    CleanResult r1 = f1.get();
+    CleanResult r2 = f2.get();
+    CleanResult r3 = f3.get();
+    SCOPED_TRACE("round " + std::to_string(round));
+    EXPECT_TRUE(r1.table == out_h);
+    EXPECT_TRUE(r2.table == out_b);
+    EXPECT_TRUE(r3.table == out_h);
+    ExpectSameStableCounters(cold_h.value()->last_stats(), r1.stats);
+    ExpectSameStableCounters(cold_b.value()->last_stats(), r2.stats);
+  }
+}
+
+TEST(ServiceTest, LastStatsShimForwardsRunCleanCounters) {
+  Dataset ds = InjectedDataset("hospital", 120, 5);
+  auto engine = BCleanEngine::Create(ds.clean, ds.ucs,
+                                     BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok());
+  CleanResult value = engine.value()->RunClean();
+  Table via_shim = engine.value()->Clean();
+  EXPECT_TRUE(value.table == via_shim);
+  ExpectSameStableCounters(value.stats, engine.value()->last_stats());
+}
+
+TEST(ServiceTest, FailedEditLeavesSessionUntouched) {
+  Dataset ds = InjectedDataset("hospital", 120, 5);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  Service service;
+  auto session = service.Open("edit-fail", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+  Session& s = *session.value();
+  const uint64_t fp0 = s.model_fingerprint();
+  Table baseline = s.Clean().table;
+
+  // An edit naming a missing variable fails without detaching the session
+  // or moving the fingerprint...
+  EXPECT_FALSE(s.AddNetworkEdge("city", "no_such_column").ok());
+  EXPECT_EQ(fp0, s.model_fingerprint());
+  EXPECT_TRUE(s.Clean().table == baseline);
+
+  // ...so a later Update still re-derives structure through the engine
+  // cache: re-updating to previously-opened content is a cache hit, which
+  // only the undetached path can take.
+  RowEdit overwrite;
+  overwrite.row = 0;
+  overwrite.values = ds.clean.Row(1);
+  ASSERT_TRUE(s.Update({overwrite}).ok());
+  RowEdit restore;
+  restore.row = 0;
+  restore.values = ds.clean.Row(0);
+  ASSERT_TRUE(s.Update({restore}).ok());
+  EXPECT_TRUE(s.engine_reused());  // back to the originally cached engine
+  EXPECT_EQ(fp0, s.model_fingerprint());
+}
+
+TEST(ServiceTest, OptOutSessionSharingAnOptInEngineStaysCacheless) {
+  Dataset ds = InjectedDataset("beers", 120, 3);
+  BCleanOptions with_cache = BCleanOptions::PartitionedInference();
+  BCleanOptions no_cache = with_cache;
+  no_cache.repair_cache = false;
+  Service service;
+  // The engine cache key ignores cache knobs, so the second Open shares
+  // the first session's engine — but must keep its own opt-out.
+  auto opener = service.Open("opt-in", ds.clean, ds.ucs, with_cache);
+  auto optout = service.Open("opt-out", ds.clean, ds.ucs, no_cache);
+  ASSERT_TRUE(opener.ok());
+  ASSERT_TRUE(optout.ok());
+  EXPECT_TRUE(optout.value()->engine_reused());
+  CleanResult r = optout.value()->Clean();
+  EXPECT_EQ(r.stats.cache_hits + r.stats.cache_misses, 0u);
+  EXPECT_TRUE(r.table == opener.value()->Clean().table);
+}
+
+TEST(ServiceTest, SessionRespectsRepairCacheOptOut) {
+  Dataset ds = InjectedDataset("hospital", 120, 5);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.repair_cache = false;
+  Service service;  // persistent_repair_cache defaults to true
+  auto session = service.Open("optout", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+  CleanResult first = session.value()->Clean();
+  CleanResult second = session.value()->Clean();
+  // No per-pass cache and no persistent cache: zero lookups either run.
+  EXPECT_EQ(first.stats.cache_hits + first.stats.cache_misses, 0u);
+  EXPECT_EQ(second.stats.cache_hits + second.stats.cache_misses, 0u);
+  EXPECT_EQ(service.stats().repair_caches_created, 0u);
+  // Bytes still match a cold engine run under the same options.
+  auto cold = BCleanEngine::Create(ds.clean, ds.ucs, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(second.table == cold.value()->Clean());
+}
+
+TEST(ServiceTest, UpdateValidatesRowEdits) {
+  Dataset ds = InjectedDataset("hospital", 60, 5);
+  Service service;
+  auto session = service.Open("v", ds.clean, ds.ucs,
+                              BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(session.ok());
+  RowEdit bad_row;
+  bad_row.row = ds.clean.num_rows() + 5;
+  bad_row.values = ds.clean.Row(0);
+  EXPECT_FALSE(session.value()->Update({bad_row}).ok());
+  RowEdit bad_arity;
+  bad_arity.values = {"just-one-cell"};
+  EXPECT_FALSE(session.value()->Update({bad_arity}).ok());
+}
+
+TEST(ServiceTest, ContentDigestsSeeEveryCellAndOption) {
+  Dataset ds = InjectedDataset("beers", 40, 3);
+  uint64_t base = DigestTableContent(ds.clean);
+  Table copy = ds.clean;
+  EXPECT_EQ(base, DigestTableContent(copy));
+  copy.set_cell(17, 2, copy.cell(17, 2) + "x");
+  EXPECT_NE(base, DigestTableContent(copy));
+
+  BCleanOptions a = BCleanOptions::PartitionedInference();
+  BCleanOptions b = a;
+  EXPECT_EQ(a.Digest(), b.Digest());
+  b.num_threads = 13;  // execution-only: digest must not move
+  b.repair_cache = false;
+  EXPECT_EQ(a.Digest(), b.Digest());
+  b.tau_clean += 0.01;
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+}  // namespace
+}  // namespace bclean
