@@ -267,5 +267,33 @@ void BM_ServiceWarmClean(benchmark::State& state) {
 BENCHMARK(BM_ServiceWarmClean)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+void BM_SessionDetach(benchmark::State& state) {
+  // A session's first EditNetwork must detach from the shared cached
+  // engine. PR 3 rebuilt every model layer (CreateWithNetwork: stats +
+  // mask + compensatory + CPT fit); the shared-parts detach
+  // (DetachWithNetwork) reuses all network-independent layers and refits
+  // only CPTs. Both produce bit-identical engines — the spread is the
+  // first-edit latency a session saves.
+  Dataset ds = MakeHospital(400, 7);
+  Rng rng(7);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.num_threads = 1;
+  auto base =
+      BCleanEngine::Create(injection.dirty, ds.ucs, options).value();
+  bool shared_parts = state.range(0) == 1;
+  for (auto _ : state) {
+    if (shared_parts) {
+      benchmark::DoNotOptimize(base->DetachWithNetwork(base->network()));
+    } else {
+      benchmark::DoNotOptimize(BCleanEngine::CreateWithNetwork(
+          base->dirty(), ds.ucs, base->network(), options));
+    }
+  }
+  state.SetLabel(shared_parts ? "shared-parts-detach" : "full-rebuild");
+}
+BENCHMARK(BM_SessionDetach)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace bclean

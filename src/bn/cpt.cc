@@ -80,6 +80,26 @@ double Cpt::MarginalProb(int64_t value) const {
   return SmoothedProb(marginal_, value);
 }
 
+size_t Cpt::ApproxBytes() const {
+  auto counts_bytes = [](const Counts& counts) {
+    // unordered_map node: key + value + two pointers, plus buckets.
+    return sizeof(Counts) +
+           counts.by_value.size() *
+               (sizeof(int64_t) + sizeof(double) + 2 * sizeof(void*)) +
+           counts.by_value.bucket_count() * sizeof(void*);
+  };
+  size_t bytes = sizeof(Cpt);
+  bytes += counts_bytes(marginal_);
+  for (const auto& [key, counts] : conditional_) {
+    bytes += sizeof(uint64_t) + 2 * sizeof(void*) + counts_bytes(counts);
+  }
+  bytes += conditional_.bucket_count() * sizeof(void*);
+  bytes += configs_.ApproxBytes();
+  bytes += slot_value_.capacity() * sizeof(int64_t);
+  bytes += slot_logp_.capacity() * sizeof(double);
+  return bytes;
+}
+
 void Cpt::Clear() {
   conditional_.clear();
   marginal_.by_value.clear();

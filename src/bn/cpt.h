@@ -106,6 +106,10 @@ class Cpt {
   /// Drops all learned counts (used when a user edit refits the node).
   void Clear();
 
+  /// Approximate memory footprint (count maps plus the finalized flat
+  /// storage). Feeds the engine's byte accounting.
+  size_t ApproxBytes() const;
+
  private:
   /// Slot sentinel in the flat value arrays. Dictionary and folded compound
   /// codes are non-negative, so INT64_MIN can never be a stored value.

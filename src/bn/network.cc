@@ -274,6 +274,24 @@ double BayesianNetwork::LogProbBlanket(size_t attr, int32_t candidate,
   return total;
 }
 
+size_t BayesianNetwork::ApproxBytes() const {
+  size_t bytes = sizeof(BayesianNetwork);
+  for (const BnVariable& var : variables_) {
+    bytes += ApproxStringBytes(var.name) +
+             var.attrs.capacity() * sizeof(size_t);
+  }
+  for (const auto& [name, var] : name_to_var_) {
+    bytes += ApproxStringBytes(name) + sizeof(size_t) + 2 * sizeof(void*);
+  }
+  bytes += attr_to_var_.capacity() * sizeof(size_t);
+  for (size_t v = 0; v < dag_.num_nodes(); ++v) {
+    bytes += (dag_.parents(v).capacity() + dag_.children(v).capacity()) *
+             sizeof(size_t);
+  }
+  for (const Cpt& cpt : cpts_) bytes += cpt.ApproxBytes();
+  return bytes;
+}
+
 uint64_t BayesianNetwork::Digest() const {
   uint64_t h = 0xB41E5ull;
   h = DigestCombine(h, variables_.size());

@@ -139,6 +139,10 @@ class BayesianNetwork {
   /// digest; an edit sequence that restores the exact structure restores it.
   uint64_t Digest() const;
 
+  /// Approximate memory footprint (variables, DAG, CPTs). Feeds the
+  /// engine's byte accounting for the service cache's byte budget.
+  size_t ApproxBytes() const;
+
   /// Laplace smoothing pseudo-count used when (re)fitting CPTs.
   void set_alpha(double alpha) { alpha_ = alpha; }
 

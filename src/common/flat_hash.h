@@ -85,6 +85,12 @@ class FlatKeyMap {
   /// Number of entries stored.
   size_t size() const { return size_; }
 
+  /// Approximate heap footprint of the flat storage (memory accounting for
+  /// the service layer's byte-budget eviction).
+  size_t ApproxBytes() const {
+    return keys_.capacity() * sizeof(uint64_t) + vals_.capacity() * sizeof(V);
+  }
+
   /// Calls f(key, value) for every stored entry. Iteration order follows
   /// the internal layout (insertion-dependent); callers needing a
   /// deterministic result must fold commutatively or sort.

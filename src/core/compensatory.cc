@@ -92,13 +92,19 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
   model.num_cols_ = m;
   model.inv_n_ = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
   model.normalization_ = options.normalization;
-  model.stats_ = &stats;
-  model.mask_ = &mask;
+  model.mask_ = mask;
   model.conf_.resize(n);
   model.column_counts_.resize(m);
+  model.freq_.resize(m);
   for (size_t c = 0; c < m; ++c) {
     model.column_counts_[c] =
         static_cast<double>(n - stats.column(c).null_count());
+    const ColumnStats& column = stats.column(c);
+    model.freq_[c].resize(column.DomainSize());
+    for (size_t v = 0; v < column.DomainSize(); ++v) {
+      model.freq_[c][v] =
+          static_cast<double>(column.Frequency(static_cast<int32_t>(v)));
+    }
   }
 
   const size_t num_blocks = (n + kBuildRowBlock - 1) / kBuildRowBlock;
@@ -331,8 +337,8 @@ double CompensatoryModel::Corr(size_t attr_j, int32_t c, size_t attr_k,
   }
   // Conditional vote: among the tuples carrying evidence e, how strongly
   // do they support candidate c (confidence-weighted)?
-  double evidence_count =
-      static_cast<double>(stats_->column(attr_k).Frequency(e));
+  assert(static_cast<size_t>(e) < freq_[attr_k].size());
+  double evidence_count = freq_[attr_k][static_cast<size_t>(e)];
   if (evidence_count <= 0.0) return 0.0;
   return static_cast<double>(stat->weighted) / evidence_count;
 }
@@ -346,14 +352,14 @@ size_t CompensatoryModel::PairCount(size_t attr_j, int32_t c, size_t attr_k,
 
 double CompensatoryModel::EvidenceMult(size_t attr_j, size_t attr_k,
                                        int32_t e) const {
-  if (!mask_->Check(attr_k, e)) return 0.0;  // untrusted evidence
+  if (!mask_.Check(attr_k, e)) return 0.0;  // untrusted evidence
   double w = PairWeight(attr_j, attr_k);
   if (w == 0.0) return 0.0;  // independent pair: every candidate scores +0
   if (normalization_ == CorrNormalization::kJointFrequency) {
     return w * inv_n_;
   }
-  double evidence_count =
-      static_cast<double>(stats_->column(attr_k).Frequency(e));
+  assert(static_cast<size_t>(e) < freq_[attr_k].size());
+  double evidence_count = freq_[attr_k][static_cast<size_t>(e)];
   if (evidence_count <= 0.0) return 0.0;
   return w / evidence_count;
 }
@@ -395,7 +401,7 @@ void CompensatoryModel::PrepareScoreCorrBatch(
     }
   }
   ws->ranges.clear();
-  size_t domain = stats_->column(attr_j).DomainSize();
+  size_t domain = freq_[attr_j].size();
   if (ws->acc.size() < domain) ws->acc.resize(domain, 0.0);
 
   // Evidence accumulates in ascending attribute order, so each candidate's
@@ -430,9 +436,8 @@ double CompensatoryModel::Filter(const std::vector<int32_t>& row_codes,
   double total = 0.0;
   for (size_t j = 0; j < num_cols_; ++j) {
     if (j == attr_i || row_codes[j] < 0) continue;
-    if (!mask_->Check(j, row_codes[j])) continue;  // untrusted evidence
-    double denom = static_cast<double>(stats_->column(j).Frequency(
-        row_codes[j]));
+    if (!mask_.Check(j, row_codes[j])) continue;  // untrusted evidence
+    double denom = freq_[j][static_cast<size_t>(row_codes[j])];
     if (denom <= 0.0) continue;
     total += static_cast<double>(
                  PairCount(attr_i, row_codes[attr_i], j, row_codes[j])) /
@@ -463,10 +468,8 @@ void CompensatoryModel::FilterRow(const std::vector<int32_t>& row_codes,
     usable = usable_heap.data();
   }
   for (size_t j = 0; j < m; ++j) {
-    usable[j] = row_codes[j] >= 0 && mask_->Check(j, row_codes[j]);
-    denom[j] = usable[j] ? static_cast<double>(
-                               stats_->column(j).Frequency(row_codes[j]))
-                         : 0.0;
+    usable[j] = row_codes[j] >= 0 && mask_.Check(j, row_codes[j]);
+    denom[j] = usable[j] ? freq_[j][static_cast<size_t>(row_codes[j])] : 0.0;
   }
   // One probe per unordered pair: count(c, e) is symmetric, so it feeds
   // both Filter(T, A_i) (evidence j) and Filter(T, A_j) (evidence i).
@@ -490,6 +493,19 @@ void CompensatoryModel::FilterRow(const std::vector<int32_t>& row_codes,
                     ? 0.0  // NULL cells always need inference
                     : (*out)[i] / static_cast<double>(m - 1);
   }
+}
+
+size_t CompensatoryModel::ApproxBytes() const {
+  size_t bytes = sizeof(CompensatoryModel);
+  bytes += conf_.capacity() * sizeof(float);
+  bytes += column_counts_.capacity() * sizeof(double);
+  bytes += pair_weight_.capacity() * sizeof(float);
+  bytes += pairs_.ApproxBytes();
+  bytes += postings_.capacity() * sizeof(Posting);
+  bytes += oriented_.ApproxBytes();
+  for (const auto& col : freq_) bytes += col.capacity() * sizeof(double);
+  bytes += mask_.ApproxBytes();
+  return bytes;
 }
 
 uint64_t CompensatoryModel::Fingerprint() const {

@@ -3,6 +3,12 @@
 // correlations corr(c, e, A_j, A_k), and Score_corr (Equation 2). Also owns
 // the raw pair counts that tuple pruning's Filter (Section 6.2) needs.
 //
+// A built model is self-contained: the few inputs the scoring paths read
+// back — per-code evidence frequencies, per-column domain sizes, and the UC
+// verdict mask — are copied out of the build-time DomainStats/UcMask, so
+// the model holds no pointers into its builder and can be shared between
+// engines (the ModelParts bundle) with plain shared ownership.
+//
 // Pair statistics live in a flat open-addressed table after Build. Build
 // itself is row-sharded over a thread pool with a block-deterministic merge
 // (bit-identical for any thread count). The candidate-scoring hot path is
@@ -171,6 +177,11 @@ class CompensatoryModel {
   /// differential tests pin that down.
   uint64_t Fingerprint() const;
 
+  /// Approximate memory footprint (pair tables, postings, conf, and the
+  /// copied frequency/mask arrays). Feeds the service layer's byte-budget
+  /// engine-cache eviction.
+  size_t ApproxBytes() const;
+
  private:
   struct PairStat {
     float weighted = 0.0f;  // +1 per confident tuple, -beta otherwise
@@ -208,8 +219,13 @@ class CompensatoryModel {
   CorrNormalization normalization_ = CorrNormalization::kConditionalVote;
   std::vector<float> conf_;
   std::vector<double> column_counts_;  // non-null cells per column
-  const DomainStats* stats_ = nullptr;
-  const UcMask* mask_ = nullptr;
+  // Copied out of the build-time DomainStats/UcMask so the model owns
+  // everything it reads (no back-pointers into the builder; see the file
+  // comment). freq_[k][e] is Frequency(e) of column k as a double — the
+  // exact value every scoring path previously obtained by casting, so the
+  // copies change no bit of any score.
+  std::vector<std::vector<double>> freq_;
+  UcMask mask_;
   FlatKeyMap<PairStat> pairs_;
   std::vector<Posting> postings_;   // oriented co-occurrence lists
   FlatKeyMap<CorrRange> oriented_;  // (cand attr, evid attr, e) -> postings

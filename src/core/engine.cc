@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "src/common/digest.h"
 #include "src/common/stopwatch.h"
@@ -21,29 +22,41 @@ size_t ResolveThreads(size_t num_threads) {
 
 }  // namespace
 
-BCleanEngine::BCleanEngine(const Table& dirty, const UcRegistry& ucs,
-                           const BCleanOptions& options, DomainStats stats,
-                           ThreadPool* pool)
-    : dirty_(dirty),
-      ucs_(options.use_user_constraints ? ucs : ucs.Empty()),
-      options_(options),
-      stats_(std::move(stats)),
-      mask_(UcMask::Build(ucs_, stats_)),
-      compensatory_(CompensatoryModel::Build(
-          stats_, mask_, options.compensatory,
-          ResolveThreads(options.num_threads), pool)) {}
+BCleanEngine::BCleanEngine(ModelParts parts, UcRegistry ucs,
+                           const BCleanOptions& options)
+    : parts_(std::move(parts)), ucs_(std::move(ucs)), options_(options) {}
 
-Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
-    const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
-    ThreadPool* pool) {
+Result<ModelParts> BCleanEngine::BuildParts(Table dirty, const UcRegistry& ucs,
+                                            const BCleanOptions& options,
+                                            ThreadPool* pool) {
   if (dirty.num_cols() != ucs.num_attributes()) {
     return Status::InvalidArgument(
         "UC registry arity does not match the table");
   }
-  DomainStats stats = DomainStats::Build(dirty);
+  const UcRegistry effective =
+      options.use_user_constraints ? ucs : ucs.Empty();
+  ModelParts parts;
+  parts.dirty = std::make_shared<const Table>(std::move(dirty));
+  DomainStats stats = DomainStats::Build(*parts.dirty);
   BCLEAN_RETURN_IF_ERROR(CompensatoryModel::CheckCapacity(stats));
-  std::unique_ptr<BCleanEngine> engine(
-      new BCleanEngine(dirty, ucs, options, std::move(stats), pool));
+  parts.stats = std::make_shared<const DomainStats>(std::move(stats));
+  parts.mask =
+      std::make_shared<const UcMask>(UcMask::Build(effective, *parts.stats));
+  parts.compensatory = std::make_shared<const CompensatoryModel>(
+      CompensatoryModel::Build(*parts.stats, *parts.mask, options.compensatory,
+                               ResolveThreads(options.num_threads), pool));
+  return parts;
+}
+
+Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
+    Table dirty, const UcRegistry& ucs, const BCleanOptions& options,
+    ThreadPool* pool) {
+  Result<ModelParts> parts =
+      BuildParts(std::move(dirty), ucs, options, pool);
+  if (!parts.ok()) return parts.status();
+  std::unique_ptr<BCleanEngine> engine(new BCleanEngine(
+      std::move(parts).value(),
+      options.use_user_constraints ? ucs : ucs.Empty(), options));
   // The engine-level thread budget governs model construction too; an
   // explicit StructureOptions::num_threads still wins. An external pool
   // hosts the statistics pass itself, so every build phase obeys the
@@ -53,48 +66,75 @@ Result<std::unique_ptr<BCleanEngine>> BCleanEngine::Create(
     structure.num_threads = ResolveThreads(options.num_threads);
   }
   Result<BayesianNetwork> bn =
-      BuildNetwork(dirty, engine->stats_, structure, pool);
+      BuildNetwork(engine->dirty(), engine->stats(), structure, pool);
   if (!bn.ok()) return bn.status();
   engine->bn_ = std::move(bn).value();
   return engine;
 }
 
 Result<std::unique_ptr<BCleanEngine>> BCleanEngine::CreateWithNetwork(
-    const Table& dirty, const UcRegistry& ucs, BayesianNetwork network,
+    Table dirty, const UcRegistry& ucs, BayesianNetwork network,
     const BCleanOptions& options, ThreadPool* pool) {
-  if (dirty.num_cols() != ucs.num_attributes()) {
+  Result<ModelParts> parts =
+      BuildParts(std::move(dirty), ucs, options, pool);
+  if (!parts.ok()) return parts.status();
+  return CreateFromParts(std::move(parts).value(),
+                         options.use_user_constraints ? ucs : ucs.Empty(),
+                         std::move(network), options);
+}
+
+Result<std::unique_ptr<BCleanEngine>> BCleanEngine::CreateFromParts(
+    ModelParts parts, UcRegistry ucs, BayesianNetwork network,
+    const BCleanOptions& options) {
+  if (!parts.Complete()) {
     return Status::InvalidArgument(
-        "UC registry arity does not match the table");
+        "CreateFromParts requires a complete ModelParts bundle");
   }
-  DomainStats stats = DomainStats::Build(dirty);
-  BCLEAN_RETURN_IF_ERROR(CompensatoryModel::CheckCapacity(stats));
+  if (parts.dirty->num_cols() != ucs.num_attributes()) {
+    return Status::InvalidArgument(
+        "UC registry arity does not match the parts' table");
+  }
   std::unique_ptr<BCleanEngine> engine(
-      new BCleanEngine(dirty, ucs, options, std::move(stats), pool));
+      new BCleanEngine(std::move(parts), std::move(ucs), options));
   engine->bn_ = std::move(network);
-  engine->bn_.Fit(engine->stats_);
+  // CPTs are a deterministic function of (structure, stats, fit config);
+  // refitting from the shared stats reproduces the donor's tables exactly
+  // when the structure is unchanged, and correctly fits user-supplied
+  // structures otherwise.
+  engine->bn_.Fit(engine->stats());
   return engine;
+}
+
+Result<std::unique_ptr<BCleanEngine>> BCleanEngine::DetachWithNetwork(
+    BayesianNetwork network) const {
+  return CreateFromParts(parts_, ucs_, std::move(network), options_);
 }
 
 uint64_t BCleanEngine::ModelFingerprint() const {
   uint64_t h = 0xB5EA7ull;
-  h = DigestCombine(h, compensatory_.Fingerprint());
+  h = DigestCombine(h, parts_.compensatory->Fingerprint());
   h = DigestCombine(h, bn_.Digest());
-  h = DigestCombine(h, mask_.Digest());
+  h = DigestCombine(h, parts_.mask->Digest());
   h = DigestCombine(h, options_.Digest());
   return h;
+}
+
+size_t BCleanEngine::ApproxBytes(
+    std::unordered_set<const void*>* seen) const {
+  return sizeof(BCleanEngine) + parts_.ApproxBytes(seen) + bn_.ApproxBytes();
 }
 
 Status BCleanEngine::AddNetworkEdge(const std::string& parent,
                                     const std::string& child) {
   BCLEAN_RETURN_IF_ERROR(bn_.AddEdgeByName(parent, child));
-  bn_.RefitDirty(stats_);  // localized: only the child's CPT is dirty
+  bn_.RefitDirty(stats());  // localized: only the child's CPT is dirty
   return Status::OK();
 }
 
 Status BCleanEngine::RemoveNetworkEdge(const std::string& parent,
                                        const std::string& child) {
   BCLEAN_RETURN_IF_ERROR(bn_.RemoveEdgeByName(parent, child));
-  bn_.RefitDirty(stats_);
+  bn_.RefitDirty(stats());
   return Status::OK();
 }
 
@@ -108,17 +148,17 @@ Status BCleanEngine::MergeNetworkNodes(const std::vector<std::string>& names,
     vars.push_back(var.value());
   }
   BCLEAN_RETURN_IF_ERROR(bn_.MergeNodes(vars, merged_name));
-  bn_.RefitDirty(stats_);
+  bn_.RefitDirty(stats());
   return Status::OK();
 }
 
 std::vector<int32_t> BCleanEngine::CandidatesFor(size_t attr) const {
-  const ColumnStats& column = stats_.column(attr);
+  const ColumnStats& column = stats().column(attr);
   std::vector<int32_t> candidates;
   candidates.reserve(column.DomainSize());
   for (size_t v = 0; v < column.DomainSize(); ++v) {
     int32_t code = static_cast<int32_t>(v);
-    if (options_.use_user_constraints && !mask_.Check(attr, code)) continue;
+    if (options_.use_user_constraints && !mask().Check(attr, code)) continue;
     candidates.push_back(code);
   }
   if (!options_.domain_pruning ||
@@ -135,7 +175,7 @@ std::vector<int32_t> BCleanEngine::CandidatesFor(size_t attr) const {
   for (size_t v : bn_.dag().MarkovBlanket(var)) {
     for (size_t a : bn_.variable(v).attrs) blanket_attrs.push_back(a);
   }
-  double n = static_cast<double>(std::max<size_t>(1, stats_.num_rows()));
+  double n = static_cast<double>(std::max<size_t>(1, stats().num_rows()));
   std::vector<std::pair<double, int32_t>> scored;
   scored.reserve(candidates.size());
   for (int32_t code : candidates) {
@@ -143,9 +183,10 @@ std::vector<int32_t> BCleanEngine::CandidatesFor(size_t attr) const {
     double tf = static_cast<double>(column.Frequency(code));
     for (size_t other : blanket_attrs) {
       if (other == attr) continue;
-      int32_t other_code = stats_.column(other).CodeOf(value);
+      int32_t other_code = stats().column(other).CodeOf(value);
       if (other_code >= 0) {
-        tf += static_cast<double>(stats_.column(other).Frequency(other_code));
+        tf +=
+            static_cast<double>(stats().column(other).Frequency(other_code));
       }
     }
     double idf = std::log(n / (1.0 + tf));
@@ -167,7 +208,7 @@ std::vector<int32_t> BCleanEngine::CandidatesFor(size_t attr) const {
 }
 
 std::vector<uint32_t> BCleanEngine::SignatureColumns(size_t attr) const {
-  const size_t m = dirty_.num_cols();
+  const size_t m = dirty().num_cols();
   std::vector<bool> used(m, false);
   used[attr] = true;
   // Full-joint scoring reads every variable's code; tuple pruning's Filter
@@ -194,7 +235,7 @@ std::vector<uint32_t> BCleanEngine::SignatureColumns(size_t attr) const {
     // contribute nothing, so they stay out and raise the hit rate).
     if (options_.use_compensatory) {
       for (size_t k = 0; k < m; ++k) {
-        if (k != attr && compensatory_.PairWeight(attr, k) > 0.0) {
+        if (k != attr && compensatory().PairWeight(attr, k) > 0.0) {
           used[k] = true;
         }
       }
@@ -221,7 +262,10 @@ struct BCleanEngine::CleanShared {
 void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
                                  CleanShared& shared, size_t worker,
                                  Table& result, CleanStats& stats) const {
-  const size_t m = dirty_.num_cols();
+  const DomainStats& encoded = *parts_.stats;
+  const UcMask& uc_mask = *parts_.mask;
+  const CompensatoryModel& comp = *parts_.compensatory;
+  const size_t m = encoded.num_cols();
   CellScorer& scorer = *shared.scorers[worker];
   RepairCache::Local* local =
       shared.cache == nullptr ? nullptr : &shared.locals[worker];
@@ -230,7 +274,7 @@ void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
   std::vector<int32_t> batch;
   std::vector<double> scores;
   for (size_t r = row_begin; r < row_end; ++r) {
-    for (size_t c = 0; c < m; ++c) row_codes[c] = stats_.code(r, c);
+    for (size_t c = 0; c < m; ++c) row_codes[c] = encoded.code(r, c);
     // The row's Filter values and whole-tuple signature prefix are
     // computed at most once and recomputed only after an in-place repair
     // changes the tuple.
@@ -265,7 +309,7 @@ void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
             ++stats.cells_inferred;
             stats.candidates_evaluated += hit.candidates_evaluated;
             if (hit.best != original && hit.best >= 0) {
-              result.set_cell(r, j, stats_.column(j).ValueOf(hit.best));
+              result.set_cell(r, j, encoded.column(j).ValueOf(hit.best));
               ++stats.cells_changed;
               if (!options_.partitioned_inference) {
                 row_codes[j] = hit.best;
@@ -283,7 +327,7 @@ void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
       // inference entirely.
       if (options_.tuple_pruning && original >= 0) {
         if (!filter_valid) {
-          compensatory_.FilterRow(row_codes, &filter);
+          comp.FilterRow(row_codes, &filter);
           filter_valid = true;
         }
         if (filter[j] >= options_.tau_clean) {
@@ -302,7 +346,7 @@ void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
       // of them.
       bool original_competes =
           original >= 0 &&
-          (!options_.use_user_constraints || mask_.Check(j, original));
+          (!options_.use_user_constraints || uc_mask.Check(j, original));
       batch.clear();
       if (original_competes) batch.push_back(original);
       for (int32_t c : shared.candidates[j]) {
@@ -344,7 +388,7 @@ void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
             *local);
       }
       if (best != original && best >= 0) {
-        result.set_cell(r, j, stats_.column(j).ValueOf(best));
+        result.set_cell(r, j, encoded.column(j).ValueOf(best));
         ++stats.cells_changed;
         if (!options_.partitioned_inference) {
           // Unpartitioned BClean repairs in place: later cells of the tuple
@@ -361,9 +405,9 @@ void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
 CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
                                    std::optional<bool> per_pass_cache) const {
   Stopwatch watch;
-  CleanResult result{dirty_, CleanStats{}};
-  const size_t n = dirty_.num_rows();
-  const size_t m = dirty_.num_cols();
+  CleanResult result{dirty(), CleanStats{}};
+  const size_t n = dirty().num_rows();
+  const size_t m = dirty().num_cols();
 
   CleanShared shared;
   // Candidate lists are computed once per attribute, not per cell.
@@ -404,8 +448,8 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
   }
 
   if (threads <= 1) {
-    shared.scorers.push_back(
-        std::make_unique<CellScorer>(bn_, compensatory_, options_, m));
+    shared.scorers.push_back(std::make_unique<CellScorer>(
+        bn_, compensatory(), options_, m));
     shared.locals.resize(1);
     shared.filter_ws.resize(1);
     if (pool != nullptr) {
@@ -439,8 +483,8 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
     std::vector<CleanStats> worker_stats(workers);
     shared.scorers.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
-      shared.scorers.push_back(
-          std::make_unique<CellScorer>(bn_, compensatory_, options_, m));
+      shared.scorers.push_back(std::make_unique<CellScorer>(
+          bn_, compensatory(), options_, m));
     }
     shared.locals.resize(workers);
     shared.filter_ws.resize(workers);
@@ -460,14 +504,25 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
       result.stats.cache_misses += s.cache_misses;
     }
   }
+  // The pass's own wall time, measured here so every CleanResult — one-shot
+  // Clean(), service Clean(), or a CleanAsync future — reports the job
+  // itself, never a caller wrapper's timing.
   result.stats.seconds = watch.ElapsedSeconds();
   return result;
 }
 
 Table BCleanEngine::Clean() {
   CleanResult result = RunClean();
-  last_stats_ = result.stats;
+  {
+    std::lock_guard<std::mutex> lock(last_stats_mu_);
+    last_stats_ = result.stats;
+  }
   return std::move(result.table);
+}
+
+CleanStats BCleanEngine::last_stats() const {
+  std::lock_guard<std::mutex> lock(last_stats_mu_);
+  return last_stats_;
 }
 
 }  // namespace bclean

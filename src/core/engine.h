@@ -4,13 +4,22 @@
 // automatically (Section 4) or accepts a user-supplied network; the
 // user-interaction operations (add/remove edge, merge nodes) refit only the
 // CPTs an edit touches.
+//
+// Layering follows the paper's pipeline: the network-independent layers
+// (dirty table -> dictionary stats -> UC verdicts -> compensatory model)
+// live in a shared, immutable ModelParts bundle; only the BayesianNetwork
+// is per-engine. DetachWithNetwork() composes a new engine from the same
+// bundle with a refit network, so a copy-on-edit detach costs a CPT refit
+// instead of a full model rebuild.
 #ifndef BCLEAN_CORE_ENGINE_H_
 #define BCLEAN_CORE_ENGINE_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/bn/network.h"
@@ -18,6 +27,7 @@
 #include "src/constraints/registry.h"
 #include "src/core/cell_scorer.h"
 #include "src/core/compensatory.h"
+#include "src/core/model_parts.h"
 #include "src/core/options.h"
 #include "src/core/uc_mask.h"
 #include "src/data/domain_stats.h"
@@ -31,7 +41,9 @@ class ThreadPool;
 /// Counters from one Clean() pass. The first five are deterministic
 /// functions of the input (identical across thread counts and cache
 /// settings); the cache counters depend on worker interleaving and only
-/// their sum (cells consulting the cache) is stable.
+/// their sum (cells consulting the cache) is stable. `seconds` is the
+/// pass's own wall time, measured inside RunClean — a CleanResult obtained
+/// through a future reports that job's time, not any caller wrapper's.
 struct CleanStats {
   size_t cells_scanned = 0;
   size_t cells_skipped_by_filter = 0;  ///< tuple pruning hits
@@ -54,19 +66,50 @@ struct CleanResult {
 /// One configured cleaning run over one dirty table.
 class BCleanEngine {
  public:
-  /// Construction stage with automatic BN learning (Section 4). When `pool`
-  /// is non-null, model construction runs on that (possibly shared) pool;
-  /// otherwise a private pool of options.num_threads workers is used.
+  /// Construction stage with automatic BN learning (Section 4). `dirty` is
+  /// taken by value: pass an rvalue to move the table's buffers straight
+  /// into the engine (the service's Open/Update move-through path), or an
+  /// lvalue to copy exactly once. When `pool` is non-null, model
+  /// construction runs on that (possibly shared) pool; otherwise a private
+  /// pool of options.num_threads workers is used.
   static Result<std::unique_ptr<BCleanEngine>> Create(
-      const Table& dirty, const UcRegistry& ucs,
-      const BCleanOptions& options = {}, ThreadPool* pool = nullptr);
+      Table dirty, const UcRegistry& ucs, const BCleanOptions& options = {},
+      ThreadPool* pool = nullptr);
 
   /// Construction with a caller-provided network structure. `network` must
   /// be defined over the table's schema (its attrs index this table's
   /// columns); its CPTs are (re)fitted from the table here.
   static Result<std::unique_ptr<BCleanEngine>> CreateWithNetwork(
-      const Table& dirty, const UcRegistry& ucs, BayesianNetwork network,
+      Table dirty, const UcRegistry& ucs, BayesianNetwork network,
       const BCleanOptions& options = {}, ThreadPool* pool = nullptr);
+
+  /// Builds the network-independent model layers over `dirty` once:
+  /// dictionary stats, UC verdicts for the effective registry (`ucs`
+  /// filtered by options.use_user_constraints), and the compensatory
+  /// model. The returned bundle is immutable and shareable between any
+  /// engines over the same (content, registry, decision options).
+  static Result<ModelParts> BuildParts(Table dirty, const UcRegistry& ucs,
+                                       const BCleanOptions& options,
+                                       ThreadPool* pool = nullptr);
+
+  /// Composes an engine from prebuilt parts and a network whose CPTs are
+  /// refit from the shared stats. `ucs` must be the effective registry the
+  /// bundle's mask was built from (Create/DetachWithNetwork pass it
+  /// through). The parts are shared, not copied — this is the cheap path:
+  /// cost is one CPT refit, not a model rebuild.
+  static Result<std::unique_ptr<BCleanEngine>> CreateFromParts(
+      ModelParts parts, UcRegistry ucs, BayesianNetwork network,
+      const BCleanOptions& options);
+
+  /// Copy-on-edit detach: a new engine sharing every network-independent
+  /// part of this one (same table, stats, mask, compensatory pointers) with
+  /// `network`'s CPTs refit from the shared stats. Passing a copy of this
+  /// engine's own network yields an engine that scores bit-identically
+  /// (CPTs are a deterministic function of structure + stats) and reports
+  /// the same ModelFingerprint(). The service's Session::EditNetwork uses
+  /// this so a first edit costs ~one CPT refit instead of a cold build.
+  Result<std::unique_ptr<BCleanEngine>> DetachWithNetwork(
+      BayesianNetwork network) const;
 
   /// The (possibly user-edited) network.
   const BayesianNetwork& network() const { return bn_; }
@@ -99,14 +142,16 @@ class BCleanEngine {
                            std::nullopt) const;
 
   /// Legacy one-shot surface: RunClean() on a private cache/pool, recording
-  /// the counters for last_stats(). Prefer RunClean() — this mutates engine
-  /// state and therefore must not race with itself.
+  /// the counters for last_stats(). Prefer RunClean().
   Table Clean();
 
-  /// Deprecated: counters from the most recent Clean(). Kept as a
-  /// forwarding shim for the pre-service API; racy if futures share an
-  /// engine. Prefer CleanResult::stats from RunClean().
-  const CleanStats& last_stats() const { return last_stats_; }
+  /// Deprecated: counters from the most recent Clean(). Kept as a shim for
+  /// the pre-service API; reads and writes are serialized on an internal
+  /// mutex, so concurrent Clean() callers see some complete pass's counters
+  /// (never a torn struct) — but which pass is unspecified. Prefer
+  /// CleanResult::stats from RunClean(), whose `seconds` is the job's own
+  /// wall time.
+  CleanStats last_stats() const;
 
   /// Stable digest of the full decision model: the compensatory model
   /// fingerprint (which pins the training table content), the Bayesian
@@ -117,11 +162,16 @@ class BCleanEngine {
   /// option change that could alter a decision changes the fingerprint.
   uint64_t ModelFingerprint() const;
 
+  /// The shared network-independent model layers. Engines produced by
+  /// DetachWithNetwork/CreateFromParts alias the donor's parts (pointer
+  /// equality), which the aliasing tests pin down.
+  const ModelParts& parts() const { return parts_; }
+
   /// Dictionary statistics of the dirty table.
-  const DomainStats& stats() const { return stats_; }
+  const DomainStats& stats() const { return *parts_.stats; }
 
   /// The dirty table this engine was built over.
-  const Table& dirty() const { return dirty_; }
+  const Table& dirty() const { return *parts_.dirty; }
 
   /// The engine's (UC-filtered) constraint registry.
   const UcRegistry& ucs() const { return ucs_; }
@@ -130,7 +180,13 @@ class BCleanEngine {
   const BCleanOptions& options() const { return options_; }
 
   /// The compensatory model (exposed for diagnostics and benches).
-  const CompensatoryModel& compensatory() const { return compensatory_; }
+  const CompensatoryModel& compensatory() const { return *parts_.compensatory; }
+
+  /// Approximate memory footprint of the engine: shared parts plus the
+  /// private network. With `seen` non-null, parts already recorded there
+  /// are skipped — the service sums cached engines without double-counting
+  /// bundles shared between them.
+  size_t ApproxBytes(std::unordered_set<const void*>* seen = nullptr) const;
 
   /// Candidate codes the engine would consider for `attr` (after UC
   /// filtering and, when enabled, domain pruning). Exposed for tests.
@@ -145,9 +201,10 @@ class BCleanEngine {
   std::vector<uint32_t> SignatureColumns(size_t attr) const;
 
  private:
-  BCleanEngine(const Table& dirty, const UcRegistry& ucs,
-               const BCleanOptions& options, DomainStats stats,
-               ThreadPool* pool);
+  BCleanEngine(ModelParts parts, UcRegistry ucs, const BCleanOptions& options);
+
+  /// The UC verdict mask (shared part).
+  const UcMask& mask() const { return *parts_.mask; }
 
   /// Per-Clean() state shared across workers: candidate lists and their
   /// digests, signature column lists, the repair cache, and the per-worker
@@ -162,13 +219,12 @@ class BCleanEngine {
   void CleanRowRange(size_t row_begin, size_t row_end, CleanShared& shared,
                      size_t worker, Table& result, CleanStats& stats) const;
 
-  Table dirty_;
+  ModelParts parts_;  ///< shared immutable layers (table, stats, mask, comp)
   UcRegistry ucs_;
   BCleanOptions options_;
-  DomainStats stats_;
-  UcMask mask_;
-  CompensatoryModel compensatory_;
-  BayesianNetwork bn_;
+  BayesianNetwork bn_;  ///< the only per-engine model layer
+
+  mutable std::mutex last_stats_mu_;
   CleanStats last_stats_;
 };
 

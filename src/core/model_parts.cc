@@ -1,0 +1,22 @@
+#include "src/core/model_parts.h"
+
+namespace bclean {
+namespace {
+
+template <typename T>
+size_t CountPart(const std::shared_ptr<const T>& part,
+                 std::unordered_set<const void*>* seen) {
+  if (part == nullptr) return 0;
+  if (seen != nullptr && !seen->insert(part.get()).second) return 0;
+  return part->ApproxBytes();
+}
+
+}  // namespace
+
+size_t ModelParts::ApproxBytes(
+    std::unordered_set<const void*>* seen) const {
+  return CountPart(dirty, seen) + CountPart(stats, seen) +
+         CountPart(mask, seen) + CountPart(compensatory, seen);
+}
+
+}  // namespace bclean

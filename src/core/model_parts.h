@@ -1,0 +1,49 @@
+// The shared-ownership bundle of an engine's network-independent model
+// layers (the paper's Section 3 construction pipeline up to, but excluding,
+// the Bayesian network): the dirty table, its dictionary statistics, the
+// pre-evaluated UC verdicts, and the compensatory model. Every part is
+// immutable after construction and self-contained (the CompensatoryModel
+// owns copies of the frequency/mask arrays it reads), so engines compose a
+// ModelParts with a private BayesianNetwork and share the bundle freely —
+// a session detaching for its first network edit reuses all four parts and
+// refits only CPTs (BCleanEngine::DetachWithNetwork), the HoloClean-style
+// factorization of the pipeline into reusable stages.
+#ifndef BCLEAN_CORE_MODEL_PARTS_H_
+#define BCLEAN_CORE_MODEL_PARTS_H_
+
+#include <memory>
+#include <unordered_set>
+
+#include "src/core/compensatory.h"
+#include "src/core/uc_mask.h"
+#include "src/data/domain_stats.h"
+#include "src/data/table.h"
+
+namespace bclean {
+
+/// Immutable, shareable model layers of one engine. Built once per
+/// (table content, effective UC registry, decision options) by
+/// BCleanEngine::BuildParts; copied between engines by bumping refcounts.
+struct ModelParts {
+  std::shared_ptr<const Table> dirty;
+  std::shared_ptr<const DomainStats> stats;
+  std::shared_ptr<const UcMask> mask;
+  std::shared_ptr<const CompensatoryModel> compensatory;
+
+  /// True when every part is present (a default-constructed bundle is not
+  /// usable by an engine).
+  bool Complete() const {
+    return dirty != nullptr && stats != nullptr && mask != nullptr &&
+           compensatory != nullptr;
+  }
+
+  /// Approximate memory footprint of the four parts. When `seen` is
+  /// non-null, parts whose address is already in `seen` contribute zero and
+  /// new addresses are recorded — callers summing over several engines
+  /// (the service's byte-budget eviction) account shared parts once.
+  size_t ApproxBytes(std::unordered_set<const void*>* seen = nullptr) const;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CORE_MODEL_PARTS_H_

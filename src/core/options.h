@@ -176,6 +176,15 @@ struct ServiceOptions {
   /// 0 disables engine reuse. Evicted least-recently-used first.
   size_t engine_cache_capacity = 8;
 
+  /// Byte budget for the engine cache, measured by ApproxBytes() with model
+  /// parts shared between cached engines accounted once. 0 means no byte
+  /// limit (the count cap above still applies). When the cached engines
+  /// exceed the budget, least-recently-used entries are evicted first —
+  /// but an engine still referenced outside the cache (an open session, an
+  /// in-flight future) is pinned and never byte-evicted, so hot sessions
+  /// keep their warm model while idle entries make room.
+  size_t engine_cache_bytes = 0;
+
   /// Keep per-model-fingerprint repair caches alive across Clean() calls
   /// (and across sessions sharing a fingerprint). Replayed outcomes are
   /// pure functions of the signature under a pinned model, so warm runs

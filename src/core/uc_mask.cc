@@ -35,6 +35,12 @@ uint64_t UcMask::Digest() const {
   return h;
 }
 
+size_t UcMask::ApproxBytes() const {
+  size_t bytes = sizeof(UcMask) + null_ok_.capacity();
+  for (const auto& col : ok_) bytes += col.capacity() + sizeof(col);
+  return bytes;
+}
+
 size_t UcMask::CountSatisfying(size_t col) const {
   assert(col < ok_.size());
   size_t count = 0;

@@ -37,6 +37,9 @@ class UcMask {
   /// even opaque Custom predicates that no registry digest could see.
   uint64_t Digest() const;
 
+  /// Approximate memory footprint of the verdict bitmaps.
+  size_t ApproxBytes() const;
+
  private:
   std::vector<std::vector<uint8_t>> ok_;
   std::vector<uint8_t> null_ok_;

@@ -36,6 +36,20 @@ int32_t ColumnStats::MostFrequentCode() const {
   return best;
 }
 
+size_t ColumnStats::ApproxBytes() const {
+  size_t bytes = sizeof(ColumnStats);
+  for (const std::string& value : values_) bytes += ApproxStringBytes(value);
+  bytes += (values_.capacity() - values_.size()) * sizeof(std::string);
+  bytes += counts_.capacity() * sizeof(size_t);
+  // unordered_map: one node (key copy + code + two pointers) per entry plus
+  // the bucket array. The key strings repeat the dictionary values.
+  for (const auto& [value, code] : index_) {
+    bytes += ApproxStringBytes(value) + sizeof(int32_t) + 2 * sizeof(void*);
+  }
+  bytes += index_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
 DomainStats DomainStats::Build(const Table& table) {
   DomainStats stats;
   stats.columns_.resize(table.num_cols());
@@ -48,6 +62,13 @@ DomainStats DomainStats::Build(const Table& table) {
     }
   }
   return stats;
+}
+
+size_t DomainStats::ApproxBytes() const {
+  size_t bytes = sizeof(DomainStats);
+  for (const ColumnStats& column : columns_) bytes += column.ApproxBytes();
+  for (const auto& codes : codes_) bytes += codes.capacity() * sizeof(int32_t);
+  return bytes;
 }
 
 }  // namespace bclean

@@ -50,6 +50,10 @@ class ColumnStats {
   /// All distinct non-NULL values in first-occurrence order.
   const std::vector<std::string>& Domain() const { return values_; }
 
+  /// Approximate memory footprint of the dictionary (values, counts, and
+  /// the string->code index).
+  size_t ApproxBytes() const;
+
  private:
   friend class DomainStats;
 
@@ -85,6 +89,10 @@ class DomainStats {
 
   size_t num_rows() const { return codes_.empty() ? 0 : codes_[0].size(); }
   size_t num_cols() const { return codes_.size(); }
+
+  /// Approximate memory footprint (dictionaries plus the encoded view).
+  /// Feeds the service layer's byte-budget engine-cache eviction.
+  size_t ApproxBytes() const;
 
  private:
   std::vector<ColumnStats> columns_;

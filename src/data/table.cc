@@ -45,4 +45,16 @@ bool Table::operator==(const Table& other) const {
   return schema_ == other.schema_ && columns_ == other.columns_;
 }
 
+size_t Table::ApproxBytes() const {
+  size_t bytes = sizeof(Table);
+  for (const Attribute& attr : schema_.attributes()) {
+    bytes += ApproxStringBytes(attr.name);
+  }
+  for (const auto& column : columns_) {
+    bytes += (column.capacity() - column.size()) * sizeof(std::string);
+    for (const std::string& cell : column) bytes += ApproxStringBytes(cell);
+  }
+  return bytes;
+}
+
 }  // namespace bclean

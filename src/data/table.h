@@ -19,6 +19,17 @@ inline constexpr const char* kNullValue = "";
 /// True iff `v` denotes a missing value.
 inline bool IsNull(const std::string& v) { return v.empty(); }
 
+/// Approximate memory footprint of one string: the object itself plus its
+/// heap block when the value outgrew the small-string buffer. Shared by the
+/// ApproxBytes accounting across the data layer.
+inline size_t ApproxStringBytes(const std::string& s) {
+  // The standard library's actual SSO threshold (15 on libstdc++, 22 on
+  // libc++), probed once instead of hardcoded.
+  static const size_t kInlineCapacity = std::string().capacity();
+  return sizeof(std::string) +
+         (s.capacity() > kInlineCapacity ? s.capacity() + 1 : 0);
+}
+
 /// Column-major relation with a fixed schema.
 class Table {
  public:
@@ -69,6 +80,10 @@ class Table {
 
   /// Structural equality (schema and every cell).
   bool operator==(const Table& other) const;
+
+  /// Approximate memory footprint (cells, column buffers, schema). Feeds
+  /// the service layer's byte-budget engine-cache eviction.
+  size_t ApproxBytes() const;
 
  private:
   Schema schema_;

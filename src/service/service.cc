@@ -1,7 +1,9 @@
 #include "src/service/service.h"
 
+#include <array>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "src/common/thread_pool.h"
@@ -47,6 +49,31 @@ class LruMap {
     return evicted;
   }
 
+  /// Calls fn(key, value) for every entry, least-recently-used first,
+  /// without touching recency (the byte-budget accounting walk).
+  template <typename Fn>
+  void ForEachLruFirst(Fn&& fn) const {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      fn(*it, map_.at(*it));
+    }
+  }
+
+  /// Drops `key` (no-op when absent). Returns whether an entry was erased.
+  bool Erase(uint64_t key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    map_.erase(it);
+    for (auto lru_it = lru_.begin(); lru_it != lru_.end(); ++lru_it) {
+      if (*lru_it == key) {
+        lru_.erase(lru_it);
+        break;
+      }
+    }
+    return true;
+  }
+
+  size_t size() const { return map_.size(); }
+
  private:
   void Touch(uint64_t key) {
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
@@ -61,6 +88,33 @@ class LruMap {
   std::unordered_map<uint64_t, V> map_;
   std::list<uint64_t> lru_;  // front = most recently used
 };
+
+/// One engine-cache entry: the shared engine plus its ApproxBytes
+/// breakdown, memoized at insert time (cached engines are immutable, so
+/// the sizes never change). The per-part (address, bytes) pairs let the
+/// byte-budget accounting charge a ModelParts bundle shared by several
+/// cached engines exactly once, in O(entries) pointer work per pass —
+/// no deep walks of tables or dictionaries ever run under the mutex.
+struct CachedEngine {
+  std::shared_ptr<BCleanEngine> engine;
+  std::array<std::pair<const void*, size_t>, 4> part_bytes{};
+  size_t private_bytes = 0;  ///< engine struct + its private network
+};
+
+CachedEngine MakeCachedEngine(std::shared_ptr<BCleanEngine> engine) {
+  CachedEngine entry;
+  const ModelParts& parts = engine->parts();
+  entry.part_bytes = {{
+      {parts.dirty.get(), parts.dirty->ApproxBytes()},
+      {parts.stats.get(), parts.stats->ApproxBytes()},
+      {parts.mask.get(), parts.mask->ApproxBytes()},
+      {parts.compensatory.get(), parts.compensatory->ApproxBytes()},
+  }};
+  entry.private_bytes =
+      sizeof(BCleanEngine) + engine->network().ApproxBytes();
+  entry.engine = std::move(engine);
+  return entry;
+}
 
 }  // namespace
 
@@ -77,20 +131,30 @@ struct ServiceState {
   const std::shared_ptr<ThreadPool> pool;
 
   std::mutex mu;
-  // Engine cache: content fingerprint -> pristine engine, LRU-evicted.
-  // Entries are shared with sessions; eviction only drops the cache's
-  // reference (sessions keep cleaning on their engine).
-  LruMap<std::shared_ptr<BCleanEngine>> engines;
+  // Engine cache: content fingerprint -> pristine engine (with memoized
+  // byte sizes), LRU-evicted. Entries are shared with sessions; eviction
+  // only drops the cache's reference (sessions keep cleaning on their
+  // engine).
+  LruMap<CachedEngine> engines;
   // Repair-cache registry: model fingerprint -> persistent cache.
   LruMap<std::shared_ptr<RepairCache>> caches;
   ServiceStats stats;
 
   /// Serves a cached engine for (dirty, ucs, options) or builds one on the
   /// shared pool and caches it. `*reused` reports whether the session got
-  /// an already-built engine.
+  /// an already-built engine. `owned` (optional) must alias `dirty` (same
+  /// object or equal content): when non-null, a cache miss moves *owned
+  /// into the built engine instead of copying `dirty` — the zero-copy
+  /// move-through path of Open(Table&&) and Session::Update.
   Result<std::shared_ptr<BCleanEngine>> AcquireEngine(
       const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
-      bool* reused);
+      bool* reused, Table* owned = nullptr);
+
+  /// Enforces ServiceOptions::engine_cache_bytes: while the cached engines'
+  /// deduped ApproxBytes exceed the budget, evicts the least-recently-used
+  /// entry not referenced outside the cache (open sessions and in-flight
+  /// acquires pin their engine). Caller holds mu. Returns the count.
+  size_t EvictEnginesOverByteBudgetLocked();
 
   /// The persistent repair cache for `fingerprint` (created on first use),
   /// or null when persistence is disabled.
@@ -99,30 +163,36 @@ struct ServiceState {
 
 Result<std::shared_ptr<BCleanEngine>> ServiceState::AcquireEngine(
     const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
-    bool* reused) {
+    bool* reused, Table* owned) {
   const bool cacheable = this->options.engine_cache_capacity > 0;
   const uint64_t key = cacheable ? EngineCacheKey(dirty, ucs, options) : 0;
   if (cacheable) {
     std::lock_guard<std::mutex> lock(mu);
-    std::shared_ptr<BCleanEngine>* hit = engines.Find(key);
+    CachedEngine* hit = engines.Find(key);
     if (hit != nullptr) {
       ++stats.engine_cache_hits;
       *reused = true;
-      return *hit;
+      return hit->engine;
     }
   }
   // Build outside the lock: construction dominates, and racing Opens of the
   // same table at worst build twice — the loser adopts the winner's engine
-  // below, so both sessions still share one model.
-  Result<std::unique_ptr<BCleanEngine>> built =
-      BCleanEngine::Create(dirty, ucs, options, pool.get());
+  // below, so both sessions still share one model. A caller-owned table is
+  // moved straight into the engine; borrowed tables are copied exactly
+  // once, here.
+  Result<std::unique_ptr<BCleanEngine>> built = BCleanEngine::Create(
+      owned != nullptr ? std::move(*owned) : Table(dirty), ucs, options,
+      pool.get());
   if (!built.ok()) return built.status();
   std::shared_ptr<BCleanEngine> engine = std::move(built).value();
   *reused = false;
   if (cacheable) {
+    // Size the entry outside the lock (it walks the table/dictionaries
+    // once); a lost insert race just discards the precomputed sizes.
+    CachedEngine entry = MakeCachedEngine(engine);
     std::lock_guard<std::mutex> lock(mu);
     bool inserted = false;
-    engine = engines.InsertOrGet(key, std::move(engine), &inserted);
+    engine = engines.InsertOrGet(key, std::move(entry), &inserted).engine;
     if (inserted) {
       ++stats.engine_cache_misses;
     } else {
@@ -133,8 +203,45 @@ Result<std::shared_ptr<BCleanEngine>> ServiceState::AcquireEngine(
     }
     stats.engines_evicted +=
         engines.EvictDownTo(this->options.engine_cache_capacity);
+    stats.engines_evicted += EvictEnginesOverByteBudgetLocked();
   }
   return engine;
+}
+
+size_t ServiceState::EvictEnginesOverByteBudgetLocked() {
+  const size_t budget = options.engine_cache_bytes;
+  if (budget == 0) return 0;
+  size_t evicted = 0;
+  for (;;) {
+    // Deduped total over the memoized sizes: a ModelParts bundle shared by
+    // several cached engines (detached siblings, future part-sharing
+    // Opens) is counted once. O(entries) pointer work — the deep walks
+    // happened once at insert time.
+    std::unordered_set<const void*> seen;
+    size_t total = 0;
+    engines.ForEachLruFirst([&](uint64_t, const CachedEngine& entry) {
+      total += entry.private_bytes;
+      for (const auto& [part, bytes] : entry.part_bytes) {
+        if (seen.insert(part).second) total += bytes;
+      }
+    });
+    if (total <= budget) return evicted;
+    // Oldest unpinned entry. use_count() == 1 means the cache holds the
+    // only reference — no session, future, or in-flight acquire (the
+    // engine being inserted right now is still held by AcquireEngine's
+    // local, so it is pinned too) would lose its model.
+    uint64_t victim = 0;
+    bool found = false;
+    engines.ForEachLruFirst([&](uint64_t key, const CachedEngine& entry) {
+      if (!found && entry.engine.use_count() == 1) {
+        victim = key;
+        found = true;
+      }
+    });
+    if (!found) return evicted;  // everything pinned: over budget, but safe
+    engines.Erase(victim);
+    ++evicted;
+  }
 }
 
 std::shared_ptr<RepairCache> ServiceState::AcquireRepairCache(
@@ -254,15 +361,16 @@ Status Session::EditNetwork(const NetworkEdit& edit) {
   const bool prev_reused = engine_reused_;
   if (!engine_private_) {
     // Detach: the cached engine is shared (other sessions, future Opens)
-    // and immutable by convention. Rebuild privately, seeded with the
-    // current structure — CPTs refit from the same table are identical, so
-    // the detached engine scores exactly like the shared one did.
-    Result<std::unique_ptr<BCleanEngine>> rebuilt =
-        BCleanEngine::CreateWithNetwork(engine_->dirty(), ucs_,
-                                        engine_->network(), options_,
-                                        state_->pool.get());
-    if (!rebuilt.ok()) return rebuilt.status();
-    engine_ = std::move(rebuilt).value();
+    // and immutable by convention. Copy-on-edit: the private engine shares
+    // every network-independent model part with the cached one and refits
+    // only CPTs — seeded with the current structure, CPTs refit from the
+    // same stats are identical, so the detached engine scores (and
+    // fingerprints) exactly like the shared one did, at ~CPT-refit cost
+    // instead of a full model rebuild.
+    Result<std::unique_ptr<BCleanEngine>> detached =
+        engine_->DetachWithNetwork(engine_->network());
+    if (!detached.ok()) return detached.status();
+    engine_ = std::move(detached).value();
     engine_private_ = true;
     engine_reused_ = false;
   }
@@ -317,17 +425,19 @@ Status Session::Update(const std::vector<RowEdit>& edits) {
   }
   if (engine_private_) {
     // Keep the user's edited network structure; refit its CPTs from the
-    // updated data. Private engines bypass the shared cache.
+    // updated data. Private engines bypass the shared cache. The updated
+    // table moves into the new engine (no second copy).
     Result<std::unique_ptr<BCleanEngine>> rebuilt =
-        BCleanEngine::CreateWithNetwork(updated, ucs_, engine_->network(),
-                                        options_, state_->pool.get());
+        BCleanEngine::CreateWithNetwork(std::move(updated), ucs_,
+                                        engine_->network(), options_,
+                                        state_->pool.get());
     if (!rebuilt.ok()) return rebuilt.status();
     engine_ = std::move(rebuilt).value();
     engine_reused_ = false;
   } else {
     bool reused = false;
-    Result<std::shared_ptr<BCleanEngine>> acquired =
-        state_->AcquireEngine(updated, ucs_, options_, &reused);
+    Result<std::shared_ptr<BCleanEngine>> acquired = state_->AcquireEngine(
+        updated, ucs_, options_, &reused, /*owned=*/&updated);
     if (!acquired.ok()) return acquired.status();
     engine_ = std::move(acquired).value();
     engine_reused_ = reused;
@@ -350,6 +460,23 @@ Result<std::shared_ptr<Session>> Service::Open(std::string session_name,
   bool reused = false;
   Result<std::shared_ptr<BCleanEngine>> engine =
       state_->AcquireEngine(dirty, ucs, options, &reused);
+  if (!engine.ok()) return engine.status();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->stats.sessions_opened;
+  }
+  return std::shared_ptr<Session>(
+      new Session(std::move(session_name), state_, ucs, options,
+                  std::move(engine).value(), reused));
+}
+
+Result<std::shared_ptr<Session>> Service::Open(std::string session_name,
+                                               Table&& dirty,
+                                               const UcRegistry& ucs,
+                                               const BCleanOptions& options) {
+  bool reused = false;
+  Result<std::shared_ptr<BCleanEngine>> engine =
+      state_->AcquireEngine(dirty, ucs, options, &reused, /*owned=*/&dirty);
   if (!engine.ok()) return engine.status();
   {
     std::lock_guard<std::mutex> lock(state_->mu);

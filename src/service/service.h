@@ -139,7 +139,10 @@ class Session {
   /// model's fingerprint — the previous repair cache stays registered under
   /// the old fingerprint (a later reverting edit re-attaches it) and a
   /// fresh cache is attached for the new model. The first edit detaches
-  /// the session from the shared cached engine onto a private one.
+  /// the session from the shared cached engine onto a private one that
+  /// shares every network-independent model part with it
+  /// (BCleanEngine::DetachWithNetwork) — detach costs a CPT refit, not a
+  /// model rebuild.
   Status EditNetwork(const NetworkEdit& edit);
 
   /// Convenience wrappers over EditNetwork.
@@ -164,7 +167,9 @@ class Session {
   /// are never replayed against the new one, and the next Clean() is
   /// byte-identical to a cold engine over the updated table. A session with
   /// user network edits keeps its edited structure (CPTs refit from the
-  /// updated data) instead of re-learning one.
+  /// updated data) instead of re-learning one. The materialized updated
+  /// table is moved into the new engine — the path holds one transient
+  /// copy, not two.
   Status Update(const std::vector<RowEdit>& edits);
 
  private:
@@ -203,9 +208,18 @@ class Service {
   /// construction (structure learning + compensatory build) is served from
   /// the fingerprint-keyed cache when an identical dataset was opened
   /// before; otherwise the model is built on the shared pool and cached.
+  /// Copies the table only on a cache miss (the built engine owns a copy).
   Result<std::shared_ptr<Session>> Open(std::string session_name,
                                         const Table& dirty,
                                         const UcRegistry& ucs,
+                                        const BCleanOptions& options = {});
+
+  /// Move-through overload: on a cache miss the engine takes ownership of
+  /// `dirty`'s buffers without any copy (the engine's dirty() is the very
+  /// buffer passed in); on a hit the table is simply discarded. Callers
+  /// done with their table should prefer this.
+  Result<std::shared_ptr<Session>> Open(std::string session_name,
+                                        Table&& dirty, const UcRegistry& ucs,
                                         const BCleanOptions& options = {});
 
   /// Snapshot of the service counters.

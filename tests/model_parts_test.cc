@@ -1,0 +1,260 @@
+// Pins the ModelParts contract: engines produced by DetachWithNetwork /
+// CreateFromParts share (alias) every network-independent model layer with
+// their donor, score byte-identically to a cold CreateWithNetwork over the
+// same table and network, report the same ModelFingerprint, and move-through
+// construction hands the caller's table buffers to the engine without a
+// copy. Also covers the ApproxBytes accounting the service's byte-budget
+// eviction relies on, including shared-parts deduplication.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+#include "src/service/service.h"
+
+namespace bclean {
+namespace {
+
+Dataset InjectedDataset(const std::string& name, size_t rows, uint64_t seed) {
+  Dataset ds = MakeBenchmark(name, rows, 42).value();
+  Rng rng(seed);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  ds.clean = std::move(injection.dirty);  // repurpose: .clean holds dirty
+  return ds;
+}
+
+BCleanOptions OptionsForMode(const std::string& mode) {
+  if (mode == "PI") return BCleanOptions::PartitionedInference();
+  if (mode == "PIP") return BCleanOptions::PartitionedInferencePruning();
+  return BCleanOptions::Basic();
+}
+
+struct DetachCase {
+  std::string mode;
+  size_t threads;
+};
+
+class DetachEqualityTest : public ::testing::TestWithParam<DetachCase> {};
+
+// Acceptance differential for the copy-on-edit detach: an engine composed
+// from a parent's shared parts plus a refit copy of the parent's network
+// must equal a cold CreateWithNetwork on the same table/network — same
+// cleaned bytes, same stable counters, same model fingerprint.
+TEST_P(DetachEqualityTest, DetachMatchesColdCreateWithNetwork) {
+  const DetachCase& c = GetParam();
+  Dataset ds = InjectedDataset("hospital", 160, 5);
+  BCleanOptions options = OptionsForMode(c.mode);
+  options.num_threads = c.threads;
+
+  auto parent = BCleanEngine::Create(ds.clean, ds.ucs, options);
+  ASSERT_TRUE(parent.ok()) << parent.status().ToString();
+
+  auto detached = parent.value()->DetachWithNetwork(parent.value()->network());
+  ASSERT_TRUE(detached.ok()) << detached.status().ToString();
+
+  auto cold = BCleanEngine::CreateWithNetwork(
+      ds.clean, ds.ucs, parent.value()->network(), options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  // Refit-from-shared-stats reproduces the exact model.
+  EXPECT_EQ(parent.value()->ModelFingerprint(),
+            detached.value()->ModelFingerprint());
+  EXPECT_EQ(cold.value()->ModelFingerprint(),
+            detached.value()->ModelFingerprint());
+
+  CleanResult from_parent = parent.value()->RunClean();
+  CleanResult from_detached = detached.value()->RunClean();
+  CleanResult from_cold = cold.value()->RunClean();
+  EXPECT_TRUE(from_detached.table == from_cold.table)
+      << "detached bytes diverged from a cold build";
+  EXPECT_TRUE(from_detached.table == from_parent.table)
+      << "detached bytes diverged from the parent";
+  EXPECT_EQ(from_detached.stats.cells_changed, from_cold.stats.cells_changed);
+  EXPECT_EQ(from_detached.stats.candidates_evaluated,
+            from_cold.stats.candidates_evaluated);
+}
+
+// A detached engine aliases the parent's network-independent parts (that is
+// the whole point: no rebuild, no copy) while a cold build does not.
+TEST_P(DetachEqualityTest, DetachedEngineAliasesParentParts) {
+  const DetachCase& c = GetParam();
+  Dataset ds = InjectedDataset("beers", 120, 3);
+  BCleanOptions options = OptionsForMode(c.mode);
+  options.num_threads = c.threads;
+
+  auto parent = BCleanEngine::Create(ds.clean, ds.ucs, options);
+  ASSERT_TRUE(parent.ok());
+  auto detached = parent.value()->DetachWithNetwork(parent.value()->network());
+  ASSERT_TRUE(detached.ok());
+
+  const ModelParts& p = parent.value()->parts();
+  const ModelParts& d = detached.value()->parts();
+  EXPECT_EQ(p.dirty.get(), d.dirty.get());
+  EXPECT_EQ(p.stats.get(), d.stats.get());
+  EXPECT_EQ(p.mask.get(), d.mask.get());
+  EXPECT_EQ(p.compensatory.get(), d.compensatory.get());
+
+  auto cold = BCleanEngine::CreateWithNetwork(
+      ds.clean, ds.ucs, parent.value()->network(), options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_NE(cold.value()->parts().stats.get(), p.stats.get());
+
+  // The parts bundle outlives the parent: destroying it leaves the
+  // detached engine fully functional (shared ownership, not borrowing).
+  Table parent_out = parent.value()->RunClean().table;
+  std::unique_ptr<BCleanEngine> parent_engine = std::move(parent).value();
+  parent_engine.reset();
+  EXPECT_TRUE(detached.value()->RunClean().table == parent_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetachEqualityTest,
+    ::testing::Values(DetachCase{"PI", 1}, DetachCase{"PI", 2},
+                      DetachCase{"PI", 8}, DetachCase{"PIP", 1},
+                      DetachCase{"PIP", 2}, DetachCase{"PIP", 8}),
+    [](const ::testing::TestParamInfo<DetachCase>& info) {
+      return info.param.mode + "_t" + std::to_string(info.param.threads);
+    });
+
+// The service detach path rides on DetachWithNetwork; an edit-then-revert
+// sequence must restore the fingerprint (re-attaching the warm repair
+// cache) and keep bytes equal to the pristine model, at any thread count.
+class ServiceDetachRevertTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ServiceDetachRevertTest, EditRevertRestoresFingerprintAndBytes) {
+  const size_t threads = GetParam();
+  Dataset ds = InjectedDataset("hospital", 150, 7);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.num_threads = threads;
+  ServiceOptions service_options;
+  service_options.num_threads = threads;
+  Service service(service_options);
+  auto session = service.Open("revert", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+  Session& s = *session.value();
+  const uint64_t fp0 = s.model_fingerprint();
+  Table baseline = s.Clean().table;
+
+  // A fresh edge over free variables, then its exact revert.
+  const BayesianNetwork& bn = s.network();
+  std::string parent, child;
+  for (size_t p = 0; p < bn.num_variables() && parent.empty(); ++p) {
+    for (size_t c = 0; c < bn.num_variables(); ++c) {
+      if (p == c || bn.dag().HasEdge(p, c) || bn.dag().HasPath(c, p)) {
+        continue;
+      }
+      parent = bn.variable(p).name;
+      child = bn.variable(c).name;
+      break;
+    }
+  }
+  ASSERT_FALSE(parent.empty());
+  ASSERT_TRUE(s.AddNetworkEdge(parent, child).ok());
+  EXPECT_NE(fp0, s.model_fingerprint());
+  ASSERT_TRUE(s.RemoveNetworkEdge(parent, child).ok());
+  EXPECT_EQ(fp0, s.model_fingerprint())
+      << "detach-and-revert must restore the model fingerprint";
+  CleanResult reverted = s.Clean();
+  EXPECT_TRUE(reverted.table == baseline)
+      << "detach-and-revert bytes diverged from the pristine model";
+  // The pre-edit persistent cache re-attached: the reverted model replays
+  // every decision.
+  EXPECT_EQ(reverted.stats.cache_misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServiceDetachRevertTest,
+                         ::testing::Values(1, 2, 8),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+// Move-through construction: an rvalue table's column buffers end up inside
+// the engine untouched (no copy anywhere on the path).
+TEST(ModelPartsTest, CreateMovesTableBufferIntoEngine) {
+  Dataset ds = InjectedDataset("hospital", 80, 5);
+  Table table = ds.clean;
+  const std::string* buffer = table.column(0).data();
+  auto engine = BCleanEngine::Create(std::move(table), ds.ucs,
+                                     BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->dirty().column(0).data(), buffer)
+      << "Create must adopt the moved-in buffer, not copy it";
+}
+
+TEST(ModelPartsTest, ServiceOpenMovesTableBufferIntoEngine) {
+  Dataset ds = InjectedDataset("beers", 80, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  Service service;
+  Table table = ds.clean;
+  const std::string* buffer = table.column(0).data();
+  auto session = service.Open("move", std::move(table), ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session.value()->engine_reused());
+  EXPECT_EQ(session.value()->dirty().column(0).data(), buffer)
+      << "Open(Table&&) must move the table through to the engine";
+  EXPECT_TRUE(session.value()->dirty() == ds.clean);
+
+  // The lvalue overload still works (copies) and hits the cache here.
+  auto copied = service.Open("copy", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_TRUE(copied.value()->engine_reused());
+}
+
+// ApproxBytes: positive, dominated by real payloads, and deduplicated
+// across engines sharing a parts bundle.
+TEST(ModelPartsTest, ApproxBytesAccountsSharedPartsOnce) {
+  Dataset ds = InjectedDataset("hospital", 120, 5);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  auto parent = BCleanEngine::Create(ds.clean, ds.ucs, options);
+  ASSERT_TRUE(parent.ok());
+  auto detached = parent.value()->DetachWithNetwork(parent.value()->network());
+  ASSERT_TRUE(detached.ok());
+
+  const size_t parent_bytes = parent.value()->ApproxBytes();
+  const size_t detached_bytes = detached.value()->ApproxBytes();
+  EXPECT_GT(parent_bytes, ds.clean.num_cells());  // at least the cell bytes
+  // Same parts, same network structure: equal up to container-capacity
+  // noise in the refit CPTs (ApproxBytes is approximate by contract).
+  EXPECT_NEAR(static_cast<double>(parent_bytes),
+              static_cast<double>(detached_bytes),
+              0.01 * static_cast<double>(parent_bytes));
+
+  // Summed with dedup, the shared bundle is charged once: the second
+  // engine adds only its private network.
+  std::unordered_set<const void*> seen;
+  const size_t first = parent.value()->ApproxBytes(&seen);
+  const size_t second = detached.value()->ApproxBytes(&seen);
+  EXPECT_EQ(first, parent_bytes);
+  EXPECT_LT(second, parent_bytes / 2)
+      << "a detached engine must not re-account the shared parts";
+  EXPECT_EQ(second, sizeof(BCleanEngine) +
+                        detached.value()->network().ApproxBytes());
+}
+
+TEST(ModelPartsTest, CreateFromPartsValidatesBundle) {
+  Dataset ds = InjectedDataset("beers", 60, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  auto engine = BCleanEngine::Create(ds.clean, ds.ucs, options);
+  ASSERT_TRUE(engine.ok());
+  // An empty bundle is rejected.
+  auto bad = BCleanEngine::CreateFromParts(
+      ModelParts{}, engine.value()->ucs(), engine.value()->network(), options);
+  EXPECT_FALSE(bad.ok());
+  // A complete bundle composes a working engine equal to its donor.
+  auto good = BCleanEngine::CreateFromParts(
+      engine.value()->parts(), engine.value()->ucs(),
+      engine.value()->network(), options);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good.value()->ModelFingerprint(),
+            engine.value()->ModelFingerprint());
+  EXPECT_TRUE(good.value()->RunClean().table ==
+              engine.value()->RunClean().table);
+}
+
+}  // namespace
+}  // namespace bclean

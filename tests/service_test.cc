@@ -388,6 +388,90 @@ TEST(ServiceTest, SessionRespectsRepairCacheOptOut) {
   EXPECT_TRUE(second.table == cold.value()->Clean());
 }
 
+TEST(ServiceTest, ByteBudgetEvictionIsLruOrdered) {
+  Dataset a = InjectedDataset("hospital", 80, 1);
+  Dataset b = InjectedDataset("hospital", 80, 2);
+  Dataset c = InjectedDataset("hospital", 80, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  // Size one engine on an equivalent cold build; budget roughly two.
+  auto probe = BCleanEngine::Create(a.clean, a.ucs, options);
+  ASSERT_TRUE(probe.ok());
+  const size_t one = probe.value()->ApproxBytes();
+  ServiceOptions service_options;
+  service_options.engine_cache_bytes = 2 * one + one / 2;
+  Service service(service_options);
+
+  // Open and immediately drop each session: engines stay cached, unpinned.
+  ASSERT_TRUE(service.Open("a", a.clean, a.ucs, options).ok());
+  ASSERT_TRUE(service.Open("b", b.clean, b.ucs, options).ok());
+  EXPECT_EQ(service.stats().engines_evicted, 0u);
+  ASSERT_TRUE(service.Open("c", c.clean, c.ucs, options).ok());
+  // The third engine pushed the cache over budget; the least-recently-used
+  // entry (a's) went, the two newer ones survive.
+  EXPECT_EQ(service.stats().engines_evicted, 1u);
+  EXPECT_TRUE(
+      service.Open("b2", b.clean, b.ucs, options).value()->engine_reused());
+  EXPECT_TRUE(
+      service.Open("c2", c.clean, c.ucs, options).value()->engine_reused());
+  EXPECT_FALSE(
+      service.Open("a2", a.clean, a.ucs, options).value()->engine_reused());
+}
+
+TEST(ServiceTest, ByteBudgetNeverEvictsPinnedSessionEngines) {
+  Dataset a = InjectedDataset("hospital", 80, 1);
+  Dataset b = InjectedDataset("hospital", 80, 2);
+  Dataset c = InjectedDataset("hospital", 80, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  auto probe = BCleanEngine::Create(a.clean, a.ucs, options);
+  ASSERT_TRUE(probe.ok());
+  ServiceOptions service_options;
+  service_options.engine_cache_bytes =
+      2 * probe.value()->ApproxBytes() + probe.value()->ApproxBytes() / 2;
+  Service service(service_options);
+
+  // a's session stays open: its engine is pinned even though it becomes
+  // the least-recently-used cache entry.
+  auto pinned = service.Open("a", a.clean, a.ucs, options);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(service.Open("b", b.clean, b.ucs, options).ok());  // dropped
+  ASSERT_TRUE(service.Open("c", c.clean, c.ucs, options).ok());  // dropped
+  // Over budget at the third insert: the LRU entry is a's, but the open
+  // session protects it — the oldest *unpinned* engine (b's) goes instead.
+  EXPECT_EQ(service.stats().engines_evicted, 1u);
+  EXPECT_TRUE(
+      service.Open("a2", a.clean, a.ucs, options).value()->engine_reused());
+  EXPECT_FALSE(
+      service.Open("b2", b.clean, b.ucs, options).value()->engine_reused());
+  // The pinned session's model was never touched: it still cleans.
+  EXPECT_GT(pinned.value()->Clean().stats.cells_scanned, 0u);
+}
+
+TEST(ServiceTest, AsyncFuturesReportPerJobSeconds) {
+  Dataset ds = InjectedDataset("hospital", 120, 5);
+  Service service;
+  auto session = service.Open("timing", ds.clean, ds.ucs,
+                              BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(session.ok());
+  // Each future's CleanResult carries that job's own wall time (measured
+  // inside RunClean), not a caller wrapper's — so two concurrent futures
+  // report independent, non-zero timings.
+  std::future<CleanResult> f1 = session.value()->CleanAsync();
+  std::future<CleanResult> f2 = session.value()->CleanAsync();
+  CleanResult r1 = f1.get();
+  CleanResult r2 = f2.get();
+  EXPECT_GT(r1.stats.seconds, 0.0);
+  EXPECT_GT(r2.stats.seconds, 0.0);
+  // The deprecated one-shot shim stays consistent: it reports the stable
+  // counters of some complete pass of its own engine.
+  auto engine = BCleanEngine::Create(ds.clean, ds.ucs,
+                                     BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(engine.ok());
+  engine.value()->Clean();
+  CleanStats shim = engine.value()->last_stats();
+  ExpectSameStableCounters(shim, r1.stats);
+  EXPECT_GT(shim.seconds, 0.0);
+}
+
 TEST(ServiceTest, UpdateValidatesRowEdits) {
   Dataset ds = InjectedDataset("hospital", 60, 5);
   Service service;
