@@ -183,6 +183,47 @@ BENCHMARK(BM_CleanThroughput)
     ->Args({1, 1})
     ->Args({1, 4});
 
+void BM_UnpartitionedParallel(benchmark::State& state) {
+  // The unpartitioned (in-place repair) scoring pass, row-sharded now that
+  // amplification is proven per-tuple (tests/amplification_test.cc). arg0
+  // is the thread count; arg0 == 0 measures the 8-way critical path
+  // instead: one worker's 1/8 row shard through RunCleanOnRows — the
+  // per-worker work an 8-thread run gives each core, i.e. the wall time
+  // that materializes on real 8-core hardware (on 1-core containers the
+  // t8 wall row is overhead-bound and stays ~t1). All arms run cache-free
+  // so the shard-to-full ratio compares like with like (RunCleanOnRows is
+  // always cache-free; the cache's own effect is BM_MemoizedClean's
+  // subject). Bytes are identical in every configuration by the
+  // determinism contract.
+  Dataset ds = MakeHospital(500, 7);
+  Rng rng(7);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  BCleanOptions options = BCleanOptions::Basic();
+  options.repair_cache = false;
+  size_t threads = static_cast<size_t>(state.range(0));
+  bool critical_path = threads == 0;
+  options.num_threads = critical_path ? 1 : threads;
+  auto engine = BCleanEngine::Create(injection.dirty, ds.ucs, options);
+  const size_t n = injection.dirty.num_rows();
+  std::vector<size_t> shard((n + 7) / 8);
+  for (size_t i = 0; i < shard.size(); ++i) shard[i] = i;
+  size_t cells = 0;
+  for (auto _ : state) {
+    if (critical_path) {
+      benchmark::DoNotOptimize(engine.value()->RunCleanOnRows(shard));
+      cells += shard.size() * injection.dirty.num_cols();
+    } else {
+      benchmark::DoNotOptimize(engine.value()->Clean());
+      cells += injection.dirty.num_cells();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(cells));
+  state.SetLabel(critical_path ? "t8-critical-path"
+                               : "t" + std::to_string(threads));
+}
+BENCHMARK(BM_UnpartitionedParallel)->Arg(1)->Arg(8)->Arg(0);
+
 void BM_MemoizedClean(benchmark::State& state) {
   // The repair cache on a duplicate-heavy table (every dirty tuple appears
   // 8x, the entity-resolution shape BayesWipe/PClean amortize): arg0

@@ -259,9 +259,25 @@ struct BCleanEngine::CleanShared {
   std::vector<std::vector<double>> filter_ws;        // per worker
 };
 
-void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
-                                 CleanShared& shared, size_t worker,
-                                 Table& result, CleanStats& stats) const {
+struct BCleanEngine::RowWorkspace {
+  std::vector<int32_t> row_codes;
+  std::vector<int32_t> batch;
+  std::vector<double> scores;
+};
+
+// Per-row state audit (what makes row-sharding sound in every mode): the
+// only mutable state a row's scan reads is (a) `ws` — the working copy of
+// the tuple's codes plus scratch buffers, rebuilt here from the immutable
+// encoded table, (b) the worker's scorer / filter workspace, reset per
+// cell, and (c) the repair cache, whose entries are pure functions of
+// their signature under this engine's model. Repairs land in `result`
+// cells of this row only; in-place amplification mutates `ws.row_codes`,
+// never the encoded table — so no row can observe another row's repairs,
+// regardless of scan order or sharding (pinned by
+// tests/amplification_test.cc).
+void BCleanEngine::CleanOneRow(size_t r, CleanShared& shared, size_t worker,
+                               RowWorkspace& ws, Table& result,
+                               CleanStats& stats) const {
   const DomainStats& encoded = *parts_.stats;
   const UcMask& uc_mask = *parts_.mask;
   const CompensatoryModel& comp = *parts_.compensatory;
@@ -270,136 +286,183 @@ void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
   RepairCache::Local* local =
       shared.cache == nullptr ? nullptr : &shared.locals[worker];
   std::vector<double>& filter = shared.filter_ws[worker];
-  std::vector<int32_t> row_codes(m);
-  std::vector<int32_t> batch;
-  std::vector<double> scores;
-  for (size_t r = row_begin; r < row_end; ++r) {
-    for (size_t c = 0; c < m; ++c) row_codes[c] = encoded.code(r, c);
-    // The row's Filter values and whole-tuple signature prefix are
-    // computed at most once and recomputed only after an in-place repair
-    // changes the tuple.
-    bool filter_valid = false;
-    bool row_sig_valid = false;
-    RepairSignature row_sig;
-    for (size_t j = 0; j < m; ++j) {
-      ++stats.cells_scanned;
-      int32_t original = row_codes[j];
+  std::vector<int32_t>& row_codes = ws.row_codes;
+  std::vector<int32_t>& batch = ws.batch;
+  std::vector<double>& scores = ws.scores;
+  row_codes.resize(m);
+  for (size_t c = 0; c < m; ++c) row_codes[c] = encoded.code(r, c);
+  // The row's Filter values and whole-tuple signature prefix are
+  // computed at most once and recomputed only after an in-place repair
+  // changes the tuple.
+  bool filter_valid = false;
+  bool row_sig_valid = false;
+  RepairSignature row_sig;
+  for (size_t j = 0; j < m; ++j) {
+    ++stats.cells_scanned;
+    int32_t original = row_codes[j];
 
-      // Memoized fast path: a cell with a known (attribute, evidence,
-      // candidate-set) signature replays the cached outcome — including
-      // the exact counter increments — instead of filtering and scoring.
-      RepairSignature sig;
-      if (shared.cache != nullptr) {
-        if (shared.sig_all[j]) {
-          if (!row_sig_valid) {
-            row_sig = ComputeRowSignature(row_codes);
-            row_sig_valid = true;
-          }
-          sig = FinalizeCellSignature(row_sig, j, shared.candidate_hash[j]);
-        } else {
-          sig = ComputeRepairSignature(j, shared.candidate_hash[j],
-                                       shared.sig_cols[j], row_codes);
+    // Memoized fast path: a cell with a known (attribute, evidence,
+    // candidate-set) signature replays the cached outcome — including
+    // the exact counter increments — instead of filtering and scoring.
+    RepairSignature sig;
+    if (shared.cache != nullptr) {
+      if (shared.sig_all[j]) {
+        if (!row_sig_valid) {
+          row_sig = ComputeRowSignature(row_codes);
+          row_sig_valid = true;
         }
-        CachedRepair hit;
-        if (shared.cache->Lookup(sig, *local, &hit)) {
-          ++stats.cache_hits;
-          if (hit.filtered) {
-            ++stats.cells_skipped_by_filter;
-          } else {
-            ++stats.cells_inferred;
-            stats.candidates_evaluated += hit.candidates_evaluated;
-            if (hit.best != original && hit.best >= 0) {
-              result.set_cell(r, j, encoded.column(j).ValueOf(hit.best));
-              ++stats.cells_changed;
-              if (!options_.partitioned_inference) {
-                row_codes[j] = hit.best;
-                filter_valid = false;
-                row_sig_valid = false;
-              }
+        sig = FinalizeCellSignature(row_sig, j, shared.candidate_hash[j]);
+      } else {
+        sig = ComputeRepairSignature(j, shared.candidate_hash[j],
+                                     shared.sig_cols[j], row_codes);
+      }
+      CachedRepair hit;
+      if (shared.cache->Lookup(sig, *local, &hit)) {
+        ++stats.cache_hits;
+        if (hit.filtered) {
+          ++stats.cells_skipped_by_filter;
+        } else {
+          ++stats.cells_inferred;
+          stats.candidates_evaluated += hit.candidates_evaluated;
+          if (hit.best != original && hit.best >= 0) {
+            result.set_cell(r, j, encoded.column(j).ValueOf(hit.best));
+            ++stats.cells_changed;
+            if (!options_.partitioned_inference) {
+              row_codes[j] = hit.best;
+              filter_valid = false;
+              row_sig_valid = false;
             }
           }
-          continue;
-        }
-        ++stats.cache_misses;
-      }
-
-      // Tuple pruning (pre-detection): confidently supported cells skip
-      // inference entirely.
-      if (options_.tuple_pruning && original >= 0) {
-        if (!filter_valid) {
-          comp.FilterRow(row_codes, &filter);
-          filter_valid = true;
-        }
-        if (filter[j] >= options_.tau_clean) {
-          ++stats.cells_skipped_by_filter;
-          if (shared.cache != nullptr) {
-            shared.cache->Insert(sig, CachedRepair{original, 0, true},
-                                 *local);
-          }
-          continue;
-        }
-      }
-      ++stats.cells_inferred;
-
-      // One batch: the original value first (when it competes), then every
-      // challenger. The scorer hoists the cell's invariants once for all
-      // of them.
-      bool original_competes =
-          original >= 0 &&
-          (!options_.use_user_constraints || uc_mask.Check(j, original));
-      batch.clear();
-      if (original_competes) batch.push_back(original);
-      for (int32_t c : shared.candidates[j]) {
-        if (c == original) continue;
-        batch.push_back(c);
-      }
-      if (batch.empty()) {
-        if (shared.cache != nullptr) {
-          shared.cache->Insert(sig, CachedRepair{original, 0, false}, *local);
         }
         continue;
       }
-      scores.resize(batch.size());
-      scorer.BeginCell(j, row_codes);
-      scorer.ScoreCandidates(batch, scores.data());
-      stats.candidates_evaluated += batch.size();
+      ++stats.cache_misses;
+    }
 
-      int32_t best = original;
-      double best_score = kNegInf;
-      size_t i = 0;
-      // The original value competes under the same score unless it is NULL
-      // or fails its UCs (then any feasible candidate must replace it,
-      // margin-free). Otherwise a challenger needs a clear advantage —
-      // repair_margin — so near-ties never flip clean cells.
-      if (original_competes) {
-        best_score = scores[0] + options_.repair_margin;
-        i = 1;
+    // Tuple pruning (pre-detection): confidently supported cells skip
+    // inference entirely.
+    if (options_.tuple_pruning && original >= 0) {
+      if (!filter_valid) {
+        comp.FilterRow(row_codes, &filter);
+        filter_valid = true;
       }
-      for (; i < batch.size(); ++i) {
-        if (scores[i] > best_score) {
-          best_score = scores[i];
-          best = batch[i];
+      if (filter[j] >= options_.tau_clean) {
+        ++stats.cells_skipped_by_filter;
+        if (shared.cache != nullptr) {
+          shared.cache->Insert(sig, CachedRepair{original, 0, true},
+                               *local);
         }
+        continue;
       }
+    }
+    ++stats.cells_inferred;
+
+    // One batch: the original value first (when it competes), then every
+    // challenger. The scorer hoists the cell's invariants once for all
+    // of them.
+    bool original_competes =
+        original >= 0 &&
+        (!options_.use_user_constraints || uc_mask.Check(j, original));
+    batch.clear();
+    if (original_competes) batch.push_back(original);
+    for (int32_t c : shared.candidates[j]) {
+      if (c == original) continue;
+      batch.push_back(c);
+    }
+    if (batch.empty()) {
       if (shared.cache != nullptr) {
-        shared.cache->Insert(
-            sig,
-            CachedRepair{best, static_cast<uint32_t>(batch.size()), false},
-            *local);
+        shared.cache->Insert(sig, CachedRepair{original, 0, false}, *local);
       }
-      if (best != original && best >= 0) {
-        result.set_cell(r, j, encoded.column(j).ValueOf(best));
-        ++stats.cells_changed;
-        if (!options_.partitioned_inference) {
-          // Unpartitioned BClean repairs in place: later cells of the tuple
-          // see this repair (the paper's error-amplification path).
-          row_codes[j] = best;
-          filter_valid = false;
-          row_sig_valid = false;
-        }
+      continue;
+    }
+    scores.resize(batch.size());
+    scorer.BeginCell(j, row_codes);
+    scorer.ScoreCandidates(batch, scores.data());
+    stats.candidates_evaluated += batch.size();
+
+    int32_t best = original;
+    double best_score = kNegInf;
+    size_t i = 0;
+    // The original value competes under the same score unless it is NULL
+    // or fails its UCs (then any feasible candidate must replace it,
+    // margin-free). Otherwise a challenger needs a clear advantage —
+    // repair_margin — so near-ties never flip clean cells.
+    if (original_competes) {
+      best_score = scores[0] + options_.repair_margin;
+      i = 1;
+    }
+    for (; i < batch.size(); ++i) {
+      if (scores[i] > best_score) {
+        best_score = scores[i];
+        best = batch[i];
+      }
+    }
+    if (shared.cache != nullptr) {
+      shared.cache->Insert(
+          sig,
+          CachedRepair{best, static_cast<uint32_t>(batch.size()), false},
+          *local);
+    }
+    if (best != original && best >= 0) {
+      result.set_cell(r, j, encoded.column(j).ValueOf(best));
+      ++stats.cells_changed;
+      if (!options_.partitioned_inference) {
+        // Unpartitioned BClean repairs in place: later cells of the tuple
+        // see this repair (the paper's error-amplification path).
+        row_codes[j] = best;
+        filter_valid = false;
+        row_sig_valid = false;
       }
     }
   }
+}
+
+void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
+                                 CleanShared& shared, size_t worker,
+                                 Table& result, CleanStats& stats) const {
+  RowWorkspace ws;
+  for (size_t r = row_begin; r < row_end; ++r) {
+    CleanOneRow(r, shared, worker, ws, result, stats);
+  }
+}
+
+void BCleanEngine::InitShared(CleanShared& shared, RepairCache* cache,
+                              size_t workers) const {
+  const size_t m = dirty().num_cols();
+  // Candidate lists are computed once per attribute, not per cell.
+  shared.candidates.resize(m);
+  for (size_t a = 0; a < m; ++a) shared.candidates[a] = CandidatesFor(a);
+  if (cache != nullptr) {
+    shared.cache = cache;
+    shared.candidate_hash.resize(m);
+    shared.sig_cols.resize(m);
+    shared.sig_all.resize(m);
+    for (size_t a = 0; a < m; ++a) {
+      shared.candidate_hash[a] = HashCandidateSet(shared.candidates[a]);
+      shared.sig_cols[a] = SignatureColumns(a);
+      shared.sig_all[a] = shared.sig_cols[a].size() == m;
+    }
+  }
+  shared.scorers.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    shared.scorers.push_back(std::make_unique<CellScorer>(
+        bn_, compensatory(), options_, m));
+  }
+  shared.locals.resize(workers);
+  shared.filter_ws.resize(workers);
+}
+
+CleanResult BCleanEngine::RunCleanOnRows(std::span<const size_t> rows) const {
+  Stopwatch watch;
+  CleanResult result{dirty(), CleanStats{}};
+  CleanShared shared;
+  InitShared(shared, /*cache=*/nullptr, /*workers=*/1);
+  RowWorkspace ws;
+  for (size_t r : rows) {
+    CleanOneRow(r, shared, 0, ws, result.table, result.stats);
+  }
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
 }
 
 CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
@@ -407,19 +470,15 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
   Stopwatch watch;
   CleanResult result{dirty(), CleanStats{}};
   const size_t n = dirty().num_rows();
-  const size_t m = dirty().num_cols();
-
-  CleanShared shared;
-  // Candidate lists are computed once per attribute, not per cell.
-  shared.candidates.resize(m);
-  for (size_t a = 0; a < m; ++a) shared.candidates[a] = CandidatesFor(a);
 
   size_t threads =
       pool != nullptr ? pool->size() : ResolveThreads(options_.num_threads);
-  // In-place repair mode is inherently sequential within the whole pass
-  // (the paper's error-amplification path); rows are only independent
-  // under partitioned inference.
-  if (!options_.partitioned_inference) threads = 1;
+  // Every mode row-shards, including unpartitioned in-place repair: error
+  // amplification is per-tuple only (each worker's working row is rebuilt
+  // from the immutable encoded table, so rows never observe each other's
+  // repairs), which tests/amplification_test.cc proves — permutation
+  // equivariance, cross-row isolation, and serial-vs-sharded byte
+  // equality.
   threads = std::min(threads, std::max<size_t>(1, n));
 
   // An external cache (the service layer's fingerprint-keyed persistent
@@ -435,23 +494,10 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
                                       /*use_shared=*/threads > 1);
     cache = owned_cache.get();
   }
-  if (cache != nullptr) {
-    shared.cache = cache;
-    shared.candidate_hash.resize(m);
-    shared.sig_cols.resize(m);
-    shared.sig_all.resize(m);
-    for (size_t a = 0; a < m; ++a) {
-      shared.candidate_hash[a] = HashCandidateSet(shared.candidates[a]);
-      shared.sig_cols[a] = SignatureColumns(a);
-      shared.sig_all[a] = shared.sig_cols[a].size() == m;
-    }
-  }
 
+  CleanShared shared;
   if (threads <= 1) {
-    shared.scorers.push_back(std::make_unique<CellScorer>(
-        bn_, compensatory(), options_, m));
-    shared.locals.resize(1);
-    shared.filter_ws.resize(1);
+    InitShared(shared, cache, /*workers=*/1);
     if (pool != nullptr) {
       // Even a serial scan runs as a pool job when a shared pool is
       // supplied: concurrent callers (several sessions' futures, or a
@@ -481,13 +527,7 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
     }
     const size_t workers = pool->size();
     std::vector<CleanStats> worker_stats(workers);
-    shared.scorers.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      shared.scorers.push_back(std::make_unique<CellScorer>(
-          bn_, compensatory(), options_, m));
-    }
-    shared.locals.resize(workers);
-    shared.filter_ws.resize(workers);
+    InitShared(shared, cache, workers);
     pool->ParallelFor(num_blocks, [&](size_t block, size_t worker) {
       size_t begin = block * kRowBlock;
       size_t end = std::min(n, begin + kRowBlock);

@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -141,6 +142,20 @@ class BCleanEngine {
                        std::optional<bool> per_pass_cache =
                            std::nullopt) const;
 
+  /// Audit surface for the amplification harness (and the sharding bench):
+  /// scans exactly `rows`, in the given order, serially on one worker with
+  /// no repair cache; rows not listed come back unrepaired. Error
+  /// amplification is per-tuple by construction — every piece of mutable
+  /// scan state (the working copy of the tuple's codes, the Filter values,
+  /// the row-signature prefix) is local to one row's scan and
+  /// re-initialized from the immutable encoded table — so the repairs of a
+  /// listed row must not depend on the list's order or on which other rows
+  /// are listed. tests/amplification_test.cc pins that property
+  /// (permutation equivariance, cross-row isolation), which is what makes
+  /// RunClean's row-sharding sound in every mode, including unpartitioned
+  /// in-place repair.
+  CleanResult RunCleanOnRows(std::span<const size_t> rows) const;
+
   /// Legacy one-shot surface: RunClean() on a private cache/pool, recording
   /// the counters for last_stats(). Prefer RunClean().
   Table Clean();
@@ -211,11 +226,30 @@ class BCleanEngine {
   /// scorers / cache L1s / filter workspaces.
   struct CleanShared;
 
-  /// Runs Algorithm 1 over rows [row_begin, row_end) as worker `worker`,
-  /// accumulating into `stats`. Repairs are written to `result`; under
-  /// unpartitioned inference they are also applied to the working row so
-  /// later cells of the tuple see them. Cells whose signature is already
-  /// memoized replay the cached outcome instead of scoring.
+  /// Reusable per-row scratch (the working copy of the tuple's codes plus
+  /// the candidate batch/score buffers). One instance per worker; every
+  /// field is fully re-initialized by CleanOneRow, so no state leaks from
+  /// one row's scan into the next.
+  struct RowWorkspace;
+
+  /// Fills `shared` for a pass over this engine: candidate lists, the
+  /// signature tables (when `cache` is non-null), and `workers` scorer /
+  /// cache-L1 / filter-workspace slots.
+  void InitShared(CleanShared& shared, RepairCache* cache,
+                  size_t workers) const;
+
+  /// Runs Algorithm 1 over row `r` as worker `worker`, accumulating into
+  /// `stats`. Repairs are written to `result`; under unpartitioned
+  /// inference they are also applied to the working row so later cells of
+  /// the same tuple see them (the paper's error amplification — per-tuple
+  /// only: the working row is `ws`-local and rebuilt from the immutable
+  /// encoded table, never from `result` or another row). Cells whose
+  /// signature is already memoized replay the cached outcome instead of
+  /// scoring.
+  void CleanOneRow(size_t r, CleanShared& shared, size_t worker,
+                   RowWorkspace& ws, Table& result, CleanStats& stats) const;
+
+  /// CleanOneRow over rows [row_begin, row_end), sharing one workspace.
   void CleanRowRange(size_t row_begin, size_t row_end, CleanShared& shared,
                      size_t worker, Table& result, CleanStats& stats) const;
 

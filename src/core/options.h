@@ -65,8 +65,14 @@ struct BCleanOptions {
 
   /// Markov-blanket scoring against the original observation (BCleanPI).
   /// When false, the engine scores the full joint and repairs in place,
-  /// so earlier repairs feed later cells — the paper's error-amplification
-  /// behaviour of unpartitioned inference.
+  /// so earlier repairs feed later cells OF THE SAME TUPLE — the paper's
+  /// error-amplification behaviour of unpartitioned inference.
+  /// Amplification is per-tuple by construction (the working row is a
+  /// per-row copy of the immutable encoded table; rows never observe each
+  /// other's repairs) and by test (tests/amplification_test.cc: permutation
+  /// equivariance, cross-row isolation, a pinned within-tuple feedback
+  /// chain), so unpartitioned mode is deterministic and byte-identical for
+  /// every thread count, exactly like partitioned inference.
   bool partitioned_inference = false;
 
   /// Skip cells whose co-occurrence filter passes tau_clean (Section 6.2).
@@ -80,13 +86,14 @@ struct BCleanOptions {
   /// Candidates kept per attribute under domain pruning.
   size_t domain_top_k = 128;
 
-  /// Worker threads for Clean() under partitioned inference (rows are
-  /// scored independently, so the table shards by row block) and for model
-  /// construction (CompensatoryModel::Build shards by row block with a
-  /// deterministic merge). 0 means hardware_concurrency. Output is
-  /// byte-identical for every thread count. Unpartitioned inference repairs
-  /// in place (earlier repairs feed later cells of the tuple) and therefore
-  /// always runs its scoring pass single-threaded.
+  /// Worker threads for Clean() — every mode shards by row block, because
+  /// rows are independent in all of them: partitioned inference scores
+  /// against the original observation, and unpartitioned in-place repair
+  /// amplifies errors within one tuple only (see partitioned_inference
+  /// above) — and for model construction (CompensatoryModel::Build shards
+  /// by row block with a deterministic merge). 0 means
+  /// hardware_concurrency. Output is byte-identical for every thread
+  /// count in every mode.
   size_t num_threads = 0;
 
   /// Memoize whole per-cell repair decisions across rows: cells sharing a

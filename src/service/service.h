@@ -18,6 +18,11 @@
 // signature under a pinned model fingerprint, so a session's Clean() is
 // byte-identical for any thread count, any interleaving of sessions on the
 // shared pool, and cache cold vs. warm. Warmth changes wall-clock only.
+// This holds for every inference mode: BCleanOptions::Basic() sessions
+// (unpartitioned, in-place repair) row-shard on the shared pool like PI
+// ones, because error amplification is per-tuple only — proven by
+// tests/amplification_test.cc — and their persistent repair caches replay
+// in-place decisions re-keyed on the repaired tuple state.
 //
 // Cached engines are shared and treated as immutable: a session that edits
 // its network (EditNetwork) or its data (Update) transparently detaches

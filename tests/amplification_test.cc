@@ -1,0 +1,660 @@
+// Semantics-verification harness for error amplification (the paper's
+// unpartitioned, in-place repair mode): proves that amplification is
+// per-tuple only — a repaired cell feeds later cells of its OWN tuple and
+// nothing else — which is the property that makes row-sharding the
+// unpartitioned Clean sound (the scale-through-parallel-inference argument
+// BayesWipe makes for probabilistic cleaning, and that PClean's per-record
+// inference locality makes explicit).
+//
+// Four angles, each against an independent reference:
+//   * a test-side oracle reimplementing Algorithm 1 from public model
+//     surfaces (CellScorer / FilterRow / CandidatesFor), with a `feedback`
+//     switch — the no-feedback straw man a regression must not drift into;
+//   * metamorphic scan-order tests through BCleanEngine::RunCleanOnRows:
+//     row-permutation equivariance and cross-row isolation (scanning any
+//     subset, in any order, repairs exactly those rows exactly as the full
+//     pass does);
+//   * a crafted feedback chain where the within-tuple order is pinned: the
+//     repaired cell MUST feed the next cell of its tuple, and the test
+//     fails if the in-place feedback in CleanOneRow is broken;
+//   * randomized differential fuzzing of serial vs row-sharded passes, and
+//     of the in-place cache-key invalidation (fresh row signatures and
+//     Filter values after every in-place repair, including cache replay
+//     and warm external-cache runs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/cell_scorer.h"
+#include "src/core/compensatory.h"
+#include "src/core/engine.h"
+#include "src/core/repair_cache.h"
+#include "src/data/schema.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+#include "tests/clean_stats_test_util.h"
+
+namespace bclean {
+namespace {
+
+// Test-side reimplementation of Algorithm 1 from the engine's public model
+// surfaces only (no access to CleanOneRow): serial, cache-free, one tuple
+// at a time. With `feedback` true it mirrors the paper's unpartitioned
+// semantics — a repair is applied to the working tuple so later cells of
+// the SAME tuple score against it; with `feedback` false every cell scores
+// against the original observation (the no-feedback straw man). Under
+// partitioned inference the flag is irrelevant (the engine never feeds
+// repairs back). Counters are accumulated exactly like CleanOneRow's.
+struct OracleResult {
+  Table table;
+  CleanStats stats;
+};
+
+OracleResult ReferenceClean(const BCleanEngine& engine, bool feedback) {
+  const DomainStats& stats = engine.stats();
+  const BCleanOptions& opt = engine.options();
+  const CompensatoryModel& comp = engine.compensatory();
+  const UcMask& mask = *engine.parts().mask;
+  const size_t n = stats.num_rows();
+  const size_t m = stats.num_cols();
+  OracleResult out{engine.dirty(), CleanStats{}};
+  std::vector<std::vector<int32_t>> candidates(m);
+  for (size_t a = 0; a < m; ++a) candidates[a] = engine.CandidatesFor(a);
+  CellScorer scorer(engine.network(), comp, opt, m);
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<int32_t> row(m);
+  std::vector<int32_t> original_row(m);
+  std::vector<double> filter;
+  std::vector<int32_t> batch;
+  std::vector<double> scores;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) row[c] = stats.code(r, c);
+    original_row = row;
+    for (size_t j = 0; j < m; ++j) {
+      ++out.stats.cells_scanned;
+      // The evidence context: the working tuple (with feedback) or the
+      // original observation (without). Cell j itself is unrepaired at
+      // this point either way.
+      const std::vector<int32_t>& ctx = feedback ? row : original_row;
+      int32_t original = original_row[j];
+      if (opt.tuple_pruning && original >= 0) {
+        comp.FilterRow(ctx, &filter);
+        if (filter[j] >= opt.tau_clean) {
+          ++out.stats.cells_skipped_by_filter;
+          continue;
+        }
+      }
+      ++out.stats.cells_inferred;
+      bool competes = original >= 0 && (!opt.use_user_constraints ||
+                                        mask.Check(j, original));
+      batch.clear();
+      if (competes) batch.push_back(original);
+      for (int32_t c : candidates[j]) {
+        if (c != original) batch.push_back(c);
+      }
+      if (batch.empty()) continue;
+      scores.resize(batch.size());
+      scorer.BeginCell(j, ctx);
+      scorer.ScoreCandidates(batch, scores.data());
+      out.stats.candidates_evaluated += batch.size();
+      int32_t best = original;
+      double best_score = kNegInf;
+      size_t i = 0;
+      if (competes) {
+        best_score = scores[0] + opt.repair_margin;
+        i = 1;
+      }
+      for (; i < batch.size(); ++i) {
+        if (scores[i] > best_score) {
+          best_score = scores[i];
+          best = batch[i];
+        }
+      }
+      if (best != original && best >= 0) {
+        out.table.set_cell(r, j, stats.column(j).ValueOf(best));
+        ++out.stats.cells_changed;
+        if (feedback && !opt.partitioned_inference) row[j] = best;
+      }
+    }
+  }
+  return out;
+}
+
+Table InjectedTable(const std::string& name, size_t rows, uint64_t seed,
+                    UcRegistry* ucs) {
+  Dataset ds = MakeBenchmark(name, rows, 42).value();
+  Rng rng(seed);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  *ucs = ds.ucs;
+  return std::move(injection.dirty);
+}
+
+std::vector<size_t> RandomPermutation(size_t n, Rng* rng) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  rng->Shuffle(&perm);
+  return perm;
+}
+
+// The oracle must reproduce the engine byte-for-byte (and counter-for-
+// counter) in every mode before its no-feedback variant can serve as a
+// straw man. Any divergence between CleanOneRow and the published model
+// surfaces (candidate sets, Filter, scoring, margin/NULL rules, feedback)
+// surfaces here.
+TEST(AmplificationOracleTest, OracleReproducesEngineInEveryMode) {
+  struct ModeCase {
+    const char* name;
+    BCleanOptions options;
+  };
+  BCleanOptions unpartitioned_pruning;  // in-place repair + tuple pruning
+  unpartitioned_pruning.tuple_pruning = true;
+  const std::vector<ModeCase> modes = {
+      {"Basic", BCleanOptions::Basic()},
+      {"BasicPruning", unpartitioned_pruning},
+      {"PI", BCleanOptions::PartitionedInference()},
+      {"PIP", BCleanOptions::PartitionedInferencePruning()},
+  };
+  for (const auto& [dataset, seed] :
+       {std::pair<const char*, uint64_t>{"hospital", 3},
+        std::pair<const char*, uint64_t>{"beers", 17},
+        std::pair<const char*, uint64_t>{"flights", 7}}) {
+    UcRegistry ucs;
+    Table dirty = InjectedTable(dataset, 150, seed, &ucs);
+    for (const ModeCase& mode : modes) {
+      BCleanOptions options = mode.options;
+      options.num_threads = 1;
+      options.repair_cache = false;
+      auto engine = BCleanEngine::Create(dirty, ucs, options);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      SCOPED_TRACE(std::string(dataset) + " mode=" + mode.name +
+                   " seed=" + std::to_string(seed));
+      CleanResult got = engine.value()->RunClean();
+      OracleResult want = ReferenceClean(*engine.value(), /*feedback=*/true);
+      EXPECT_GT(want.stats.cells_changed, 0u);
+      EXPECT_TRUE(got.table == want.table)
+          << "engine diverged from the Algorithm 1 oracle";
+      ExpectSameStableCounters(want.stats, got.stats);
+    }
+  }
+}
+
+// Metamorphic property 1 — scan-order permutation equivariance: scanning
+// the rows in ANY order produces the same bytes, because no row's repairs
+// can reach another row's scan. This is precisely what lets RunClean hand
+// row blocks to workers in nondeterministic order.
+TEST(AmplificationTest, ScanOrderPermutationEquivariance) {
+  for (const auto& [dataset, seed] :
+       {std::pair<const char*, uint64_t>{"hospital", 3},
+        std::pair<const char*, uint64_t>{"beers", 11}}) {
+    UcRegistry ucs;
+    Table dirty = InjectedTable(dataset, 160, seed, &ucs);
+    BCleanOptions options = BCleanOptions::Basic();
+    options.num_threads = 1;
+    options.repair_cache = false;
+    auto engine = BCleanEngine::Create(dirty, ucs, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    CleanResult full = engine.value()->RunClean();
+    EXPECT_GT(full.stats.cells_changed, 0u);
+
+    const size_t n = dirty.num_rows();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    CleanResult identity = engine.value()->RunCleanOnRows(order);
+    EXPECT_TRUE(identity.table == full.table)
+        << "identity-order audit scan diverged from RunClean";
+    ExpectSameStableCounters(full.stats, identity.stats);
+
+    std::reverse(order.begin(), order.end());
+    CleanResult reversed = engine.value()->RunCleanOnRows(order);
+    EXPECT_TRUE(reversed.table == full.table)
+        << "reversed scan order changed the output";
+
+    Rng rng(seed * 97 + 1);
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<size_t> perm = RandomPermutation(n, &rng);
+      CleanResult shuffled = engine.value()->RunCleanOnRows(perm);
+      SCOPED_TRACE(std::string(dataset) + " trial=" +
+                   std::to_string(trial));
+      EXPECT_TRUE(shuffled.table == full.table)
+          << "a permuted scan order changed the output";
+      ExpectSameStableCounters(full.stats, shuffled.stats);
+    }
+  }
+}
+
+// Metamorphic property 2 — cross-row isolation: a row's repairs are
+// identical whether it is scanned alone, with every other row, or with
+// any subset; injecting a heavily corrupt row into the scan changes no
+// other row's repairs; unscanned rows come back untouched.
+TEST(AmplificationTest, CrossRowIsolation) {
+  UcRegistry ucs;
+  Table dirty = InjectedTable("hospital", 140, 5, &ucs);
+  // Append two aggressively corrupt rows: a duplicate of row 0 with every
+  // cell blanked or typo'd, amplification bait if rows could leak.
+  const size_t base_rows = dirty.num_rows();
+  std::vector<std::string> corrupt = dirty.Row(0);
+  for (size_t c = 0; c < corrupt.size(); ++c) {
+    corrupt[c] = (c % 2 == 0) ? std::string() : corrupt[c] + "#corrupt";
+  }
+  ASSERT_TRUE(dirty.AddRow(corrupt).ok());
+  ASSERT_TRUE(dirty.AddRow(corrupt).ok());
+  const size_t n = dirty.num_rows();
+
+  BCleanOptions options = BCleanOptions::Basic();
+  options.num_threads = 1;
+  options.repair_cache = false;
+  auto engine = BCleanEngine::Create(dirty, ucs, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  CleanResult full = engine.value()->RunCleanOnRows(all);
+  EXPECT_GT(full.stats.cells_changed, 0u);
+
+  // Every row alone repairs exactly as in the full pass, and every other
+  // row stays at its dirty bytes.
+  Rng rng(29);
+  std::vector<size_t> sampled = {0, n / 2, n - 2, n - 1};
+  for (int trial = 0; trial < 4; ++trial) sampled.push_back(rng.UniformIndex(n));
+  for (size_t r : sampled) {
+    CleanResult solo = engine.value()->RunCleanOnRows({&r, 1});
+    SCOPED_TRACE("row " + std::to_string(r));
+    EXPECT_EQ(solo.table.Row(r), full.table.Row(r))
+        << "a row repaired alone diverged from the full pass";
+    for (size_t other = 0; other < n; ++other) {
+      if (other == r) continue;
+      ASSERT_EQ(solo.table.Row(other), dirty.Row(other))
+          << "scanning row " << r << " touched row " << other;
+    }
+  }
+
+  // Excluding the corrupt rows from the scan changes nothing else: the
+  // corrupt rows' repairs never fed any other tuple.
+  std::vector<size_t> without_corrupt(base_rows);
+  std::iota(without_corrupt.begin(), without_corrupt.end(), size_t{0});
+  CleanResult excluded = engine.value()->RunCleanOnRows(without_corrupt);
+  for (size_t r = 0; r < base_rows; ++r) {
+    ASSERT_EQ(excluded.table.Row(r), full.table.Row(r))
+        << "dropping the corrupt rows changed row " << r;
+  }
+  EXPECT_EQ(excluded.table.Row(base_rows), dirty.Row(base_rows));
+
+  // Random subsets, random order: listed rows match the full pass.
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<size_t> perm = RandomPermutation(n, &rng);
+    perm.resize(n / 3);
+    CleanResult subset = engine.value()->RunCleanOnRows(perm);
+    SCOPED_TRACE("subset trial " + std::to_string(trial));
+    for (size_t r : perm) {
+      ASSERT_EQ(subset.table.Row(r), full.table.Row(r));
+    }
+  }
+}
+
+// A three-column feedback chain (key -> a -> b) where the within-tuple
+// repair order is decisive: the corrupt tuple's `a` must be repaired
+// first, and that repair must feed `b`'s scoring. Group sizes make the
+// no-feedback outcome (marginal fallback under the typo'd parent) the
+// OPPOSITE value, so this test fails if the in-place feedback in
+// CleanOneRow is deliberately or accidentally broken.
+struct CraftedChain {
+  Table dirty;
+  UcRegistry ucs;
+  BayesianNetwork network;
+  size_t corrupt_row = 0;
+};
+
+CraftedChain MakeFeedbackChain() {
+  Schema schema = Schema::FromNames({"key", "a", "b"});
+  Table t(schema);
+  // Group 1: key K1 determines a=A1 determines b=B1 (20 rows). Group 2 is
+  // twice as large, so b's MARGINAL favors B2 while P(b | a=A1) favors B1.
+  for (int i = 0; i < 20; ++i) t.AddRowUnchecked({"K1", "A1", "B1"});
+  for (int i = 0; i < 40; ++i) t.AddRowUnchecked({"K2", "A2", "B2"});
+  CraftedChain c;
+  c.corrupt_row = t.num_rows();
+  // The corrupt tuple: a typo'd `a` (repairable from key K1) and a missing
+  // `b` (must be imputed). The correct imputation B1 is only reachable
+  // through the repaired a=A1.
+  t.AddRowUnchecked({"K1", "A1x", ""});
+  c.dirty = std::move(t);
+  c.ucs = UcRegistry(3);
+  c.network = BayesianNetwork(schema);
+  EXPECT_TRUE(c.network.AddEdgeByName("key", "a").ok());
+  EXPECT_TRUE(c.network.AddEdgeByName("a", "b").ok());
+  return c;
+}
+
+BCleanOptions CraftedOptions() {
+  // BN-only scoring keeps the feedback analysis exact: every decision is a
+  // ratio of integer counts, so the expected repairs below are forced by
+  // construction, not by tuned thresholds.
+  BCleanOptions options = BCleanOptions::Basic();
+  options.use_compensatory = false;
+  options.num_threads = 1;
+  return options;
+}
+
+TEST(AmplificationTest, WithinTupleFeedbackOrderPinned) {
+  CraftedChain c = MakeFeedbackChain();
+  auto engine = BCleanEngine::CreateWithNetwork(c.dirty, c.ucs, c.network,
+                                                CraftedOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const BCleanEngine& e = *engine.value();
+
+  // Independent scorer-level oracle: b's argmax given the ORIGINAL tuple
+  // (a = the typo) is B2 (the global majority via the marginal fallback);
+  // given the REPAIRED tuple (a = A1) it is B1. So the cleaned value of b
+  // reveals directly whether a's repair fed b's scoring.
+  const DomainStats& stats = e.stats();
+  const size_t a_col = 1, b_col = 2;
+  int32_t a1 = stats.column(a_col).CodeOf("A1");
+  int32_t b1 = stats.column(b_col).CodeOf("B1");
+  int32_t b2 = stats.column(b_col).CodeOf("B2");
+  ASSERT_GE(a1, 0);
+  ASSERT_GE(b1, 0);
+  ASSERT_GE(b2, 0);
+  std::vector<int32_t> original_codes(stats.num_cols());
+  for (size_t col = 0; col < stats.num_cols(); ++col) {
+    original_codes[col] = stats.code(c.corrupt_row, col);
+  }
+  ASSERT_EQ(original_codes[b_col], kNullCode) << "b must be missing";
+  std::vector<int32_t> repaired_codes = original_codes;
+  repaired_codes[a_col] = a1;
+  CellScorer scorer(e.network(), e.compensatory(), e.options(),
+                    stats.num_cols());
+  std::vector<int32_t> batch = {b1, b2};
+  double scores[2];
+  scorer.BeginCell(b_col, original_codes);
+  scorer.ScoreCandidates(batch, scores);
+  EXPECT_GT(scores[1], scores[0])
+      << "straw man broken: without feedback, b must prefer B2";
+  scorer.BeginCell(b_col, repaired_codes);
+  scorer.ScoreCandidates(batch, scores);
+  EXPECT_GT(scores[0], scores[1])
+      << "with the repaired a=A1 in evidence, b must prefer B1";
+
+  // The engine must take the feedback path: a -> A1, then b -> B1.
+  Table cleaned = e.RunClean().table;
+  EXPECT_EQ(cleaned.cell(c.corrupt_row, a_col), "A1");
+  EXPECT_EQ(cleaned.cell(c.corrupt_row, b_col), "B1")
+      << "the repaired a did not feed b: in-place feedback is broken";
+
+  // And the no-feedback oracle lands on the opposite value, differing from
+  // the engine at exactly that cell — the regression signature this test
+  // exists to catch.
+  OracleResult with_feedback = ReferenceClean(e, /*feedback=*/true);
+  OracleResult no_feedback = ReferenceClean(e, /*feedback=*/false);
+  EXPECT_TRUE(with_feedback.table == cleaned);
+  EXPECT_EQ(no_feedback.table.cell(c.corrupt_row, b_col), "B2");
+  EXPECT_FALSE(no_feedback.table == cleaned);
+  size_t diffs = 0;
+  for (size_t r = 0; r < cleaned.num_rows(); ++r) {
+    for (size_t col = 0; col < cleaned.num_cols(); ++col) {
+      if (cleaned.cell(r, col) != no_feedback.table.cell(r, col)) ++diffs;
+    }
+  }
+  EXPECT_EQ(diffs, 1u) << "feedback must matter for exactly the fed cell";
+}
+
+// Full-pipeline permutation equivariance on the crafted chain: building
+// the engine over a row-permuted table yields the identically permuted
+// output. (Integer-count CPTs under a user network make the whole
+// pipeline order-independent; the benchmark-scale scan-order tests above
+// cover the learned-structure path, whose float fold order is only
+// pinned for a FIXED table.)
+TEST(AmplificationTest, FullPipelinePermutationEquivariance) {
+  CraftedChain c = MakeFeedbackChain();
+  auto base_engine = BCleanEngine::CreateWithNetwork(c.dirty, c.ucs,
+                                                     c.network,
+                                                     CraftedOptions());
+  ASSERT_TRUE(base_engine.ok());
+  Table base_out = base_engine.value()->RunClean().table;
+
+  Rng rng(71);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<size_t> perm = RandomPermutation(c.dirty.num_rows(), &rng);
+    Table permuted = c.dirty.SelectRows(perm);
+    auto engine = BCleanEngine::CreateWithNetwork(permuted, c.ucs, c.network,
+                                                  CraftedOptions());
+    ASSERT_TRUE(engine.ok());
+    Table out = engine.value()->RunClean().table;
+    Table expected = base_out.SelectRows(perm);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    EXPECT_TRUE(out == expected)
+        << "permuting input rows did not permute the output identically";
+  }
+}
+
+// Randomized differential fuzzing: on randomized duplicate-heavy,
+// randomly permuted benchmark tables, the unpartitioned serial pass, the
+// row-sharded passes, and the cached passes all agree byte-for-byte.
+TEST(AmplificationTest, SerialVsShardedFuzz) {
+  Rng rng(1234);
+  for (const char* dataset : {"hospital", "beers", "flights"}) {
+    UcRegistry ucs;
+    Table base = InjectedTable(dataset, 130, rng.UniformIndex(1000), &ucs);
+    // Random duplication (cross-row cache traffic) + random order.
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < base.num_rows(); ++r) rows.push_back(r);
+    for (size_t extra = base.num_rows() / 2; extra > 0; --extra) {
+      rows.push_back(rng.UniformIndex(base.num_rows()));
+    }
+    rng.Shuffle(&rows);
+    Table dirty = base.SelectRows(rows);
+
+    BCleanOptions reference_options = BCleanOptions::Basic();
+    reference_options.num_threads = 1;
+    reference_options.repair_cache = false;
+    auto reference = BCleanEngine::Create(dirty, ucs, reference_options);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    CleanResult reference_run = reference.value()->RunClean();
+    EXPECT_GT(reference_run.stats.cells_changed, 0u);
+    // The oracle agrees on the fuzzed table too.
+    OracleResult oracle = ReferenceClean(*reference.value(), true);
+    EXPECT_TRUE(oracle.table == reference_run.table);
+
+    for (bool cache : {false, true}) {
+      for (size_t threads : {size_t{2}, size_t{8}}) {
+        BCleanOptions options = reference_options;
+        options.repair_cache = cache;
+        options.num_threads = threads;
+        auto engine = BCleanEngine::Create(dirty, ucs, options);
+        ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+        CleanResult run = engine.value()->RunClean();
+        SCOPED_TRACE(std::string(dataset) + " cache=" +
+                     std::to_string(cache) + " threads=" +
+                     std::to_string(threads));
+        EXPECT_TRUE(run.table == reference_run.table)
+            << "sharded unpartitioned Clean diverged from serial";
+        ExpectSameStableCounters(reference_run.stats, run.stats);
+        if (cache) {
+          EXPECT_EQ(run.stats.cache_hits + run.stats.cache_misses,
+                    run.stats.cells_scanned);
+          EXPECT_GT(run.stats.cache_hits, 0u);
+        } else {
+          EXPECT_EQ(run.stats.cache_hits + run.stats.cache_misses, 0u);
+        }
+      }
+    }
+  }
+}
+
+// In-place cache-key invalidation: after an in-place repair, the row
+// signature prefix must be recomputed, so a downstream cell's lookup keys
+// on the REPAIRED tuple. The crafted table makes the hit/miss ledger
+// provably sensitive to that reset: tuple Q's start state equals tuple
+// P's post-repair state, so Q's b-cell is a hit exactly when P published
+// its b outcome under the fresh (post-repair) signature. Serial order
+// makes the ledger deterministic; the totals below are derived row by row
+// in the comments and would shift if any reset in CleanOneRow (miss path
+// or cache-replay path) disappeared.
+TEST(AmplificationTest, InPlaceRepairInvalidatesCacheKeys) {
+  CraftedChain base = MakeFeedbackChain();
+  Table t = base.dirty.SelectRows([&] {
+    std::vector<size_t> keep(base.corrupt_row);  // the 60 clean rows
+    std::iota(keep.begin(), keep.end(), size_t{0});
+    return keep;
+  }());
+  // Suffix: P1, Q1, P2, Q2. P = (K1, A1x, NULL): a repaired in place, b
+  // imputed through the repaired a. Q = (K1, A1, NULL): identical to P's
+  // post-repair state when b is scanned.
+  t.AddRowUnchecked({"K1", "A1x", ""});
+  t.AddRowUnchecked({"K1", "A1", ""});
+  t.AddRowUnchecked({"K1", "A1x", ""});
+  t.AddRowUnchecked({"K1", "A1", ""});
+
+  BCleanOptions options = CraftedOptions();
+  options.repair_cache = true;
+  auto engine = BCleanEngine::CreateWithNetwork(t, base.ucs, base.network,
+                                                options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const BCleanEngine& e = *engine.value();
+
+  // Expected ledger (serial, one worker, per-pass cache):
+  //   20 x (K1,A1,B1): first row 3 misses, the rest 3 hits each.
+  //   40 x (K2,A2,B2): first row 3 misses, the rest 3 hits each.
+  //   P1: 3 misses (its b signature is published under the POST-repair
+  //       tuple (K1,A1,NULL) — the fresh-signature invariant).
+  //   Q1: key+a miss (no prior row matches (K1,A1,NULL) there), b HITS
+  //       P1's fresh-signature entry.
+  //   P2: all 3 hit (a replays P1's repair; the replay path must also
+  //       re-key, landing b on the same fresh entry).
+  //   Q2: all 3 hit.
+  // => misses = 3+3+3+2 = 11, hits = 192 - 11 = 181. A stale row
+  // signature anywhere turns Q1's (or P2's/Q2's) b into a miss.
+  CleanResult cached = e.RunClean();
+  EXPECT_EQ(cached.stats.cells_scanned, 192u);
+  EXPECT_EQ(cached.stats.cache_misses, 11u)
+      << "an in-place repair failed to re-key a downstream cell";
+  EXPECT_EQ(cached.stats.cache_hits, 181u);
+
+  // Byte-equality against the cache-off pass, and the expected repairs.
+  BCleanOptions no_cache = options;
+  no_cache.repair_cache = false;
+  auto engine_off = BCleanEngine::CreateWithNetwork(t, base.ucs,
+                                                    base.network, no_cache);
+  ASSERT_TRUE(engine_off.ok());
+  CleanResult uncached = engine_off.value()->RunClean();
+  EXPECT_TRUE(cached.table == uncached.table);
+  ExpectSameStableCounters(uncached.stats, cached.stats);
+  for (size_t r : {size_t{60}, size_t{61}, size_t{62}, size_t{63}}) {
+    EXPECT_EQ(cached.table.cell(r, 1), "A1") << "row " << r;
+    EXPECT_EQ(cached.table.cell(r, 2), "B1") << "row " << r;
+  }
+
+  // Warm external-cache replay (the service layer's persistent cache
+  // shape): the second pass replays every cell — including the in-place
+  // repairs and their re-keyed downstream cells — with zero misses and
+  // identical bytes.
+  // use_shared keeps the striped L2 on — that is the level that persists
+  // across passes (per-worker L1s are per-pass state).
+  RepairCache external(options.repair_cache_max_entries,
+                       /*use_shared=*/true);
+  CleanResult cold = e.RunClean(nullptr, &external);
+  CleanResult warm = e.RunClean(nullptr, &external);
+  EXPECT_EQ(cold.stats.cache_misses, 11u);
+  EXPECT_EQ(warm.stats.cache_misses, 0u);
+  EXPECT_EQ(warm.stats.cache_hits, 192u);
+  EXPECT_TRUE(cold.table == uncached.table);
+  EXPECT_TRUE(warm.table == uncached.table);
+  ExpectSameStableCounters(uncached.stats, warm.stats);
+}
+
+// In-place Filter invalidation under tuple pruning: an in-place repair
+// must refresh the tuple's Filter values, because downstream prune
+// verdicts flip between the original and the repaired evidence. The
+// crafted tuple straddles tau_clean on both downstream cells (verified
+// directly through FilterRow), so the exact skip ledger — equal between
+// the engine, the oracle, and the cache-on replay — pins the reset on
+// both the scoring and the cache-replay paths.
+TEST(AmplificationTest, InPlaceRepairRefreshesFilterVerdicts) {
+  Schema schema = Schema::FromNames({"a", "key", "b", "c"});
+  Table t(schema);
+  for (int i = 0; i < 20; ++i) t.AddRowUnchecked({"A1", "K1", "B1", "C1"});
+  for (int i = 0; i < 40; ++i) t.AddRowUnchecked({"A2", "K2", "B2", "C2"});
+  // The corrupt tuple (twice, so the second replays the first's repairs
+  // from the cache): `a` holds an inconsistency (A2 is valid globally but
+  // contradicts key K1), b is missing, c is correct. After a -> A1, the
+  // key and c cells are confidently supported and must be SKIPPED; against
+  // the stale evidence (a=A2, b=NULL) both fall below tau and would be
+  // needlessly re-inferred.
+  const size_t corrupt1 = t.num_rows();
+  t.AddRowUnchecked({"A2", "K1", "", "C1"});
+  const size_t corrupt2 = t.num_rows();
+  t.AddRowUnchecked({"A2", "K1", "", "C1"});
+  UcRegistry ucs(4);
+  BayesianNetwork network(schema);
+  ASSERT_TRUE(network.AddEdgeByName("key", "a").ok());
+  ASSERT_TRUE(network.AddEdgeByName("a", "b").ok());
+
+  BCleanOptions options = BCleanOptions::Basic();
+  options.tuple_pruning = true;
+  options.tau_clean = 0.5;
+  options.num_threads = 1;
+  options.repair_cache = false;
+  auto engine = BCleanEngine::CreateWithNetwork(t, ucs, network, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const BCleanEngine& e = *engine.value();
+
+  // The straddle that makes the ledger sensitive: stale evidence leaves
+  // key and c below tau, repaired evidence lifts both above it.
+  const DomainStats& stats = e.stats();
+  std::vector<int32_t> original_codes(4), repaired_codes(4);
+  for (size_t col = 0; col < 4; ++col) {
+    original_codes[col] = stats.code(corrupt1, col);
+  }
+  repaired_codes = original_codes;
+  repaired_codes[0] = stats.column(0).CodeOf("A1");
+  repaired_codes[2] = stats.column(2).CodeOf("B1");
+  ASSERT_GE(repaired_codes[0], 0);
+  ASSERT_GE(repaired_codes[2], 0);
+  std::vector<double> stale_filter, fresh_filter;
+  e.compensatory().FilterRow(original_codes, &stale_filter);
+  e.compensatory().FilterRow(repaired_codes, &fresh_filter);
+  for (size_t col : {size_t{1}, size_t{3}}) {  // key, c
+    ASSERT_LT(stale_filter[col], options.tau_clean)
+        << "col " << col << ": stale evidence must fall below tau";
+    ASSERT_GE(fresh_filter[col], options.tau_clean)
+        << "col " << col << ": repaired evidence must clear tau";
+  }
+
+  // Engine == oracle on bytes and the full ledger (the oracle recomputes
+  // Filter from the current working tuple every cell, i.e. the fresh
+  // semantics); the corrupt tuples repair as designed.
+  CleanResult run = e.RunClean();
+  OracleResult oracle = ReferenceClean(e, /*feedback=*/true);
+  EXPECT_TRUE(run.table == oracle.table);
+  ExpectSameStableCounters(oracle.stats, run.stats);
+  for (size_t r : {corrupt1, corrupt2}) {
+    EXPECT_EQ(run.table.cell(r, 0), "A1");
+    EXPECT_EQ(run.table.cell(r, 2), "B1");
+    EXPECT_EQ(run.table.cell(r, 3), "C1");
+  }
+  // Ledger: every clean row's 4 cells are skipped (fully supported
+  // tuples); each corrupt tuple skips exactly key and c — and only
+  // because the repair of `a` refreshed the Filter values.
+  EXPECT_EQ(run.stats.cells_skipped_by_filter, 60u * 4u + 2u * 2u);
+
+  // The cache-replay path must refresh too: replaying `a`'s repair on the
+  // second corrupt tuple has to recompute the Filter before judging its
+  // key/c cells, or the stable counters (and possibly bytes) drift from
+  // the cache-off pass.
+  BCleanOptions with_cache = options;
+  with_cache.repair_cache = true;
+  auto engine_cache = BCleanEngine::CreateWithNetwork(t, ucs, network,
+                                                      with_cache);
+  ASSERT_TRUE(engine_cache.ok());
+  CleanResult cached = engine_cache.value()->RunClean();
+  EXPECT_TRUE(cached.table == run.table);
+  ExpectSameStableCounters(run.stats, cached.stats);
+  EXPECT_GT(cached.stats.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace bclean

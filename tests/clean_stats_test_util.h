@@ -1,0 +1,28 @@
+// Shared assertion for the engine's determinism contract: the "stable"
+// CleanStats counters — everything except the wall clock and the cache
+// hit/miss split — are pure functions of the input, identical across
+// thread counts, cache settings, warm vs cold runs, and session
+// interleavings. Keeping the list in one place means a counter added to
+// CleanStats is either classified here once or every differential suite
+// fails to compile against it.
+#ifndef BCLEAN_TESTS_CLEAN_STATS_TEST_UTIL_H_
+#define BCLEAN_TESTS_CLEAN_STATS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+
+namespace bclean {
+
+inline void ExpectSameStableCounters(const CleanStats& a,
+                                     const CleanStats& b) {
+  EXPECT_EQ(a.cells_scanned, b.cells_scanned);
+  EXPECT_EQ(a.cells_skipped_by_filter, b.cells_skipped_by_filter);
+  EXPECT_EQ(a.cells_inferred, b.cells_inferred);
+  EXPECT_EQ(a.cells_changed, b.cells_changed);
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+}
+
+}  // namespace bclean
+
+#endif  // BCLEAN_TESTS_CLEAN_STATS_TEST_UTIL_H_

@@ -196,6 +196,40 @@ TEST(IntegrationTest, GoldenHospitalFixturePinsQuality) {
   EXPECT_NEAR(m.f1, 0.78087649402390424, 1e-12);
 }
 
+TEST(IntegrationTest, GoldenHospitalFixturePinsBasicModeQuality) {
+  // Basic-mode (unpartitioned, in-place) twin of the PI pin above: now
+  // that the in-place scan row-shards, its exact repair decisions are
+  // pinned on the same checked-in fixture so a sharding or feedback
+  // regression moves a visible number instead of drifting silently. The
+  // pins are thread-count- and cache-independent by the determinism
+  // contract (amplification is per-tuple; see tests/amplification_test.cc).
+  const std::string dir = BCLEAN_TEST_DATA_DIR;
+  auto dirty = ReadCsvFile(dir + "/golden_hospital_dirty.csv");
+  auto clean = ReadCsvFile(dir + "/golden_hospital_clean.csv");
+  ASSERT_TRUE(dirty.ok()) << dirty.status().ToString();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  Dataset ds = MakeHospital(150, 42);
+  ASSERT_EQ(ds.clean.num_cols(), dirty.value().num_cols());
+
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    BCleanOptions options = BCleanOptions::Basic();
+    options.num_threads = threads;
+    auto engine = BCleanEngine::Create(dirty.value(), ds.ucs, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    Table cleaned = engine.value()->Clean();
+    CleaningMetrics m =
+        Evaluate(clean.value(), dirty.value(), cleaned).value();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(m.errors, 112u);
+    EXPECT_EQ(m.modified, 141u);
+    EXPECT_EQ(m.correct_repairs, 101u);
+    EXPECT_EQ(m.repaired_errors, 101u);
+    EXPECT_NEAR(m.precision, 0.71631205673758869, 1e-12);
+    EXPECT_NEAR(m.recall, 0.9017857142857143, 1e-12);
+    EXPECT_NEAR(m.f1, 0.79841897233201575, 1e-12);
+  }
+}
+
 TEST(IntegrationTest, CleaningIsDeterministic) {
   Pipeline p = Prepare("hospital", 400);
   auto a = BCleanEngine::Create(p.injection.dirty, p.dataset.ucs,

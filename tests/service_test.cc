@@ -16,19 +16,10 @@
 #include "src/errors/error_injection.h"
 #include "src/service/fingerprint.h"
 #include "src/service/service.h"
+#include "tests/clean_stats_test_util.h"
 
 namespace bclean {
 namespace {
-
-// The counters that must be identical across warm/cold, thread counts, and
-// session interleavings (everything except wall clock and hit/miss split).
-void ExpectSameStableCounters(const CleanStats& a, const CleanStats& b) {
-  EXPECT_EQ(a.cells_scanned, b.cells_scanned);
-  EXPECT_EQ(a.cells_skipped_by_filter, b.cells_skipped_by_filter);
-  EXPECT_EQ(a.cells_inferred, b.cells_inferred);
-  EXPECT_EQ(a.cells_changed, b.cells_changed);
-  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
-}
 
 Dataset InjectedDataset(const std::string& name, size_t rows, uint64_t seed) {
   Dataset ds = MakeBenchmark(name, rows, 42).value();
@@ -306,6 +297,65 @@ TEST(ServiceTest, ConcurrentCleanAsyncMatchesSerialRuns) {
     EXPECT_TRUE(r3.table == out_h);
     ExpectSameStableCounters(cold_h.value()->last_stats(), r1.stats);
     ExpectSameStableCounters(cold_b.value()->last_stats(), r2.stats);
+  }
+}
+
+TEST(ServiceTest, ConcurrentBasicCleanAsyncMatchesSerialRuns) {
+  // Unpartitioned (in-place) sessions now row-shard on the shared pool
+  // like PI ones — amplification is per-tuple, so concurrent Basic futures
+  // interleaving whole pool jobs must still produce the serial bytes, warm
+  // or cold, including alongside a PI session sharing the pool.
+  Dataset hospital = InjectedDataset("hospital", 160, 5);
+  Dataset beers = InjectedDataset("beers", 160, 3);
+  BCleanOptions basic = BCleanOptions::Basic();
+  BCleanOptions pi = BCleanOptions::PartitionedInference();
+
+  auto cold_h = BCleanEngine::Create(hospital.clean, hospital.ucs, basic);
+  auto cold_b = BCleanEngine::Create(beers.clean, beers.ucs, basic);
+  auto cold_h_pi = BCleanEngine::Create(hospital.clean, hospital.ucs, pi);
+  ASSERT_TRUE(cold_h.ok());
+  ASSERT_TRUE(cold_b.ok());
+  ASSERT_TRUE(cold_h_pi.ok());
+  Table out_h = cold_h.value()->Clean();
+  Table out_b = cold_b.value()->Clean();
+  Table out_h_pi = cold_h_pi.value()->Clean();
+
+  ServiceOptions service_options;
+  service_options.num_threads = 4;
+  Service service(service_options);
+  auto s1 = service.Open("hospital", hospital.clean, hospital.ucs, basic);
+  auto s2 = service.Open("beers", beers.clean, beers.ucs, basic);
+  auto s3 = service.Open("hospital-again", hospital.clean, hospital.ucs,
+                         basic);
+  auto s4 = service.Open("hospital-pi", hospital.clean, hospital.ucs, pi);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(s3.ok());
+  ASSERT_TRUE(s4.ok());
+  EXPECT_TRUE(s3.value()->engine_reused());
+
+  for (int round = 0; round < 2; ++round) {  // round 1 replays warm caches
+    std::future<CleanResult> f1 = s1.value()->CleanAsync();
+    std::future<CleanResult> f2 = s2.value()->CleanAsync();
+    std::future<CleanResult> f3 = s3.value()->CleanAsync();
+    std::future<CleanResult> f4 = s4.value()->CleanAsync();
+    CleanResult r1 = f1.get();
+    CleanResult r2 = f2.get();
+    CleanResult r3 = f3.get();
+    CleanResult r4 = f4.get();
+    SCOPED_TRACE("round " + std::to_string(round));
+    EXPECT_TRUE(r1.table == out_h);
+    EXPECT_TRUE(r2.table == out_b);
+    EXPECT_TRUE(r3.table == out_h);
+    EXPECT_TRUE(r4.table == out_h_pi);
+    ExpectSameStableCounters(cold_h.value()->last_stats(), r1.stats);
+    ExpectSameStableCounters(cold_b.value()->last_stats(), r2.stats);
+    if (round == 1) {
+      // The two Basic sessions share one model fingerprint, hence one
+      // persistent repair cache: warm replay never misses.
+      EXPECT_EQ(r1.stats.cache_misses, 0u);
+      EXPECT_EQ(r3.stats.cache_misses, 0u);
+    }
   }
 }
 
