@@ -77,12 +77,17 @@ int main() {
     return 1;
   }
 
-  // Both sessions clean concurrently; whole scoring jobs interleave on the
-  // service's shared pool.
-  std::future<CleanResult> f_custom = with_custom.value()->CleanAsync();
-  std::future<CleanResult> f_builtin = builtin_only.value()->CleanAsync();
-  CleanResult r_custom = f_custom.get();
-  CleanResult r_builtin = f_builtin.get();
+  // Both sessions clean concurrently through the service's dispatch queue;
+  // whole scoring jobs interleave on the shared pool. The outer Result is
+  // the admission decision (the default queue bound is far above 2 jobs).
+  auto f_custom = with_custom.value()->CleanAsync();
+  auto f_builtin = builtin_only.value()->CleanAsync();
+  if (!f_custom.ok() || !f_builtin.ok()) {
+    std::fprintf(stderr, "CleanAsync rejected at admission\n");
+    return 1;
+  }
+  CleanResult r_custom = std::move(f_custom).value().get().value();
+  CleanResult r_builtin = std::move(f_builtin).value().get().value();
 
   auto m_builtin =
       Evaluate(beers.clean, injection.dirty, r_builtin.table).value();

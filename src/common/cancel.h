@@ -1,0 +1,65 @@
+// Cooperative cancellation and deadlines for long-running jobs. A
+// CancelToken is shared between the job's owner (who may Cancel() it or
+// arm a deadline) and the running code, which polls Check() at natural
+// stopping points — the engine checks at row-shard boundaries inside
+// RunClean. Cancellation is a control-plane signal only: it decides
+// *whether* a job finishes, never *what* it computes — a job that runs to
+// completion under a token is byte-identical to one run without it.
+#ifndef BCLEAN_COMMON_CANCEL_H_
+#define BCLEAN_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "src/common/status.h"
+
+namespace bclean {
+
+/// Shared stop signal: explicit cancellation plus an optional absolute
+/// deadline. Thread-safe; Cancel() may race Check() freely.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  explicit CancelToken(std::optional<Clock::time_point> deadline)
+      : deadline_(deadline) {}
+
+  /// Requests cooperative cancellation. Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() has been called.
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// The armed deadline, if any.
+  std::optional<Clock::time_point> deadline() const { return deadline_; }
+
+  /// True when a deadline is armed and has passed.
+  bool deadline_passed() const {
+    return deadline_.has_value() && Clock::now() >= *deadline_;
+  }
+
+  /// OK while the job may keep running; kCancelled once Cancel() was
+  /// called (checked first — an explicit cancel wins over a racing
+  /// deadline); kDeadlineExceeded once the deadline passed.
+  Status Check() const {
+    if (cancel_requested()) {
+      return Status::Cancelled("job cancelled by caller");
+    }
+    if (deadline_passed()) {
+      return Status::DeadlineExceeded("job deadline passed");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::optional<Clock::time_point> deadline_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_CANCEL_H_

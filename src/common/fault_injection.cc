@@ -1,0 +1,129 @@
+#include "src/common/fault_injection.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace bclean {
+namespace fault {
+namespace {
+
+/// Splitmix64 finalizer: the per-arrival pseudo-random draw.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a 64-bit draw.
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+struct Point {
+  FaultSpec spec;
+  bool armed = false;
+  size_t hits = 0;      // arrivals since last Arm
+  size_t triggers = 0;  // triggered arrivals since last Arm
+};
+
+}  // namespace
+
+struct Registry::State {
+  // Fast idle path: every BCLEAN_FAULT_POINT crossing loads this once and
+  // returns when no point is armed anywhere.
+  std::atomic<size_t> armed_count{0};
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+};
+
+Registry& Registry::Instance() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::State* Registry::state() const {
+  // Leaked singleton: fault points may be crossed during static
+  // destruction (pool workers joining at exit).
+  static State* s = new State();
+  return s;
+}
+
+void Registry::Arm(const std::string& point, FaultSpec spec) {
+  State* s = state();
+  std::lock_guard<std::mutex> lock(s->mu);
+  Point& p = s->points[point];
+  if (!p.armed) s->armed_count.fetch_add(1, std::memory_order_relaxed);
+  p.spec = std::move(spec);
+  p.armed = true;
+  p.hits = 0;
+  p.triggers = 0;
+}
+
+void Registry::Disarm(const std::string& point) {
+  State* s = state();
+  std::lock_guard<std::mutex> lock(s->mu);
+  auto it = s->points.find(point);
+  if (it == s->points.end() || !it->second.armed) return;
+  it->second.armed = false;
+  it->second.spec.on_trigger = nullptr;  // drop captured test state
+  s->armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Registry::Reset() {
+  State* s = state();
+  std::lock_guard<std::mutex> lock(s->mu);
+  for (auto& [name, p] : s->points) {
+    if (p.armed) s->armed_count.fetch_sub(1, std::memory_order_relaxed);
+    p.armed = false;
+  }
+  s->points.clear();
+}
+
+bool Registry::Hit(std::string_view point) {
+  State* s = state();
+  if (s->armed_count.load(std::memory_order_relaxed) == 0) return false;
+  std::chrono::milliseconds stall{0};
+  std::function<void()> callback;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    auto it = s->points.find(std::string(point));
+    if (it == s->points.end() || !it->second.armed) return false;
+    Point& p = it->second;
+    const size_t arrival = p.hits++;
+    const FaultSpec& spec = p.spec;
+    if (arrival < spec.skip_first) return false;
+    if (p.triggers >= spec.max_triggers) return false;
+    if (spec.probability < 1.0 &&
+        ToUnit(Mix(spec.seed ^ arrival)) >= spec.probability) {
+      return false;
+    }
+    ++p.triggers;
+    stall = spec.stall;
+    callback = spec.on_trigger;  // copy: runs outside the lock
+    fail = spec.fail;
+  }
+  if (stall.count() > 0) std::this_thread::sleep_for(stall);
+  if (callback) callback();
+  return fail;
+}
+
+size_t Registry::hits(const std::string& point) const {
+  State* s = state();
+  std::lock_guard<std::mutex> lock(s->mu);
+  auto it = s->points.find(point);
+  return it == s->points.end() ? 0 : it->second.hits;
+}
+
+size_t Registry::triggers(const std::string& point) const {
+  State* s = state();
+  std::lock_guard<std::mutex> lock(s->mu);
+  auto it = s->points.find(point);
+  return it == s->points.end() ? 0 : it->second.triggers;
+}
+
+}  // namespace fault
+}  // namespace bclean

@@ -1,0 +1,126 @@
+// Deterministic, seeded fault injection for the concurrency-dense paths
+// (dispatcher, thread pool, clean scan, cache registry). Code declares
+// named fault points with BCLEAN_FAULT_POINT("subsystem.site"); tests arm
+// a point with a FaultSpec (trigger schedule + action) and the site then
+// stalls, runs a race-window callback, and/or reports "fail" so the site
+// can simulate a failure it cannot otherwise reach.
+//
+// Properties the tests rely on:
+//   * Deterministic: whether arrival k of a point triggers is a pure
+//     function of (seed, k) — a seeded splitmix draw against `probability`
+//     after `skip_first`, capped by `max_triggers`. Replaying the same
+//     arrival sequence replays the same trigger set.
+//   * Cheap when idle: a disarmed build pays one relaxed atomic load per
+//     point crossing; a Release build (BCLEAN_FAULT_INJECTION undefined)
+//     compiles every point to the constant `false` — no registry, no
+//     atomics, no strings in the binary.
+//   * Side-effect isolation: stalls and callbacks run outside the registry
+//     lock, so an armed point can block for seconds without stalling other
+//     points (or the arming/inspection API).
+#ifndef BCLEAN_COMMON_FAULT_INJECTION_H_
+#define BCLEAN_COMMON_FAULT_INJECTION_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#if defined(BCLEAN_FAULT_INJECTION)
+#define BCLEAN_FAULT_INJECTION_ENABLED 1
+#else
+#define BCLEAN_FAULT_INJECTION_ENABLED 0
+#endif
+
+namespace bclean {
+namespace fault {
+
+/// What an armed fault point does, and when. Defaults trigger every
+/// arrival with no action — arm at least one of stall/fail/on_trigger.
+struct FaultSpec {
+  /// Chance that an eligible arrival triggers; 1.0 = always. Decided by a
+  /// seeded per-arrival splitmix draw, so the schedule is reproducible.
+  double probability = 1.0;
+  /// Seed of the per-arrival draws (only consulted when probability < 1).
+  uint64_t seed = 0;
+  /// Arrivals that can never trigger, counted from arming.
+  size_t skip_first = 0;
+  /// Cap on total triggers; further arrivals pass through untriggered.
+  size_t max_triggers = static_cast<size_t>(-1);
+  /// Sleep this long on trigger (worker stalls, slow rows, race windows).
+  std::chrono::milliseconds stall{0};
+  /// Report failure to the site on trigger: BCLEAN_FAULT_POINT returns
+  /// true and the site simulates the failure it guards (e.g. a cache
+  /// insert that "didn't fit").
+  bool fail = false;
+  /// Runs on trigger, after the stall, outside the registry lock. A
+  /// callback that blocks on a test-held latch turns the point into an
+  /// exact rendezvous (the test decides when the worker proceeds).
+  std::function<void()> on_trigger;
+};
+
+/// Global registry of armed fault points. Thread-safe.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  /// Arms `point`, resetting its arrival/trigger counters.
+  void Arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms `point` (no-op when not armed). Counters remain readable
+  /// until the next Arm of the same point.
+  void Disarm(const std::string& point);
+
+  /// Disarms everything and drops all counters.
+  void Reset();
+
+  /// Called by BCLEAN_FAULT_POINT. Returns whether the site should
+  /// simulate a failure (spec.fail on a triggered arrival); performs the
+  /// stall/callback side effects of a trigger before returning. O(1) and
+  /// lock-free when nothing is armed.
+  bool Hit(std::string_view point);
+
+  /// Arrivals at `point` since it was last armed (0 when never armed).
+  size_t hits(const std::string& point) const;
+
+  /// Triggered arrivals at `point` since it was last armed.
+  size_t triggers(const std::string& point) const;
+
+ private:
+  Registry() = default;
+  struct State;
+  State* state() const;
+};
+
+/// RAII arming: arms in the constructor, disarms in the destructor.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultSpec spec) : point_(std::move(point)) {
+    Registry::Instance().Arm(point_, std::move(spec));
+  }
+  ~ScopedFault() { Registry::Instance().Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+}  // namespace fault
+}  // namespace bclean
+
+/// A named fault point. Evaluates to true when an armed spec with
+/// `fail = true` triggers on this arrival (the site then simulates its
+/// failure); stalls / race-window callbacks happen as a side effect.
+/// Compiled to the constant `false` when fault injection is off.
+#if BCLEAN_FAULT_INJECTION_ENABLED
+#define BCLEAN_FAULT_POINT(name) \
+  (::bclean::fault::Registry::Instance().Hit(name))
+#else
+#define BCLEAN_FAULT_POINT(name) (false)
+#endif
+
+#endif  // BCLEAN_COMMON_FAULT_INJECTION_H_

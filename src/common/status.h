@@ -5,6 +5,8 @@
 #define BCLEAN_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -22,6 +24,16 @@ enum class StatusCode {
   kIOError,
   kNotSupported,
   kInternal,
+  /// The service refused to accept the work (admission control: dispatch
+  /// queue or per-session quota full). Retrying later may succeed; nothing
+  /// was executed.
+  kResourceExhausted,
+  /// The job's deadline passed before it completed. No partial result is
+  /// produced.
+  kDeadlineExceeded,
+  /// The job was cancelled cooperatively before it completed. No partial
+  /// result is produced.
+  kCancelled,
 };
 
 /// Outcome of an operation that can fail. Prefer returning Status (or
@@ -69,6 +81,18 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Returns a ResourceExhausted status with the given message.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Returns a DeadlineExceeded status with the given message.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Returns a Cancelled status with the given message.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -87,7 +111,7 @@ class Status {
     return code_ == other.code_ && message_ == other.message_;
   }
 
- private:
+  /// Stable name of a status code, e.g. "ResourceExhausted".
   static const char* CodeName(StatusCode code) {
     switch (code) {
       case StatusCode::kOk: return "OK";
@@ -99,16 +123,33 @@ class Status {
       case StatusCode::kIOError: return "IOError";
       case StatusCode::kNotSupported: return "NotSupported";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }
 
+ private:
   StatusCode code_;
   std::string message_;
 };
 
+namespace internal {
+/// Terminates with the error's rendering on stderr. Out-of-line from
+/// Result so the cold path never inlines into value() call sites.
+[[noreturn]] inline void FatalResultAccess(const Status& status) {
+  std::fprintf(stderr, "FATAL: Result::value() accessed on an error: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace internal
+
 /// Either a value of type T or an error Status. Accessing value() on an
-/// errored Result is a programming error (asserted in debug builds).
+/// errored Result is a programming error; it fails loudly — printing the
+/// held status and aborting — in every build type (an assert would compile
+/// to UB-by-optional in Release).
 template <typename T>
 class Result {
  public:
@@ -124,14 +165,16 @@ class Result {
   /// The status (OK when a value is present).
   const Status& status() const { return status_; }
 
-  /// The held value. Requires ok().
+  /// The held value. Requires ok(); aborts with the status message
+  /// otherwise, in all build types.
   const T& value() const& {
-    assert(ok());
+    if (!ok()) internal::FatalResultAccess(status_);
     return *value_;
   }
-  /// Moves the held value out. Requires ok().
+  /// Moves the held value out. Requires ok(); aborts with the status
+  /// message otherwise, in all build types.
   T&& value() && {
-    assert(ok());
+    if (!ok()) internal::FatalResultAccess(status_);
     return std::move(*value_);
   }
   /// Returns the held value or `fallback` when errored.

@@ -64,6 +64,15 @@ class StripedCache {
     return total;
   }
 
+  /// Approximate resident bytes: the stripe array plus a per-entry
+  /// estimate (key + value + unordered_map node/bucket overhead). Feeds
+  /// the service layer's repair-cache byte budget.
+  size_t ApproxBytes() const {
+    constexpr size_t kPerEntryOverhead = 2 * sizeof(void*) + sizeof(size_t);
+    return stripes_.size() * sizeof(Stripe) +
+           size() * (sizeof(K) + sizeof(V) + kPerEntryOverhead);
+  }
+
  private:
   struct Stripe {
     mutable std::mutex mu;

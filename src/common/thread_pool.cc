@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/fault_injection.h"
+
 namespace bclean {
 
 size_t ThreadPool::DefaultThreads() {
@@ -36,6 +38,10 @@ void ThreadPool::WorkerLoop(size_t worker_id) {
     const std::function<void(size_t, size_t)>* fn = fn_;
     size_t count = count_;
     lock.unlock();
+    // Stall a spawned worker at job pickup (tests: uneven worker progress
+    // must not change output bytes — indices rebalance via the shared
+    // counter).
+    BCLEAN_FAULT_POINT("pool.worker_stall");
     size_t i;
     while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
       (*fn)(i, worker_id);

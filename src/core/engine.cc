@@ -1,11 +1,13 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <utility>
 
 #include "src/common/digest.h"
+#include "src/common/fault_injection.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
 #include "src/core/repair_cache.h"
@@ -467,6 +469,14 @@ CleanResult BCleanEngine::RunCleanOnRows(std::span<const size_t> rows) const {
 
 CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
                                    std::optional<bool> per_pass_cache) const {
+  // No token, so no error path: the Result always holds a value.
+  return RunCleanCancellable(pool, cache, per_pass_cache, /*cancel=*/nullptr)
+      .value();
+}
+
+Result<CleanResult> BCleanEngine::RunCleanCancellable(
+    ThreadPool* pool, RepairCache* cache, std::optional<bool> per_pass_cache,
+    const CancelToken* cancel) const {
   Stopwatch watch;
   CleanResult result{dirty(), CleanStats{}};
   const size_t n = dirty().num_rows();
@@ -495,9 +505,40 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
     cache = owned_cache.get();
   }
 
+  // The row-shard granularity (and the cancellation poll interval): the
+  // token is consulted once per block, never inside one, so a tripped
+  // token stops between shards with whole blocks either fully scanned or
+  // not started.
+  constexpr size_t kRowBlock = 32;
+  // First tripped status wins; later blocks observe `stopped` and return
+  // without scanning (ParallelFor cannot abort siblings mid-job).
+  std::atomic<bool> stopped{false};
+  Status stop_status = Status::OK();
+  std::mutex stop_mu;
+  auto check_cancel = [&]() -> bool {
+    BCLEAN_FAULT_POINT("clean.row_block");
+    if (cancel == nullptr) return false;
+    if (stopped.load(std::memory_order_relaxed)) return true;
+    Status st = cancel->Check();
+    if (st.ok()) return false;
+    bool expected = false;
+    if (stopped.compare_exchange_strong(expected, true)) {
+      std::lock_guard<std::mutex> lock(stop_mu);
+      stop_status = std::move(st);
+    }
+    return true;
+  };
+
   CleanShared shared;
   if (threads <= 1) {
     InitShared(shared, cache, /*workers=*/1);
+    auto scan = [&] {
+      for (size_t begin = 0; begin < n; begin += kRowBlock) {
+        if (check_cancel()) return;
+        CleanRowRange(begin, std::min(n, begin + kRowBlock), shared, 0,
+                      result.table, result.stats);
+      }
+    };
     if (pool != nullptr) {
       // Even a serial scan runs as a pool job when a shared pool is
       // supplied: concurrent callers (several sessions' futures, or a
@@ -505,12 +546,11 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
       // the pool width stays an honest bound on busy cores. The single
       // index may land on any executor; the scan itself still uses the
       // one per-"worker" workspace slot.
-      pool->ParallelFor(1, [&](size_t, size_t) {
-        CleanRowRange(0, n, shared, 0, result.table, result.stats);
-      });
+      pool->ParallelFor(1, [&](size_t, size_t) { scan(); });
     } else {
-      CleanRowRange(0, n, shared, 0, result.table, result.stats);
+      scan();
     }
+    if (stopped.load(std::memory_order_relaxed)) return stop_status;
   } else {
     // Row-sharded Clean: blocks are handed out dynamically, each worker
     // scores with its own CellScorer into its own CleanStats, and rows map
@@ -518,7 +558,6 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
     // and cache replay reproduces a miss's exact increments, so stats (and
     // the output bytes) are identical for any thread count — only the
     // hit/miss split depends on interleaving.
-    constexpr size_t kRowBlock = 32;
     const size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
     std::unique_ptr<ThreadPool> owned_pool;
     if (pool == nullptr) {
@@ -529,11 +568,14 @@ CleanResult BCleanEngine::RunClean(ThreadPool* pool, RepairCache* cache,
     std::vector<CleanStats> worker_stats(workers);
     InitShared(shared, cache, workers);
     pool->ParallelFor(num_blocks, [&](size_t block, size_t worker) {
+      if (check_cancel()) return;
       size_t begin = block * kRowBlock;
       size_t end = std::min(n, begin + kRowBlock);
       CleanRowRange(begin, end, shared, worker, result.table,
                     worker_stats[worker]);
     });
+    // ParallelFor joined every worker, so stop_status is settled.
+    if (stopped.load(std::memory_order_relaxed)) return stop_status;
     for (const CleanStats& s : worker_stats) {
       result.stats.cells_scanned += s.cells_scanned;
       result.stats.cells_skipped_by_filter += s.cells_skipped_by_filter;

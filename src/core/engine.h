@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/bn/network.h"
+#include "src/common/cancel.h"
 #include "src/common/status.h"
 #include "src/constraints/registry.h"
 #include "src/core/cell_scorer.h"
@@ -141,6 +142,23 @@ class BCleanEngine {
                        RepairCache* cache = nullptr,
                        std::optional<bool> per_pass_cache =
                            std::nullopt) const;
+
+  /// RunClean with a cooperative stop signal: `cancel` (optional) is
+  /// polled at row-shard boundaries — every kRowBlock (32) rows — and a
+  /// tripped token abandons the pass with kCancelled / kDeadlineExceeded.
+  /// An abandoned pass produces NO partial result (the Result carries only
+  /// the status) and cannot corrupt an external repair cache: every entry
+  /// published before the stop is a pure function of its signature under
+  /// this engine's pinned model fingerprint, exactly like entries from a
+  /// completed pass, so a later Clean may replay them verbatim — an
+  /// interrupted-then-retried session is byte-identical to one that was
+  /// never interrupted (tests/dispatcher_test.cc pins both cache arms).
+  /// Cancellation changes *whether* the pass finishes, never *what* it
+  /// computes: a pass that completes under a token returns bytes and
+  /// stable counters identical to RunClean without one.
+  Result<CleanResult> RunCleanCancellable(
+      ThreadPool* pool, RepairCache* cache,
+      std::optional<bool> per_pass_cache, const CancelToken* cancel) const;
 
   /// Audit surface for the amplification harness (and the sharding bench):
   /// scans exactly `rows`, in the given order, serially on one worker with

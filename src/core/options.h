@@ -208,6 +208,35 @@ struct ServiceOptions {
   /// Entry cap per persistent repair cache (see
   /// BCleanOptions::repair_cache_max_entries).
   size_t repair_cache_max_entries = 1 << 20;
+
+  /// Byte budget across the whole repair-cache registry, measured by
+  /// RepairCache::ApproxBytes() summed over live caches and enforced when
+  /// a session asks for a cache for a new model fingerprint: the registry
+  /// first evicts least-recently-used caches no session holds, and if the
+  /// total still exceeds the budget it declines persistence for the new
+  /// fingerprint — the session cleans with a per-pass cache instead
+  /// (identical bytes, colder wall-clock) and the Open/attach never
+  /// fails. 0 means no byte limit (the count cap above still applies).
+  size_t repair_cache_bytes = 0;
+
+  /// Worker threads of the CleanAsync dispatch queue — the upper bound on
+  /// OS threads serving async cleans, no matter how many jobs are queued
+  /// (the pre-dispatcher design spawned one thread per call). Jobs are
+  /// drained fair-share round-robin across sessions. 0 means the shared
+  /// pool's width.
+  size_t dispatcher_threads = 0;
+
+  /// Admission control: total queued (accepted, not yet running)
+  /// CleanAsync jobs across all sessions. A submit that would exceed the
+  /// bound is rejected immediately with kResourceExhausted — the service
+  /// sheds load instead of accepting work it cannot finish. 0 means
+  /// unbounded.
+  size_t max_queued_jobs = 1024;
+
+  /// Per-session quota on queued CleanAsync jobs (admission control
+  /// fairness: one flooding session cannot consume the whole queue).
+  /// 0 means no per-session bound.
+  size_t max_queued_per_session = 0;
 };
 
 }  // namespace bclean

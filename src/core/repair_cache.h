@@ -153,6 +153,12 @@ class RepairCache {
   /// Entries in the shared level.
   size_t size() const { return shared_.size(); }
 
+  /// Approximate resident bytes of the shared level (per-worker L1s are
+  /// owned by the pass that created them, not by this object). The
+  /// service's repair-cache registry sums this across live caches to
+  /// enforce ServiceOptions::repair_cache_bytes.
+  size_t ApproxBytes() const { return sizeof(*this) + shared_.ApproxBytes(); }
+
  private:
   StripedCache<RepairSignature, CachedRepair, RepairSignatureHash> shared_;
   bool use_shared_;

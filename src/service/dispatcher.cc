@@ -1,0 +1,201 @@
+#include "src/service/dispatcher.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/common/fault_injection.h"
+
+namespace bclean {
+
+Dispatcher::Dispatcher(DispatcherOptions options) : options_(options) {
+  const size_t width = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(width);
+  for (size_t w = 0; w < width; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Dispatcher::~Dispatcher() {
+  // Collect queued jobs under the lock, fulfill their promises outside it
+  // (set_value may run arbitrary waiter wake-ups).
+  std::vector<Job> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& [session, queue] : queues_) {
+      for (Job& job : queue) orphaned.push_back(std::move(job));
+    }
+    queues_.clear();
+    rr_.clear();
+    queued_total_ = 0;
+    stats_.jobs_cancelled += orphaned.size();
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (Job& job : orphaned) {
+    job.promise.set_value(
+        Status::Cancelled("dispatcher shut down before the job ran"));
+  }
+  // Running jobs finish on their own; workers exit once the queue is gone.
+  for (std::thread& t : workers_) t.join();
+}
+
+uint64_t Dispatcher::RegisterSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_session_++;
+}
+
+Result<Dispatcher::JobFuture> Dispatcher::Submit(
+    uint64_t session, JobFn fn,
+    std::optional<CancelToken::Clock::time_point> deadline) {
+  // Race-window hook for the admission tests: a stall here puts many
+  // submitters inside Submit at once; the accounting below must still be
+  // exact (accepted + rejected == submitted, queue depth never exceeds
+  // the bound).
+  BCLEAN_FAULT_POINT("dispatcher.admit_race");
+  JobFuture future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ++stats_.jobs_rejected;
+      return Status::FailedPrecondition("dispatcher is shut down");
+    }
+    if (options_.max_queued_jobs > 0 &&
+        queued_total_ >= options_.max_queued_jobs) {
+      ++stats_.jobs_rejected;
+      return Status::ResourceExhausted(
+          "dispatch queue full (max_queued_jobs=" +
+          std::to_string(options_.max_queued_jobs) + ")");
+    }
+    std::deque<Job>& queue = queues_[session];
+    if (options_.max_queued_per_session > 0 &&
+        queue.size() >= options_.max_queued_per_session) {
+      ++stats_.jobs_rejected;
+      return Status::ResourceExhausted(
+          "session quota full (max_queued_per_session=" +
+          std::to_string(options_.max_queued_per_session) + ")");
+    }
+    Job job;
+    job.id = next_job_++;
+    job.session = session;
+    job.token = std::make_shared<CancelToken>(deadline);
+    job.fn = std::move(fn);
+    future = job.promise.get_future();
+    if (queue.empty()) rr_.push_back(session);
+    queue.push_back(std::move(job));
+    ++queued_total_;
+    ++stats_.jobs_queued;
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+size_t Dispatcher::CancelSession(uint64_t session) {
+  std::vector<Job> cancelled;
+  size_t affected = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queues_.find(session);
+    if (it != queues_.end()) {
+      for (Job& job : it->second) cancelled.push_back(std::move(job));
+      queues_.erase(it);
+      rr_.erase(std::remove(rr_.begin(), rr_.end(), session), rr_.end());
+      queued_total_ -= cancelled.size();
+      stats_.jobs_cancelled += cancelled.size();
+      affected += cancelled.size();
+    }
+    for (auto& [id, run] : running_) {
+      if (run.session == session) {
+        run.token->Cancel();
+        ++affected;
+      }
+    }
+    if (queued_total_ == 0 && running_.empty()) idle_cv_.notify_all();
+  }
+  for (Job& job : cancelled) {
+    job.promise.set_value(
+        Status::Cancelled("cancelled while queued (CancelPending)"));
+  }
+  return affected;
+}
+
+void Dispatcher::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] {
+    return shutdown_ || (queued_total_ == 0 && running_.empty());
+  });
+}
+
+DispatcherStats Dispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t Dispatcher::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_total_;
+}
+
+size_t Dispatcher::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_.size();
+}
+
+void Dispatcher::AccountOutcomeLocked(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: ++stats_.jobs_completed; break;
+    case StatusCode::kCancelled: ++stats_.jobs_cancelled; break;
+    case StatusCode::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
+    default: ++stats_.jobs_failed; break;
+  }
+}
+
+void Dispatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !rr_.empty(); });
+    if (shutdown_) return;  // queued jobs were orphaned by the destructor
+
+    // Fair-share pick: the head session of the rotation gives up exactly
+    // one job, then moves to the tail (if it still has queued work) — a
+    // session with 1000 queued jobs and a session with 1 alternate.
+    const uint64_t session = rr_.front();
+    rr_.pop_front();
+    auto it = queues_.find(session);
+    Job job = std::move(it->second.front());
+    it->second.pop_front();
+    --queued_total_;
+    if (it->second.empty()) {
+      queues_.erase(it);
+    } else {
+      rr_.push_back(session);
+    }
+    running_.emplace(job.id, RunningJob{job.session, job.token});
+    lock.unlock();
+
+    // Stall hook: a blocked/slow worker must shrink throughput, never
+    // correctness — and with width 1 it deterministically freezes the
+    // queue for the admission-accounting tests.
+    BCLEAN_FAULT_POINT("dispatcher.worker_stall");
+
+    // A token tripped while the job sat in the queue resolves without
+    // running: deadline-expired and cancelled jobs are shed at dequeue.
+    Status pre = job.token->Check();
+    Result<CleanResult> outcome =
+        pre.ok() ? job.fn(*job.token) : Result<CleanResult>(std::move(pre));
+    const StatusCode code =
+        outcome.ok() ? StatusCode::kOk : outcome.status().code();
+
+    lock.lock();
+    running_.erase(job.id);
+    AccountOutcomeLocked(code);
+    const bool idle = queued_total_ == 0 && running_.empty();
+    lock.unlock();
+    if (idle) idle_cv_.notify_all();
+    job.promise.set_value(std::move(outcome));
+    lock.lock();
+  }
+}
+
+}  // namespace bclean

@@ -1,0 +1,161 @@
+// The service's survival layer: a fixed-width dispatch queue between
+// Session::CleanAsync and the engine. The pre-dispatcher design spawned
+// one OS thread per CleanAsync (std::launch::async) that parked on the
+// shared pool's job lock — a front queueing thousands of cleans meant
+// thousands of blocked threads and unbounded memory. The dispatcher
+// replaces that with:
+//
+//   * bounded workers — `num_workers` threads, created once, are the hard
+//     cap on OS threads serving async cleans no matter how many jobs are
+//     queued;
+//   * admission control — a bounded queue (`max_queued_jobs` total,
+//     `max_queued_per_session` per session) that rejects overflow
+//     immediately with kResourceExhausted instead of accepting work it
+//     cannot finish;
+//   * fair-share scheduling — workers drain sessions round-robin (one job
+//     per session per turn), so a flooding session cannot starve others;
+//   * deadlines and cancellation — every job carries a CancelToken (armed
+//     with the request's deadline); a job whose token tripped while queued
+//     completes kDeadlineExceeded/kCancelled without running, and a
+//     running job's engine polls the token at row-shard boundaries.
+//
+// Overload changes *whether* a job runs, never *what* it computes: every
+// accepted job that completes is byte-identical to a serial Clean of the
+// same snapshot, and rejected/cancelled/expired jobs produce no partial
+// result (tests/dispatcher_test.cc pins all of it).
+#ifndef BCLEAN_SERVICE_DISPATCHER_H_
+#define BCLEAN_SERVICE_DISPATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/cancel.h"
+#include "src/common/status.h"
+#include "src/core/engine.h"
+
+namespace bclean {
+
+/// Configuration of one Dispatcher (the service maps its ServiceOptions
+/// knobs onto this).
+struct DispatcherOptions {
+  /// Worker threads; clamped to at least 1.
+  size_t num_workers = 1;
+  /// Total queued-job bound across sessions; 0 = unbounded.
+  size_t max_queued_jobs = 0;
+  /// Queued-job bound per session; 0 = unbounded.
+  size_t max_queued_per_session = 0;
+};
+
+/// Cumulative dispatch counters. At quiescence (no queued or running jobs)
+/// they reconcile exactly:
+///   jobs_queued == jobs_completed + jobs_cancelled + deadline_exceeded
+///                  + jobs_failed
+/// and every submission is either queued or rejected — nothing is dropped
+/// silently.
+struct DispatcherStats {
+  size_t jobs_queued = 0;       ///< submissions accepted into the queue
+  size_t jobs_rejected = 0;     ///< submissions refused at admission
+  size_t jobs_completed = 0;    ///< ran to completion with an OK result
+  size_t jobs_cancelled = 0;    ///< ended kCancelled (queued or mid-run)
+  size_t deadline_exceeded = 0; ///< ended kDeadlineExceeded (ditto)
+  size_t jobs_failed = 0;       ///< ended with any other error status
+};
+
+/// Fixed-width worker pool draining per-session FIFO queues round-robin.
+/// Thread-safe throughout.
+class Dispatcher {
+ public:
+  /// One job: runs under the supplied token (poll it; a tripped token
+  /// should abandon the work and return its Check() status).
+  using JobFn = std::function<Result<CleanResult>(const CancelToken&)>;
+  using JobFuture = std::future<Result<CleanResult>>;
+
+  explicit Dispatcher(DispatcherOptions options);
+
+  /// Cancels every queued job (their futures become ready with
+  /// kCancelled), lets running jobs finish, and joins the workers.
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// A fresh session id for Submit/CancelSession grouping.
+  uint64_t RegisterSession();
+
+  /// Admission + enqueue. Returns the job's future, or — immediately,
+  /// without queueing anything — kResourceExhausted when the queue or the
+  /// session's quota is full. An accepted job's future always becomes
+  /// ready: with the job's result, or with kCancelled /
+  /// kDeadlineExceeded if its token trips before or during the run.
+  Result<JobFuture> Submit(uint64_t session, JobFn fn,
+                           std::optional<CancelToken::Clock::time_point>
+                               deadline = std::nullopt);
+
+  /// Cancels the session's queued jobs (futures become ready with
+  /// kCancelled, before this returns) and signals the tokens of its
+  /// running jobs (they complete kCancelled at the engine's next
+  /// row-shard poll). Returns how many jobs were affected.
+  size_t CancelSession(uint64_t session);
+
+  /// Blocks until no job is queued or running.
+  void WaitIdle();
+
+  /// Counter snapshot.
+  DispatcherStats stats() const;
+
+  /// Worker threads (the OS-thread bound for async cleans).
+  size_t width() const { return workers_.size(); }
+
+  /// Jobs accepted but not yet picked up by a worker.
+  size_t queued() const;
+
+  /// Jobs currently executing on a worker.
+  size_t running() const;
+
+ private:
+  struct Job {
+    uint64_t id = 0;
+    uint64_t session = 0;
+    std::shared_ptr<CancelToken> token;
+    JobFn fn;
+    std::promise<Result<CleanResult>> promise;
+  };
+  struct RunningJob {
+    uint64_t session = 0;
+    std::shared_ptr<CancelToken> token;
+  };
+
+  void WorkerLoop();
+
+  /// Counts one terminal outcome. Caller holds mu_.
+  void AccountOutcomeLocked(StatusCode code);
+
+  const DispatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue became non-empty
+  std::condition_variable idle_cv_;   // WaitIdle: everything drained
+  std::unordered_map<uint64_t, std::deque<Job>> queues_;
+  std::deque<uint64_t> rr_;  ///< sessions with queued jobs, rotation order
+  std::unordered_map<uint64_t, RunningJob> running_;
+  size_t queued_total_ = 0;
+  uint64_t next_session_ = 1;
+  uint64_t next_job_ = 1;
+  bool shutdown_ = false;
+  DispatcherStats stats_;
+
+  std::vector<std::thread> workers_;  // constructed last, joined first
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_SERVICE_DISPATCHER_H_

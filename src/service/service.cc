@@ -6,8 +6,10 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/common/fault_injection.h"
 #include "src/common/thread_pool.h"
 #include "src/core/repair_cache.h"
+#include "src/service/dispatcher.h"
 #include "src/service/fingerprint.h"
 
 namespace bclean {
@@ -125,7 +127,15 @@ struct ServiceState {
       : options(opts),
         pool(std::make_shared<ThreadPool>(
             opts.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                  : opts.num_threads)) {}
+                                  : opts.num_threads)) {
+    DispatcherOptions dispatch;
+    dispatch.num_workers = opts.dispatcher_threads == 0
+                               ? pool->size()
+                               : opts.dispatcher_threads;
+    dispatch.max_queued_jobs = opts.max_queued_jobs;
+    dispatch.max_queued_per_session = opts.max_queued_per_session;
+    dispatcher = std::make_unique<Dispatcher>(dispatch);
+  }
 
   const ServiceOptions options;
   const std::shared_ptr<ThreadPool> pool;
@@ -139,6 +149,14 @@ struct ServiceState {
   // Repair-cache registry: model fingerprint -> persistent cache.
   LruMap<std::shared_ptr<RepairCache>> caches;
   ServiceStats stats;
+
+  // The CleanAsync dispatch queue. Declared after everything the queued
+  // jobs' lambdas capture — but the lambdas capture pool/engine/cache
+  // snapshots, never this ServiceState (state owns the dispatcher; a
+  // queued job holding state would be a reference cycle). Being the last
+  // member, it is destroyed first: queued jobs resolve kCancelled and
+  // workers join while the pool is still alive.
+  std::unique_ptr<Dispatcher> dispatcher;
 
   /// Serves a cached engine for (dirty, ucs, options) or builds one on the
   /// shared pool and caches it. `*reused` reports whether the session got
@@ -251,8 +269,47 @@ std::shared_ptr<RepairCache> ServiceState::AcquireRepairCache(
     return nullptr;
   }
   std::lock_guard<std::mutex> lock(mu);
+  // Hits are always served — an existing cache costs nothing extra to keep
+  // handing out, and declining a hit would only make the session slower.
   std::shared_ptr<RepairCache>* hit = caches.Find(fingerprint);
   if (hit != nullptr) return *hit;
+  // Graceful degradation for new fingerprints: under the registry byte
+  // budget (or a fault-injected insert failure), decline persistence
+  // instead of failing the Open/attach — the session cleans with a
+  // per-pass cache, byte-identical output, colder wall-clock.
+  if (BCLEAN_FAULT_POINT("service.repair_cache_acquire")) {
+    ++stats.repair_caches_declined;
+    return nullptr;
+  }
+  if (options.repair_cache_bytes > 0) {
+    auto registry_bytes = [this] {
+      size_t total = 0;
+      caches.ForEachLruFirst(
+          [&total](uint64_t, const std::shared_ptr<RepairCache>& cache) {
+            total += cache->ApproxBytes();
+          });
+      return total;
+    };
+    // Make room: evict least-recently-used caches no session holds
+    // (use_count() == 1 — the registry's reference is the only one).
+    while (registry_bytes() > options.repair_cache_bytes) {
+      uint64_t victim = 0;
+      bool found = false;
+      caches.ForEachLruFirst(
+          [&](uint64_t key, const std::shared_ptr<RepairCache>& cache) {
+            if (!found && cache.use_count() == 1) {
+              victim = key;
+              found = true;
+            }
+          });
+      if (!found) break;  // everything pinned by live sessions
+      caches.Erase(victim);
+    }
+    if (registry_bytes() > options.repair_cache_bytes) {
+      ++stats.repair_caches_declined;
+      return nullptr;
+    }
+  }
   bool inserted = false;
   std::shared_ptr<RepairCache> cache = caches.InsertOrGet(
       fingerprint,
@@ -279,6 +336,7 @@ Session::Session(std::string name,
       engine_(std::move(engine)),
       engine_reused_(engine_reused) {
   std::lock_guard<std::mutex> lock(mu_);
+  dispatcher_session_ = state_->dispatcher->RegisterSession();
   AttachCacheLocked();
 }
 
@@ -328,7 +386,8 @@ CleanResult Session::Clean() {
                           options_.repair_cache);
 }
 
-std::future<CleanResult> Session::CleanAsync() {
+Result<std::future<Result<CleanResult>>> Session::CleanAsync(
+    const CleanRequest& request) {
   std::shared_ptr<BCleanEngine> engine;
   std::shared_ptr<RepairCache> cache;
   {
@@ -336,19 +395,26 @@ std::future<CleanResult> Session::CleanAsync() {
     engine = engine_;
     cache = cache_;
   }
-  // The task owns its snapshots (engine, cache, service state), so the
+  // The job owns its snapshots (engine, cache, pool), so an accepted
   // future outlives any subsequent session mutation — it cleans the state
-  // it was launched against. Whole ParallelFor jobs from concurrent futures
-  // serialize inside the shared pool. Note each call spawns one OS thread
-  // (std::launch::async) that parks on the pool's job lock until its turn;
-  // CPU stays bounded by the pool, but a front that queues thousands of
-  // futures should add its own admission control (see ROADMAP).
-  std::shared_ptr<internal::ServiceState> state = state_;
+  // it was launched against. It deliberately does NOT capture the
+  // ServiceState: state owns the dispatcher, so a queued job holding state
+  // would be a reference cycle that keeps both alive forever. Whole
+  // ParallelFor jobs from concurrent cleans still serialize inside the
+  // shared pool; the dispatcher width bounds the OS threads parked on it.
+  std::shared_ptr<ThreadPool> pool = state_->pool;
   const bool per_pass_cache = options_.repair_cache;
-  return std::async(std::launch::async, [engine, cache, state,
-                                         per_pass_cache]() {
-    return engine->RunClean(state->pool.get(), cache.get(), per_pass_cache);
-  });
+  return state_->dispatcher->Submit(
+      dispatcher_session_,
+      [engine, cache, pool, per_pass_cache](const CancelToken& token) {
+        return engine->RunCleanCancellable(pool.get(), cache.get(),
+                                           per_pass_cache, &token);
+      },
+      request.deadline);
+}
+
+size_t Session::CancelPending() {
+  return state_->dispatcher->CancelSession(dispatcher_session_);
 }
 
 Status Session::EditNetwork(const NetworkEdit& edit) {
@@ -488,8 +554,19 @@ Result<std::shared_ptr<Session>> Service::Open(std::string session_name,
 }
 
 ServiceStats Service::stats() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
-  return state_->stats;
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    stats = state_->stats;
+  }
+  const DispatcherStats dispatch = state_->dispatcher->stats();
+  stats.jobs_queued = dispatch.jobs_queued;
+  stats.jobs_rejected = dispatch.jobs_rejected;
+  stats.jobs_completed = dispatch.jobs_completed;
+  stats.jobs_cancelled = dispatch.jobs_cancelled;
+  stats.deadline_exceeded = dispatch.deadline_exceeded;
+  stats.jobs_failed = dispatch.jobs_failed;
+  return stats;
 }
 
 size_t Service::pool_size() const { return state_->pool->size(); }

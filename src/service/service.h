@@ -24,6 +24,19 @@
 // tests/amplification_test.cc — and their persistent repair caches replay
 // in-place decisions re-keyed on the repaired tuple state.
 //
+// The contract extends to overload and interruption: CleanAsync jobs run
+// on a fixed-width dispatch queue (src/service/dispatcher.h) with bounded
+// admission — overflow is rejected up front with kResourceExhausted — and
+// every job carries a CancelToken armed with the request's deadline. A
+// deadline-exceeded or cancelled pass returns no partial table, and the
+// repair-cache entries it published before stopping remain valid: each is
+// a pure function of its signature under the pinned fingerprint, true
+// whether the pass that computed it finished or not. So an interrupted
+// pass warms the cache it abandoned, and the next Clean over the same
+// model is byte-identical to one that never saw the interruption — in
+// both warm- and cold-cache arms (tests/dispatcher_test.cc pins this).
+// Overload changes *whether* a job runs, never *what* it computes.
+//
 // Cached engines are shared and treated as immutable: a session that edits
 // its network (EditNetwork) or its data (Update) transparently detaches
 // onto a private or freshly-acquired engine; other sessions and future
@@ -31,10 +44,12 @@
 #ifndef BCLEAN_SERVICE_SERVICE_H_
 #define BCLEAN_SERVICE_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -86,13 +101,40 @@ struct NetworkEdit {
 /// cacheable engine acquisitions, and every acquisition whose session
 /// reports engine_reused() counted as a hit (a racing Open that adopts a
 /// concurrently built engine is a hit, even though its own build was
-/// discarded).
+/// discarded). The dispatch counters reconcile exactly at quiescence:
+///   jobs_queued == jobs_completed + jobs_cancelled + deadline_exceeded
+///                  + jobs_failed
+/// and every CleanAsync call counted either as queued or as rejected —
+/// no submission is dropped silently.
 struct ServiceStats {
   size_t sessions_opened = 0;
   size_t engine_cache_hits = 0;    ///< served an already-built engine
   size_t engine_cache_misses = 0;  ///< built and cached a new engine
   size_t engines_evicted = 0;
   size_t repair_caches_created = 0;
+  size_t repair_caches_declined = 0;  ///< byte budget refused persistence
+  size_t jobs_queued = 0;             ///< CleanAsync accepted into the queue
+  size_t jobs_rejected = 0;           ///< CleanAsync refused at admission
+  size_t jobs_completed = 0;          ///< async jobs that returned OK
+  size_t jobs_cancelled = 0;          ///< async jobs ended kCancelled
+  size_t deadline_exceeded = 0;       ///< async jobs ended kDeadlineExceeded
+  size_t jobs_failed = 0;             ///< async jobs ended any other error
+};
+
+/// Per-call knobs of one CleanAsync submission.
+struct CleanRequest {
+  /// Absolute deadline: the job ends kDeadlineExceeded — with no partial
+  /// result — once the clock passes it, whether the job is still queued
+  /// (shed at dequeue without running) or mid-pass (the engine polls at
+  /// row-shard boundaries). nullopt = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// A request due `timeout` from now.
+  static CleanRequest WithTimeout(std::chrono::milliseconds timeout) {
+    CleanRequest request;
+    request.deadline = std::chrono::steady_clock::now() + timeout;
+    return request;
+  }
 };
 
 /// One registered table inside a Service: a handle over a (possibly shared)
@@ -133,11 +175,33 @@ class Session {
   /// cold one-shot BCleanEngine run over the same table/options/UCs.
   CleanResult Clean();
 
-  /// Clean() as a future; multiple sessions' CleanAsync jobs interleave on
-  /// the shared pool. The future owns snapshots of everything it needs, so
-  /// it stays valid across subsequent session edits (it cleans the pre-edit
-  /// state) and even past the Session's destruction.
-  std::future<CleanResult> CleanAsync();
+  /// Clean() as a dispatched job. The outer Result is the admission
+  /// decision, made synchronously: kResourceExhausted when the service's
+  /// dispatch queue (ServiceOptions::max_queued_jobs) or this session's
+  /// quota (max_queued_per_session) is full — nothing was queued, and an
+  /// immediate retry may succeed once the queue drains. An accepted job's
+  /// future always becomes ready: with the CleanResult, or with
+  /// kDeadlineExceeded / kCancelled (no partial result) when the request's
+  /// deadline passes or CancelPending() trips it first.
+  ///
+  /// Jobs run on the service's fixed-width dispatcher (fair-share
+  /// round-robin across sessions), so the OS-thread count is bounded by
+  /// the dispatcher width no matter how many jobs are queued. The job owns
+  /// snapshots of everything it needs, so it stays valid across subsequent
+  /// session edits (it cleans the pre-edit state) and even past the
+  /// Session's destruction. Accepted jobs that complete are byte-identical
+  /// to a serial Clean() of the same snapshot.
+  Result<std::future<Result<CleanResult>>> CleanAsync(
+      const CleanRequest& request = {});
+
+  /// Cancels this session's pending CleanAsync work: queued jobs complete
+  /// kCancelled without running (their futures are ready when this
+  /// returns), and running jobs are signalled cooperatively — the engine
+  /// abandons them at its next row-shard poll, returning kCancelled with
+  /// no partial result. Repair-cache entries published before the stop
+  /// remain valid (pure functions of their signature under the pinned
+  /// fingerprint). Returns how many jobs were affected.
+  size_t CancelPending();
 
   /// Applies one network edit (add/remove edge, merge nodes), refitting
   /// only the CPTs the edit touches, and moves the session to the edited
@@ -196,7 +260,8 @@ class Session {
   std::shared_ptr<BCleanEngine> engine_;
   std::shared_ptr<RepairCache> cache_;  ///< null when persistence is off
   uint64_t fingerprint_ = 0;
-  bool engine_private_ = false;  ///< detached by a network edit
+  uint64_t dispatcher_session_ = 0;  ///< dispatch-queue grouping id
+  bool engine_private_ = false;      ///< detached by a network edit
   bool engine_reused_ = false;
 };
 

@@ -1,0 +1,577 @@
+// The survival layer under overload: exact admission accounting at the
+// queue bound, fair-share round-robin draining, per-session quotas,
+// deadline shedding at dequeue, cooperative cancellation of queued and
+// running jobs, shutdown semantics — and, at the service level, a
+// 1000-job CleanAsync flood on a width-1 dispatcher whose OS-thread count
+// stays bounded by the dispatcher width while every accepted job's output
+// is byte-identical to a serial Clean(). Overload changes *whether* a job
+// runs, never *what* it computes.
+#include "src/service/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/common/rng.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+#include "src/service/service.h"
+
+namespace bclean {
+namespace {
+
+using std::chrono::milliseconds;
+
+Dataset InjectedDataset(const std::string& name, size_t rows, uint64_t seed) {
+  Dataset ds = MakeBenchmark(name, rows, 42).value();
+  Rng rng(seed);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  ds.clean = std::move(injection.dirty);  // repurpose: .clean holds dirty
+  return ds;
+}
+
+/// A job that completes immediately with an empty result.
+Dispatcher::JobFn TrivialJob() {
+  return [](const CancelToken&) -> Result<CleanResult> {
+    return CleanResult{};
+  };
+}
+
+/// A job that signals `started` and then parks on `gate` — it pins the
+/// worker so tests control exactly when the queue drains.
+Dispatcher::JobFn BlockingJob(std::promise<void>* started,
+                              std::shared_future<void> gate) {
+  return [started, gate](const CancelToken&) -> Result<CleanResult> {
+    started->set_value();
+    gate.wait();
+    return CleanResult{};
+  };
+}
+
+/// Current OS-thread count of this process (Linux), 0 elsewhere.
+size_t OsThreadCount() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<size_t>(std::stoul(line.substr(8)));
+    }
+  }
+#endif
+  return 0;
+}
+
+TEST(DispatcherTest, ExactRejectionAtTheQueueBound) {
+  DispatcherOptions options;
+  options.num_workers = 1;
+  options.max_queued_jobs = 4;
+  Dispatcher dispatcher(options);
+  EXPECT_EQ(dispatcher.width(), 1u);
+  const uint64_t session = dispatcher.RegisterSession();
+
+  // Pin the single worker so nothing drains while we flood.
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker =
+      dispatcher.Submit(session, BlockingJob(&started, release.get_future().share()));
+  ASSERT_TRUE(blocker.ok());
+  started.get_future().wait();  // worker occupied; queue empty
+
+  // Flood: with the worker pinned, exactly max_queued_jobs submissions fit
+  // and every further one is refused with kResourceExhausted — nothing is
+  // silently dropped or queued past the bound.
+  std::vector<Dispatcher::JobFuture> accepted;
+  size_t rejected = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto submitted = dispatcher.Submit(session, TrivialJob());
+    if (submitted.ok()) {
+      accepted.push_back(std::move(submitted).value());
+    } else {
+      EXPECT_EQ(submitted.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted.size(), 4u);
+  EXPECT_EQ(rejected, 96u);
+  EXPECT_EQ(dispatcher.queued(), 4u);
+
+  release.set_value();
+  EXPECT_TRUE(std::move(blocker).value().get().ok());
+  for (auto& future : accepted) EXPECT_TRUE(future.get().ok());
+  dispatcher.WaitIdle();
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.jobs_queued, 5u);  // blocker + 4 accepted
+  EXPECT_EQ(stats.jobs_rejected, 96u);
+  EXPECT_EQ(stats.jobs_completed, 5u);
+  EXPECT_EQ(stats.jobs_cancelled, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+TEST(DispatcherTest, PerSessionQuotaIsIndependentOfTheGlobalBound) {
+  DispatcherOptions options;
+  options.num_workers = 1;
+  options.max_queued_jobs = 100;
+  options.max_queued_per_session = 2;
+  Dispatcher dispatcher(options);
+  const uint64_t hog = dispatcher.RegisterSession();
+  const uint64_t polite = dispatcher.RegisterSession();
+
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker =
+      dispatcher.Submit(hog, BlockingJob(&started, release.get_future().share()));
+  ASSERT_TRUE(blocker.ok());
+  started.get_future().wait();
+
+  // The hog fills its quota; its overflow is rejected while another
+  // session still gets in (the global queue is nowhere near full).
+  size_t hog_accepted = 0, hog_rejected = 0;
+  std::vector<Dispatcher::JobFuture> futures;
+  for (int i = 0; i < 6; ++i) {
+    auto submitted = dispatcher.Submit(hog, TrivialJob());
+    if (submitted.ok()) {
+      ++hog_accepted;
+      futures.push_back(std::move(submitted).value());
+    } else {
+      EXPECT_EQ(submitted.status().code(), StatusCode::kResourceExhausted);
+      ++hog_rejected;
+    }
+  }
+  EXPECT_EQ(hog_accepted, 2u);
+  EXPECT_EQ(hog_rejected, 4u);
+  auto other = dispatcher.Submit(polite, TrivialJob());
+  EXPECT_TRUE(other.ok());
+  futures.push_back(std::move(other).value());
+
+  release.set_value();
+  EXPECT_TRUE(std::move(blocker).value().get().ok());
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+  dispatcher.WaitIdle();
+}
+
+TEST(DispatcherTest, DrainsSessionsFairShareRoundRobin) {
+  DispatcherOptions options;
+  options.num_workers = 1;
+  Dispatcher dispatcher(options);
+  const uint64_t a = dispatcher.RegisterSession();
+  const uint64_t b = dispatcher.RegisterSession();
+
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker =
+      dispatcher.Submit(a, BlockingJob(&started, release.get_future().share()));
+  ASSERT_TRUE(blocker.ok());
+  started.get_future().wait();
+
+  // Session a floods 3 jobs before session b queues 3; round-robin must
+  // still alternate them — a backlog cannot starve the other session.
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto record = [&order_mu, &order](std::string label) -> Dispatcher::JobFn {
+    return [&order_mu, &order, label](const CancelToken&) -> Result<CleanResult> {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(label);
+      return CleanResult{};
+    };
+  };
+  std::vector<Dispatcher::JobFuture> futures;
+  for (int i = 1; i <= 3; ++i) {
+    auto submitted = dispatcher.Submit(a, record("a" + std::to_string(i)));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (int i = 1; i <= 3; ++i) {
+    auto submitted = dispatcher.Submit(b, record("b" + std::to_string(i)));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+
+  release.set_value();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+  dispatcher.WaitIdle();
+  EXPECT_EQ(order, (std::vector<std::string>{"a1", "b1", "a2", "b2", "a3",
+                                             "b3"}));
+}
+
+TEST(DispatcherTest, ExpiredDeadlineShedsTheJobAtDequeueWithoutRunningIt) {
+  DispatcherOptions options;
+  options.num_workers = 1;
+  Dispatcher dispatcher(options);
+  const uint64_t session = dispatcher.RegisterSession();
+
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker = dispatcher.Submit(
+      session, BlockingJob(&started, release.get_future().share()));
+  ASSERT_TRUE(blocker.ok());
+  started.get_future().wait();
+
+  // The deadline is already in the past when the job is queued; when the
+  // worker frees up it must shed the job — the JobFn never executes.
+  bool ran = false;
+  auto doomed = dispatcher.Submit(
+      session,
+      [&ran](const CancelToken&) -> Result<CleanResult> {
+        ran = true;
+        return CleanResult{};
+      },
+      CancelToken::Clock::now() - milliseconds(1));
+  ASSERT_TRUE(doomed.ok());  // admission is about load, not deadlines
+
+  release.set_value();
+  Result<CleanResult> outcome = std::move(doomed).value().get();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(std::move(blocker).value().get().ok());
+  dispatcher.WaitIdle();
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.jobs_queued, 2u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+}
+
+TEST(DispatcherTest, CancelSessionCancelsQueuedAndSignalsRunning) {
+  DispatcherOptions options;
+  options.num_workers = 1;
+  Dispatcher dispatcher(options);
+  const uint64_t session = dispatcher.RegisterSession();
+  const uint64_t other = dispatcher.RegisterSession();
+
+  // A running job that polls its token — the cooperative protocol.
+  std::promise<void> started;
+  auto running = dispatcher.Submit(
+      session, [&started](const CancelToken& token) -> Result<CleanResult> {
+        started.set_value();
+        for (;;) {
+          Status status = token.Check();
+          if (!status.ok()) return status;
+          std::this_thread::sleep_for(milliseconds(1));
+        }
+      });
+  ASSERT_TRUE(running.ok());
+  started.get_future().wait();
+
+  auto queued1 = dispatcher.Submit(session, TrivialJob());
+  auto queued2 = dispatcher.Submit(session, TrivialJob());
+  auto unrelated = dispatcher.Submit(other, TrivialJob());
+  ASSERT_TRUE(queued1.ok());
+  ASSERT_TRUE(queued2.ok());
+  ASSERT_TRUE(unrelated.ok());
+
+  EXPECT_EQ(dispatcher.CancelSession(session), 3u);  // 2 queued + 1 running
+
+  // Queued futures are ready with kCancelled before CancelSession returned.
+  Dispatcher::JobFuture f1 = std::move(queued1).value();
+  Dispatcher::JobFuture f2 = std::move(queued2).value();
+  ASSERT_EQ(f1.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ASSERT_EQ(f2.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f1.get().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(f2.get().status().code(), StatusCode::kCancelled);
+  // The running job ends kCancelled at its next poll; the other session's
+  // job is untouched.
+  EXPECT_EQ(std::move(running).value().get().status().code(),
+            StatusCode::kCancelled);
+  EXPECT_TRUE(std::move(unrelated).value().get().ok());
+  dispatcher.WaitIdle();
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.jobs_queued, 4u);
+  EXPECT_EQ(stats.jobs_cancelled, 3u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+}
+
+TEST(DispatcherTest, DestructionCancelsQueuedJobsAndJoins) {
+  DispatcherOptions options;
+  options.num_workers = 1;
+  auto dispatcher = std::make_unique<Dispatcher>(options);
+  const uint64_t session = dispatcher->RegisterSession();
+
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker = dispatcher->Submit(
+      session, BlockingJob(&started, release.get_future().share()));
+  ASSERT_TRUE(blocker.ok());
+  started.get_future().wait();
+  auto queued = dispatcher->Submit(session, TrivialJob());
+  ASSERT_TRUE(queued.ok());
+
+  // Destroy while a job runs and another sits queued: the queued future
+  // resolves kCancelled immediately (before the join), the running job is
+  // allowed to finish, and the destructor joins the worker.
+  std::future<void> destroyed =
+      std::async(std::launch::async, [&dispatcher] { dispatcher.reset(); });
+  Dispatcher::JobFuture orphan = std::move(queued).value();
+  EXPECT_EQ(orphan.get().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(destroyed.wait_for(milliseconds(50)),
+            std::future_status::timeout);  // still joined on the blocker
+  release.set_value();
+  destroyed.get();
+  EXPECT_TRUE(std::move(blocker).value().get().ok());
+}
+
+// ------------------------------------------------------- service overload
+
+TEST(DispatcherServiceTest, FloodOnWidthOnePoolIsBoundedAndByteIdentical) {
+  Dataset ds = InjectedDataset("hospital", 80, 5);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.dispatcher_threads = 1;
+  service_options.max_queued_jobs = 32;
+  Service service(service_options);
+  auto session = service.Open("flood", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+
+  // Serial reference (also warms the repair cache — warmth must not change
+  // bytes, per the service determinism contract).
+  const CleanResult serial = session.value()->Clean();
+
+  const size_t baseline_threads = OsThreadCount();
+  std::vector<std::future<Result<CleanResult>>> accepted;
+  size_t rejected = 0;
+  size_t max_threads = baseline_threads;
+  for (int i = 0; i < 1000; ++i) {
+    auto submitted = session.value()->CleanAsync();
+    if (submitted.ok()) {
+      accepted.push_back(std::move(submitted).value());
+    } else {
+      EXPECT_EQ(submitted.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+    if (i % 64 == 0) max_threads = std::max(max_threads, OsThreadCount());
+  }
+  EXPECT_EQ(accepted.size() + rejected, 1000u);
+  // A width-1 worker cannot drain 968+ cleans while one thread floods
+  // submissions, so the 32-deep queue must have refused work.
+  EXPECT_GT(rejected, 0u);
+
+  // The pre-dispatcher design spawned one OS thread per call — a 1000-job
+  // flood meant ~1000 threads. Now the flood may not create any: the
+  // worker and pool threads already exist.
+  if (baseline_threads > 0) {
+    EXPECT_LE(max_threads, baseline_threads + 2);
+    EXPECT_LT(max_threads, 50u);
+  }
+
+  // Every accepted job, byte-identical to the serial reference.
+  for (auto& future : accepted) {
+    Result<CleanResult> outcome = future.get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().table == serial.table);
+  }
+
+  // Exact accounting at quiescence.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_queued, accepted.size());
+  EXPECT_EQ(stats.jobs_rejected, rejected);
+  EXPECT_EQ(stats.jobs_completed, accepted.size());
+  EXPECT_EQ(stats.jobs_cancelled, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+TEST(DispatcherServiceTest, ExpiredDeadlineYieldsNoPartialResultThenCleanByteIdentical) {
+  Dataset ds = InjectedDataset("beers", 100, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+
+  // Cold-cache arm: a fresh service defines the expected bytes.
+  Service cold_service;
+  auto cold = cold_service.Open("cold", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(cold.ok());
+  const CleanResult reference = cold.value()->Clean();
+
+  ServiceOptions service_options;
+  service_options.dispatcher_threads = 1;
+  Service service(service_options);
+  auto session = service.Open("deadline", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+
+  // A deadline that has already passed: the job is accepted (admission is
+  // about load) but sheds at dequeue with kDeadlineExceeded — no partial
+  // table exists anywhere.
+  CleanRequest late;
+  late.deadline = std::chrono::steady_clock::now() - milliseconds(1);
+  auto submitted = session.value()->CleanAsync(late);
+  ASSERT_TRUE(submitted.ok());
+  Result<CleanResult> outcome = std::move(submitted).value().get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);
+
+  // Warm-cache arm: the same session, un-deadlined, matches the cold arm.
+  EXPECT_TRUE(session.value()->Clean().table == reference.table);
+  auto retry = session.value()->CleanAsync();
+  ASSERT_TRUE(retry.ok());
+  Result<CleanResult> retried = std::move(retry).value().get();
+  ASSERT_TRUE(retried.ok());
+  EXPECT_TRUE(retried.value().table == reference.table);
+}
+
+#if BCLEAN_FAULT_INJECTION_ENABLED
+
+TEST(DispatcherServiceTest, MidRunCancellationAbandonsThePassAndKeepsCachesValid) {
+  Dataset ds = InjectedDataset("hospital", 120, 5);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+
+  // Cold-cache arm: the expected bytes, computed with no faults armed.
+  Service cold_service;
+  auto cold = cold_service.Open("cold", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(cold.ok());
+  const CleanResult reference = cold.value()->Clean();
+
+  ServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.dispatcher_threads = 1;
+  Service service(service_options);
+  auto session = service.Open("cancel", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+
+  // Exact rendezvous: the first row-block crossing parks until the test
+  // releases it, proving the cancel lands while the pass is mid-flight.
+  std::promise<void> reached;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  fault::FaultSpec spec;
+  spec.max_triggers = 1;
+  spec.on_trigger = [&reached, gate] {
+    reached.set_value();
+    gate.wait();
+  };
+  fault::ScopedFault fault("clean.row_block", spec);
+
+  auto submitted = session.value()->CleanAsync();
+  ASSERT_TRUE(submitted.ok());
+  reached.get_future().wait();  // the job is provably inside the pass
+  EXPECT_EQ(session.value()->CancelPending(), 1u);
+  release.set_value();
+
+  Result<CleanResult> outcome = std::move(submitted).value().get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(service.stats().jobs_cancelled, 1u);
+
+  // Warm-cache arm: whatever repair-cache entries the interrupted pass
+  // published are pure functions of their signatures under the pinned
+  // fingerprint — the next, uninterrupted Clean must be byte-identical to
+  // the cold arm.
+  EXPECT_TRUE(session.value()->Clean().table == reference.table);
+  EXPECT_EQ(session.value()->CancelPending(), 0u);  // nothing left to cancel
+}
+
+TEST(DispatcherServiceTest, WorkerStallDelaysButNeverChangesOutcomes) {
+  Dataset ds = InjectedDataset("beers", 80, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  ServiceOptions service_options;
+  service_options.dispatcher_threads = 1;
+  Service service(service_options);
+  auto session = service.Open("stall", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+  const CleanResult serial = session.value()->Clean();
+
+  // Every dispatch stalls 5ms before running its job: throughput drops,
+  // outcomes and bytes must not.
+  fault::FaultSpec spec;
+  spec.stall = milliseconds(5);
+  fault::ScopedFault fault("dispatcher.worker_stall", spec);
+  std::vector<std::future<Result<CleanResult>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto submitted = session.value()->CleanAsync();
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& future : futures) {
+    Result<CleanResult> outcome = future.get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().table == serial.table);
+  }
+  EXPECT_EQ(fault::Registry::Instance().triggers("dispatcher.worker_stall"),
+            4u);
+  fault::Registry::Instance().Reset();
+}
+
+TEST(DispatcherTest, AdmitRaceWindowKeepsAccountingExact) {
+  // Widen the race window inside Submit: every admission stalls 1ms before
+  // taking the lock while 8 threads flood a 4-deep queue. Whatever the
+  // interleaving, accepted + rejected must equal submitted and accepted
+  // must never exceed bound + drained.
+  DispatcherOptions options;
+  options.num_workers = 1;
+  options.max_queued_jobs = 4;
+  Dispatcher dispatcher(options);
+
+  std::promise<void> started;
+  std::promise<void> release;
+  const uint64_t pinned = dispatcher.RegisterSession();
+  auto blocker = dispatcher.Submit(
+      pinned, BlockingJob(&started, release.get_future().share()));
+  ASSERT_TRUE(blocker.ok());
+  started.get_future().wait();
+
+  fault::FaultSpec spec;
+  spec.stall = milliseconds(1);
+  spec.max_triggers = 64;
+  fault::ScopedFault fault("dispatcher.admit_race", spec);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 8;
+  std::vector<std::future<std::pair<size_t, size_t>>> flooders;
+  std::mutex futures_mu;
+  std::vector<Dispatcher::JobFuture> accepted_futures;
+  for (int t = 0; t < kThreads; ++t) {
+    flooders.push_back(std::async(std::launch::async, [&dispatcher, &futures_mu,
+                                                       &accepted_futures] {
+      const uint64_t session = dispatcher.RegisterSession();
+      size_t accepted = 0, rejected = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        auto submitted = dispatcher.Submit(session, TrivialJob());
+        if (submitted.ok()) {
+          ++accepted;
+          std::lock_guard<std::mutex> lock(futures_mu);
+          accepted_futures.push_back(std::move(submitted).value());
+        } else {
+          EXPECT_EQ(submitted.status().code(),
+                    StatusCode::kResourceExhausted);
+          ++rejected;
+        }
+      }
+      return std::make_pair(accepted, rejected);
+    }));
+  }
+  size_t accepted = 0, rejected = 0;
+  for (auto& flooder : flooders) {
+    auto [a, r] = flooder.get();
+    accepted += a;
+    rejected += r;
+  }
+  EXPECT_EQ(accepted + rejected, static_cast<size_t>(kThreads * kPerThread));
+
+  release.set_value();
+  EXPECT_TRUE(std::move(blocker).value().get().ok());
+  for (auto& future : accepted_futures) EXPECT_TRUE(future.get().ok());
+  dispatcher.WaitIdle();
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.jobs_queued, accepted + 1);  // + the blocker
+  EXPECT_EQ(stats.jobs_rejected, rejected);
+  EXPECT_EQ(stats.jobs_completed, accepted + 1);
+}
+
+#endif  // BCLEAN_FAULT_INJECTION_ENABLED
+
+}  // namespace
+}  // namespace bclean

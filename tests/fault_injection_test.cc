@@ -1,0 +1,227 @@
+// The fault-injection harness itself (registry determinism, trigger
+// schedules, stall/callback/fail actions) plus its integration with the
+// sites that declare points: a stalled pool worker, a slow clean scan, and
+// a repair-cache registry whose insert "fails" — in every case the
+// surviving output must be byte-identical to an unfaulted run, because
+// faults change timing and admission, never computation.
+#include "src/common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+#include "src/service/service.h"
+
+namespace bclean {
+namespace {
+
+using fault::FaultSpec;
+using fault::Registry;
+using fault::ScopedFault;
+
+Dataset InjectedDataset(const std::string& name, size_t rows, uint64_t seed) {
+  Dataset ds = MakeBenchmark(name, rows, 42).value();
+  Rng rng(seed);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  ds.clean = std::move(injection.dirty);  // repurpose: .clean holds dirty
+  return ds;
+}
+
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Registry::Instance().Reset(); }
+};
+
+#if BCLEAN_FAULT_INJECTION_ENABLED
+
+TEST_F(FaultRegistryTest, DisarmedPointNeverFires) {
+  EXPECT_FALSE(BCLEAN_FAULT_POINT("test.unarmed"));
+  EXPECT_EQ(Registry::Instance().hits("test.unarmed"), 0u);
+}
+
+TEST_F(FaultRegistryTest, ArmedFailPointFiresAndCounts) {
+  ScopedFault fault("test.fail", [] {
+    FaultSpec spec;
+    spec.fail = true;
+    return spec;
+  }());
+  EXPECT_TRUE(BCLEAN_FAULT_POINT("test.fail"));
+  EXPECT_TRUE(BCLEAN_FAULT_POINT("test.fail"));
+  EXPECT_EQ(Registry::Instance().hits("test.fail"), 2u);
+  EXPECT_EQ(Registry::Instance().triggers("test.fail"), 2u);
+}
+
+TEST_F(FaultRegistryTest, ScopedFaultDisarmsOnDestruction) {
+  {
+    FaultSpec spec;
+    spec.fail = true;
+    ScopedFault fault("test.scoped", spec);
+    EXPECT_TRUE(BCLEAN_FAULT_POINT("test.scoped"));
+  }
+  EXPECT_FALSE(BCLEAN_FAULT_POINT("test.scoped"));
+}
+
+TEST_F(FaultRegistryTest, SkipFirstAndMaxTriggersShapeTheSchedule) {
+  FaultSpec spec;
+  spec.fail = true;
+  spec.skip_first = 2;
+  spec.max_triggers = 3;
+  ScopedFault fault("test.window", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(BCLEAN_FAULT_POINT("test.window"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true, false,
+                                      false, false}));
+  EXPECT_EQ(Registry::Instance().hits("test.window"), 8u);
+  EXPECT_EQ(Registry::Instance().triggers("test.window"), 3u);
+}
+
+TEST_F(FaultRegistryTest, ProbabilityDrawsAreSeededAndDeterministic) {
+  auto schedule = [](uint64_t seed) {
+    FaultSpec spec;
+    spec.fail = true;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    Registry::Instance().Arm("test.prob", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(BCLEAN_FAULT_POINT("test.prob"));
+    }
+    Registry::Instance().Disarm("test.prob");
+    return fired;
+  };
+  std::vector<bool> a = schedule(42);
+  std::vector<bool> b = schedule(42);
+  std::vector<bool> c = schedule(43);
+  EXPECT_EQ(a, b);  // same seed: identical trigger set
+  EXPECT_NE(a, c);  // different seed: a different (still ~half) set
+  size_t fired = 0;
+  for (bool f : a) fired += f;
+  EXPECT_GT(fired, 16u);  // ~32 of 64; generous bounds, zero flake
+  EXPECT_LT(fired, 48u);
+}
+
+TEST_F(FaultRegistryTest, StallDelaysTheCrossing) {
+  FaultSpec spec;
+  spec.stall = std::chrono::milliseconds(50);
+  ScopedFault fault("test.stall", spec);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(BCLEAN_FAULT_POINT("test.stall"));  // stall, but fail=false
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(45));
+}
+
+TEST_F(FaultRegistryTest, CallbackIsAnExactRendezvous) {
+  // The callback runs outside the registry lock, so it may block on state
+  // the test controls — here it parks the crossing thread on a future
+  // until the test releases it.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> reached;
+  FaultSpec spec;
+  spec.max_triggers = 1;
+  spec.on_trigger = [&, gate] {
+    reached.set_value();
+    gate.wait();
+  };
+  ScopedFault fault("test.rendezvous", spec);
+  std::future<bool> crossing =
+      std::async(std::launch::async, [] { return BCLEAN_FAULT_POINT("test.rendezvous"); });
+  reached.get_future().wait();  // the worker is provably inside the point
+  // Other points (and the registry API) stay usable while it blocks.
+  EXPECT_EQ(Registry::Instance().triggers("test.rendezvous"), 1u);
+  EXPECT_FALSE(BCLEAN_FAULT_POINT("test.other"));
+  release.set_value();
+  EXPECT_FALSE(crossing.get());
+}
+
+// ---------------------------------------------------------- integrations
+
+TEST_F(FaultRegistryTest, StalledPoolWorkerDoesNotChangeCleanBytes) {
+  Dataset ds = InjectedDataset("hospital", 120, 5);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  // Explicit width: on a single-core host the default pool spawns no
+  // workers and the pickup fault point would never be crossed.
+  options.num_threads = 4;
+  auto engine = BCleanEngine::Create(ds.clean, ds.ucs, options);
+  ASSERT_TRUE(engine.ok());
+  Table baseline = engine.value()->Clean();
+
+  // Every 4th pool-worker job pickup stalls 2ms: workers fall behind and
+  // steal each other's shards in a different order. Bytes must not move.
+  FaultSpec spec;
+  spec.probability = 0.25;
+  spec.seed = 7;
+  spec.stall = std::chrono::milliseconds(2);
+  spec.max_triggers = 32;
+  ScopedFault fault("pool.worker_stall", spec);
+  Table faulted = engine.value()->Clean();
+  EXPECT_GT(Registry::Instance().hits("pool.worker_stall"), 0u);
+  EXPECT_TRUE(faulted == baseline);
+}
+
+TEST_F(FaultRegistryTest, SlowRowBlocksDoNotChangeCleanBytes) {
+  Dataset ds = InjectedDataset("beers", 120, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.num_threads = 4;
+  auto engine = BCleanEngine::Create(ds.clean, ds.ucs, options);
+  ASSERT_TRUE(engine.ok());
+  Table baseline = engine.value()->Clean();
+
+  // A scattering of slow row blocks skews the shard timing; the merge
+  // order and therefore the output bytes must be unaffected.
+  FaultSpec spec;
+  spec.probability = 0.2;
+  spec.seed = 11;
+  spec.stall = std::chrono::milliseconds(1);
+  spec.max_triggers = 16;
+  ScopedFault fault("clean.row_block", spec);
+  Table faulted = engine.value()->Clean();
+  EXPECT_GT(Registry::Instance().hits("clean.row_block"), 0u);
+  EXPECT_TRUE(faulted == baseline);
+}
+
+TEST_F(FaultRegistryTest, RepairCacheAcquireFailureDegradesNotFails) {
+  // A fail-point at the registry acquire simulates "the byte budget said
+  // no": the Open must still succeed, the session must still clean with
+  // the exact same bytes (per-pass cache), and the decline must be
+  // counted.
+  Dataset ds = InjectedDataset("hospital", 120, 5);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+
+  Service reference;
+  auto ref = reference.Open("ref", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(ref.ok());
+  CleanResult want = ref.value()->Clean();
+
+  FaultSpec spec;
+  spec.fail = true;
+  ScopedFault fault("service.repair_cache_acquire", spec);
+  Service degraded;
+  auto session = degraded.Open("deg", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+  CleanResult got = session.value()->Clean();
+  EXPECT_TRUE(got.table == want.table);
+  EXPECT_EQ(degraded.stats().repair_caches_declined, 1u);
+  EXPECT_EQ(degraded.stats().repair_caches_created, 0u);
+}
+
+#else  // !BCLEAN_FAULT_INJECTION_ENABLED
+
+TEST_F(FaultRegistryTest, PointsCompileToConstantFalse) {
+  // Release builds: the macro is the literal `false` and the registry is
+  // never consulted.
+  EXPECT_FALSE(BCLEAN_FAULT_POINT("test.anything"));
+  GTEST_SKIP() << "fault injection compiled out (BCLEAN_FAULT_INJECTION off)";
+}
+
+#endif  // BCLEAN_FAULT_INJECTION_ENABLED
+
+}  // namespace
+}  // namespace bclean

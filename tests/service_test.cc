@@ -285,12 +285,15 @@ TEST(ServiceTest, ConcurrentCleanAsyncMatchesSerialRuns) {
   EXPECT_TRUE(s3.value()->engine_reused());
 
   for (int round = 0; round < 2; ++round) {  // round 1 replays warm caches
-    std::future<CleanResult> f1 = s1.value()->CleanAsync();
-    std::future<CleanResult> f2 = s2.value()->CleanAsync();
-    std::future<CleanResult> f3 = s3.value()->CleanAsync();
-    CleanResult r1 = f1.get();
-    CleanResult r2 = f2.get();
-    CleanResult r3 = f3.get();
+    auto a1 = s1.value()->CleanAsync();
+    auto a2 = s2.value()->CleanAsync();
+    auto a3 = s3.value()->CleanAsync();
+    ASSERT_TRUE(a1.ok());
+    ASSERT_TRUE(a2.ok());
+    ASSERT_TRUE(a3.ok());
+    CleanResult r1 = std::move(a1).value().get().value();
+    CleanResult r2 = std::move(a2).value().get().value();
+    CleanResult r3 = std::move(a3).value().get().value();
     SCOPED_TRACE("round " + std::to_string(round));
     EXPECT_TRUE(r1.table == out_h);
     EXPECT_TRUE(r2.table == out_b);
@@ -335,14 +338,18 @@ TEST(ServiceTest, ConcurrentBasicCleanAsyncMatchesSerialRuns) {
   EXPECT_TRUE(s3.value()->engine_reused());
 
   for (int round = 0; round < 2; ++round) {  // round 1 replays warm caches
-    std::future<CleanResult> f1 = s1.value()->CleanAsync();
-    std::future<CleanResult> f2 = s2.value()->CleanAsync();
-    std::future<CleanResult> f3 = s3.value()->CleanAsync();
-    std::future<CleanResult> f4 = s4.value()->CleanAsync();
-    CleanResult r1 = f1.get();
-    CleanResult r2 = f2.get();
-    CleanResult r3 = f3.get();
-    CleanResult r4 = f4.get();
+    auto a1 = s1.value()->CleanAsync();
+    auto a2 = s2.value()->CleanAsync();
+    auto a3 = s3.value()->CleanAsync();
+    auto a4 = s4.value()->CleanAsync();
+    ASSERT_TRUE(a1.ok());
+    ASSERT_TRUE(a2.ok());
+    ASSERT_TRUE(a3.ok());
+    ASSERT_TRUE(a4.ok());
+    CleanResult r1 = std::move(a1).value().get().value();
+    CleanResult r2 = std::move(a2).value().get().value();
+    CleanResult r3 = std::move(a3).value().get().value();
+    CleanResult r4 = std::move(a4).value().get().value();
     SCOPED_TRACE("round " + std::to_string(round));
     EXPECT_TRUE(r1.table == out_h);
     EXPECT_TRUE(r2.table == out_b);
@@ -505,10 +512,12 @@ TEST(ServiceTest, AsyncFuturesReportPerJobSeconds) {
   // Each future's CleanResult carries that job's own wall time (measured
   // inside RunClean), not a caller wrapper's — so two concurrent futures
   // report independent, non-zero timings.
-  std::future<CleanResult> f1 = session.value()->CleanAsync();
-  std::future<CleanResult> f2 = session.value()->CleanAsync();
-  CleanResult r1 = f1.get();
-  CleanResult r2 = f2.get();
+  auto a1 = session.value()->CleanAsync();
+  auto a2 = session.value()->CleanAsync();
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  CleanResult r1 = std::move(a1).value().get().value();
+  CleanResult r2 = std::move(a2).value().get().value();
   EXPECT_GT(r1.stats.seconds, 0.0);
   EXPECT_GT(r2.stats.seconds, 0.0);
   // The deprecated one-shot shim stays consistent: it reports the stable

@@ -1,0 +1,105 @@
+// The error taxonomy the dispatch queue speaks: the three load/lifecycle
+// codes (kResourceExhausted, kDeadlineExceeded, kCancelled) round-trip
+// through their factories, names, and renderings, and Result::value() on
+// an error fails loudly — with the held status in the message — in every
+// build type (the old assert-only guard compiled to UB in Release).
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bclean {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::OK());
+}
+
+TEST(StatusTest, FactoriesRoundTripCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const std::vector<Case> cases = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("m"), StatusCode::kNotFound, "NotFound"},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::IOError("m"), StatusCode::kIOError, "IOError"},
+      {Status::NotSupported("m"), StatusCode::kNotSupported, "NotSupported"},
+      {Status::Internal("m"), StatusCode::kInternal, "Internal"},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::DeadlineExceeded("m"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
+      {Status::Cancelled("m"), StatusCode::kCancelled, "Cancelled"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_STREQ(Status::CodeName(c.code), c.name);
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+  }
+}
+
+TEST(StatusTest, DispatchCodesAreDistinct) {
+  // The service's overload/lifecycle outcomes must be distinguishable by
+  // code alone: a caller retries kResourceExhausted, propagates
+  // kDeadlineExceeded, and treats kCancelled as its own doing.
+  EXPECT_NE(StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(StatusCode::kResourceExhausted, StatusCode::kCancelled);
+  EXPECT_NE(StatusCode::kDeadlineExceeded, StatusCode::kCancelled);
+  EXPECT_NE(Status::ResourceExhausted("x"), Status::DeadlineExceeded("x"));
+  EXPECT_NE(Status::Cancelled("x"), Status::DeadlineExceeded("x"));
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Cancelled("a"), Status::Cancelled("a"));
+  EXPECT_NE(Status::Cancelled("a"), Status::Cancelled("b"));
+}
+
+TEST(ResultTest, HoldsValueAndStatus) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(0), 7);
+
+  Result<int> err(Status::ResourceExhausted("queue full"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveValueMovesOutOnce) {
+  Result<std::string> r(std::string(64, 'x'));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, std::string(64, 'x'));
+}
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatusInAllBuildTypes) {
+  // The hardened accessor must fire in this build configuration too —
+  // tier-1 runs RelWithDebInfo, where the pre-hardening assert was
+  // compiled out and the access was undefined behaviour.
+  Result<int> err(Status::DeadlineExceeded("deadline for test"));
+  EXPECT_DEATH({ (void)err.value(); }, "DeadlineExceeded: deadline for test");
+  EXPECT_DEATH({ (void)std::move(err).value(); },
+               "DeadlineExceeded: deadline for test");
+}
+
+}  // namespace
+}  // namespace bclean
