@@ -5,9 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include <future>
+#include <numeric>
 #include <vector>
 
 #include "src/bn/network.h"
+#include "src/core/cell_scorer.h"
 #include "src/core/compensatory.h"
 #include "src/core/engine.h"
 #include "src/core/uc_mask.h"
@@ -161,6 +163,68 @@ void BM_CptBatchLookup(benchmark::State& state) {
   state.SetLabel(batch ? "batch" : "scalar");
 }
 BENCHMARK(BM_CptBatchLookup)->Arg(0)->Arg(1);
+
+void BM_ScoringKernel(benchmark::State& state) {
+  // The cell-scoring inner loop under three data feeds. arm 0 re-derives
+  // every row code from the table's strings before each cell (the seed's
+  // string-probe feed) and scores on the scalar path; arm 1 reads the
+  // dictionary-coded columns and scores scalar; arm 2 reads the coded
+  // columns and scores with the AVX2 kernel. All three arms produce
+  // byte-identical scores (tests/differential_test.cc pins this), so the
+  // deltas are pure feed/kernel cost.
+  Dataset ds = MakeHospital(500, 7);
+  Rng rng(7);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  const Table& dirty = injection.dirty;
+  int arm = static_cast<int>(state.range(0));
+  if (arm == 2 && !ScoringSimdAvailable()) {
+    state.SkipWithError("AVX2 scoring kernel unavailable");
+    return;
+  }
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.simd = arm == 2 ? SimdMode::kSimd : SimdMode::kScalar;
+  auto engine = BCleanEngine::Create(dirty, ds.ucs, options);
+  const BCleanEngine& e = *engine.value();
+  const DomainStats& stats = e.stats();
+  const size_t m = stats.num_cols();
+  CellScorer scorer(e.network(), e.compensatory(), options, m);
+  std::vector<std::vector<int32_t>> domains(m);
+  std::vector<std::vector<double>> scores(m);
+  for (size_t j = 0; j < m; ++j) {
+    domains[j].resize(stats.column(j).DomainSize());
+    std::iota(domains[j].begin(), domains[j].end(), 0);
+    scores[j].resize(domains[j].size());
+  }
+  std::vector<int32_t> row_codes(m);
+  size_t candidates = 0;
+  for (auto _ : state) {
+    for (size_t r = 0; r < dirty.num_rows(); r += 5) {
+      if (arm != 0) {
+        for (size_t c = 0; c < m; ++c) row_codes[c] = stats.code(r, c);
+      }
+      for (size_t j = 0; j < m; ++j) {
+        if (domains[j].empty()) continue;
+        if (arm == 0) {
+          // Per-cell string probes, the way a string-keyed scorer pays
+          // for its evidence row on every cell.
+          for (size_t c = 0; c < m; ++c) {
+            row_codes[c] = stats.column(c).CodeOf(dirty.cell(r, c));
+          }
+        }
+        scorer.BeginCell(j, row_codes);
+        scorer.ScoreCandidates(domains[j], scores[j].data());
+        benchmark::DoNotOptimize(scores[j].data());
+        candidates += domains[j].size();
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(candidates));
+  state.SetLabel(arm == 0   ? "string-feed"
+                 : arm == 1 ? "coded-scalar"
+                            : "coded-simd");
+}
+BENCHMARK(BM_ScoringKernel)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_CleanThroughput(benchmark::State& state) {
   Dataset ds = MakeHospital(500, 7);

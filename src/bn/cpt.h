@@ -81,6 +81,23 @@ class Cpt {
     }
   }
 
+  /// Expands a resolved configuration into a dense per-value table:
+  /// out[v] == LogProbAt(ref, v) for every v in [0, out.size()) (requires
+  /// finalized()). Slots outside that range are ignored. The SIMD scoring
+  /// kernel gathers from this table instead of probing the open-addressed
+  /// region per candidate.
+  void DecodeConfigDense(const ConfigRef& ref, std::span<double> out) const {
+    assert(finalized_);
+    for (size_t v = 0; v < out.size(); ++v) out[v] = ref.log_miss;
+    const size_t capacity = static_cast<size_t>(ref.mask) + 1;
+    for (size_t i = 0; i < capacity; ++i) {
+      const int64_t value = slot_value_[ref.offset + i];
+      if (value >= 0 && static_cast<size_t>(value) < out.size()) {
+        out[static_cast<size_t>(value)] = slot_logp_[ref.offset + i];
+      }
+    }
+  }
+
   /// Scores every value of `values` under one parent configuration,
   /// writing log probabilities to `out` (requires finalized()).
   void LogProbBatch(uint64_t parent_key, std::span<const int64_t> values,

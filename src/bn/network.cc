@@ -166,7 +166,7 @@ Status BayesianNetwork::MergeNodes(const std::vector<size_t>& vars,
 }
 
 int64_t BayesianNetwork::VariableCode(size_t var,
-                                      const std::vector<int32_t>& row_codes,
+                                      std::span<const int32_t> row_codes,
                                       size_t subst_attr,
                                       int32_t subst_code) const {
   const BnVariable& variable = variables_[var];
@@ -189,7 +189,7 @@ int64_t BayesianNetwork::VariableCode(size_t var,
 }
 
 uint64_t BayesianNetwork::ParentKey(size_t var,
-                                    const std::vector<int32_t>& row_codes,
+                                    std::span<const int32_t> row_codes,
                                     size_t subst_attr,
                                     int32_t subst_code) const {
   const std::vector<size_t>& parents = dag_.parents(var);
@@ -237,7 +237,7 @@ size_t BayesianNetwork::num_dirty() const {
 }
 
 double BayesianNetwork::LogProbVariable(size_t var,
-                                        const std::vector<int32_t>& row_codes,
+                                        std::span<const int32_t> row_codes,
                                         size_t subst_attr,
                                         int32_t subst_code) const {
   int64_t value = VariableCode(var, row_codes, subst_attr, subst_code);
@@ -254,7 +254,7 @@ double BayesianNetwork::LogProbVariable(size_t var,
 }
 
 double BayesianNetwork::LogProbFull(size_t attr, int32_t candidate,
-                                    const std::vector<int32_t>& row_codes)
+                                    std::span<const int32_t> row_codes)
     const {
   double total = 0.0;
   for (size_t v = 0; v < variables_.size(); ++v) {
@@ -264,7 +264,7 @@ double BayesianNetwork::LogProbFull(size_t attr, int32_t candidate,
 }
 
 double BayesianNetwork::LogProbBlanket(size_t attr, int32_t candidate,
-                                       const std::vector<int32_t>& row_codes)
+                                       std::span<const int32_t> row_codes)
     const {
   size_t var = VariableOfAttr(attr);
   double total = LogProbVariable(var, row_codes, attr, candidate);

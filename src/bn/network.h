@@ -7,6 +7,7 @@
 #ifndef BCLEAN_BN_NETWORK_H_
 #define BCLEAN_BN_NETWORK_H_
 
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -94,13 +95,13 @@ class BayesianNetwork {
   /// Code of `var` in row `row` with attribute `subst_attr` (if any member)
   /// replaced by `subst_code`. Returns kNullCode64 when every member
   /// attribute is NULL.
-  int64_t VariableCode(size_t var, const std::vector<int32_t>& row_codes,
+  int64_t VariableCode(size_t var, std::span<const int32_t> row_codes,
                        size_t subst_attr, int32_t subst_code) const;
 
   /// CPT parent key of `var` for the given row with the substitution
   /// applied: kParentKeySeed MixHash-folded with each (sorted) parent's
   /// VariableCode. kEmptyParentKey for parentless variables.
-  uint64_t ParentKey(size_t var, const std::vector<int32_t>& row_codes,
+  uint64_t ParentKey(size_t var, std::span<const int32_t> row_codes,
                      size_t subst_attr, int32_t subst_code) const;
 
   /// The (finalized after Fit/RefitDirty) CPT of `var`.
@@ -113,18 +114,18 @@ class BayesianNetwork {
   /// substitution applied. Skips (returns 0) when the variable's value is
   /// NULL. Isolated variables score a uniform prior over the observed
   /// domain, as the paper prescribes.
-  double LogProbVariable(size_t var, const std::vector<int32_t>& row_codes,
+  double LogProbVariable(size_t var, std::span<const int32_t> row_codes,
                          size_t subst_attr, int32_t subst_code) const;
 
   /// Full-joint log probability of the row (sum over all variables) with
   /// attribute `attr` set to `candidate`. The unoptimized BClean scoring.
   double LogProbFull(size_t attr, int32_t candidate,
-                     const std::vector<int32_t>& row_codes) const;
+                     std::span<const int32_t> row_codes) const;
 
   /// Markov-blanket log probability (Section 6.1): the variable's own term
   /// plus its children's terms — everything that depends on `attr`.
   double LogProbBlanket(size_t attr, int32_t candidate,
-                        const std::vector<int32_t>& row_codes) const;
+                        std::span<const int32_t> row_codes) const;
 
   /// Multi-line rendering of variables and edges (examples, debugging).
   std::string ToString() const;

@@ -1,0 +1,119 @@
+// Deterministic natural-log approximation shared by the scalar reference
+// and the AVX2 scoring kernels.
+//
+// The SIMD == scalar byte-equality contract cannot be met with std::log:
+// libm's result is not mirrored by any fixed vector instruction sequence.
+// Instead BOTH paths evaluate the same polynomial with the same operation
+// order, every multiply-add written as an explicit fused std::fma (exactly
+// what _mm256_fmadd_pd computes per lane) and everything else as single
+// statements — so -ffp-contract cannot re-associate either side and each
+// AVX2 lane is bit-identical to the scalar call on the same input.
+//
+// Algorithm: decompose x = 2^e * m with m in [sqrt(1/2), sqrt(2)), then
+// log(m) = 2 atanh(t) with t = (m-1)/(m+1), |t| <= 0.1716, via a 7-term
+// odd polynomial, and add e * ln2 split into a hi/lo pair. Absolute error
+// is ~1e-13 over the positive normal range — far below the engine's 0.25
+// repair margin and the compensatory floor's resolution.
+//
+// Domain: positive, finite, normal doubles (the scoring path only takes
+// logs of values >= kCsFloor = 0.05). Zeros, denormals, infinities, and
+// NaNs are NOT handled.
+#ifndef BCLEAN_COMMON_FAST_LOG_H_
+#define BCLEAN_COMMON_FAST_LOG_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
+namespace bclean {
+
+namespace fast_log_detail {
+// atanh series coefficients 1/3, 1/5, ... as correctly-rounded doubles
+// (shared verbatim by both paths).
+inline constexpr double kC3 = 1.0 / 3.0;
+inline constexpr double kC5 = 1.0 / 5.0;
+inline constexpr double kC7 = 1.0 / 7.0;
+inline constexpr double kC9 = 1.0 / 9.0;
+inline constexpr double kC11 = 1.0 / 11.0;
+inline constexpr double kC13 = 1.0 / 13.0;
+// ln(2) split so that e * kLn2Hi is exact for |e| < 2^10 (the low 11 bits
+// of the hi part are zero).
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kSqrt2 = 1.41421356237309514547;  // nearest double
+}  // namespace fast_log_detail
+
+/// Scalar reference. Every SIMD lane of FastLog4 computes exactly this.
+inline double FastLog(double x) {
+  using namespace fast_log_detail;
+  const uint64_t bits = std::bit_cast<uint64_t>(x);
+  // Exponent via the biased field; the +1023 offset is removed after the
+  // integer->double conversion (exact: biased exponents are in [1, 2046]).
+  double e = static_cast<double>(bits >> 52) - 1023.0;
+  // Mantissa in [1, 2): reuse x's mantissa bits under a zero exponent.
+  double m = std::bit_cast<double>((bits & 0x000FFFFFFFFFFFFFull) |
+                                   0x3FF0000000000000ull);
+  if (m > kSqrt2) {  // fold into [sqrt(1/2), sqrt(2)) so t stays small
+    m = m * 0.5;     // exact
+    e = e + 1.0;     // exact
+  }
+  const double t = (m - 1.0) / (m + 1.0);
+  const double t2 = t * t;
+  double p = kC13;
+  p = std::fma(p, t2, kC11);
+  p = std::fma(p, t2, kC9);
+  p = std::fma(p, t2, kC7);
+  p = std::fma(p, t2, kC5);
+  p = std::fma(p, t2, kC3);
+  p = std::fma(p, t2, 1.0);
+  const double r = std::fma(e, kLn2Lo, (2.0 * t) * p);
+  return std::fma(e, kLn2Hi, r);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+/// 4-lane AVX2+FMA mirror of FastLog: same constants, same operation
+/// order, fmadd where the scalar uses std::fma — bit-identical per lane.
+__attribute__((target("avx2,fma"))) inline __m256d FastLog4(__m256d x) {
+  using namespace fast_log_detail;
+  const __m256i bits = _mm256_castpd_si256(x);
+  // Biased exponent -> double via the 2^52 magic-number trick (valid for
+  // the [1, 2046] range), then remove the bias.
+  const __m256i biased = _mm256_srli_epi64(bits, 52);
+  const __m256i magic_i = _mm256_set1_epi64x(0x4330000000000000ll);  // 2^52
+  const __m256d magic_d = _mm256_castsi256_pd(magic_i);
+  __m256d e = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_or_si256(biased, magic_i)), magic_d);
+  e = _mm256_sub_pd(e, _mm256_set1_pd(1023.0));
+  __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(bits, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFll)),
+      _mm256_set1_epi64x(0x3FF0000000000000ll)));
+  const __m256d gt = _mm256_cmp_pd(m, _mm256_set1_pd(kSqrt2), _CMP_GT_OQ);
+  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), gt);
+  e = _mm256_add_pd(e, _mm256_and_pd(gt, _mm256_set1_pd(1.0)));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d t =
+      _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+  const __m256d t2 = _mm256_mul_pd(t, t);
+  __m256d p = _mm256_set1_pd(kC13);
+  p = _mm256_fmadd_pd(p, t2, _mm256_set1_pd(kC11));
+  p = _mm256_fmadd_pd(p, t2, _mm256_set1_pd(kC9));
+  p = _mm256_fmadd_pd(p, t2, _mm256_set1_pd(kC7));
+  p = _mm256_fmadd_pd(p, t2, _mm256_set1_pd(kC5));
+  p = _mm256_fmadd_pd(p, t2, _mm256_set1_pd(kC3));
+  p = _mm256_fmadd_pd(p, t2, one);
+  const __m256d tp =
+      _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(2.0), t), p);
+  const __m256d r = _mm256_fmadd_pd(e, _mm256_set1_pd(kLn2Lo), tp);
+  return _mm256_fmadd_pd(e, _mm256_set1_pd(kLn2Hi), r);
+}
+
+#endif  // __x86_64__ && __GNUC__
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_FAST_LOG_H_

@@ -21,15 +21,18 @@ namespace bclean {
 template <typename K, typename V, typename Hash>
 class StripedCache {
  public:
-  /// `max_entries` caps the total entry count (approximately: the cap is
-  /// split evenly across stripes). `num_stripes` is rounded up to a power
-  /// of two.
+  /// `max_entries` caps the total entry count exactly-or-under: the stripe
+  /// caps sum to exactly `max_entries` (floor division, with the first
+  /// `max_entries % stripes` stripes taking one extra), so the cache can
+  /// never hold more than `max_entries` entries and `max_entries = 0`
+  /// admits nothing. `num_stripes` is rounded up to a power of two.
   explicit StripedCache(size_t max_entries, size_t num_stripes = 64) {
     size_t stripes = 1;
     while (stripes < num_stripes) stripes <<= 1;
     stripes_ = std::vector<Stripe>(stripes);
     mask_ = stripes - 1;
-    per_stripe_cap_ = max_entries / stripes + 1;
+    base_cap_ = max_entries / stripes;
+    extra_capacity_stripes_ = max_entries % stripes;
   }
 
   /// Copies the value stored under `key` into `*out`. Returns false on
@@ -47,9 +50,11 @@ class StripedCache {
   /// present (both racers computed the same deterministic value), and
   /// drops the insert when the stripe is at capacity.
   void Insert(const K& key, const V& value) {
-    Stripe& stripe = stripes_[Hash{}(key)&mask_];
+    size_t index = Hash{}(key)&mask_;
+    Stripe& stripe = stripes_[index];
+    size_t cap = base_cap_ + (index < extra_capacity_stripes_ ? 1 : 0);
     std::lock_guard<std::mutex> lock(stripe.mu);
-    if (stripe.map.size() >= per_stripe_cap_) return;
+    if (stripe.map.size() >= cap) return;
     stripe.map.emplace(key, value);
   }
 
@@ -81,7 +86,8 @@ class StripedCache {
 
   std::vector<Stripe> stripes_;
   size_t mask_ = 0;
-  size_t per_stripe_cap_ = 0;
+  size_t base_cap_ = 0;
+  size_t extra_capacity_stripes_ = 0;
 };
 
 }  // namespace bclean

@@ -18,6 +18,16 @@
 // cell per candidate. Scores equal the seed's BN-plus-compensatory
 // objective; a CellScorer is single-threaded (one per worker), while the
 // model state it reads is shared and immutable.
+//
+// ScoreCandidates() has two implementations with byte-identical output:
+// a scalar reference path, and an AVX2+FMA kernel (4 candidates per
+// iteration: dense own-factor gathers via Cpt::DecodeConfigDense, child
+// factors per lane, compensatory accumulator gather + vectorized FastLog).
+// Both paths share src/common/fast_log.h and keep one floating-point
+// operation order — every multiply-add an explicit fma — so the
+// differential matrix can pin SIMD == scalar bytes. Dispatch is
+// BCleanOptions::simd (execution-only) over a build gate (-DBCLEAN_SIMD)
+// and a runtime CPU check.
 #ifndef BCLEAN_CORE_CELL_SCORER_H_
 #define BCLEAN_CORE_CELL_SCORER_H_
 
@@ -31,6 +41,10 @@
 
 namespace bclean {
 
+/// True when the build compiled the AVX2 scoring kernel (BCLEAN_SIMD on a
+/// GCC-compatible x86-64 toolchain) and the CPU supports AVX2+FMA.
+bool ScoringSimdAvailable();
+
 /// Reusable scorer of candidate repairs for one cell at a time.
 class CellScorer {
  public:
@@ -42,15 +56,20 @@ class CellScorer {
   /// Hoists the candidate-invariant state of cell (`row_codes`, `attr`).
   /// `row_codes` must stay alive and unchanged until the cell's scoring is
   /// done.
-  void BeginCell(size_t attr, const std::vector<int32_t>& row_codes);
+  void BeginCell(size_t attr, std::span<const int32_t> row_codes);
 
   /// Scores each candidate (all codes >= 0) of the current cell into
   /// `out[i]`. Matches the seed ScoreCandidate objective: BN term
   /// (blanket or full joint per options) plus the weighted compensatory
-  /// log-score.
+  /// log-score. Output bytes are independent of the SIMD dispatch.
   void ScoreCandidates(std::span<const int32_t> candidates, double* out);
 
  private:
+  /// Scalar reference for one candidate (also the SIMD tail lane).
+  double ScoreOneCandidate(int32_t candidate) const;
+
+  /// AVX2+FMA kernel; defined only when the build compiles it.
+  void ScoreCandidatesSimd(std::span<const int32_t> candidates, double* out);
   /// One child CPT factor: P(child value | ..., substituted var, ...).
   struct ChildFactor {
     const Cpt* cpt;
@@ -69,7 +88,7 @@ class CellScorer {
   size_t attr_ = 0;
   size_t var_ = 0;
   bool var_is_singleton_ = true;
-  const std::vector<int32_t>* row_codes_ = nullptr;
+  std::span<const int32_t> row_codes_;
   bool own_uniform_ = false;     ///< own term is the uniform root prior
   double own_constant_ = 0.0;    ///< -log(domain) when own_uniform_
   const Cpt* own_cpt_ = nullptr;
@@ -78,6 +97,11 @@ class CellScorer {
   std::vector<ChildFactor> children_;
   std::vector<int64_t> suffix_codes_;
   CompensatoryModel::CorrWorkspace corr_;
+
+  // SIMD dispatch state.
+  bool use_simd_ = false;   ///< resolved once from options + build + CPU
+  bool cell_simd_ = false;  ///< current cell qualifies (singleton variable)
+  std::vector<double> own_dense_;  ///< dense own-factor table (SIMD path)
 };
 
 }  // namespace bclean

@@ -364,7 +364,7 @@ double CompensatoryModel::EvidenceMult(size_t attr_j, size_t attr_k,
   return w / evidence_count;
 }
 
-void CompensatoryModel::PrepareScoreCorr(const std::vector<int32_t>& row_codes,
+void CompensatoryModel::PrepareScoreCorr(std::span<const int32_t> row_codes,
                                          size_t attr_j,
                                          CorrWorkspace* ws) const {
   ws->evidence.clear();
@@ -391,7 +391,7 @@ void CompensatoryModel::PrepareScoreCorr(const std::vector<int32_t>& row_codes,
 }
 
 void CompensatoryModel::PrepareScoreCorrBatch(
-    const std::vector<int32_t>& row_codes, size_t attr_j,
+    std::span<const int32_t> row_codes, size_t attr_j,
     CorrWorkspace* ws) const {
   // Sparse reset: only codes the previous cell's postings touched can be
   // non-zero.
@@ -421,7 +421,7 @@ void CompensatoryModel::PrepareScoreCorrBatch(
   }
 }
 
-double CompensatoryModel::ScoreCorr(const std::vector<int32_t>& row_codes,
+double CompensatoryModel::ScoreCorr(std::span<const int32_t> row_codes,
                                     size_t attr_j, int32_t candidate) const {
   if (candidate < 0) return 0.0;
   CorrWorkspace ws;
@@ -429,7 +429,7 @@ double CompensatoryModel::ScoreCorr(const std::vector<int32_t>& row_codes,
   return ScoreCorrPrepared(ws, candidate);
 }
 
-double CompensatoryModel::Filter(const std::vector<int32_t>& row_codes,
+double CompensatoryModel::Filter(std::span<const int32_t> row_codes,
                                  size_t attr_i) const {
   if (num_cols_ < 2) return 0.0;
   if (row_codes[attr_i] < 0) return 0.0;  // NULL cells always need inference
@@ -446,7 +446,7 @@ double CompensatoryModel::Filter(const std::vector<int32_t>& row_codes,
   return total / static_cast<double>(num_cols_ - 1);
 }
 
-void CompensatoryModel::FilterRow(const std::vector<int32_t>& row_codes,
+void CompensatoryModel::FilterRow(std::span<const int32_t> row_codes,
                                   std::vector<double>* out) const {
   const size_t m = num_cols_;
   out->assign(m, 0.0);

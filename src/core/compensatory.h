@@ -23,6 +23,7 @@
 #define BCLEAN_CORE_COMPENSATORY_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/flat_hash.h"
@@ -109,12 +110,12 @@ class CompensatoryModel {
   /// evidence value of the tuple, with attribute `attr_j` excluded.
   /// Evidence values that violate their own UCs are skipped — an untrusted
   /// cell must neither support nor penalize its neighbours' candidates.
-  double ScoreCorr(const std::vector<int32_t>& row_codes, size_t attr_j,
+  double ScoreCorr(std::span<const int32_t> row_codes, size_t attr_j,
                    int32_t candidate) const;
 
   /// Hoists the candidate-invariant half of Score_corr for one cell:
   /// evidence codes, UC verdicts, pair weights, and evidence frequencies.
-  void PrepareScoreCorr(const std::vector<int32_t>& row_codes, size_t attr_j,
+  void PrepareScoreCorr(std::span<const int32_t> row_codes, size_t attr_j,
                         CorrWorkspace* ws) const;
 
   /// Batch variant for whole candidate sets: instead of probing the pair
@@ -125,7 +126,7 @@ class CompensatoryModel {
   /// one array load. The workspace's previous accumulation is reset
   /// sparsely (only previously-touched codes), so repeated per-cell use
   /// costs O(active postings), not O(domain).
-  void PrepareScoreCorrBatch(const std::vector<int32_t>& row_codes,
+  void PrepareScoreCorrBatch(std::span<const int32_t> row_codes,
                              size_t attr_j, CorrWorkspace* ws) const;
 
   /// Score_corr for one candidate against a prepared workspace. Summation
@@ -151,7 +152,7 @@ class CompensatoryModel {
   /// UC-violating evidence is skipped as in ScoreCorr. Reference
   /// implementation probing the pair table per evidence column; the
   /// engine's pruning pass uses FilterRow instead.
-  double Filter(const std::vector<int32_t>& row_codes, size_t attr_i) const;
+  double Filter(std::span<const int32_t> row_codes, size_t attr_i) const;
 
   /// Batched Filter over one tuple: `out` receives Filter(T, A_i) for every
   /// attribute i, bit-identical to the per-cell reference. Instead of
@@ -162,7 +163,7 @@ class CompensatoryModel {
   /// evidence-keyed postings orientation was prototyped for this and
   /// measured ~4x slower than the direct probes on dense low-cardinality
   /// evidence, whose ranges span most of the table — see BENCH_pr2.json.)
-  void FilterRow(const std::vector<int32_t>& row_codes,
+  void FilterRow(std::span<const int32_t> row_codes,
                  std::vector<double>* out) const;
 
   /// Number of distinct (attribute-pair, value-pair) entries stored.

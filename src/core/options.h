@@ -43,6 +43,19 @@ struct CompensatoryOptions {
   bool use_mi_weighting = true;
 };
 
+/// SIMD dispatch policy of the candidate-scoring kernel.
+enum class SimdMode {
+  /// Use the vector kernel when the build enables it and the CPU supports
+  /// AVX2+FMA; otherwise the scalar reference path.
+  kAuto,
+  /// Always the scalar reference path (differential tests pin SIMD bytes
+  /// against this).
+  kScalar,
+  /// Ask for the vector kernel explicitly; falls back to scalar when the
+  /// build or CPU cannot provide it (use ScoringSimdAvailable() to check).
+  kSimd,
+};
+
 /// Full engine configuration.
 struct BCleanOptions {
   CompensatoryOptions compensatory;
@@ -108,16 +121,23 @@ struct BCleanOptions {
   /// Once full, further outcomes are computed but not stored.
   size_t repair_cache_max_entries = 1 << 20;
 
+  /// Scoring-kernel dispatch. Execution-only: the AVX2 kernel is
+  /// byte-identical to the scalar reference by construction (both evaluate
+  /// the shared FastLog polynomial in the same fma-for-fma operation
+  /// order), so like num_threads this never affects Clean() output —
+  /// only wall-clock.
+  SimdMode simd = SimdMode::kAuto;
+
   /// Structure-learning configuration for automatic BN construction.
   StructureOptions structure;
 
   /// Stable digest of every decision-affecting field, including the
   /// compensatory and structure-learning configuration. Execution-only
-  /// knobs — num_threads (both here and in structure), repair_cache, and
-  /// repair_cache_max_entries — are deliberately excluded: Clean() output
-  /// is byte-identical across them by contract, so engines built under
-  /// different thread counts or cache settings may share a service cache
-  /// slot. Feeds the service layer's engine cache key and model
+  /// knobs — num_threads (both here and in structure), repair_cache,
+  /// repair_cache_max_entries, and simd — are deliberately excluded:
+  /// Clean() output is byte-identical across them by contract, so engines
+  /// built under different thread counts, cache settings, or instruction
+  /// sets may share a service cache slot. Feeds the service layer's engine cache key and model
   /// fingerprint.
   uint64_t Digest() const {
     uint64_t h = 0x0B71ull;

@@ -66,7 +66,7 @@ inline uint64_t HashCandidateSet(std::span<const int32_t> candidates) {
 /// collisions per chain).
 inline RepairSignature ComputeRepairSignature(
     size_t attr, uint64_t candidate_hash, std::span<const uint32_t> sig_cols,
-    const std::vector<int32_t>& row_codes) {
+    std::span<const int32_t> row_codes) {
   RepairSignature sig;
   sig.lo = SigStep(0x2545F4914F6CDD1Dull ^ candidate_hash, attr,
                    0xFF51AFD7ED558CCDull);
@@ -86,7 +86,7 @@ inline RepairSignature ComputeRepairSignature(
 /// finalize per cell, making the per-cell hashing cost O(1) instead of
 /// O(columns).
 inline RepairSignature ComputeRowSignature(
-    const std::vector<int32_t>& row_codes) {
+    std::span<const int32_t> row_codes) {
   RepairSignature sig{0x2545F4914F6CDD1Dull, 0xDA942042E4DD58B5ull};
   for (int32_t code : row_codes) {
     uint64_t v = static_cast<uint32_t>(code);
@@ -125,7 +125,11 @@ class RepairCache {
   /// `use_shared` enables the striped L2; a single-worker Clean() pass
   /// sees every signature through its own L1 anyway, so it skips the
   /// shared level (and its locking) entirely with an identical hit
-  /// pattern.
+  /// pattern. With use_shared=false the L2 is constructed with
+  /// max_entries=0, which StripedCache now guarantees admits nothing —
+  /// every shared_ access is additionally gated on use_shared_, so the
+  /// empty L2 is belt-and-braces, not load-bearing. `max_entries = 0`
+  /// disables memoization outright (both levels admit nothing).
   explicit RepairCache(size_t max_entries, bool use_shared = true)
       : shared_(use_shared ? max_entries : 0),
         use_shared_(use_shared),

@@ -1,0 +1,14 @@
+#include "src/data/coded_columns.h"
+
+namespace bclean {
+
+CodedColumns::CodedColumns(size_t num_rows, size_t num_cols)
+    : num_rows_(num_rows),
+      num_cols_(num_cols),
+      data_(num_rows * num_cols, kNullCode) {}
+
+size_t CodedColumns::ApproxBytes() const {
+  return sizeof(CodedColumns) + data_.capacity() * sizeof(int32_t);
+}
+
+}  // namespace bclean

@@ -1,0 +1,71 @@
+// Contiguous column-major storage of dictionary codes: one flat int32_t
+// buffer where column c occupies rows [c * num_rows, (c + 1) * num_rows).
+// This is the layout the scoring hot paths (CellScorer, CompensatoryModel,
+// tuple pruning) read through std::span instead of row-strided string
+// probes, the layout the SIMD kernels gather from, and — being a single
+// POD buffer — the bytes-on-disk representation a future mmap'd shard
+// chunk can map directly.
+#ifndef BCLEAN_DATA_CODED_COLUMNS_H_
+#define BCLEAN_DATA_CODED_COLUMNS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bclean {
+
+/// Code reserved for NULL cells in the encoded view.
+inline constexpr int32_t kNullCode = -1;
+
+/// Column-major matrix of dictionary codes over one flat buffer.
+class CodedColumns {
+ public:
+  CodedColumns() = default;
+
+  /// Allocates `num_rows * num_cols` codes, all initialized to kNullCode.
+  CodedColumns(size_t num_rows, size_t num_cols);
+
+  /// The code of cell (row, col).
+  int32_t code(size_t row, size_t col) const {
+    assert(row < num_rows_ && col < num_cols_);
+    return data_[col * num_rows_ + row];
+  }
+
+  void set_code(size_t row, size_t col, int32_t code) {
+    assert(row < num_rows_ && col < num_cols_);
+    data_[col * num_rows_ + row] = code;
+  }
+
+  /// Column `col` in row order, as a view over the contiguous buffer.
+  std::span<const int32_t> column(size_t col) const {
+    assert(col < num_cols_);
+    return std::span<const int32_t>(data_.data() + col * num_rows_, num_rows_);
+  }
+
+  /// Writable view of column `col` (model construction only).
+  std::span<int32_t> mutable_column(size_t col) {
+    assert(col < num_cols_);
+    return std::span<int32_t>(data_.data() + col * num_rows_, num_rows_);
+  }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return num_cols_; }
+
+  /// The flat buffer itself (column-major; the shard serialization layout).
+  std::span<const int32_t> raw() const {
+    return std::span<const int32_t>(data_.data(), data_.size());
+  }
+
+  /// Approximate resident bytes of the flat code buffer.
+  size_t ApproxBytes() const;
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_cols_ = 0;
+  std::vector<int32_t> data_;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_DATA_CODED_COLUMNS_H_

@@ -6,12 +6,18 @@
 namespace bclean {
 namespace {
 
-std::string NormalizeNull(std::string field) {
+// Only unquoted NULL/null tokens denote a missing value; a quoted "NULL"
+// is the literal string (WriteCsvString quotes it back on the way out).
+std::string NormalizeNull(std::string field, bool was_quoted) {
+  if (was_quoted) return field;
   if (field == "NULL" || field == "null") return std::string(kNullValue);
   return field;
 }
 
 bool NeedsQuoting(const std::string& field, char sep) {
+  // Literal NULL tokens are quoted so they survive a round-trip as strings
+  // instead of collapsing into the NULL marker on re-read.
+  if (field == "NULL" || field == "null") return true;
   for (char c : field) {
     if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
   }
@@ -35,6 +41,12 @@ std::vector<std::string> ParseCsvLine(std::string_view line, char separator) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
+  // A quote opens a quoted region only at field start (empty accumulator,
+  // no earlier quoted region in the same field); anywhere else it is a
+  // literal character. ReadCsvString's record splitter tracks the exact
+  // same state machine, so the two can never disagree about which newlines
+  // are record boundaries.
+  bool field_quoted = false;
   for (size_t i = 0; i < line.size(); ++i) {
     char c = line[i];
     if (in_quotes) {
@@ -48,34 +60,63 @@ std::vector<std::string> ParseCsvLine(std::string_view line, char separator) {
       } else {
         current += c;
       }
-    } else if (c == '"' && current.empty()) {
+    } else if (c == '"' && current.empty() && !field_quoted) {
       in_quotes = true;
+      field_quoted = true;
     } else if (c == separator) {
-      fields.push_back(NormalizeNull(std::move(current)));
+      fields.push_back(NormalizeNull(std::move(current), field_quoted));
       current.clear();
+      field_quoted = false;
     } else if (c != '\r') {
       current += c;
     }
   }
-  fields.push_back(NormalizeNull(std::move(current)));
+  fields.push_back(NormalizeNull(std::move(current), field_quoted));
   return fields;
 }
 
 Result<Table> ReadCsvString(std::string_view text, const CsvOptions& options) {
   std::vector<std::vector<std::string>> records;
   size_t start = 0;
-  // Records are split on newlines outside quoted regions.
-  bool in_quotes = false;
+  // Records are split on newlines outside quoted regions. The splitter
+  // mirrors ParseCsvLine's state machine exactly — quotes open a quoted
+  // region only at field start and "" inside quotes is an escaped literal —
+  // so a stray mid-field quote (`5" disk`) cannot desync the two and fuse
+  // records. Interior empty lines are kept as single-NULL-field records;
+  // only the final trailing newline is skipped.
+  bool in_quotes = false;     // inside a quoted region
+  bool field_quoted = false;  // current field already had a quoted region
+  bool field_empty = true;    // current field has no content yet
   for (size_t i = 0; i <= text.size(); ++i) {
     bool at_end = i == text.size();
     char c = at_end ? '\n' : text[i];
-    if (!at_end && c == '"') in_quotes = !in_quotes;
-    if (c == '\n' && !in_quotes) {
+    if (!at_end && in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          ++i;  // escaped literal quote stays inside the region
+        } else {
+          in_quotes = false;
+        }
+      }
+      continue;  // quoted content, including embedded newlines
+    }
+    if (c == '\n') {
       std::string_view line = text.substr(start, i - start);
       start = i + 1;
-      if (line.empty() && at_end) continue;
-      if (line.empty()) continue;
+      field_quoted = false;
+      field_empty = true;
+      if (line.empty() && at_end) continue;  // trailing final newline only
       records.push_back(ParseCsvLine(line, options.separator));
+      continue;
+    }
+    if (c == '"' && field_empty && !field_quoted) {
+      in_quotes = true;
+      field_quoted = true;
+    } else if (c == options.separator) {
+      field_quoted = false;
+      field_empty = true;
+    } else if (c != '\r') {
+      field_empty = false;
     }
   }
   if (records.empty()) {

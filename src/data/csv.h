@@ -1,6 +1,18 @@
 // RFC-4180-style CSV reader/writer: quoted fields, embedded separators,
-// doubled quotes. The literal tokens "NULL", "null" and the empty field all
-// load as the system NULL marker.
+// doubled quotes. The unquoted tokens NULL, null and the empty field load
+// as the system NULL marker; a quoted "NULL" stays the literal string (and
+// is quoted again on write, so it round-trips).
+//
+// Round-trip contract: for every Table t and CsvOptions o,
+//   ReadCsvString(WriteCsvString(t, o), o) == t   (exact Table equality).
+// This holds because (a) interior empty lines are parsed as single-NULL
+// records instead of being dropped, (b) the record splitter tracks the same
+// quotes-open-only-at-field-start state machine as the field parser, so a
+// stray mid-field quote cannot fuse records, and (c) literal NULL/null cell
+// values are quoted on write and unquoted tokens only are normalized on
+// read. The one representational conflation is inherent to the format: the
+// NULL marker is the empty string, so a quoted empty field "" and an empty
+// field both load as NULL.
 #ifndef BCLEAN_DATA_CSV_H_
 #define BCLEAN_DATA_CSV_H_
 

@@ -53,21 +53,20 @@ size_t ColumnStats::ApproxBytes() const {
 DomainStats DomainStats::Build(const Table& table) {
   DomainStats stats;
   stats.columns_.resize(table.num_cols());
-  stats.codes_.resize(table.num_cols());
+  stats.codes_ = CodedColumns(table.num_rows(), table.num_cols());
   for (size_t c = 0; c < table.num_cols(); ++c) {
-    auto& codes = stats.codes_[c];
-    codes.reserve(table.num_rows());
+    std::span<int32_t> codes = stats.codes_.mutable_column(c);
     for (size_t r = 0; r < table.num_rows(); ++r) {
-      codes.push_back(stats.columns_[c].Intern(table.cell(r, c)));
+      codes[r] = stats.columns_[c].Intern(table.cell(r, c));
     }
   }
   return stats;
 }
 
 size_t DomainStats::ApproxBytes() const {
-  size_t bytes = sizeof(DomainStats);
+  size_t bytes = sizeof(DomainStats) - sizeof(CodedColumns);
   for (const ColumnStats& column : columns_) bytes += column.ApproxBytes();
-  for (const auto& codes : codes_) bytes += codes.capacity() * sizeof(int32_t);
+  bytes += codes_.ApproxBytes();
   return bytes;
 }
 

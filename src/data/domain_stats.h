@@ -6,16 +6,15 @@
 #define BCLEAN_DATA_DOMAIN_STATS_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/data/coded_columns.h"
 #include "src/data/table.h"
 
 namespace bclean {
-
-/// Code reserved for NULL cells in the encoded view.
-inline constexpr int32_t kNullCode = -1;
 
 /// Dictionary and frequencies for one attribute.
 class ColumnStats {
@@ -76,19 +75,19 @@ class DomainStats {
   }
 
   /// Encoded cell: the dictionary code of table(row, col).
-  int32_t code(size_t row, size_t col) const {
-    assert(col < codes_.size() && row < codes_[col].size());
-    return codes_[col][row];
+  int32_t code(size_t row, size_t col) const { return codes_.code(row, col); }
+
+  /// Encoded column in row order, viewed over the flat column-major buffer.
+  std::span<const int32_t> codes(size_t col) const {
+    return codes_.column(col);
   }
 
-  /// Encoded column in row order.
-  const std::vector<int32_t>& codes(size_t col) const {
-    assert(col < codes_.size());
-    return codes_[col];
-  }
+  /// The whole coded view (contiguous column-major int32 codes): the
+  /// layout the scoring kernels and tuple pruning read directly.
+  const CodedColumns& coded() const { return codes_; }
 
-  size_t num_rows() const { return codes_.empty() ? 0 : codes_[0].size(); }
-  size_t num_cols() const { return codes_.size(); }
+  size_t num_rows() const { return codes_.num_rows(); }
+  size_t num_cols() const { return codes_.num_cols(); }
 
   /// Approximate memory footprint (dictionaries plus the encoded view).
   /// Feeds the service layer's byte-budget engine-cache eviction.
@@ -96,7 +95,7 @@ class DomainStats {
 
  private:
   std::vector<ColumnStats> columns_;
-  std::vector<std::vector<int32_t>> codes_;  // column-major
+  CodedColumns codes_;  // flat column-major code matrix
 };
 
 }  // namespace bclean

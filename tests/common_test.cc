@@ -5,15 +5,151 @@
 #include <set>
 #include <vector>
 
+#include "src/common/fast_log.h"
 #include "src/common/flat_hash.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
+#include "src/common/striped_cache.h"
 #include "src/common/thread_pool.h"
+#include "src/core/repair_cache.h"
 
 namespace bclean {
 namespace {
+
+struct IntIdentityHash {
+  size_t operator()(const int& k) const { return static_cast<size_t>(k); }
+};
+
+// Regression: the old per-stripe cap was max_entries / stripes + 1, so a
+// cap of 0 still admitted up to one entry per stripe (64 by default) and
+// every cap could overshoot by up to num_stripes.
+TEST(StripedCacheTest, ZeroCapAdmitsNothing) {
+  StripedCache<int, int, IntIdentityHash> cache(0);
+  for (int k = 0; k < 1000; ++k) cache.Insert(k, k);
+  EXPECT_EQ(cache.size(), 0u);
+  int out = -1;
+  EXPECT_FALSE(cache.Lookup(7, &out));
+}
+
+TEST(StripedCacheTest, CapIsExactOrUnder) {
+  // Cap below the stripe count: identity-hashed keys sweep every stripe,
+  // so the old +1-per-stripe cap would admit 64 entries here.
+  StripedCache<int, int, IntIdentityHash> small(5);
+  for (int k = 0; k < 1000; ++k) small.Insert(k, k);
+  EXPECT_LE(small.size(), 5u);
+  EXPECT_GT(small.size(), 0u);
+
+  // Cap above the stripe count: stripe caps must sum to exactly
+  // max_entries, not max_entries + num_stripes.
+  StripedCache<int, int, IntIdentityHash> large(100);
+  for (int k = 0; k < 100000; ++k) large.Insert(k, k);
+  EXPECT_LE(large.size(), 100u);
+  EXPECT_GT(large.size(), 90u);  // uniform keys fill nearly every stripe
+}
+
+TEST(StripedCacheTest, AdmittedEntriesRemainReadable) {
+  StripedCache<int, int, IntIdentityHash> cache(128);
+  for (int k = 0; k < 64; ++k) cache.Insert(k, k * 10);
+  for (int k = 0; k < 64; ++k) {
+    int out = -1;
+    ASSERT_TRUE(cache.Lookup(k, &out)) << "key " << k;
+    EXPECT_EQ(out, k * 10);
+  }
+}
+
+// FastLog is the deterministic log shared by the scalar and AVX2 scoring
+// paths. Accuracy: ~1e-13 absolute against libm over the scoring range
+// (inputs >= the 0.05 compensatory floor) — far inside the 0.25 repair
+// margin.
+TEST(FastLogTest, TracksStdLogOverScoringRange) {
+  Rng rng(1234);
+  double worst = 0.0;
+  // Geometric sweep across [0.05, 1e9] plus uniform noise around 1.
+  for (double x = 0.05; x < 1e9; x *= 1.0371) {
+    worst = std::max(worst, std::fabs(FastLog(x) - std::log(x)));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    double x = 0.05 + 4.0 * rng.UniformDouble();
+    worst = std::max(worst, std::fabs(FastLog(x) - std::log(x)));
+  }
+  EXPECT_LT(worst, 1e-12);
+}
+
+TEST(FastLogTest, ExactAtPowersOfTwo) {
+  // e * ln2_hi + (e * ln2_lo + 0) is the best split representation;
+  // FastLog(1) must be exactly zero (t == 0 kills the polynomial term).
+  EXPECT_EQ(FastLog(1.0), 0.0);
+  EXPECT_NEAR(FastLog(2.0), std::log(2.0), 1e-15);
+  EXPECT_NEAR(FastLog(0.5), std::log(0.5), 1e-15);
+  EXPECT_NEAR(FastLog(1024.0), std::log(1024.0), 1e-12);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+__attribute__((target("avx2,fma"))) void RunFastLog4(const double* in,
+                                                     double* out) {
+  _mm256_storeu_pd(out, bclean::FastLog4(_mm256_loadu_pd(in)));
+}
+
+// The byte-equality contract's foundation: every AVX2 lane must equal the
+// scalar FastLog bit-for-bit on the same input.
+TEST(FastLogTest, SimdLanesBitIdenticalToScalar) {
+  if (!(__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))) {
+    GTEST_SKIP() << "CPU lacks AVX2/FMA";
+  }
+  Rng rng(99);
+  double in[4], out[4];
+  auto check = [&](double a, double b, double c, double d) {
+    in[0] = a; in[1] = b; in[2] = c; in[3] = d;
+    RunFastLog4(in, out);
+    for (int l = 0; l < 4; ++l) {
+      ASSERT_EQ(std::bit_cast<uint64_t>(out[l]),
+                std::bit_cast<uint64_t>(FastLog(in[l])))
+          << "lane " << l << " input " << in[l];
+    }
+  };
+  check(0.05, 1.0, 2.0, 1e9);
+  check(0.9999999, 1.0000001, 1.4142135623730951, 1.4142135623730954);
+  for (int i = 0; i < 5000; ++i) {
+    check(0.05 + 10.0 * rng.UniformDouble(), std::exp(20.0 * rng.UniformDouble() - 10.0),
+          1.0 + rng.UniformDouble(), 0.05 + 1e6 * rng.UniformDouble());
+  }
+}
+
+#endif  // __x86_64__ && __GNUC__
+
+// RepairCache relies on max_entries = 0 meaning "memoize nothing" in both
+// levels, and on use_shared=false constructing a 0-cap shared level.
+TEST(RepairCacheTest, ZeroMaxEntriesDisablesMemoization) {
+  for (bool use_shared : {true, false}) {
+    RepairCache cache(0, use_shared);
+    RepairCache::Local local;
+    RepairSignature sig{0x1234u, 0x5678u};
+    CachedRepair value;
+    value.best = 3;
+    cache.Insert(sig, value, local);
+    EXPECT_TRUE(local.empty());
+    EXPECT_EQ(cache.size(), 0u);
+    CachedRepair out;
+    EXPECT_FALSE(cache.Lookup(sig, local, &out));
+  }
+}
+
+TEST(RepairCacheTest, LocalOnlyModeNeverTouchesShared) {
+  RepairCache cache(16, /*use_shared=*/false);
+  RepairCache::Local local;
+  RepairSignature sig{0x9abcu, 0xdef0u};
+  CachedRepair value;
+  value.best = 7;
+  cache.Insert(sig, value, local);
+  EXPECT_EQ(local.size(), 1u);
+  EXPECT_EQ(cache.size(), 0u);  // shared level admits nothing
+  CachedRepair out;
+  ASSERT_TRUE(cache.Lookup(sig, local, &out));  // served by the L1
+  EXPECT_EQ(out.best, 7);
+}
 
 TEST(StatusTest, DefaultIsOk) {
   Status s;

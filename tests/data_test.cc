@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <random>
 
 #include "src/data/csv.h"
 #include "src/data/domain_stats.h"
@@ -160,6 +161,132 @@ TEST(CsvTest, MissingFileIsIOError) {
             StatusCode::kIOError);
 }
 
+// Regression: ReadCsvString used to drop every empty line, so a 1-column
+// table with NULL cells lost those rows on re-read.
+TEST(CsvTest, InteriorEmptyLinesAreNullRecords) {
+  auto table = ReadCsvString("name\nalice\n\nbob\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().num_rows(), 3u);
+  EXPECT_EQ(table.value().cell(0, 0), "alice");
+  EXPECT_TRUE(IsNull(table.value().cell(1, 0)));
+  EXPECT_EQ(table.value().cell(2, 0), "bob");
+}
+
+TEST(CsvTest, SingleColumnNullRoundTrip) {
+  Table t(Schema::FromNames({"name"}));
+  ASSERT_TRUE(t.AddRow({"alice"}).ok());
+  ASSERT_TRUE(t.AddRow({""}).ok());  // NULL row writes an empty line
+  ASSERT_TRUE(t.AddRow({"bob"}).ok());
+  auto back = ReadCsvString(WriteCsvString(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == t);
+}
+
+// Regression: the record splitter toggled quote state on every '"', while
+// ParseCsvLine only opens quotes at field start — a stray mid-field quote
+// (`5" disk`) desynced the two and fused all following rows into one.
+TEST(CsvTest, MidFieldQuoteDoesNotFuseRecords) {
+  auto table = ReadCsvString("item,price\n5\" disk,3\nusb cable,2\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().num_rows(), 2u);
+  EXPECT_EQ(table.value().cell(0, 0), "5\" disk");
+  EXPECT_EQ(table.value().cell(1, 0), "usb cable");
+}
+
+TEST(CsvTest, MidFieldQuoteRoundTrip) {
+  Table t(Schema::FromNames({"item", "price"}));
+  ASSERT_TRUE(t.AddRow({"5\" disk", "3"}).ok());
+  ASSERT_TRUE(t.AddRow({"usb cable", "2"}).ok());
+  auto back = ReadCsvString(WriteCsvString(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == t);
+}
+
+TEST(CsvTest, QuotedFieldsWithEscapedQuotesAndNewlines) {
+  auto table =
+      ReadCsvString("note,tag\n\"say \"\"hi\"\"\nthere\",x\nplain,y\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().num_rows(), 2u);
+  EXPECT_EQ(table.value().cell(0, 0), "say \"hi\"\nthere");
+  EXPECT_EQ(table.value().cell(1, 0), "plain");
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  auto table = ReadCsvString("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().num_rows(), 2u);
+  EXPECT_EQ(table.value().cell(1, 1), "4");
+}
+
+// Regression: NormalizeNull collapsed quoted "NULL"/"null" into the NULL
+// marker and the writer emitted them unquoted, so a cell whose real value
+// is the string "NULL" silently became missing on round-trip.
+TEST(CsvTest, QuotedNullLiteralStaysString) {
+  auto table = ReadCsvString("word,mark\n\"NULL\",x\nNULL,y\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().num_rows(), 2u);
+  EXPECT_EQ(table.value().cell(0, 0), "NULL");  // quoted: literal string
+  EXPECT_TRUE(IsNull(table.value().cell(1, 0)));  // unquoted: NULL marker
+}
+
+TEST(CsvTest, NullLiteralRoundTrip) {
+  Table t(Schema::FromNames({"word"}));
+  ASSERT_TRUE(t.AddRow({"NULL"}).ok());
+  ASSERT_TRUE(t.AddRow({"null"}).ok());
+  ASSERT_TRUE(t.AddRow({""}).ok());  // genuine NULL stays NULL
+  std::string text = WriteCsvString(t);
+  EXPECT_NE(text.find("\"NULL\""), std::string::npos);
+  auto back = ReadCsvString(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == t);
+}
+
+// Property test: Write -> Read is an exact Table round-trip for randomized
+// tables covering NULLs, separators, stray and escaped quotes, CRLF
+// sequences, embedded newlines, and literal NULL tokens. Runs under the
+// ASan job via the tests/*_test.cc glob.
+TEST(CsvTest, RandomizedRoundTripProperty) {
+  const std::vector<std::string> pool = {
+      "",            // NULL marker
+      "NULL",        // literal token, must round-trip as a string
+      "null",
+      "plain",
+      "a,b",         // embedded default separator
+      "x;y",         // embedded alternate separator
+      "5\" disk",    // stray mid-field quote
+      "\"",          // lone quote
+      "\"\"",        // two quotes
+      "say \"hi\"",  // interior quoted phrase
+      "line1\nline2",    // embedded newline
+      "crlf\r\nend",     // embedded CRLF
+      "\r",              // lone carriage return
+      " lead",
+      "trail ",
+      "multi\n\nblank",  // embedded blank line inside a quoted field
+  };
+  std::mt19937 rng(20240807u);
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t cols = 1 + rng() % 4;
+    size_t rows = rng() % 6;
+    char sep = (rng() % 2 == 0) ? ',' : ';';
+    std::vector<std::string> names;
+    for (size_t c = 0; c < cols; ++c) names.push_back("a" + std::to_string(c));
+    Table t(Schema::FromNames(names));
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < cols; ++c) row.push_back(pool[rng() % pool.size()]);
+      t.AddRowUnchecked(std::move(row));
+    }
+    CsvOptions options;
+    options.separator = sep;
+    std::string text = WriteCsvString(t, options);
+    auto back = ReadCsvString(text, options);
+    ASSERT_TRUE(back.ok()) << "iter " << iter << ": " << back.status().message()
+                           << "\ncsv:\n" << text;
+    ASSERT_TRUE(back.value() == t) << "iter " << iter << "\ncsv:\n" << text;
+  }
+}
+
 Table StatsFixture() {
   Table t(Schema::FromNames({"city", "zip"}));
   t.AddRowUnchecked({"berlin", "10115"});
@@ -218,6 +345,60 @@ TEST(DomainStatsTest, AllNullColumn) {
   EXPECT_EQ(stats.column(0).DomainSize(), 0u);
   EXPECT_EQ(stats.column(0).MostFrequentCode(), kNullCode);
   EXPECT_EQ(stats.column(0).null_count(), 2u);
+}
+
+TEST(CodedColumnsTest, ColumnMajorFlatLayout) {
+  CodedColumns codes(3, 2);
+  EXPECT_EQ(codes.num_rows(), 3u);
+  EXPECT_EQ(codes.num_cols(), 2u);
+  // Fresh cells are NULL.
+  EXPECT_EQ(codes.code(2, 1), kNullCode);
+  codes.set_code(0, 0, 5);
+  codes.set_code(2, 0, 7);
+  codes.set_code(1, 1, 9);
+  EXPECT_EQ(codes.code(0, 0), 5);
+  EXPECT_EQ(codes.code(2, 0), 7);
+  EXPECT_EQ(codes.code(1, 1), 9);
+  // Column spans view the flat buffer: column c occupies raw()
+  // [c * num_rows, (c + 1) * num_rows).
+  std::span<const int32_t> col0 = codes.column(0);
+  ASSERT_EQ(col0.size(), 3u);
+  EXPECT_EQ(col0[0], 5);
+  EXPECT_EQ(col0[1], kNullCode);
+  EXPECT_EQ(col0[2], 7);
+  std::span<const int32_t> raw = codes.raw();
+  ASSERT_EQ(raw.size(), 6u);
+  EXPECT_EQ(raw.data(), col0.data());
+  EXPECT_EQ(raw.data() + 3, codes.column(1).data());
+  EXPECT_EQ(raw[4], 9);  // (row 1, col 1)
+}
+
+TEST(CodedColumnsTest, MutableColumnWritesThrough) {
+  CodedColumns codes(2, 2);
+  std::span<int32_t> col1 = codes.mutable_column(1);
+  col1[0] = 3;
+  col1[1] = 4;
+  EXPECT_EQ(codes.code(0, 1), 3);
+  EXPECT_EQ(codes.code(1, 1), 4);
+  EXPECT_EQ(codes.code(0, 0), kNullCode);  // other column untouched
+}
+
+TEST(DomainStatsTest, CodedViewIsContiguousAndConsistent) {
+  Table t = StatsFixture();
+  DomainStats stats = DomainStats::Build(t);
+  const CodedColumns& coded = stats.coded();
+  EXPECT_EQ(coded.num_rows(), t.num_rows());
+  EXPECT_EQ(coded.num_cols(), t.num_cols());
+  for (size_t c = 0; c < t.num_cols(); ++c) {
+    std::span<const int32_t> col = stats.codes(c);
+    ASSERT_EQ(col.size(), t.num_rows());
+    // The span is a view over the same flat buffer the cell accessor
+    // reads — one contiguous column, no per-column allocation.
+    EXPECT_EQ(col.data(), coded.raw().data() + c * t.num_rows());
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      EXPECT_EQ(col[r], stats.code(r, c));
+    }
+  }
 }
 
 }  // namespace

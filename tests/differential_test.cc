@@ -7,10 +7,12 @@
 // signature misses would surface here as a byte diff.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "src/core/cell_scorer.h"
 #include "src/core/compensatory.h"
 #include "src/core/engine.h"
 #include "src/core/uc_mask.h"
@@ -69,6 +71,12 @@ TEST_P(DifferentialCleanTest, OutputIsInvariantAcrossCacheAndThreads) {
     BCleanOptions reference_options = mode.options;
     reference_options.repair_cache = false;
     reference_options.num_threads = 1;
+    // The reference is pinned to the scalar scoring path while every arm
+    // below requests the vector kernel, so this byte-equality matrix also
+    // pins SIMD == scalar bytes across {mode} x {threads} x {cache}. On
+    // hosts without the kernel, kSimd falls back to scalar and the matrix
+    // degenerates to the original cache/thread sweep.
+    reference_options.simd = SimdMode::kScalar;
     auto reference = BCleanEngine::Create(dirty, ds.ucs, reference_options);
     ASSERT_TRUE(reference.ok()) << reference.status().ToString();
     Table reference_out = reference.value()->Clean();
@@ -80,6 +88,7 @@ TEST_P(DifferentialCleanTest, OutputIsInvariantAcrossCacheAndThreads) {
         BCleanOptions options = reference_options;
         options.repair_cache = cache;
         options.num_threads = threads;
+        options.simd = SimdMode::kSimd;
         auto engine = BCleanEngine::Create(dirty, ds.ucs, options);
         ASSERT_TRUE(engine.ok()) << engine.status().ToString();
         Table out = engine.value()->Clean();
@@ -111,6 +120,65 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<DiffCase>& info) {
       return info.param.dataset + "_s" + std::to_string(info.param.seed);
     });
+
+// Scorer-level SIMD equivalence: the AVX2 kernel must reproduce the scalar
+// reference's score doubles BITWISE, not merely the same argmax — so a
+// drifting polynomial or a re-associated add would surface here long
+// before it changed a repair. Every attribute's full candidate domain is
+// scored both ways, including batch sizes that exercise the 4-wide main
+// loop plus the scalar tail.
+TEST(SimdScalarTest, ScoreBitsIdenticalAcrossDispatch) {
+  if (!ScoringSimdAvailable()) {
+    GTEST_SKIP() << "AVX2 scoring kernel not compiled or not supported";
+  }
+  Dataset ds = MakeBenchmark("hospital", 300, 42).value();
+  Rng rng(5);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  for (bool partitioned : {true, false}) {
+    BCleanOptions scalar_options = partitioned
+                                       ? BCleanOptions::PartitionedInference()
+                                       : BCleanOptions::Basic();
+    scalar_options.simd = SimdMode::kScalar;
+    BCleanOptions simd_options = scalar_options;
+    simd_options.simd = SimdMode::kSimd;
+    auto engine =
+        BCleanEngine::Create(injection.dirty, ds.ucs, scalar_options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const BCleanEngine& e = *engine.value();
+    const DomainStats& stats = e.stats();
+    const size_t m = stats.num_cols();
+
+    CellScorer scalar_scorer(e.network(), e.compensatory(), scalar_options,
+                             m);
+    CellScorer simd_scorer(e.network(), e.compensatory(), simd_options, m);
+    std::vector<int32_t> row_codes(m);
+    size_t cells = 0;
+    for (size_t r = 0; r < stats.num_rows(); r += 7) {
+      for (size_t col = 0; col < m; ++col) row_codes[col] = stats.code(r, col);
+      for (size_t j = 0; j < m; ++j) {
+        size_t domain = stats.column(j).DomainSize();
+        if (domain == 0) continue;
+        std::vector<int32_t> candidates(domain);
+        std::iota(candidates.begin(), candidates.end(), 0);
+        std::vector<double> scalar_scores(domain), simd_scores(domain);
+        scalar_scorer.BeginCell(j, row_codes);
+        scalar_scorer.ScoreCandidates(candidates, scalar_scores.data());
+        simd_scorer.BeginCell(j, row_codes);
+        simd_scorer.ScoreCandidates(candidates, simd_scores.data());
+        for (size_t c = 0; c < domain; ++c) {
+          ASSERT_EQ(std::bit_cast<uint64_t>(scalar_scores[c]),
+                    std::bit_cast<uint64_t>(simd_scores[c]))
+              << "partitioned=" << partitioned << " row=" << r
+              << " attr=" << j << " candidate=" << c << " scalar="
+              << scalar_scores[c] << " simd=" << simd_scores[c];
+        }
+        ++cells;
+      }
+    }
+    EXPECT_GT(cells, 100u);
+  }
+}
 
 // Parallel model construction must be bit-identical to the serial path.
 // The tables span several 1024-row accumulation blocks so the blocked merge
