@@ -4,6 +4,10 @@
 // throughput.
 #include <benchmark/benchmark.h>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include <future>
 #include <numeric>
 #include <vector>
@@ -17,6 +21,7 @@
 #include "src/fdx/structure_learning.h"
 #include "src/matrix/glasso.h"
 #include "src/service/service.h"
+#include "src/service/sharded_session.h"
 #include "src/text/edit_distance.h"
 #include "src/text/similarity.h"
 
@@ -450,6 +455,68 @@ void BM_DispatchThroughput(benchmark::State& state) {
   state.SetLabel(dispatched ? "dispatcher" : "thread-per-call");
 }
 BENCHMARK(BM_DispatchThroughput)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+long PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+#else
+  return 0;
+#endif
+}
+
+void BM_ShardedClean(benchmark::State& state) {
+  // Out-of-core cleaning vs the in-memory session over the same rows.
+  // arg0 < 0 is the in-memory arm; otherwise arg0 is the shard store's
+  // resident-byte budget measured in chunks (0 = strictest: one chunk at
+  // a time). Bytes are identical in every arm by the sharding determinism
+  // contract — the spread is the residency/wall-clock trade. The label
+  // carries the store's peak resident payload bytes plus the process peak
+  // RSS (getrusage), so the memory story rides with the timing. The cache
+  // is off so every iteration pays the full scoring pass.
+  Dataset ds = MakeHospital(1000, 7);
+  Rng rng(7);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.num_threads = 1;
+  options.repair_cache = false;
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.persistent_repair_cache = false;
+  Service service(service_options);
+  const int64_t arm = state.range(0);
+  constexpr size_t kChunkRows = 256;
+  if (arm < 0) {
+    auto session =
+        service.Open("bench", injection.dirty, ds.ucs, options).value();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(session->Clean());
+    }
+    state.SetLabel("in-memory rss_kb=" + std::to_string(PeakRssKb()));
+  } else {
+    ShardOptions shard;
+    shard.chunk_rows = kChunkRows;
+    shard.resident_bytes_budget = static_cast<size_t>(arm) * kChunkRows *
+                                  injection.dirty.num_cols() *
+                                  sizeof(int32_t);
+    auto session =
+        service
+            .OpenSharded("bench", injection.dirty, ds.ucs, options, shard)
+            .value();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(session->Clean());
+    }
+    state.SetLabel(
+        "budget_chunks=" + std::to_string(arm) + " peak_resident_b=" +
+        std::to_string(session->store().peak_resident_bytes()) +
+        " rss_kb=" + std::to_string(PeakRssKb()));
+  }
+  state.SetItemsProcessed(state.iterations() * injection.dirty.num_cells());
+}
+BENCHMARK(BM_ShardedClean)->Arg(-1)->Arg(0)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

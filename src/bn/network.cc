@@ -224,6 +224,31 @@ void BayesianNetwork::Fit(const DomainStats& stats) {
   RefitDirty(stats);
 }
 
+void BayesianNetwork::BeginFit() {
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    cpts_[v].Clear();
+    dirty_[v] = true;
+  }
+}
+
+void BayesianNetwork::AddFitRow(std::span<const int32_t> row_codes) {
+  assert(row_codes.size() == attr_to_var_.size());
+  // kNoSubst: an attribute index that never matches.
+  const size_t kNoSubst = attr_to_var_.size();
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    int64_t value = VariableCode(v, row_codes, kNoSubst, 0);
+    if (value == kNullCode64) continue;  // NULLs are not learned as values
+    cpts_[v].AddObservation(ParentKey(v, row_codes, kNoSubst, 0), value);
+  }
+}
+
+void BayesianNetwork::FinishFit() {
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    cpts_[v].Finalize();
+    dirty_[v] = false;
+  }
+}
+
 void BayesianNetwork::RefitDirty(const DomainStats& stats) {
   for (size_t v = 0; v < variables_.size(); ++v) {
     if (dirty_[v]) RefitVariable(v, stats);

@@ -85,6 +85,16 @@ class BayesianNetwork {
   /// (Re)fits the CPTs of all variables from `stats` and clears dirtiness.
   void Fit(const DomainStats& stats);
 
+  /// Streaming equivalent of Fit for rows that are never resident as one
+  /// coded table: BeginFit clears every CPT, AddFitRow feeds one row's
+  /// codes (in row order) to all variables, FinishFit finalizes. Each CPT
+  /// receives exactly the observation sequence RefitVariable would give
+  /// it, so the fitted tables (and Digest-relevant shape summaries) are
+  /// identical to an in-memory Fit over the same rows.
+  void BeginFit();
+  void AddFitRow(std::span<const int32_t> row_codes);
+  void FinishFit();
+
   /// Refits only variables marked dirty by edits since the last Fit /
   /// RefitDirty (the paper's localized CPT recomputation).
   void RefitDirty(const DomainStats& stats);

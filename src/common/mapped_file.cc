@@ -1,0 +1,101 @@
+#include "src/common/mapped_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BCLEAN_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace bclean {
+
+MappedRegion::~MappedRegion() { Release(); }
+
+MappedRegion::MappedRegion(MappedRegion&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapping_(other.mapping_),
+      mapping_bytes_(other.mapping_bytes_),
+      buffer_(std::move(other.buffer_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapping_ = nullptr;
+  other.mapping_bytes_ = 0;
+}
+
+MappedRegion& MappedRegion::operator=(MappedRegion&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapping_ = other.mapping_;
+    mapping_bytes_ = other.mapping_bytes_;
+    buffer_ = std::move(other.buffer_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapping_ = nullptr;
+    other.mapping_bytes_ = 0;
+  }
+  return *this;
+}
+
+void MappedRegion::Release() {
+#if BCLEAN_HAVE_MMAP
+  if (mapping_ != nullptr) munmap(mapping_, mapping_bytes_);
+#endif
+  mapping_ = nullptr;
+  mapping_bytes_ = 0;
+  data_ = nullptr;
+  size_ = 0;
+  buffer_.clear();
+}
+
+Result<MappedRegion> MappedRegion::Map(const std::string& path,
+                                       uint64_t offset, size_t length,
+                                       bool allow_mmap) {
+#if BCLEAN_HAVE_MMAP
+  if (allow_mmap && length > 0) {
+    int fd = open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      void* base = mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd,
+                        static_cast<off_t>(offset));
+      close(fd);
+      if (base != MAP_FAILED) {
+        MappedRegion region;
+        region.mapping_ = base;
+        region.mapping_bytes_ = length;
+        region.data_ = static_cast<const uint8_t*>(base);
+        region.size_ = length;
+        return region;
+      }
+    }
+    // Fall through to the buffered path on any mmap failure.
+  }
+#else
+  (void)allow_mmap;
+#endif
+  MappedRegion region;
+  region.buffer_.resize(length);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+  bool ok = std::fseek(file, static_cast<long>(offset), SEEK_SET) == 0;
+  ok = ok && (length == 0 ||
+              std::fread(region.buffer_.data(), 1, length, file) == length);
+  std::fclose(file);
+  if (!ok) {
+    return Status::IOError("short read of " + std::to_string(length) +
+                           " bytes at offset " + std::to_string(offset) +
+                           " from " + path);
+  }
+  region.data_ = region.buffer_.data();
+  region.size_ = length;
+  return region;
+}
+
+}  // namespace bclean

@@ -1,0 +1,53 @@
+// Read-only file mapping for the shard store's chunk payloads. A
+// MappedRegion either mmaps a page-aligned byte range of a file (the
+// default on POSIX) or falls back to a buffered read into an owned
+// vector, so callers get one `data()/size()` view either way and the
+// shard reader works on filesystems or platforms where mmap fails.
+#ifndef BCLEAN_COMMON_MAPPED_FILE_H_
+#define BCLEAN_COMMON_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace bclean {
+
+/// A read-only view of `length` bytes of a file starting at `offset`.
+/// Move-only; unmaps (or frees) on destruction.
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+  ~MappedRegion();
+  MappedRegion(MappedRegion&& other) noexcept;
+  MappedRegion& operator=(MappedRegion&& other) noexcept;
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  /// Maps `[offset, offset + length)` of `path`. `offset` must be a
+  /// multiple of the system page size when mmap is used; when
+  /// `allow_mmap` is false (or mmap is unavailable / fails) the bytes
+  /// are read into an owned buffer instead.
+  static Result<MappedRegion> Map(const std::string& path, uint64_t offset,
+                                  size_t length, bool allow_mmap = true);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when the region is backed by an owned buffer, not a mapping.
+  bool buffered() const { return !buffer_.empty() || mapping_ == nullptr; }
+
+ private:
+  void Release();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  void* mapping_ = nullptr;      ///< mmap base (page-aligned), if mapped
+  size_t mapping_bytes_ = 0;     ///< mmap length, if mapped
+  std::vector<uint8_t> buffer_;  ///< owned bytes, if buffered
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_COMMON_MAPPED_FILE_H_

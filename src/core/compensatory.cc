@@ -216,6 +216,16 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
   for (const PartialMap& acc : stripe_acc) {
     for (const auto& entry : acc) entries.push_back(entry);
   }
+  BuildIndexes(model, stats, options, std::move(entries), pool);
+  return model;
+}
+
+void CompensatoryModel::BuildIndexes(
+    CompensatoryModel& model, const DomainStats& stats,
+    const CompensatoryOptions& options,
+    std::vector<std::pair<uint64_t, PairStat>> entries, ThreadPool* pool) {
+  const size_t n = model.conf_.size();
+  const size_t m = model.num_cols_;
   model.pairs_.Build(entries.begin(), entries.end(), entries.size());
 
   // Oriented co-occurrence index for the batch Score_corr path, built by
@@ -315,6 +325,146 @@ CompensatoryModel CompensatoryModel::Build(const DomainStats& stats,
       model.pair_weight_[pair_id] = static_cast<float>(w);
     });
   }
+}
+
+// ------------------------------------------------------------ StreamBuilder
+
+struct CompensatoryModel::StreamBuilder::Impl {
+  using PartialMap = std::unordered_map<uint64_t, PairStat>;
+  using StripeMaps = std::array<PartialMap, kBuildStripes>;
+
+  CompensatoryOptions options;
+  CompensatoryModel model;  // num_cols_ set at ctor; conf_ grows per row
+  StripeMaps block;         // the current (possibly partial) 1024-row block
+  StripeMaps first_block;   // held back until a second block completes
+  StripeMaps stripe_acc;
+  size_t rows_in_block = 0;
+  size_t blocks_completed = 0;
+
+  // Folds one block's stripe partials on top of the accumulated totals —
+  // the same per-key float adds Build's wave merge performs, applied in
+  // the same ascending block order.
+  static void FoldInto(StripeMaps& acc, StripeMaps& partial) {
+    for (size_t s = 0; s < kBuildStripes; ++s) {
+      for (const auto& [key, stat] : partial[s]) {
+        PairStat& out = acc[s][key];
+        out.weighted += stat.weighted;
+        out.count += stat.count;
+      }
+      partial[s] = PartialMap();
+    }
+  }
+
+  // Build treats a single-block table specially (the partial is moved, not
+  // folded into an empty map — folding would rewrite -0.0f sums as +0.0f
+  // when beta is 0). Deferring the first block until a second one exists
+  // reproduces that exactly: one total block -> move, otherwise every
+  // block folds in ascending order.
+  void CompleteBlock() {
+    if (blocks_completed == 0) {
+      first_block = std::move(block);
+      block = StripeMaps();
+    } else {
+      if (blocks_completed == 1) FoldInto(stripe_acc, first_block);
+      FoldInto(stripe_acc, block);
+    }
+    ++blocks_completed;
+    rows_in_block = 0;
+  }
+};
+
+CompensatoryModel::StreamBuilder::StreamBuilder(
+    size_t num_cols, const CompensatoryOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+  impl_->model.num_cols_ = num_cols;
+}
+
+CompensatoryModel::StreamBuilder::~StreamBuilder() = default;
+CompensatoryModel::StreamBuilder::StreamBuilder(StreamBuilder&&) noexcept =
+    default;
+CompensatoryModel::StreamBuilder& CompensatoryModel::StreamBuilder::operator=(
+    StreamBuilder&&) noexcept = default;
+
+void CompensatoryModel::StreamBuilder::AddRow(
+    std::span<const int32_t> row_codes, std::span<const uint8_t> cell_ok) {
+  Impl& im = *impl_;
+  CompensatoryModel& model = im.model;
+  const size_t m = model.num_cols_;
+  assert(row_codes.size() == m && cell_ok.size() == m);
+  // conf(T) per Equation 3, from the caller's incremental UC verdicts.
+  size_t satisfied = 0;
+  size_t violated = 0;
+  for (size_t c = 0; c < m; ++c) {
+    if (cell_ok[c] != 0) {
+      ++satisfied;
+    } else {
+      ++violated;
+    }
+  }
+  double conf = (static_cast<double>(satisfied) -
+                 im.options.lambda * static_cast<double>(violated)) /
+                static_cast<double>(m);
+  conf = std::max(0.0, conf);
+  model.conf_.push_back(static_cast<float>(conf));
+
+  float trusted = conf >= im.options.tau ? 1.0f : static_cast<float>(conf);
+  for (size_t j = 0; j < m; ++j) {
+    if (row_codes[j] < 0) continue;  // NULLs carry no correlation evidence
+    bool j_ok = cell_ok[j] != 0;
+    for (size_t k = j + 1; k < m; ++k) {
+      if (row_codes[k] < 0) continue;
+      float delta = (j_ok && cell_ok[k] != 0)
+                        ? trusted
+                        : -static_cast<float>(im.options.beta);
+      uint64_t key = model.PackKey(j, row_codes[j], k, row_codes[k]);
+      PairStat& stat = im.block[StripeOf(key)][key];
+      stat.weighted += delta;
+      stat.count += 1;
+    }
+  }
+  if (++im.rows_in_block == kBuildRowBlock) im.CompleteBlock();
+}
+
+CompensatoryModel CompensatoryModel::StreamBuilder::Finish(
+    const DomainStats& stats, const UcMask& mask, ThreadPool* pool) {
+  Impl& im = *impl_;
+  if (im.rows_in_block > 0) im.CompleteBlock();
+  if (im.blocks_completed == 1) im.stripe_acc = std::move(im.first_block);
+
+  CompensatoryModel model = std::move(im.model);
+  const size_t n = model.conf_.size();
+  const size_t m = model.num_cols_;
+  assert(stats.num_rows() == n && stats.num_cols() == m);
+  model.inv_n_ = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  model.normalization_ = im.options.normalization;
+  model.mask_ = mask;
+  model.column_counts_.resize(m);
+  model.freq_.resize(m);
+  for (size_t c = 0; c < m; ++c) {
+    model.column_counts_[c] =
+        static_cast<double>(n - stats.column(c).null_count());
+    const ColumnStats& column = stats.column(c);
+    model.freq_[c].resize(column.DomainSize());
+    for (size_t v = 0; v < column.DomainSize(); ++v) {
+      model.freq_[c][v] =
+          static_cast<double>(column.Frequency(static_cast<int32_t>(v)));
+    }
+  }
+
+  size_t total_pairs = 0;
+  for (const auto& acc : im.stripe_acc) total_pairs += acc.size();
+  std::vector<std::pair<uint64_t, PairStat>> entries;
+  entries.reserve(total_pairs);
+  for (const auto& acc : im.stripe_acc) {
+    for (const auto& entry : acc) entries.push_back(entry);
+  }
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(1);
+    pool = owned_pool.get();
+  }
+  BuildIndexes(model, stats, im.options, std::move(entries), pool);
   return model;
 }
 

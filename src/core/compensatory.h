@@ -23,6 +23,7 @@
 #define BCLEAN_CORE_COMPENSATORY_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -85,6 +86,38 @@ class CompensatoryModel {
                                  const CompensatoryOptions& options,
                                  size_t num_threads = 1,
                                  ThreadPool* pool = nullptr);
+
+  /// Streaming equivalent of Build for sources that are never resident as
+  /// one table: rows are fed one at a time in row order and accumulated
+  /// into the same fixed 1024-row block partials Build uses, folded in
+  /// ascending block order (with Build's single-block move preserved), so
+  /// Finish() returns a model whose Fingerprint() is bit-equal to an
+  /// in-memory Build over the same rows.
+  class StreamBuilder {
+   public:
+    StreamBuilder(size_t num_cols, const CompensatoryOptions& options);
+    ~StreamBuilder();
+    StreamBuilder(StreamBuilder&&) noexcept;
+    StreamBuilder& operator=(StreamBuilder&&) noexcept;
+
+    /// Feeds the next row. `cell_ok[c]` must equal the final UC mask's
+    /// verdict for (c, row_codes[c]) — the caller evaluates constraints
+    /// incrementally as values are interned; verdicts depend only on the
+    /// value, so they match the mask built after the scan.
+    void AddRow(std::span<const int32_t> row_codes,
+                std::span<const uint8_t> cell_ok);
+
+    /// Completes the model. `stats`/`mask` are the final dictionaries and
+    /// verdicts over every row fed (frequencies, entropies, and the mask
+    /// copy the model owns). When `pool` is null a private single-thread
+    /// pool runs the (deterministic) index builds.
+    CompensatoryModel Finish(const DomainStats& stats, const UcMask& mask,
+                             ThreadPool* pool = nullptr);
+
+   private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
 
   /// Validates that `stats` fits PackKey's bit layout: the attribute-pair
   /// id needs m*m <= 2^16 and every dictionary code must fit in 24 bits.
@@ -188,6 +221,15 @@ class CompensatoryModel {
     float weighted = 0.0f;  // +1 per confident tuple, -beta otherwise
     uint32_t count = 0;     // raw co-occurrences
   };
+
+  // Shared tail of Build and StreamBuilder::Finish: builds the flat pair
+  // table, the oriented postings index, and the MI pair weights from the
+  // merged (key, stat) entries. Reads n as model.conf_.size(); the model's
+  // scalar/copied fields must already be set.
+  static void BuildIndexes(CompensatoryModel& model, const DomainStats& stats,
+                           const CompensatoryOptions& options,
+                           std::vector<std::pair<uint64_t, PairStat>> entries,
+                           ThreadPool* pool);
 
   // Shared evidence-eligibility + normalization rule of the two prepared
   // Score_corr paths: the multiplier of evidence value `e` at `attr_k` when

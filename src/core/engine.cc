@@ -107,6 +107,27 @@ Result<std::unique_ptr<BCleanEngine>> BCleanEngine::CreateFromParts(
   return engine;
 }
 
+Result<std::unique_ptr<BCleanEngine>> BCleanEngine::CreateFromFittedParts(
+    ModelParts parts, UcRegistry ucs, BayesianNetwork network,
+    const BCleanOptions& options) {
+  if (!parts.Complete()) {
+    return Status::InvalidArgument(
+        "CreateFromFittedParts requires a complete ModelParts bundle");
+  }
+  if (parts.dirty->num_cols() != ucs.num_attributes()) {
+    return Status::InvalidArgument(
+        "UC registry arity does not match the parts' table");
+  }
+  if (network.num_dirty() != 0) {
+    return Status::InvalidArgument(
+        "CreateFromFittedParts requires a fully fitted network");
+  }
+  std::unique_ptr<BCleanEngine> engine(
+      new BCleanEngine(std::move(parts), std::move(ucs), options));
+  engine->bn_ = std::move(network);
+  return engine;
+}
+
 Result<std::unique_ptr<BCleanEngine>> BCleanEngine::DetachWithNetwork(
     BayesianNetwork network) const {
   return CreateFromParts(parts_, ucs_, std::move(network), options_);
@@ -259,6 +280,10 @@ struct BCleanEngine::CleanShared {
   std::vector<std::unique_ptr<CellScorer>> scorers;  // per worker
   std::vector<RepairCache::Local> locals;            // per worker
   std::vector<std::vector<double>> filter_ws;        // per worker
+  // The codes the scan reads. In-memory passes point this at the stats'
+  // resident coded view; the sharded pass re-points it at each chunk's
+  // spilled codes (row indices then being chunk-local).
+  CodedView codes;
 };
 
 struct BCleanEngine::RowWorkspace {
@@ -292,7 +317,7 @@ void BCleanEngine::CleanOneRow(size_t r, CleanShared& shared, size_t worker,
   std::vector<int32_t>& batch = ws.batch;
   std::vector<double>& scores = ws.scores;
   row_codes.resize(m);
-  for (size_t c = 0; c < m; ++c) row_codes[c] = encoded.code(r, c);
+  for (size_t c = 0; c < m; ++c) row_codes[c] = shared.codes.code(r, c);
   // The row's Filter values and whole-tuple signature prefix are
   // computed at most once and recomputed only after an in-place repair
   // changes the tuple.
@@ -430,7 +455,8 @@ void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
 
 void BCleanEngine::InitShared(CleanShared& shared, RepairCache* cache,
                               size_t workers) const {
-  const size_t m = dirty().num_cols();
+  const size_t m = stats().num_cols();
+  shared.codes = CodedView(parts_.stats->coded());
   // Candidate lists are computed once per attribute, not per cell.
   shared.candidates.resize(m);
   for (size_t a = 0; a < m; ++a) shared.candidates[a] = CandidatesFor(a);
@@ -589,6 +615,102 @@ Result<CleanResult> BCleanEngine::RunCleanCancellable(
   // The pass's own wall time, measured here so every CleanResult — one-shot
   // Clean(), service Clean(), or a CleanAsync future — reports the job
   // itself, never a caller wrapper's timing.
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+BCleanEngine::ChunkCleanPass::ChunkCleanPass() = default;
+BCleanEngine::ChunkCleanPass::~ChunkCleanPass() = default;
+
+std::unique_ptr<BCleanEngine::ChunkCleanPass> BCleanEngine::BeginChunkCleanPass(
+    RepairCache* cache, ThreadPool* pool) const {
+  std::unique_ptr<ChunkCleanPass> pass(new ChunkCleanPass());
+  pass->pool_ = pool;
+  pass->workers_ = pool != nullptr && pool->size() > 1 ? pool->size() : 1;
+  pass->shared_ = std::make_unique<CleanShared>();
+  InitShared(*pass->shared_, cache, pass->workers_);
+  return pass;
+}
+
+Result<CleanResult> BCleanEngine::CleanChunkCancellable(
+    ChunkCleanPass& pass, CodedView codes, const CancelToken* cancel) const {
+  Stopwatch watch;
+  const size_t n = codes.num_rows();
+  const size_t m = codes.num_cols();
+  assert(m == stats().num_cols());
+
+  // Decode the chunk back to strings once: the result starts as the dirty
+  // chunk (unrepaired cells must round-trip verbatim) and repairs overwrite
+  // individual cells, exactly like an in-memory pass over the same rows.
+  Table chunk(dirty().schema());
+  {
+    std::vector<std::string> row(m);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < m; ++c) {
+        int32_t code = codes.code(r, c);
+        row[c] = code < 0 ? std::string() : stats().column(c).ValueOf(code);
+      }
+      chunk.AddRowUnchecked(row);
+    }
+  }
+  CleanResult result{std::move(chunk), CleanStats{}};
+
+  CleanShared& shared = *pass.shared_;
+  shared.codes = codes;  // row indices below are chunk-local
+
+  constexpr size_t kRowBlock = 32;
+  std::atomic<bool> stopped{false};
+  Status stop_status = Status::OK();
+  std::mutex stop_mu;
+  auto check_cancel = [&]() -> bool {
+    BCLEAN_FAULT_POINT("clean.row_block");
+    if (cancel == nullptr) return false;
+    if (stopped.load(std::memory_order_relaxed)) return true;
+    Status st = cancel->Check();
+    if (st.ok()) return false;
+    bool expected = false;
+    if (stopped.compare_exchange_strong(expected, true)) {
+      std::lock_guard<std::mutex> lock(stop_mu);
+      stop_status = std::move(st);
+    }
+    return true;
+  };
+
+  if (pass.workers_ <= 1) {
+    auto scan = [&] {
+      for (size_t begin = 0; begin < n; begin += kRowBlock) {
+        if (check_cancel()) return;
+        CleanRowRange(begin, std::min(n, begin + kRowBlock), shared, 0,
+                      result.table, result.stats);
+      }
+    };
+    if (pass.pool_ != nullptr) {
+      pass.pool_->ParallelFor(1, [&](size_t, size_t) { scan(); });
+    } else {
+      scan();
+    }
+    if (stopped.load(std::memory_order_relaxed)) return stop_status;
+  } else {
+    const size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
+    std::vector<CleanStats> worker_stats(pass.workers_);
+    pass.pool_->ParallelFor(num_blocks, [&](size_t block, size_t worker) {
+      if (check_cancel()) return;
+      size_t begin = block * kRowBlock;
+      size_t end = std::min(n, begin + kRowBlock);
+      CleanRowRange(begin, end, shared, worker, result.table,
+                    worker_stats[worker]);
+    });
+    if (stopped.load(std::memory_order_relaxed)) return stop_status;
+    for (const CleanStats& s : worker_stats) {
+      result.stats.cells_scanned += s.cells_scanned;
+      result.stats.cells_skipped_by_filter += s.cells_skipped_by_filter;
+      result.stats.cells_inferred += s.cells_inferred;
+      result.stats.cells_changed += s.cells_changed;
+      result.stats.candidates_evaluated += s.candidates_evaluated;
+      result.stats.cache_hits += s.cache_hits;
+      result.stats.cache_misses += s.cache_misses;
+    }
+  }
   result.stats.seconds = watch.ElapsedSeconds();
   return result;
 }

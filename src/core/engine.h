@@ -67,6 +67,19 @@ struct CleanResult {
 
 /// One configured cleaning run over one dirty table.
 class BCleanEngine {
+ private:
+  /// Per-Clean() state shared across workers: candidate lists and their
+  /// digests, signature column lists, the repair cache, and the per-worker
+  /// scorers / cache L1s / filter workspaces. Declared up front so the
+  /// nested ChunkCleanPass below can hold one across chunks.
+  struct CleanShared;
+
+  /// Reusable per-row scratch (the working copy of the tuple's codes plus
+  /// the candidate batch/score buffers). One instance per worker; every
+  /// field is fully re-initialized by CleanOneRow, so no state leaks from
+  /// one row's scan into the next.
+  struct RowWorkspace;
+
  public:
   /// Construction stage with automatic BN learning (Section 4). `dirty` is
   /// taken by value: pass an rvalue to move the table's buffers straight
@@ -100,6 +113,17 @@ class BCleanEngine {
   /// through). The parts are shared, not copied — this is the cheap path:
   /// cost is one CPT refit, not a model rebuild.
   static Result<std::unique_ptr<BCleanEngine>> CreateFromParts(
+      ModelParts parts, UcRegistry ucs, BayesianNetwork network,
+      const BCleanOptions& options);
+
+  /// CreateFromParts without the CPT refit: `network` must already be
+  /// fully fitted (num_dirty() == 0). This is the out-of-core path — the
+  /// sharded builder fits CPTs by streaming spilled chunks, and its parts
+  /// bundle carries dictionary-only stats whose coded view is empty, so a
+  /// refit here would read codes that are not resident. Also the cheap
+  /// path for the service's layered part reuse, where BuildNetwork has
+  /// just fitted the network from the same shared stats.
+  static Result<std::unique_ptr<BCleanEngine>> CreateFromFittedParts(
       ModelParts parts, UcRegistry ucs, BayesianNetwork network,
       const BCleanOptions& options);
 
@@ -159,6 +183,42 @@ class BCleanEngine {
   Result<CleanResult> RunCleanCancellable(
       ThreadPool* pool, RepairCache* cache,
       std::optional<bool> per_pass_cache, const CancelToken* cancel) const;
+
+  /// Reusable cross-chunk state of one sharded cleaning pass: candidate
+  /// lists, signature tables, scorers, cache L1s. Created by
+  /// BeginChunkCleanPass, fed to CleanChunkCancellable once per chunk
+  /// (serially — a pass must not clean two chunks concurrently; the
+  /// *rows inside* a chunk parallelize on the pass's pool).
+  class ChunkCleanPass {
+   public:
+    ~ChunkCleanPass();
+    ChunkCleanPass(const ChunkCleanPass&) = delete;
+    ChunkCleanPass& operator=(const ChunkCleanPass&) = delete;
+
+   private:
+    friend class BCleanEngine;
+    ChunkCleanPass();
+    std::unique_ptr<CleanShared> shared_;
+    ThreadPool* pool_ = nullptr;
+    size_t workers_ = 1;
+  };
+
+  /// Prepares a sharded cleaning pass over this engine's model. `cache`
+  /// (optional) is the fingerprint-keyed repair cache shared with
+  /// in-memory cleans; `pool` (optional) supplies the per-chunk workers.
+  std::unique_ptr<ChunkCleanPass> BeginChunkCleanPass(RepairCache* cache,
+                                                      ThreadPool* pool) const;
+
+  /// Cleans one chunk of rows: decodes `codes` back to strings through the
+  /// shared dictionaries, runs Algorithm 1 over the chunk's rows (row
+  /// indices are chunk-local), and returns the repaired chunk as a table
+  /// plus this chunk's counters. Because every repair decision is a pure
+  /// function of the tuple's codes — never of the row's global index — a
+  /// table cleaned chunk by chunk is byte-identical to one cleaned in a
+  /// single in-memory pass (tests/shard_test.cc pins the full matrix).
+  Result<CleanResult> CleanChunkCancellable(ChunkCleanPass& pass,
+                                            CodedView codes,
+                                            const CancelToken* cancel) const;
 
   /// Audit surface for the amplification harness (and the sharding bench):
   /// scans exactly `rows`, in the given order, serially on one worker with
@@ -238,17 +298,6 @@ class BCleanEngine {
 
   /// The UC verdict mask (shared part).
   const UcMask& mask() const { return *parts_.mask; }
-
-  /// Per-Clean() state shared across workers: candidate lists and their
-  /// digests, signature column lists, the repair cache, and the per-worker
-  /// scorers / cache L1s / filter workspaces.
-  struct CleanShared;
-
-  /// Reusable per-row scratch (the working copy of the tuple's codes plus
-  /// the candidate batch/score buffers). One instance per worker; every
-  /// field is fully re-initialized by CleanOneRow, so no state leaks from
-  /// one row's scan into the next.
-  struct RowWorkspace;
 
   /// Fills `shared` for a pass over this engine: candidate lists, the
   /// signature tables (when `cache` is non-null), and `workers` scorer /

@@ -212,6 +212,15 @@ struct ServiceOptions {
   /// keep their warm model while idle entries make room.
   size_t engine_cache_bytes = 0;
 
+  /// Entries kept per model-parts layer cache (dictionary stats, UC mask,
+  /// compensatory model — each layer keyed by its own digest chain, so
+  /// Opens differing only in decision options that a layer does not read
+  /// still share that layer: stats by table content, mask additionally by
+  /// UC identity, compensatory additionally by CompensatoryOptions).
+  /// The engine cache above still serves fully-identical re-Opens; these
+  /// layer caches serve the partial overlaps. 0 disables layer reuse.
+  size_t parts_cache_capacity = 8;
+
   /// Keep per-model-fingerprint repair caches alive across Clean() calls
   /// (and across sessions sharing a fingerprint). Replayed outcomes are
   /// pure functions of the signature under a pinned model, so warm runs

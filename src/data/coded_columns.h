@@ -66,6 +66,40 @@ class CodedColumns {
   std::vector<int32_t> data_;
 };
 
+/// Non-owning view of a column-major code matrix — the same indexing
+/// contract as CodedColumns over bytes the viewer does not own (an
+/// in-memory CodedColumns, or a shard chunk's mapped payload). The
+/// backing buffer must outlive the view.
+class CodedView {
+ public:
+  CodedView() = default;
+
+  CodedView(const int32_t* data, size_t num_rows, size_t num_cols)
+      : data_(data), num_rows_(num_rows), num_cols_(num_cols) {}
+
+  explicit CodedView(const CodedColumns& columns)
+      : CodedView(columns.raw().data(), columns.num_rows(),
+                  columns.num_cols()) {}
+
+  int32_t code(size_t row, size_t col) const {
+    assert(row < num_rows_ && col < num_cols_);
+    return data_[col * num_rows_ + row];
+  }
+
+  std::span<const int32_t> column(size_t col) const {
+    assert(col < num_cols_);
+    return std::span<const int32_t>(data_ + col * num_rows_, num_rows_);
+  }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return num_cols_; }
+
+ private:
+  const int32_t* data_ = nullptr;
+  size_t num_rows_ = 0;
+  size_t num_cols_ = 0;
+};
+
 }  // namespace bclean
 
 #endif  // BCLEAN_DATA_CODED_COLUMNS_H_

@@ -158,6 +158,15 @@ Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
   return ReadCsvString(buffer.str(), options);
 }
 
+void WriteCsvRecord(std::span<const std::string> fields, char separator,
+                    std::string* out) {
+  for (size_t c = 0; c < fields.size(); ++c) {
+    if (c > 0) *out += separator;
+    *out += QuoteField(fields[c], separator);
+  }
+  *out += '\n';
+}
+
 std::string WriteCsvString(const Table& table, const CsvOptions& options) {
   std::string out;
   char sep = options.separator;

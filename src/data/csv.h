@@ -16,6 +16,7 @@
 #ifndef BCLEAN_DATA_CSV_H_
 #define BCLEAN_DATA_CSV_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +45,14 @@ Result<Table> ReadCsvString(std::string_view text,
 /// Reads a CSV file from disk.
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvOptions& options = {});
+
+/// Serializes one record — quoting each field exactly as WriteCsvString
+/// does — and appends it, newline-terminated, to `*out`. Streaming writers
+/// (the sharded session's chunk-by-chunk CSV export) emit records through
+/// this so their output is byte-identical to WriteCsvString over the same
+/// rows.
+void WriteCsvRecord(std::span<const std::string> fields, char separator,
+                    std::string* out);
 
 /// Serializes `table` to CSV text. NULL cells are written as empty fields.
 std::string WriteCsvString(const Table& table, const CsvOptions& options = {});

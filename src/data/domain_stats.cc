@@ -54,12 +54,21 @@ DomainStats DomainStats::Build(const Table& table) {
   DomainStats stats;
   stats.columns_.resize(table.num_cols());
   stats.codes_ = CodedColumns(table.num_rows(), table.num_cols());
+  stats.logical_rows_ = table.num_rows();
   for (size_t c = 0; c < table.num_cols(); ++c) {
     std::span<int32_t> codes = stats.codes_.mutable_column(c);
     for (size_t r = 0; r < table.num_rows(); ++r) {
       codes[r] = stats.columns_[c].Intern(table.cell(r, c));
     }
   }
+  return stats;
+}
+
+DomainStats DomainStats::FromDictionaries(std::vector<ColumnStats> columns,
+                                          size_t num_rows) {
+  DomainStats stats;
+  stats.columns_ = std::move(columns);
+  stats.logical_rows_ = num_rows;
   return stats;
 }
 

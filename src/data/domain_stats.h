@@ -68,6 +68,15 @@ class DomainStats {
   /// Builds statistics (and the encoded view) for every column of `table`.
   static DomainStats Build(const Table& table);
 
+  /// Wraps dictionaries accumulated elsewhere (the sharded streaming
+  /// build) without a resident coded view: `num_rows()` reports the
+  /// logical row count of the source, while `coded()` stays empty — the
+  /// codes live in spilled chunks. Callers of `code()`/`codes()` must
+  /// not be reached from such stats (the sharded engine reads chunk
+  /// views instead).
+  static DomainStats FromDictionaries(std::vector<ColumnStats> columns,
+                                      size_t num_rows);
+
   /// Per-column statistics.
   const ColumnStats& column(size_t col) const {
     assert(col < columns_.size());
@@ -86,8 +95,10 @@ class DomainStats {
   /// layout the scoring kernels and tuple pruning read directly.
   const CodedColumns& coded() const { return codes_; }
 
-  size_t num_rows() const { return codes_.num_rows(); }
-  size_t num_cols() const { return codes_.num_cols(); }
+  /// Logical rows of the source table (even when the coded view is not
+  /// resident — see FromDictionaries).
+  size_t num_rows() const { return logical_rows_; }
+  size_t num_cols() const { return columns_.size(); }
 
   /// Approximate memory footprint (dictionaries plus the encoded view).
   /// Feeds the service layer's byte-budget engine-cache eviction.
@@ -96,6 +107,7 @@ class DomainStats {
  private:
   std::vector<ColumnStats> columns_;
   CodedColumns codes_;  // flat column-major code matrix
+  size_t logical_rows_ = 0;
 };
 
 }  // namespace bclean

@@ -11,23 +11,19 @@
 #include "src/text/similarity.h"
 
 namespace bclean {
-namespace {
 
 // Heuristic LDL ordering: attributes with larger observed domains first.
 // For an FD X -> Y, |dom(X)| >= |dom(Y)| almost always (the determinant
 // refines the dependent), so determinants come earlier and B's strictly-
 // lower-triangular support orients edges determinant -> dependent.
-std::vector<size_t> DomainSizeOrdering(const Table& table) {
-  DomainStats stats = DomainStats::Build(table);
-  std::vector<size_t> order(table.num_cols());
+std::vector<size_t> DomainSizeOrdering(const DomainStats& stats) {
+  std::vector<size_t> order(stats.num_cols());
   std::iota(order.begin(), order.end(), size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return stats.column(a).DomainSize() > stats.column(b).DomainSize();
   });
   return order;
 }
-
-}  // namespace
 
 Matrix BuildSimilarityObservations(const Table& table,
                                    const StructureOptions& options,
@@ -86,9 +82,15 @@ Result<LearnedStructure> LearnStructure(const Table& table,
     return Status::InvalidArgument(
         "structure learning requires at least 2 columns");
   }
-  const size_t m = table.num_cols();
-
   Matrix observations = BuildSimilarityObservations(table, options, pool);
+  return LearnStructureFromObservations(
+      observations, DomainSizeOrdering(DomainStats::Build(table)), options);
+}
+
+Result<LearnedStructure> LearnStructureFromObservations(
+    const Matrix& observations, std::vector<size_t> ordering,
+    const StructureOptions& options) {
+  const size_t m = ordering.size();
   Result<Matrix> cov = EmpiricalCovariance(observations);
   if (!cov.ok()) return cov.status();
 
@@ -112,7 +114,7 @@ Result<LearnedStructure> LearnStructure(const Table& table,
   const Matrix& theta = glasso.value().precision;
 
   // Permute Theta into the heuristic ordering, LDL-decompose, and read B.
-  std::vector<size_t> order = DomainSizeOrdering(table);
+  const std::vector<size_t>& order = ordering;
   Matrix permuted(m, m);
   for (size_t i = 0; i < m; ++i) {
     for (size_t j = 0; j < m; ++j) {

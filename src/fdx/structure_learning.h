@@ -67,6 +67,21 @@ Matrix BuildSimilarityObservations(const Table& table,
                                    const StructureOptions& options,
                                    ThreadPool* pool = nullptr);
 
+/// The heuristic LDL variable ordering: attributes with larger observed
+/// domains first (stable on ties). Exposed so out-of-core callers that
+/// already hold dictionaries can reproduce LearnStructure's ordering
+/// without a resident table.
+std::vector<size_t> DomainSizeOrdering(const DomainStats& stats);
+
+/// The table-free tail of the pipeline: covariance -> (optional)
+/// standardization -> glasso -> LDL under `ordering` -> thresholded,
+/// parent-capped edges. `ordering` must be a permutation of the
+/// observation columns. LearnStructure is exactly
+/// BuildSimilarityObservations + DomainSizeOrdering + this.
+Result<LearnedStructure> LearnStructureFromObservations(
+    const Matrix& observations, std::vector<size_t> ordering,
+    const StructureOptions& options = {});
+
 /// Runs the full structure-learning pipeline on (dirty) `table`.
 /// Fails when the table has fewer than 3 rows or 2 columns.
 Result<LearnedStructure> LearnStructure(const Table& table,

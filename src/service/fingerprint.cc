@@ -41,12 +41,27 @@ uint64_t DigestUcRegistry(const UcRegistry& ucs) {
   return h;
 }
 
+uint64_t DigestCompensatoryOptions(const CompensatoryOptions& options) {
+  uint64_t h = 0xC0423ull;
+  h = DigestDouble(h, options.lambda);
+  h = DigestDouble(h, options.beta);
+  h = DigestDouble(h, options.tau);
+  h = DigestCombine(h, static_cast<uint64_t>(options.normalization));
+  h = DigestCombine(h, options.use_mi_weighting);
+  return h;
+}
+
 uint64_t EngineCacheKey(const Table& dirty, const UcRegistry& ucs,
+                        const BCleanOptions& options) {
+  return EngineCacheKey(DigestTableContent(dirty), ucs, options);
+}
+
+uint64_t EngineCacheKey(uint64_t table_content_digest, const UcRegistry& ucs,
                         const BCleanOptions& options) {
   uint64_t h = 0xE4617Eull;
   h = DigestCombine(h, options.Digest());
   h = DigestCombine(h, DigestUcRegistry(ucs));
-  h = DigestCombine(h, DigestTableContent(dirty));
+  h = DigestCombine(h, table_content_digest);
   return h;
 }
 

@@ -35,10 +35,23 @@ uint64_t DigestTableContent(const Table& table);
 /// constraint's kind and description, in registration order.
 uint64_t DigestUcRegistry(const UcRegistry& ucs);
 
+/// Digest of the compensatory-model configuration alone — the subset of
+/// BCleanOptions the compensatory build actually reads. Keys the service's
+/// compensatory layer cache: Opens that differ only in options the layer
+/// never sees (repair_margin, inference mode, pruning knobs) share the
+/// built model.
+uint64_t DigestCompensatoryOptions(const CompensatoryOptions& options);
+
 /// The engine cache key: schema + decision-affecting options + table
 /// content + UC identity. Thread counts and cache knobs are excluded
 /// (see BCleanOptions::Digest) — engines are output-identical across them.
 uint64_t EngineCacheKey(const Table& dirty, const UcRegistry& ucs,
+                        const BCleanOptions& options);
+
+/// EngineCacheKey from a precomputed DigestTableContent. The layered
+/// engine acquisition digests the table once and derives both this key and
+/// the parts-layer keys from it instead of walking the table twice.
+uint64_t EngineCacheKey(uint64_t table_content_digest, const UcRegistry& ucs,
                         const BCleanOptions& options);
 
 }  // namespace bclean

@@ -1,107 +1,25 @@
 #include "src/service/service.h"
 
-#include <array>
-#include <list>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "src/common/digest.h"
 #include "src/common/fault_injection.h"
 #include "src/common/thread_pool.h"
 #include "src/core/repair_cache.h"
-#include "src/service/dispatcher.h"
+#include "src/fdx/structure_learning.h"
 #include "src/service/fingerprint.h"
+#include "src/service/service_state.h"
 
 namespace bclean {
 namespace internal {
 namespace {
 
-/// Fixed-capacity LRU map over fingerprint keys, shared by the engine
-/// cache and the repair-cache registry so the touch/evict protocol lives
-/// in one place. Not thread-safe; callers hold ServiceState::mu.
-template <typename V>
-class LruMap {
- public:
-  /// Value under `key` (touched most-recent), or nullptr.
-  V* Find(uint64_t key) {
-    auto it = map_.find(key);
-    if (it == map_.end()) return nullptr;
-    Touch(key);
-    return &it->second;
-  }
+size_t ResolveThreads(size_t num_threads) {
+  return num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads;
+}
 
-  /// Inserts value under `key`, or keeps the existing entry (then
-  /// `*inserted` is false and the argument is dropped). Touches the key.
-  V& InsertOrGet(uint64_t key, V value, bool* inserted) {
-    auto [it, did_insert] = map_.emplace(key, std::move(value));
-    *inserted = did_insert;
-    Touch(key);
-    return it->second;
-  }
-
-  /// Evicts least-recently-used entries down to `capacity` (>= 1; the
-  /// most-recently-touched entry always survives). Returns the count.
-  size_t EvictDownTo(size_t capacity) {
-    size_t evicted = 0;
-    while (map_.size() > capacity) {
-      map_.erase(lru_.back());
-      lru_.pop_back();
-      ++evicted;
-    }
-    return evicted;
-  }
-
-  /// Calls fn(key, value) for every entry, least-recently-used first,
-  /// without touching recency (the byte-budget accounting walk).
-  template <typename Fn>
-  void ForEachLruFirst(Fn&& fn) const {
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      fn(*it, map_.at(*it));
-    }
-  }
-
-  /// Drops `key` (no-op when absent). Returns whether an entry was erased.
-  bool Erase(uint64_t key) {
-    auto it = map_.find(key);
-    if (it == map_.end()) return false;
-    map_.erase(it);
-    for (auto lru_it = lru_.begin(); lru_it != lru_.end(); ++lru_it) {
-      if (*lru_it == key) {
-        lru_.erase(lru_it);
-        break;
-      }
-    }
-    return true;
-  }
-
-  size_t size() const { return map_.size(); }
-
- private:
-  void Touch(uint64_t key) {
-    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-      if (*it == key) {
-        lru_.erase(it);
-        break;
-      }
-    }
-    lru_.push_front(key);
-  }
-
-  std::unordered_map<uint64_t, V> map_;
-  std::list<uint64_t> lru_;  // front = most recently used
-};
-
-/// One engine-cache entry: the shared engine plus its ApproxBytes
-/// breakdown, memoized at insert time (cached engines are immutable, so
-/// the sizes never change). The per-part (address, bytes) pairs let the
-/// byte-budget accounting charge a ModelParts bundle shared by several
-/// cached engines exactly once, in O(entries) pointer work per pass —
-/// no deep walks of tables or dictionaries ever run under the mutex.
-struct CachedEngine {
-  std::shared_ptr<BCleanEngine> engine;
-  std::array<std::pair<const void*, size_t>, 4> part_bytes{};
-  size_t private_bytes = 0;  ///< engine struct + its private network
-};
+}  // namespace
 
 CachedEngine MakeCachedEngine(std::shared_ptr<BCleanEngine> engine) {
   CachedEngine entry;
@@ -118,72 +36,115 @@ CachedEngine MakeCachedEngine(std::shared_ptr<BCleanEngine> engine) {
   return entry;
 }
 
-}  // namespace
-
-/// Shared, reference-counted service state. Sessions and in-flight futures
-/// hold it, so the pool and caches outlive the Service facade if needed.
-struct ServiceState {
-  explicit ServiceState(ServiceOptions opts)
-      : options(opts),
-        pool(std::make_shared<ThreadPool>(
-            opts.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                  : opts.num_threads)) {
-    DispatcherOptions dispatch;
-    dispatch.num_workers = opts.dispatcher_threads == 0
-                               ? pool->size()
-                               : opts.dispatcher_threads;
-    dispatch.max_queued_jobs = opts.max_queued_jobs;
-    dispatch.max_queued_per_session = opts.max_queued_per_session;
-    dispatcher = std::make_unique<Dispatcher>(dispatch);
+Result<std::unique_ptr<BCleanEngine>> ServiceState::BuildEngineLayered(
+    const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
+    uint64_t content, Table* owned) {
+  if (dirty.num_cols() != ucs.num_attributes()) {
+    return Status::InvalidArgument(
+        "UC registry arity does not match the table");
   }
+  const UcRegistry effective =
+      options.use_user_constraints ? ucs : ucs.Empty();
+  // Each layer is keyed by the digest chain of exactly the inputs it
+  // reads, so two Opens that differ only in options a layer never sees
+  // (repair_margin, inference mode, pruning knobs...) share that layer.
+  const uint64_t stats_key = content;
+  const uint64_t mask_key =
+      DigestCombine(stats_key, DigestUcRegistry(effective));
+  const uint64_t comp_key =
+      DigestCombine(mask_key, DigestCompensatoryOptions(options.compensatory));
 
-  const ServiceOptions options;
-  const std::shared_ptr<ThreadPool> pool;
-
-  std::mutex mu;
-  // Engine cache: content fingerprint -> pristine engine (with memoized
-  // byte sizes), LRU-evicted. Entries are shared with sessions; eviction
-  // only drops the cache's reference (sessions keep cleaning on their
-  // engine).
-  LruMap<CachedEngine> engines;
-  // Repair-cache registry: model fingerprint -> persistent cache.
-  LruMap<std::shared_ptr<RepairCache>> caches;
-  ServiceStats stats;
-
-  // The CleanAsync dispatch queue. Declared after everything the queued
-  // jobs' lambdas capture — but the lambdas capture pool/engine/cache
-  // snapshots, never this ServiceState (state owns the dispatcher; a
-  // queued job holding state would be a reference cycle). Being the last
-  // member, it is destroyed first: queued jobs resolve kCancelled and
-  // workers join while the pool is still alive.
-  std::unique_ptr<Dispatcher> dispatcher;
-
-  /// Serves a cached engine for (dirty, ucs, options) or builds one on the
-  /// shared pool and caches it. `*reused` reports whether the session got
-  /// an already-built engine. `owned` (optional) must alias `dirty` (same
-  /// object or equal content): when non-null, a cache miss moves *owned
-  /// into the built engine instead of copying `dirty` — the zero-copy
-  /// move-through path of Open(Table&&) and Session::Update.
-  Result<std::shared_ptr<BCleanEngine>> AcquireEngine(
-      const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
-      bool* reused, Table* owned = nullptr);
-
-  /// Enforces ServiceOptions::engine_cache_bytes: while the cached engines'
-  /// deduped ApproxBytes exceed the budget, evicts the least-recently-used
-  /// entry not referenced outside the cache (open sessions and in-flight
-  /// acquires pin their engine). Caller holds mu. Returns the count.
-  size_t EvictEnginesOverByteBudgetLocked();
-
-  /// The persistent repair cache for `fingerprint` (created on first use),
-  /// or null when persistence is disabled.
-  std::shared_ptr<RepairCache> AcquireRepairCache(uint64_t fingerprint);
-};
+  ModelParts parts;
+  size_t reused_layers = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (CachedTableStats* hit = parts_stats.Find(stats_key)) {
+      parts.dirty = hit->dirty;
+      parts.stats = hit->stats;
+      ++reused_layers;
+    }
+    if (auto* hit = parts_masks.Find(mask_key)) {
+      parts.mask = *hit;
+      ++reused_layers;
+    }
+    if (auto* hit = parts_comps.Find(comp_key)) {
+      parts.compensatory = *hit;
+      ++reused_layers;
+    }
+  }
+  // Build the missing layers outside the lock (construction dominates;
+  // racing Opens at worst build a layer twice and the loser adopts the
+  // winner's copy below). This replicates BCleanEngine::BuildParts layer
+  // by layer, so a fully-missed build is the same computation Create runs.
+  const bool built_stats = parts.stats == nullptr;
+  if (built_stats) {
+    parts.dirty = std::make_shared<const Table>(
+        owned != nullptr ? std::move(*owned) : Table(dirty));
+    DomainStats stats_built = DomainStats::Build(*parts.dirty);
+    BCLEAN_RETURN_IF_ERROR(CompensatoryModel::CheckCapacity(stats_built));
+    parts.stats = std::make_shared<const DomainStats>(std::move(stats_built));
+  }
+  const bool built_mask = parts.mask == nullptr;
+  if (built_mask) {
+    parts.mask = std::make_shared<const UcMask>(
+        UcMask::Build(effective, *parts.stats));
+  }
+  const bool built_comp = parts.compensatory == nullptr;
+  if (built_comp) {
+    parts.compensatory = std::make_shared<const CompensatoryModel>(
+        CompensatoryModel::Build(*parts.stats, *parts.mask,
+                                 options.compensatory,
+                                 ResolveThreads(options.num_threads),
+                                 pool.get()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    bool inserted = false;
+    if (built_stats) {
+      // Adopt the winner on a lost race so every engine built for this
+      // content shares one table + stats (and the engine cache's deduped
+      // byte accounting charges them once).
+      CachedTableStats& winner = parts_stats.InsertOrGet(
+          stats_key, CachedTableStats{parts.dirty, parts.stats}, &inserted);
+      parts.dirty = winner.dirty;
+      parts.stats = winner.stats;
+    }
+    if (built_mask) {
+      parts.mask = parts_masks.InsertOrGet(mask_key, parts.mask, &inserted);
+    }
+    if (built_comp) {
+      parts.compensatory =
+          parts_comps.InsertOrGet(comp_key, parts.compensatory, &inserted);
+    }
+    const size_t cap = this->options.parts_cache_capacity;
+    parts_stats.EvictDownTo(cap);
+    parts_masks.EvictDownTo(cap);
+    parts_comps.EvictDownTo(cap);
+    stats.parts_layers_reused += reused_layers;
+  }
+  // Assemble exactly like Create: BuildNetwork returns a fitted network
+  // (Fit runs inside), and CreateFromFittedParts adopts it without a
+  // refit — so a layered engine is bit-equal to a Create'd one, reused
+  // layers included (they are content-keyed).
+  StructureOptions structure = options.structure;
+  if (structure.num_threads == 0) {
+    structure.num_threads = ResolveThreads(options.num_threads);
+  }
+  Result<BayesianNetwork> bn =
+      BuildNetwork(*parts.dirty, *parts.stats, structure, pool.get());
+  if (!bn.ok()) return bn.status();
+  return BCleanEngine::CreateFromFittedParts(std::move(parts), effective,
+                                             std::move(bn).value(), options);
+}
 
 Result<std::shared_ptr<BCleanEngine>> ServiceState::AcquireEngine(
     const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
     bool* reused, Table* owned) {
   const bool cacheable = this->options.engine_cache_capacity > 0;
-  const uint64_t key = cacheable ? EngineCacheKey(dirty, ucs, options) : 0;
+  const bool layered = this->options.parts_cache_capacity > 0;
+  const uint64_t content =
+      (cacheable || layered) ? DigestTableContent(dirty) : 0;
+  const uint64_t key = cacheable ? EngineCacheKey(content, ucs, options) : 0;
   if (cacheable) {
     std::lock_guard<std::mutex> lock(mu);
     CachedEngine* hit = engines.Find(key);
@@ -197,10 +158,13 @@ Result<std::shared_ptr<BCleanEngine>> ServiceState::AcquireEngine(
   // same table at worst build twice — the loser adopts the winner's engine
   // below, so both sessions still share one model. A caller-owned table is
   // moved straight into the engine; borrowed tables are copied exactly
-  // once, here.
-  Result<std::unique_ptr<BCleanEngine>> built = BCleanEngine::Create(
-      owned != nullptr ? std::move(*owned) : Table(dirty), ucs, options,
-      pool.get());
+  // once, here. The layered path serves overlapping model layers from the
+  // parts caches (byte-equal assembly, see BuildEngineLayered).
+  Result<std::unique_ptr<BCleanEngine>> built =
+      layered ? BuildEngineLayered(dirty, ucs, options, content, owned)
+              : BCleanEngine::Create(
+                    owned != nullptr ? std::move(*owned) : Table(dirty), ucs,
+                    options, pool.get());
   if (!built.ok()) return built.status();
   std::shared_ptr<BCleanEngine> engine = std::move(built).value();
   *reused = false;

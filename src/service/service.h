@@ -58,8 +58,12 @@
 #include "src/core/engine.h"
 #include "src/core/options.h"
 #include "src/data/table.h"
+#include "src/shard/shard_store.h"
 
 namespace bclean {
+
+class RowSource;
+class ShardedSession;
 
 namespace internal {
 struct ServiceState;
@@ -108,9 +112,11 @@ struct NetworkEdit {
 /// no submission is dropped silently.
 struct ServiceStats {
   size_t sessions_opened = 0;
+  size_t sharded_sessions_opened = 0;  ///< OpenSharded sessions
   size_t engine_cache_hits = 0;    ///< served an already-built engine
   size_t engine_cache_misses = 0;  ///< built and cached a new engine
   size_t engines_evicted = 0;
+  size_t parts_layers_reused = 0;  ///< model layers served from layer caches
   size_t repair_caches_created = 0;
   size_t repair_caches_declined = 0;  ///< byte budget refused persistence
   size_t jobs_queued = 0;             ///< CleanAsync accepted into the queue
@@ -291,6 +297,26 @@ class Service {
   Result<std::shared_ptr<Session>> Open(std::string session_name,
                                         Table&& dirty, const UcRegistry& ucs,
                                         const BCleanOptions& options = {});
+
+  /// Out-of-core variant of Open for data that should not (or cannot) be
+  /// held as a whole Table: streams `source` once, building the model
+  /// incrementally (bit-equal Fingerprint to an in-memory build over the
+  /// same rows) while spilling dictionary-coded chunks to a shard store,
+  /// then cleans chunk-at-a-time under the store's resident-byte budget.
+  /// Cleaned bytes are identical to an in-memory session over the same
+  /// rows/UCs/options. Sharded opens bypass the engine cache (the content
+  /// digest would require a second pass over the source), but share the
+  /// fingerprint-keyed persistent repair cache with in-memory sessions of
+  /// the same model. See src/service/sharded_session.h.
+  Result<std::shared_ptr<ShardedSession>> OpenSharded(
+      std::string session_name, RowSource& source, const UcRegistry& ucs,
+      const BCleanOptions& options = {}, const ShardOptions& shard = {});
+
+  /// Convenience overload streaming an in-memory table through the sharded
+  /// path (differential tests pin its output against Open + Clean).
+  Result<std::shared_ptr<ShardedSession>> OpenSharded(
+      std::string session_name, const Table& dirty, const UcRegistry& ucs,
+      const BCleanOptions& options = {}, const ShardOptions& shard = {});
 
   /// Snapshot of the service counters.
   ServiceStats stats() const;

@@ -1,0 +1,207 @@
+// Internal shared state of the Service facade, split out of service.cc so
+// the sharded-session translation unit (src/service/sharded_session.cc)
+// can reach the pool, the caches, and the dispatcher. Not part of the
+// public API; include service.h instead.
+#ifndef BCLEAN_SERVICE_SERVICE_STATE_H_
+#define BCLEAN_SERVICE_SERVICE_STATE_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/thread_pool.h"
+#include "src/core/engine.h"
+#include "src/service/dispatcher.h"
+#include "src/service/service.h"
+
+namespace bclean {
+
+class RepairCache;
+
+namespace internal {
+
+/// Fixed-capacity LRU map over fingerprint keys, shared by the engine
+/// cache, the parts-layer caches, and the repair-cache registry so the
+/// touch/evict protocol lives in one place. Not thread-safe; callers hold
+/// ServiceState::mu.
+template <typename V>
+class LruMap {
+ public:
+  /// Value under `key` (touched most-recent), or nullptr.
+  V* Find(uint64_t key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    Touch(key);
+    return &it->second;
+  }
+
+  /// Inserts value under `key`, or keeps the existing entry (then
+  /// `*inserted` is false and the argument is dropped). Touches the key.
+  V& InsertOrGet(uint64_t key, V value, bool* inserted) {
+    auto [it, did_insert] = map_.emplace(key, std::move(value));
+    *inserted = did_insert;
+    Touch(key);
+    return it->second;
+  }
+
+  /// Evicts least-recently-used entries down to `capacity` (>= 1; the
+  /// most-recently-touched entry always survives). Returns the count.
+  size_t EvictDownTo(size_t capacity) {
+    size_t evicted = 0;
+    while (map_.size() > capacity) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  /// Calls fn(key, value) for every entry, least-recently-used first,
+  /// without touching recency (the byte-budget accounting walk).
+  template <typename Fn>
+  void ForEachLruFirst(Fn&& fn) const {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      fn(*it, map_.at(*it));
+    }
+  }
+
+  /// Drops `key` (no-op when absent). Returns whether an entry was erased.
+  bool Erase(uint64_t key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    map_.erase(it);
+    for (auto lru_it = lru_.begin(); lru_it != lru_.end(); ++lru_it) {
+      if (*lru_it == key) {
+        lru_.erase(lru_it);
+        break;
+      }
+    }
+    return true;
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  void Touch(uint64_t key) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (*it == key) {
+        lru_.erase(it);
+        break;
+      }
+    }
+    lru_.push_front(key);
+  }
+
+  std::unordered_map<uint64_t, V> map_;
+  std::list<uint64_t> lru_;  // front = most recently used
+};
+
+/// One engine-cache entry: the shared engine plus its ApproxBytes
+/// breakdown, memoized at insert time (cached engines are immutable, so
+/// the sizes never change). The per-part (address, bytes) pairs let the
+/// byte-budget accounting charge a ModelParts bundle shared by several
+/// cached engines exactly once, in O(entries) pointer work per pass —
+/// no deep walks of tables or dictionaries ever run under the mutex.
+struct CachedEngine {
+  std::shared_ptr<BCleanEngine> engine;
+  std::array<std::pair<const void*, size_t>, 4> part_bytes{};
+  size_t private_bytes = 0;  ///< engine struct + its private network
+};
+
+CachedEngine MakeCachedEngine(std::shared_ptr<BCleanEngine> engine);
+
+/// The content-keyed (table, stats) layer entry of the parts caches. The
+/// two are cached together because a stats hit only helps if the matching
+/// table rides along for parts.dirty.
+struct CachedTableStats {
+  std::shared_ptr<const Table> dirty;
+  std::shared_ptr<const DomainStats> stats;
+};
+
+/// Shared, reference-counted service state. Sessions and in-flight futures
+/// hold it, so the pool and caches outlive the Service facade if needed.
+struct ServiceState {
+  explicit ServiceState(ServiceOptions opts)
+      : options(opts),
+        pool(std::make_shared<ThreadPool>(
+            opts.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                  : opts.num_threads)) {
+    DispatcherOptions dispatch;
+    dispatch.num_workers = opts.dispatcher_threads == 0
+                               ? pool->size()
+                               : opts.dispatcher_threads;
+    dispatch.max_queued_jobs = opts.max_queued_jobs;
+    dispatch.max_queued_per_session = opts.max_queued_per_session;
+    dispatcher = std::make_unique<Dispatcher>(dispatch);
+  }
+
+  const ServiceOptions options;
+  const std::shared_ptr<ThreadPool> pool;
+
+  std::mutex mu;
+  // Engine cache: content fingerprint -> pristine engine (with memoized
+  // byte sizes), LRU-evicted. Entries are shared with sessions; eviction
+  // only drops the cache's reference (sessions keep cleaning on their
+  // engine).
+  LruMap<CachedEngine> engines;
+  // Parts-layer caches: each network-independent model layer keyed by the
+  // digest chain of exactly the inputs it reads — (table, stats) by table
+  // content; mask additionally by effective-UC identity; compensatory
+  // additionally by CompensatoryOptions. Opens whose full engine keys
+  // differ (say, a different repair_margin) still share every layer.
+  LruMap<CachedTableStats> parts_stats;
+  LruMap<std::shared_ptr<const UcMask>> parts_masks;
+  LruMap<std::shared_ptr<const CompensatoryModel>> parts_comps;
+  // Repair-cache registry: model fingerprint -> persistent cache.
+  LruMap<std::shared_ptr<RepairCache>> caches;
+  ServiceStats stats;
+
+  // The CleanAsync dispatch queue. Declared after everything the queued
+  // jobs' lambdas capture — but the lambdas capture pool/engine/cache
+  // snapshots, never this ServiceState (state owns the dispatcher; a
+  // queued job holding state would be a reference cycle). Being the last
+  // member, it is destroyed first: queued jobs resolve kCancelled and
+  // workers join while the pool is still alive.
+  std::unique_ptr<Dispatcher> dispatcher;
+
+  /// Serves a cached engine for (dirty, ucs, options) or assembles one —
+  /// layer by layer through the parts caches, missing layers built on the
+  /// shared pool — and caches it. `*reused` reports whether the session
+  /// got an already-built engine. `owned` (optional) must alias `dirty`
+  /// (same object or equal content): when non-null, a full miss moves
+  /// *owned into the built engine instead of copying `dirty` — the
+  /// zero-copy move-through path of Open(Table&&) and Session::Update.
+  Result<std::shared_ptr<BCleanEngine>> AcquireEngine(
+      const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
+      bool* reused, Table* owned = nullptr);
+
+  /// Assembles a fresh engine through the parts-layer caches: serves every
+  /// network-independent layer whose digest chain matches a cached build,
+  /// builds the rest on the shared pool, publishes new layers, and counts
+  /// layer hits into stats.parts_layers_reused. `content` must equal
+  /// DigestTableContent(dirty). Byte-equivalent to BCleanEngine::Create —
+  /// reused layers are content-keyed, and the network is built fitted so
+  /// no refit runs. Only called when parts_cache_capacity > 0.
+  Result<std::unique_ptr<BCleanEngine>> BuildEngineLayered(
+      const Table& dirty, const UcRegistry& ucs, const BCleanOptions& options,
+      uint64_t content, Table* owned);
+
+  /// Enforces ServiceOptions::engine_cache_bytes: while the cached engines'
+  /// deduped ApproxBytes exceed the budget, evicts the least-recently-used
+  /// entry not referenced outside the cache (open sessions and in-flight
+  /// acquires pin their engine). Caller holds mu. Returns the count.
+  size_t EvictEnginesOverByteBudgetLocked();
+
+  /// The persistent repair cache for `fingerprint` (created on first use),
+  /// or null when persistence is disabled.
+  std::shared_ptr<RepairCache> AcquireRepairCache(uint64_t fingerprint);
+};
+
+}  // namespace internal
+}  // namespace bclean
+
+#endif  // BCLEAN_SERVICE_SERVICE_STATE_H_

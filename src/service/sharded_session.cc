@@ -1,0 +1,243 @@
+#include "src/service/sharded_session.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/repair_cache.h"
+#include "src/service/service_state.h"
+#include "src/shard/row_source.h"
+#include "src/shard/sharded_builder.h"
+
+namespace bclean {
+namespace {
+
+void AccumulateStats(CleanStats& total, const CleanStats& chunk) {
+  total.cells_scanned += chunk.cells_scanned;
+  total.cells_skipped_by_filter += chunk.cells_skipped_by_filter;
+  total.cells_inferred += chunk.cells_inferred;
+  total.cells_changed += chunk.cells_changed;
+  total.candidates_evaluated += chunk.candidates_evaluated;
+  total.cache_hits += chunk.cache_hits;
+  total.cache_misses += chunk.cache_misses;
+  total.seconds += chunk.seconds;
+}
+
+/// Walks the store chunk by chunk through one ChunkCleanPass, handing each
+/// repaired chunk to `sink` (Status sink(Table chunk_table)). The chunk
+/// pin is released before the sink runs, so at most one chunk's codes are
+/// resident beyond the store's budget at any time. Mirrors
+/// RunCleanCancellable's per-pass cache rule: with no persistent cache and
+/// memoization on, one private cache spans the whole pass — all chunks —
+/// exactly like one in-memory pass over all rows.
+template <typename Sink>
+Result<CleanStats> CleanChunks(const BCleanEngine& engine, ShardStore& store,
+                               RepairCache* cache, bool per_pass_cache,
+                               ThreadPool* pool, const CancelToken* cancel,
+                               Sink&& sink) {
+  std::unique_ptr<RepairCache> owned_cache;
+  if (cache == nullptr && per_pass_cache) {
+    const size_t threads = pool != nullptr ? pool->size() : 1;
+    owned_cache = std::make_unique<RepairCache>(
+        engine.options().repair_cache_max_entries,
+        /*use_shared=*/threads > 1);
+    cache = owned_cache.get();
+  }
+  std::unique_ptr<BCleanEngine::ChunkCleanPass> pass =
+      engine.BeginChunkCleanPass(cache, pool);
+  CleanStats total;
+  for (size_t i = 0; i < store.num_chunks(); ++i) {
+    Result<CleanResult> cleaned = [&]() -> Result<CleanResult> {
+      Result<std::shared_ptr<const ShardChunk>> chunk = store.ReadChunk(i);
+      if (!chunk.ok()) return chunk.status();
+      return engine.CleanChunkCancellable(*pass, chunk.value()->codes(),
+                                          cancel);
+    }();  // chunk pin released here, before the sink runs
+    if (!cleaned.ok()) return cleaned.status();
+    AccumulateStats(total, cleaned.value().stats);
+    BCLEAN_RETURN_IF_ERROR(sink(std::move(cleaned.value().table)));
+  }
+  return total;
+}
+
+/// CleanChunks streaming the repaired rows to `path` as CSV. May leave a
+/// partial file behind on error — CleanChunksToCsv below removes it.
+Result<CleanStats> WriteChunksCsv(const BCleanEngine& engine,
+                                  ShardStore& store, RepairCache* cache,
+                                  bool per_pass_cache, ThreadPool* pool,
+                                  const std::string& path,
+                                  const CsvOptions& csv,
+                                  const CancelToken* cancel) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  std::string buffer;
+  if (csv.has_header) {
+    const Schema& schema = engine.dirty().schema();
+    std::vector<std::string> names;
+    names.reserve(schema.size());
+    for (const Attribute& attr : schema.attributes()) {
+      names.push_back(attr.name);
+    }
+    WriteCsvRecord(names, csv.separator, &buffer);
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    if (!out) return Status::IOError("failed writing '" + path + "'");
+  }
+  Result<CleanStats> stats = CleanChunks(
+      engine, store, cache, per_pass_cache, pool, cancel,
+      [&](Table chunk_table) -> Status {
+        buffer.clear();
+        for (size_t r = 0; r < chunk_table.num_rows(); ++r) {
+          const std::vector<std::string> row = chunk_table.Row(r);
+          WriteCsvRecord(row, csv.separator, &buffer);
+        }
+        out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+        if (!out) return Status::IOError("failed writing '" + path + "'");
+        return Status::OK();
+      });
+  if (!stats.ok()) return stats;
+  out.close();
+  if (out.fail()) return Status::IOError("failed writing '" + path + "'");
+  return stats;
+}
+
+/// The no-partial-output wrapper: on any error the file written so far is
+/// removed, so `path` either holds the complete repaired CSV or nothing.
+Result<CleanStats> CleanChunksToCsv(const BCleanEngine& engine,
+                                    ShardStore& store, RepairCache* cache,
+                                    bool per_pass_cache, ThreadPool* pool,
+                                    const std::string& path,
+                                    const CsvOptions& csv,
+                                    const CancelToken* cancel) {
+  Result<CleanStats> stats = WriteChunksCsv(engine, store, cache,
+                                            per_pass_cache, pool, path, csv,
+                                            cancel);
+  if (!stats.ok()) std::remove(path.c_str());
+  return stats;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- ShardedSession
+
+ShardedSession::ShardedSession(std::string name,
+                               std::shared_ptr<internal::ServiceState> state,
+                               BCleanOptions options,
+                               std::shared_ptr<BCleanEngine> engine,
+                               std::shared_ptr<ShardStore> store)
+    : name_(std::move(name)),
+      state_(std::move(state)),
+      options_(std::move(options)),
+      engine_(std::move(engine)),
+      store_(std::move(store)) {
+  fingerprint_ = engine_->ModelFingerprint();
+  // The streamed model fingerprints identically to an in-memory build, so
+  // this attaches the SAME persistent cache an in-memory session of the
+  // same model uses — decisions memoized by either warm the other.
+  cache_ = options_.repair_cache ? state_->AcquireRepairCache(fingerprint_)
+                                 : nullptr;
+  dispatcher_session_ = state_->dispatcher->RegisterSession();
+}
+
+ShardedSession::~ShardedSession() = default;
+
+uint64_t ShardedSession::num_rows() const { return store_->num_rows(); }
+
+size_t ShardedSession::num_chunks() const { return store_->num_chunks(); }
+
+const BayesianNetwork& ShardedSession::network() const {
+  return engine_->network();
+}
+
+Result<CleanResult> ShardedSession::Clean() {
+  CleanResult result{Table(engine_->dirty().schema()), CleanStats{}};
+  Result<CleanStats> stats = CleanChunks(
+      *engine_, *store_, cache_.get(), options_.repair_cache,
+      state_->pool.get(), /*cancel=*/nullptr,
+      [&result](Table chunk_table) -> Status {
+        for (size_t r = 0; r < chunk_table.num_rows(); ++r) {
+          result.table.AddRowUnchecked(chunk_table.Row(r));
+        }
+        return Status::OK();
+      });
+  if (!stats.ok()) return stats.status();
+  result.stats = stats.value();
+  return result;
+}
+
+Status ShardedSession::CleanToCsv(const std::string& path,
+                                  const CsvOptions& csv) {
+  Result<CleanStats> stats = CleanChunksToCsv(
+      *engine_, *store_, cache_.get(), options_.repair_cache,
+      state_->pool.get(), path, csv, /*cancel=*/nullptr);
+  if (!stats.ok()) return stats.status();
+  return Status::OK();
+}
+
+Result<std::future<Result<CleanResult>>> ShardedSession::CleanToCsvAsync(
+    const std::string& path, const CleanRequest& request,
+    const CsvOptions& csv) {
+  // Like Session::CleanAsync, the job owns snapshots of everything it
+  // needs (engine, store, cache, pool — never the ServiceState, which owns
+  // the dispatcher), so it stays valid past the session's destruction.
+  std::shared_ptr<BCleanEngine> engine = engine_;
+  std::shared_ptr<ShardStore> store = store_;
+  std::shared_ptr<RepairCache> cache = cache_;
+  std::shared_ptr<ThreadPool> pool = state_->pool;
+  const bool per_pass_cache = options_.repair_cache;
+  return state_->dispatcher->Submit(
+      dispatcher_session_,
+      [engine, store, cache, pool, per_pass_cache, path,
+       csv](const CancelToken& token) -> Result<CleanResult> {
+        Result<CleanStats> stats =
+            CleanChunksToCsv(*engine, *store, cache.get(), per_pass_cache,
+                             pool.get(), path, csv, &token);
+        if (!stats.ok()) return stats.status();
+        return CleanResult{Table(engine->dirty().schema()), stats.value()};
+      },
+      request.deadline);
+}
+
+size_t ShardedSession::CancelPending() {
+  return state_->dispatcher->CancelSession(dispatcher_session_);
+}
+
+// ------------------------------------------------------ Service::OpenSharded
+
+Result<std::shared_ptr<ShardedSession>> Service::OpenSharded(
+    std::string session_name, RowSource& source, const UcRegistry& ucs,
+    const BCleanOptions& options, const ShardOptions& shard) {
+  if (source.schema().size() != ucs.num_attributes()) {
+    return Status::InvalidArgument(
+        "UC registry arity does not match the table");
+  }
+  const UcRegistry effective =
+      options.use_user_constraints ? ucs : ucs.Empty();
+  Result<ShardedModel> model = BuildShardedModel(source, effective, options,
+                                                 shard, state_->pool.get());
+  if (!model.ok()) return model.status();
+  ShardedModel built = std::move(model).value();
+  Result<std::unique_ptr<BCleanEngine>> engine =
+      BCleanEngine::CreateFromFittedParts(std::move(built.parts), effective,
+                                          std::move(built.network), options);
+  if (!engine.ok()) return engine.status();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->stats.sharded_sessions_opened;
+  }
+  return std::shared_ptr<ShardedSession>(new ShardedSession(
+      std::move(session_name), state_, options, std::move(engine).value(),
+      std::move(built.store)));
+}
+
+Result<std::shared_ptr<ShardedSession>> Service::OpenSharded(
+    std::string session_name, const Table& dirty, const UcRegistry& ucs,
+    const BCleanOptions& options, const ShardOptions& shard) {
+  std::unique_ptr<RowSource> source = MakeTableSource(dirty);
+  return OpenSharded(std::move(session_name), *source, ucs, options, shard);
+}
+
+}  // namespace bclean

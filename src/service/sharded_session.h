@@ -1,0 +1,113 @@
+// Out-of-core cleaning session (Service::OpenSharded): the table lives in
+// a ShardStore spill file as dictionary-coded chunks, never as a whole
+// in-memory Table. The model is built in one streaming pass over the
+// source (bit-equal Fingerprint to an in-memory build over the same rows),
+// and cleaning walks the store chunk-at-a-time, so live table bytes stay
+// O(ShardOptions::resident_bytes_budget + one chunk) regardless of the
+// table's size.
+//
+// Determinism contract: a sharded clean is byte-identical to an in-memory
+// Session over the same rows/UCs/options, for every chunk size and thread
+// count. This holds because every repair decision is a pure function of
+// the tuple's codes under the pinned model — never of the row's global
+// index or of other rows' repairs — so slicing the scan into chunks
+// changes nothing but memory residency (tests/shard_test.cc pins the full
+// {mode} x {threads} x {chunk_rows} matrix).
+//
+// Sharded sessions share the service's fingerprint-keyed persistent
+// repair cache with in-memory sessions of the same model: the streamed
+// model fingerprints identically, so memoized decisions flow both ways.
+// They bypass the *engine* cache, whose content key would require a
+// second pass over the source.
+#ifndef BCLEAN_SERVICE_SHARDED_SESSION_H_
+#define BCLEAN_SERVICE_SHARDED_SESSION_H_
+
+#include <future>
+#include <memory>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/data/csv.h"
+#include "src/service/service.h"
+#include "src/shard/shard_store.h"
+
+namespace bclean {
+
+class RepairCache;
+
+/// One out-of-core session. Immutable after Open (no Update/EditNetwork —
+/// the source was consumed by the streaming build); Clean/CleanToCsv are
+/// thread-safe and may overlap, each pass walking the store independently.
+class ShardedSession {
+ public:
+  ~ShardedSession();
+  ShardedSession(const ShardedSession&) = delete;
+  ShardedSession& operator=(const ShardedSession&) = delete;
+
+  /// The label this session was opened under.
+  const std::string& name() const { return name_; }
+
+  /// The streamed model's fingerprint — equal to an in-memory session's
+  /// over the same rows/UCs/options, which is what lets the two share one
+  /// persistent repair cache.
+  uint64_t model_fingerprint() const { return fingerprint_; }
+
+  /// Logical rows streamed into the store.
+  uint64_t num_rows() const;
+
+  /// Spilled chunks (ceil(num_rows / chunk_rows)).
+  size_t num_chunks() const;
+
+  /// The learned network (structure + fitted CPTs).
+  const BayesianNetwork& network() const;
+
+  /// The spill store (exposed for residency assertions and benches).
+  const ShardStore& store() const { return *store_; }
+
+  /// Cleans every chunk serially and materializes the full repaired table.
+  /// Byte-identical to an in-memory Session::Clean() over the same rows —
+  /// but note this call holds the whole *repaired* table; callers that
+  /// want bounded memory end to end should use CleanToCsv instead.
+  Result<CleanResult> Clean();
+
+  /// Cleans chunk by chunk, streaming each repaired chunk's rows to `path`
+  /// as CSV. The bytes written equal WriteCsvString over the materialized
+  /// repaired table (header included per `csv.has_header`), but only one
+  /// chunk's rows are ever held in memory. On any error — a failed chunk
+  /// read, a write failure — the partial file is removed before the Status
+  /// is returned, and the repair cache remains valid (every published
+  /// entry is a pure function of its signature under the pinned model).
+  Status CleanToCsv(const std::string& path, const CsvOptions& csv = {});
+
+  /// CleanToCsv as a dispatched job on the service's fixed-width async
+  /// queue, with Session::CleanAsync's admission/deadline semantics. The
+  /// resolved CleanResult carries the pass's counters and an *empty* table
+  /// (schema only) — the rows went to `path`, keeping the future cheap.
+  Result<std::future<Result<CleanResult>>> CleanToCsvAsync(
+      const std::string& path, const CleanRequest& request = {},
+      const CsvOptions& csv = {});
+
+  /// Cancels this session's pending async work (see Session::CancelPending).
+  size_t CancelPending();
+
+ private:
+  friend class Service;
+
+  ShardedSession(std::string name,
+                 std::shared_ptr<internal::ServiceState> state,
+                 BCleanOptions options, std::shared_ptr<BCleanEngine> engine,
+                 std::shared_ptr<ShardStore> store);
+
+  const std::string name_;
+  const std::shared_ptr<internal::ServiceState> state_;
+  const BCleanOptions options_;
+  const std::shared_ptr<BCleanEngine> engine_;
+  const std::shared_ptr<ShardStore> store_;
+  std::shared_ptr<RepairCache> cache_;  ///< null when persistence is off
+  uint64_t fingerprint_ = 0;
+  uint64_t dispatcher_session_ = 0;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_SERVICE_SHARDED_SESSION_H_

@@ -1,0 +1,194 @@
+#include "src/shard/row_source.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace bclean {
+namespace {
+
+class TableSource : public RowSource {
+ public:
+  explicit TableSource(const Table& table) : table_(table) {}
+
+  const Schema& schema() const override { return table_.schema(); }
+
+  Result<bool> Next(std::vector<std::string>* row) override {
+    if (next_ >= table_.num_rows()) return false;
+    *row = table_.Row(next_++);
+    return true;
+  }
+
+ private:
+  const Table& table_;
+  size_t next_ = 0;
+};
+
+class CsvFileSource : public RowSource {
+ public:
+  CsvFileSource(std::FILE* file, const CsvOptions& options)
+      : file_(file), options_(options) {}
+
+  ~CsvFileSource() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  // Consumes the first record: the header (has_header) or the arity probe
+  // for synthesized c0..cN names (the probed record is stashed and
+  // delivered by the first Next, mirroring ReadCsvString).
+  Status Init() {
+    std::vector<std::string> first;
+    Result<bool> got = NextRecord(&first);
+    if (!got.ok()) return got.status();
+    if (!got.value()) {
+      return Status::InvalidArgument("CSV input has no records");
+    }
+    next_index_ = 1;
+    if (options_.has_header) {
+      schema_ = Schema::FromNames(first);
+    } else {
+      std::vector<std::string> names;
+      names.reserve(first.size());
+      for (size_t c = 0; c < first.size(); ++c) {
+        names.push_back("c" + std::to_string(c));
+      }
+      schema_ = Schema::FromNames(names);
+      first_record_ = std::move(first);
+      has_first_ = true;
+    }
+    return Status::OK();
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  Result<bool> Next(std::vector<std::string>* row) override {
+    std::vector<std::string> fields;
+    size_t index;
+    if (has_first_) {
+      fields = std::move(first_record_);
+      has_first_ = false;
+      index = 0;
+    } else {
+      Result<bool> got = NextRecord(&fields);
+      if (!got.ok()) return got.status();
+      if (!got.value()) return false;
+      index = next_index_++;
+    }
+    if (fields.size() != schema_.size()) {
+      // The same message ReadCsvString produces, with the same record
+      // indexing (the header, when present, is record 0).
+      return Status::InvalidArgument(
+          "row " + std::to_string(index) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(schema_.size()));
+    }
+    *row = std::move(fields);
+    return true;
+  }
+
+ private:
+  static constexpr size_t kIoBlock = 64 * 1024;
+
+  bool Refill() {
+    if (eof_) return false;
+    buf_.resize(kIoBlock);
+    size_t n = std::fread(buf_.data(), 1, kIoBlock, file_);
+    buf_.resize(n);
+    pos_ = 0;
+    if (n == 0) {
+      eof_ = true;
+      if (std::ferror(file_) != 0) {
+        io_status_ = Status::IOError("read failed on CSV stream");
+      }
+      return false;
+    }
+    return true;
+  }
+
+  int GetChar() {
+    if (pos_ >= buf_.size() && !Refill()) return -1;
+    return static_cast<unsigned char>(buf_[pos_++]);
+  }
+
+  int PeekChar() {
+    if (pos_ >= buf_.size() && !Refill()) return -1;
+    return static_cast<unsigned char>(buf_[pos_]);
+  }
+
+  // One raw record, split on newlines outside quoted regions. The state
+  // machine is ReadCsvString's splitter verbatim (quotes open a region
+  // only at field start; "" inside a region is an escaped literal; EOF
+  // acts as a virtual newline whose empty line — the final trailing
+  // newline — is skipped), so the record stream is identical to parsing
+  // the whole file at once.
+  Result<bool> NextRecord(std::vector<std::string>* fields) {
+    std::string line;
+    bool in_quotes = false;
+    bool field_quoted = false;
+    bool field_empty = true;
+    for (;;) {
+      int ci = GetChar();
+      if (ci < 0) {
+        if (!io_status_.ok()) return io_status_;
+        if (line.empty()) return false;
+        *fields = ParseCsvLine(line, options_.separator);
+        return true;
+      }
+      char c = static_cast<char>(ci);
+      if (in_quotes) {
+        line += c;
+        if (c == '"') {
+          if (PeekChar() == '"') {
+            line += static_cast<char>(GetChar());
+          } else {
+            in_quotes = false;
+          }
+        }
+        continue;
+      }
+      if (c == '\n') {
+        *fields = ParseCsvLine(line, options_.separator);
+        return true;
+      }
+      line += c;
+      if (c == '"' && field_empty && !field_quoted) {
+        in_quotes = true;
+        field_quoted = true;
+      } else if (c == options_.separator) {
+        field_quoted = false;
+        field_empty = true;
+      } else if (c != '\r') {
+        field_empty = false;
+      }
+    }
+  }
+
+  std::FILE* file_;
+  CsvOptions options_;
+  Schema schema_;
+  std::vector<std::string> first_record_;
+  bool has_first_ = false;
+  size_t next_index_ = 0;
+  std::string buf_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+  Status io_status_ = Status::OK();
+};
+
+}  // namespace
+
+std::unique_ptr<RowSource> MakeTableSource(const Table& table) {
+  return std::make_unique<TableSource>(table);
+}
+
+Result<std::unique_ptr<RowSource>> MakeCsvFileSource(const std::string& path,
+                                                     const CsvOptions& options) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  auto source = std::make_unique<CsvFileSource>(file, options);
+  BCLEAN_RETURN_IF_ERROR(source->Init());
+  return std::unique_ptr<RowSource>(std::move(source));
+}
+
+}  // namespace bclean

@@ -1,0 +1,52 @@
+// Row sources for the out-of-core sharded build: a pull interface that
+// delivers one record at a time so the builder never needs the whole
+// relation resident. Two implementations: a borrowing adapter over an
+// in-memory Table (differential tests clean the same rows both ways), and
+// a streaming CSV file reader whose record splitter replicates
+// ReadCsvString's state machine exactly — the stream of rows it yields is
+// identical to ReadCsvFile's table over the same bytes.
+#ifndef BCLEAN_SHARD_ROW_SOURCE_H_
+#define BCLEAN_SHARD_ROW_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/csv.h"
+#include "src/data/schema.h"
+#include "src/data/table.h"
+
+namespace bclean {
+
+/// One-pass row stream over a fixed schema. Not thread-safe; the sharded
+/// builder consumes a source from a single thread.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  /// The relation's schema (available before the first Next call).
+  virtual const Schema& schema() const = 0;
+
+  /// Pulls the next record into `*row` (resized to the schema's arity).
+  /// Returns true when a row was delivered, false at end of stream, or a
+  /// Status on malformed input (ragged record, I/O failure).
+  virtual Result<bool> Next(std::vector<std::string>* row) = 0;
+};
+
+/// Borrowing adapter over an in-memory table. `table` must outlive the
+/// source.
+std::unique_ptr<RowSource> MakeTableSource(const Table& table);
+
+/// Streaming CSV reader: opens `path` and yields records one at a time
+/// under bounded memory (one I/O block plus the current record). Record
+/// boundaries, NULL normalization, header handling, and ragged-row errors
+/// match ReadCsvFile over the same file byte for byte — including interior
+/// empty lines (single-NULL records) and the skipped final trailing
+/// newline. Fails like ReadCsvString when the file has no records.
+Result<std::unique_ptr<RowSource>> MakeCsvFileSource(
+    const std::string& path, const CsvOptions& options = {});
+
+}  // namespace bclean
+
+#endif  // BCLEAN_SHARD_ROW_SOURCE_H_

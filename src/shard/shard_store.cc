@@ -1,0 +1,236 @@
+#include "src/shard/shard_store.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/digest.h"
+#include "src/common/fault_injection.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace bclean {
+namespace {
+
+constexpr uint64_t kChunkMagic = 0xBC1EA45A4DC0DE01ull;
+constexpr uint32_t kChunkVersion = 1;
+constexpr uint64_t kChunkAlign = 4096;
+constexpr size_t kHeaderBytes = 48;
+
+struct ChunkHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t num_cols;
+  uint64_t num_rows;
+  uint64_t row_begin;
+  uint64_t schema_digest;
+  uint64_t payload_checksum;
+};
+static_assert(sizeof(ChunkHeader) == kHeaderBytes,
+              "chunk header layout must stay 48 bytes");
+
+std::FILE* AsFile(void* file) { return static_cast<std::FILE*>(file); }
+
+}  // namespace
+
+Result<std::unique_ptr<ShardStore>> ShardStore::Create(
+    std::string path, uint64_t schema_digest, size_t num_cols,
+    const ShardOptions& options) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot create shard spill file " + path);
+  }
+  std::unique_ptr<ShardStore> store(
+      new ShardStore(std::move(path), schema_digest, num_cols, options));
+  store->file_ = file;
+  return store;
+}
+
+Result<std::unique_ptr<ShardStore>> ShardStore::CreateInDir(
+    uint64_t schema_digest, size_t num_cols, const ShardOptions& options) {
+  static std::atomic<uint64_t> counter{0};
+  std::error_code ec;
+  std::filesystem::path dir =
+      options.spill_dir.empty() ? std::filesystem::temp_directory_path(ec)
+                                : std::filesystem::path(options.spill_dir);
+  if (ec) return Status::IOError("cannot resolve temp dir for shard spill");
+  uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+#if defined(__unix__) || defined(__APPLE__)
+  const uint64_t pid = static_cast<uint64_t>(::getpid());
+#else
+  const uint64_t pid = 0;
+#endif
+  std::filesystem::path path =
+      dir / ("bclean-shard-" + std::to_string(pid) + "-" + std::to_string(id) +
+             ".spill");
+  return Create(path.string(), schema_digest, num_cols, options);
+}
+
+ShardStore::~ShardStore() {
+  if (file_ != nullptr) std::fclose(AsFile(file_));
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+}
+
+Status ShardStore::AppendChunk(const CodedColumns& codes, uint64_t row_begin) {
+  if (sealed_ || file_ == nullptr) {
+    return Status::FailedPrecondition("shard store is sealed");
+  }
+  if (codes.num_cols() != num_cols_) {
+    return Status::InvalidArgument("chunk arity does not match the store");
+  }
+  if (row_begin != num_rows_) {
+    return Status::InvalidArgument("chunk row range is not contiguous");
+  }
+  if (BCLEAN_FAULT_POINT("shard.chunk_write")) {
+    return Status::IOError("injected fault: shard.chunk_write");
+  }
+  std::FILE* file = AsFile(file_);
+  uint64_t pad = (kChunkAlign - next_offset_ % kChunkAlign) % kChunkAlign;
+  if (pad > 0) {
+    static constexpr char kZeros[kChunkAlign] = {};
+    if (std::fwrite(kZeros, 1, pad, file) != pad) {
+      return Status::IOError("short write padding shard spill " + path_);
+    }
+    next_offset_ += pad;
+  }
+  std::span<const int32_t> payload = codes.raw();
+  const size_t payload_bytes = payload.size() * sizeof(int32_t);
+  ChunkHeader header;
+  header.magic = kChunkMagic;
+  header.version = kChunkVersion;
+  header.num_cols = static_cast<uint32_t>(num_cols_);
+  header.num_rows = codes.num_rows();
+  header.row_begin = row_begin;
+  header.schema_digest = schema_digest_;
+  header.payload_checksum = HashBytes(payload.data(), payload_bytes);
+  if (std::fwrite(&header, 1, kHeaderBytes, file) != kHeaderBytes ||
+      (payload_bytes > 0 &&
+       std::fwrite(payload.data(), 1, payload_bytes, file) != payload_bytes)) {
+    return Status::IOError("short write appending chunk to " + path_);
+  }
+  ShardChunkMeta meta;
+  meta.row_begin = row_begin;
+  meta.num_rows = codes.num_rows();
+  meta.file_offset = next_offset_;
+  meta.payload_bytes = payload_bytes;
+  meta.checksum = header.payload_checksum;
+  chunks_.push_back(meta);
+  next_offset_ += kHeaderBytes + payload_bytes;
+  num_rows_ += codes.num_rows();
+  return Status::OK();
+}
+
+Status ShardStore::Seal() {
+  if (sealed_) return Status::OK();
+  if (file_ != nullptr) {
+    std::FILE* file = AsFile(file_);
+    file_ = nullptr;
+    if (std::fflush(file) != 0 || std::fclose(file) != 0) {
+      return Status::IOError("cannot flush shard spill file " + path_);
+    }
+  }
+  sealed_ = true;
+  return Status::OK();
+}
+
+void ShardStore::EvictForLoadLocked(size_t incoming_bytes) {
+  auto it = resident_.begin();
+  while (it != resident_.end() &&
+         resident_bytes_ + incoming_bytes > options_.resident_bytes_budget) {
+    if (it->chunk.use_count() == 1) {  // unpinned: only the store holds it
+      resident_bytes_ -= it->chunk->resident_bytes();
+      it = resident_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<std::shared_ptr<const ShardChunk>> ShardStore::ReadChunk(size_t index) {
+  if (!sealed_) {
+    return Status::FailedPrecondition("shard store is not sealed yet");
+  }
+  if (index >= chunks_.size()) {
+    return Status::OutOfRange("chunk index out of range");
+  }
+  if (BCLEAN_FAULT_POINT("shard.chunk_read")) {
+    return Status::IOError("injected fault: shard.chunk_read");
+  }
+  const ShardChunkMeta& meta = chunks_[index];
+  const size_t chunk_bytes = kHeaderBytes + meta.payload_bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+      if (it->index == index) {
+        Resident hit = std::move(*it);
+        resident_.erase(it);
+        resident_.push_back(std::move(hit));
+        return resident_.back().chunk;
+      }
+    }
+    EvictForLoadLocked(chunk_bytes);
+  }
+  Result<MappedRegion> region = MappedRegion::Map(
+      path_, meta.file_offset, chunk_bytes, options_.use_mmap);
+  if (!region.ok()) return region.status();
+  ChunkHeader header;
+  std::memcpy(&header, region.value().data(), kHeaderBytes);
+  if (header.magic != kChunkMagic || header.version != kChunkVersion) {
+    return Status::IOError("chunk " + std::to_string(index) + " of " + path_ +
+                           " has a corrupt header");
+  }
+  if (header.num_cols != num_cols_ || header.num_rows != meta.num_rows ||
+      header.row_begin != meta.row_begin) {
+    return Status::IOError("chunk " + std::to_string(index) + " of " + path_ +
+                           " does not match its directory entry");
+  }
+  if (header.schema_digest != schema_digest_) {
+    return Status::IOError("chunk " + std::to_string(index) + " of " + path_ +
+                           " was written for a different schema");
+  }
+  uint64_t checksum =
+      HashBytes(region.value().data() + kHeaderBytes, meta.payload_bytes);
+  if (checksum != header.payload_checksum || checksum != meta.checksum) {
+    return Status::IOError("chunk " + std::to_string(index) + " of " + path_ +
+                           " failed its payload checksum");
+  }
+  auto chunk = std::make_shared<const ShardChunk>(
+      std::move(region).value(), kHeaderBytes, meta.num_rows, num_cols_,
+      meta.row_begin);
+  std::lock_guard<std::mutex> lock(mu_);
+  // A concurrent reader may have loaded the same chunk while this thread
+  // was reading it; keep the already-accounted copy.
+  for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+    if (it->index == index) return it->chunk;
+  }
+  resident_.push_back(Resident{index, chunk});
+  resident_bytes_ += chunk->resident_bytes();
+  if (resident_bytes_ > peak_resident_bytes_) {
+    peak_resident_bytes_ = resident_bytes_;
+  }
+  return chunk;
+}
+
+size_t ShardStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+size_t ShardStore::peak_resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_resident_bytes_;
+}
+
+size_t ShardStore::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sizeof(ShardStore) + chunks_.capacity() * sizeof(ShardChunkMeta) +
+         resident_bytes_ +
+         resident_.size() * (sizeof(Resident) + sizeof(ShardChunk));
+}
+
+}  // namespace bclean

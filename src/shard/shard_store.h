@@ -1,0 +1,190 @@
+// Spill store for out-of-core cleaning: fixed-row-count columnar chunks
+// of dictionary codes written to one spill file and read back on demand
+// with bounded resident bytes.
+//
+// On-disk layout: chunks are appended back to back, each one starting at
+// a 4096-byte-aligned offset (so mmap can map exactly one chunk) with a
+// 48-byte header followed by the payload:
+//
+//   offset  size  field
+//   0       8     magic            0xBC1EA45A4DC0DE01
+//   8       4     format version   1
+//   12      4     num_cols
+//   16      8     num_rows         rows in this chunk
+//   24      8     row_begin        first logical row of the chunk
+//   32      8     schema_digest    DigestSchema of the source table
+//   40      8     payload_checksum FNV-1a (HashBytes) over the payload
+//
+// The payload is `CodedColumns::raw()` verbatim: num_rows * num_cols
+// int32 codes, column-major, kNullCode for NULLs. Because the header is
+// 48 bytes and the chunk offset is page-aligned, the payload is always
+// int32-aligned in a mapping of the whole chunk.
+//
+// Readers hold shared_ptr<const ShardChunk> pins; the store keeps an LRU
+// of loaded chunks and evicts unpinned ones *before* loading the next,
+// so resident payload bytes never exceed
+// max(resident_bytes_budget, largest single chunk + pinned chunks).
+#ifndef BCLEAN_SHARD_SHARD_STORE_H_
+#define BCLEAN_SHARD_SHARD_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/mapped_file.h"
+#include "src/common/status.h"
+#include "src/data/coded_columns.h"
+
+namespace bclean {
+
+/// Knobs for the spill store and the sharded build/clean paths.
+struct ShardOptions {
+  /// Rows per spilled chunk (the unit of cleaning and of residency).
+  size_t chunk_rows = 4096;
+  /// Target ceiling on resident chunk-payload bytes across this store.
+  /// 0 means "one chunk at a time": every unpinned chunk is evicted
+  /// before the next load. A single chunk (plus chunks pinned by
+  /// callers) may exceed the budget — the store never refuses a read.
+  size_t resident_bytes_budget = 0;
+  /// Directory for the spill file; empty selects the system temp dir.
+  std::string spill_dir;
+  /// Map chunks with mmap when available; false forces buffered reads.
+  bool use_mmap = true;
+};
+
+/// One loaded chunk: a pinned, read-only coded view of its rows. The
+/// region covers the chunk's header plus payload (mmap requires the
+/// page-aligned chunk start); `codes()` views the payload past the
+/// header.
+class ShardChunk {
+ public:
+  ShardChunk(MappedRegion region, size_t payload_offset, size_t num_rows,
+             size_t num_cols, uint64_t row_begin)
+      : region_(std::move(region)),
+        payload_offset_(payload_offset),
+        num_rows_(num_rows),
+        num_cols_(num_cols),
+        row_begin_(row_begin) {}
+
+  /// Column-major code matrix over the chunk's payload bytes.
+  CodedView codes() const {
+    return CodedView(
+        reinterpret_cast<const int32_t*>(region_.data() + payload_offset_),
+        num_rows_, num_cols_);
+  }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return num_cols_; }
+  /// First logical row of the source table covered by this chunk.
+  uint64_t row_begin() const { return row_begin_; }
+  /// Resident bytes (header + payload; what counts against the budget).
+  size_t resident_bytes() const { return region_.size(); }
+
+ private:
+  MappedRegion region_;
+  size_t payload_offset_;
+  size_t num_rows_;
+  size_t num_cols_;
+  uint64_t row_begin_;
+};
+
+/// Directory entry for one spilled chunk.
+struct ShardChunkMeta {
+  uint64_t row_begin = 0;
+  uint64_t num_rows = 0;
+  uint64_t file_offset = 0;  ///< chunk start (header) in the spill file
+  uint64_t payload_bytes = 0;
+  uint64_t checksum = 0;
+};
+
+/// Append-once, read-many spill file of coded chunks. Writing
+/// (AppendChunk/Seal) is single-threaded; after Seal, ReadChunk and the
+/// residency accounting are safe to call from multiple threads.
+class ShardStore {
+ public:
+  /// Creates the spill file. `schema_digest` identifies the source
+  /// schema; ReadChunk rejects chunks whose stored digest differs.
+  static Result<std::unique_ptr<ShardStore>> Create(std::string path,
+                                                    uint64_t schema_digest,
+                                                    size_t num_cols,
+                                                    const ShardOptions& options);
+
+  /// Picks a unique spill filename under options.spill_dir (or the
+  /// system temp dir) and creates the store there.
+  static Result<std::unique_ptr<ShardStore>> CreateInDir(
+      uint64_t schema_digest, size_t num_cols, const ShardOptions& options);
+
+  /// Removes the spill file.
+  ~ShardStore();
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  /// Appends `codes` as the next chunk. `codes.num_cols()` must match
+  /// the store; `row_begin` must continue the previous chunk.
+  Status AppendChunk(const CodedColumns& codes, uint64_t row_begin);
+
+  /// Flushes and closes the write side. Must be called before ReadChunk.
+  Status Seal();
+
+  /// Loads (or returns the still-resident) chunk `index`, verifying the
+  /// header and payload checksum. The returned pin keeps the chunk
+  /// resident; release it before the next ReadChunk to let the store
+  /// stay within its budget.
+  Result<std::shared_ptr<const ShardChunk>> ReadChunk(size_t index);
+
+  size_t num_chunks() const { return chunks_.size(); }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return num_cols_; }
+  uint64_t schema_digest() const { return schema_digest_; }
+  const ShardChunkMeta& chunk(size_t index) const { return chunks_[index]; }
+  const std::string& path() const { return path_; }
+
+  /// Payload bytes of chunks currently loaded (mapped or buffered).
+  size_t resident_bytes() const;
+  /// High-water mark of resident_bytes() over the store's lifetime.
+  size_t peak_resident_bytes() const;
+  /// Approximate memory footprint: resident chunk payloads plus the
+  /// chunk directory (the spill file itself is not counted).
+  size_t ApproxBytes() const;
+
+ private:
+  ShardStore(std::string path, uint64_t schema_digest, size_t num_cols,
+             const ShardOptions& options)
+      : path_(std::move(path)),
+        schema_digest_(schema_digest),
+        num_cols_(num_cols),
+        options_(options) {}
+
+  /// Drops unpinned resident chunks (LRU first) until loading
+  /// `incoming_bytes` more would fit in the budget.
+  void EvictForLoadLocked(size_t incoming_bytes);
+
+  const std::string path_;
+  const uint64_t schema_digest_;
+  const size_t num_cols_;
+  const ShardOptions options_;
+
+  // Write side (single-threaded, before Seal).
+  void* file_ = nullptr;  ///< std::FILE*, open until Seal
+  uint64_t next_offset_ = 0;
+  uint64_t num_rows_ = 0;
+  bool sealed_ = false;
+  std::vector<ShardChunkMeta> chunks_;
+
+  // Read side residency (guarded by mu_ after Seal).
+  struct Resident {
+    size_t index;
+    std::shared_ptr<const ShardChunk> chunk;
+  };
+  mutable std::mutex mu_;
+  std::list<Resident> resident_;  ///< most-recently-used at the back
+  size_t resident_bytes_ = 0;
+  size_t peak_resident_bytes_ = 0;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_SHARD_SHARD_STORE_H_

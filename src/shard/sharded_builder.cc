@@ -1,0 +1,309 @@
+#include "src/shard/sharded_builder.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/thread_pool.h"
+#include "src/core/compensatory.h"
+#include "src/core/uc_mask.h"
+#include "src/fdx/structure_learning.h"
+#include "src/matrix/matrix.h"
+#include "src/service/fingerprint.h"
+#include "src/text/similarity.h"
+
+namespace bclean {
+namespace {
+
+// Pending rows of the chunk being assembled, flushed to the store as a
+// column-major CodedColumns every chunk_rows rows.
+class ChunkWriter {
+ public:
+  ChunkWriter(ShardStore& store, size_t num_cols, size_t chunk_rows)
+      : store_(store), chunk_rows_(chunk_rows), pending_(num_cols) {
+    for (auto& column : pending_) column.reserve(chunk_rows);
+  }
+
+  Status AddRow(std::span<const int32_t> row_codes, uint64_t row) {
+    for (size_t c = 0; c < pending_.size(); ++c) {
+      pending_[c].push_back(row_codes[c]);
+    }
+    if (pending_[0].size() == chunk_rows_) return Flush(row + 1);
+    return Status::OK();
+  }
+
+  // Spills the pending rows (if any). `next_row` is the logical row index
+  // one past the last pending row.
+  Status Flush(uint64_t next_row) {
+    const size_t rows = pending_.empty() ? 0 : pending_[0].size();
+    if (rows == 0) return Status::OK();
+    CodedColumns chunk(rows, pending_.size());
+    for (size_t c = 0; c < pending_.size(); ++c) {
+      std::copy(pending_[c].begin(), pending_[c].end(),
+                chunk.mutable_column(c).begin());
+      pending_[c].clear();
+    }
+    return store_.AppendChunk(chunk, next_row - rows);
+  }
+
+ private:
+  ShardStore& store_;
+  const size_t chunk_rows_;
+  std::vector<std::vector<int32_t>> pending_;
+};
+
+// Streams one column's codes out of the sealed store into `out` (n int32s
+// — the only full-height scratch the builder ever holds).
+Status ReadColumn(ShardStore& store, size_t col, std::vector<int32_t>* out) {
+  out->resize(store.num_rows());
+  for (size_t i = 0; i < store.num_chunks(); ++i) {
+    Result<std::shared_ptr<const ShardChunk>> chunk = store.ReadChunk(i);
+    if (!chunk.ok()) return chunk.status();
+    const ShardChunk& c = *chunk.value();
+    std::span<const int32_t> column = c.codes().column(col);
+    std::copy(column.begin(), column.end(),
+              out->begin() + static_cast<ptrdiff_t>(c.row_begin()));
+  }
+  return Status::OK();
+}
+
+// The similarity observation matrix of BuildSimilarityObservations, built
+// from spilled chunks. Per sort attribute, the in-memory pass stable-sorts
+// row indices by the column's *strings*; here the same permutation comes
+// from a stable counting sort by dictionary rank, where ranks order the
+// (distinct) dictionary values lexicographically with NULL (the empty
+// string) first — equal strings are equal codes and every dictionary value
+// is distinct and non-empty, so the two sorts tie-break identically.
+// Sampled adjacent pairs are then decoded in one chunk pass and fed to
+// ValueSimilarity in the same slot order, so the matrix is bit-identical.
+Result<Matrix> SimilarityObservationsFromChunks(ShardStore& store,
+                                                const DomainStats& stats,
+                                                const StructureOptions& options) {
+  const size_t n = store.num_rows();
+  const size_t m = store.num_cols();
+  if (n < 2 || m == 0) return Matrix();
+
+  size_t pairs_per_attr = std::min(n - 1, options.max_pairs_per_attribute);
+  size_t stride = std::max<size_t>(1, (n - 1) / pairs_per_attr);
+  size_t samples = (n - 2) / stride + 1;
+
+  // Phase 1: the sampled (i, j) row pairs of every sort attribute.
+  std::vector<std::pair<size_t, size_t>> pairs(m * samples);
+  std::vector<size_t> needed;
+  std::vector<int32_t> col;
+  std::vector<size_t> index(n);
+  for (size_t sort_col = 0; sort_col < m; ++sort_col) {
+    BCLEAN_RETURN_IF_ERROR(ReadColumn(store, sort_col, &col));
+    const ColumnStats& column = stats.column(sort_col);
+    const size_t domain = column.DomainSize();
+    // rank 0 = NULL; ranks 1..D = dictionary codes by ascending value.
+    std::vector<int32_t> by_value(domain);
+    for (size_t v = 0; v < domain; ++v) by_value[v] = static_cast<int32_t>(v);
+    std::sort(by_value.begin(), by_value.end(), [&](int32_t a, int32_t b) {
+      return column.ValueOf(a) < column.ValueOf(b);
+    });
+    std::vector<size_t> rank(domain + 1);
+    for (size_t pos = 0; pos < domain; ++pos) {
+      rank[static_cast<size_t>(by_value[pos]) + 1] = pos + 1;
+    }
+    auto rank_of = [&](int32_t code) {
+      return code < 0 ? size_t{0} : rank[static_cast<size_t>(code) + 1];
+    };
+    // Stable counting sort of row ids by rank.
+    std::vector<size_t> counts(domain + 2, 0);
+    for (size_t r = 0; r < n; ++r) ++counts[rank_of(col[r]) + 1];
+    for (size_t v = 1; v < counts.size(); ++v) counts[v] += counts[v - 1];
+    for (size_t r = 0; r < n; ++r) index[counts[rank_of(col[r])]++] = r;
+
+    size_t slot = sort_col * samples;
+    for (size_t k = 0; k + 1 < n; k += stride) {
+      pairs[slot++] = {index[k], index[k + 1]};
+      needed.push_back(index[k]);
+      needed.push_back(index[k + 1]);
+    }
+  }
+
+  // Phase 2: decode every sampled row once. The sampled set is bounded by
+  // 2 * m * samples (<= 2 * m * max_pairs_per_attribute), independent of n.
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  std::unordered_map<size_t, std::vector<std::string>> decoded;
+  decoded.reserve(needed.size());
+  {
+    size_t next = 0;
+    for (size_t i = 0; i < store.num_chunks() && next < needed.size(); ++i) {
+      const uint64_t begin = store.chunk(i).row_begin;
+      const uint64_t end = begin + store.chunk(i).num_rows;
+      if (needed[next] >= end) continue;
+      Result<std::shared_ptr<const ShardChunk>> chunk = store.ReadChunk(i);
+      if (!chunk.ok()) return chunk.status();
+      CodedView codes = chunk.value()->codes();
+      for (; next < needed.size() && needed[next] < end; ++next) {
+        const size_t local = needed[next] - begin;
+        std::vector<std::string> row(m);
+        for (size_t a = 0; a < m; ++a) {
+          int32_t code = codes.code(local, a);
+          row[a] = code < 0 ? std::string() : stats.column(a).ValueOf(code);
+        }
+        decoded.emplace(needed[next], std::move(row));
+      }
+    }
+  }
+
+  // Phase 3: similarity rows in the in-memory slot order.
+  std::vector<std::vector<double>> rows(m * samples);
+  for (size_t slot = 0; slot < pairs.size(); ++slot) {
+    const std::vector<std::string>& a = decoded.at(pairs[slot].first);
+    const std::vector<std::string>& b = decoded.at(pairs[slot].second);
+    std::vector<double> obs(m);
+    for (size_t c = 0; c < m; ++c) obs[c] = ValueSimilarity(a[c], b[c]);
+    rows[slot] = std::move(obs);
+  }
+  return Matrix::FromRows(rows);
+}
+
+}  // namespace
+
+Result<ShardedModel> BuildShardedModel(RowSource& source,
+                                       const UcRegistry& effective_ucs,
+                                       const BCleanOptions& options,
+                                       const ShardOptions& shard,
+                                       ThreadPool* pool) {
+  const Schema& schema = source.schema();
+  const size_t m = schema.size();
+  if (shard.chunk_rows == 0) {
+    return Status::InvalidArgument("ShardOptions::chunk_rows must be >= 1");
+  }
+  if (m * m > 0x10000) {
+    // CheckCapacity's column bound, testable before any row is read.
+    return Status::InvalidArgument(
+        "table has " + std::to_string(m) +
+        " columns; the compensatory pair key supports at most 256 "
+        "(attribute pair id would overflow 16 bits)");
+  }
+
+  Result<std::unique_ptr<ShardStore>> created =
+      ShardStore::CreateInDir(DigestSchema(schema), m, shard);
+  if (!created.ok()) return created.status();
+  std::shared_ptr<ShardStore> store = std::move(created).value();
+
+  // --- Streaming pass: intern, judge, fold, spill. -----------------------
+  std::vector<ColumnStats> columns(m);
+  // Per-distinct-value UC verdicts, evaluated once at intern time. UC(v)
+  // depends only on the value, so these equal the final UcMask::Build
+  // verdicts — which is what StreamBuilder::AddRow requires of cell_ok.
+  std::vector<std::vector<uint8_t>> value_ok(m);
+  std::vector<uint8_t> null_ok(m);
+  for (size_t c = 0; c < m; ++c) {
+    null_ok[c] = effective_ucs.Check(c, std::string(kNullValue)) ? 1 : 0;
+  }
+
+  CompensatoryModel::StreamBuilder comp(m, options.compensatory);
+  ChunkWriter writer(*store, m, shard.chunk_rows);
+
+  std::vector<std::string> row;
+  std::vector<int32_t> row_codes(m);
+  std::vector<uint8_t> cell_ok(m);
+  uint64_t n = 0;
+  for (;;) {
+    Result<bool> got = source.Next(&row);
+    if (!got.ok()) return got.status();
+    if (!got.value()) break;
+    for (size_t c = 0; c < m; ++c) {
+      int32_t code = columns[c].Intern(row[c]);
+      row_codes[c] = code;
+      if (code >= 0 && static_cast<size_t>(code) == value_ok[c].size()) {
+        if (value_ok[c].size() == (1u << 24)) {
+          // Fail mid-stream instead of overflowing PackKey; the message is
+          // CheckCapacity's, which the in-memory build would raise.
+          return Status::InvalidArgument(
+              "column " + std::to_string(c) + " has " +
+              std::to_string(columns[c].DomainSize()) +
+              " distinct values; the compensatory pair key supports at "
+              "most 2^24 per attribute");
+        }
+        value_ok[c].push_back(effective_ucs.Check(c, row[c]) ? 1 : 0);
+      }
+      cell_ok[c] = code < 0 ? null_ok[c]
+                            : value_ok[c][static_cast<size_t>(code)];
+    }
+    comp.AddRow(row_codes, cell_ok);
+    BCLEAN_RETURN_IF_ERROR(writer.AddRow(row_codes, n));
+    ++n;
+  }
+  BCLEAN_RETURN_IF_ERROR(writer.Flush(n));
+  BCLEAN_RETURN_IF_ERROR(store->Seal());
+
+  // The in-memory pipeline's precondition failures, in its order.
+  if (n < 3) {
+    return Status::InvalidArgument(
+        "structure learning requires at least 3 rows");
+  }
+  if (m < 2) {
+    return Status::InvalidArgument(
+        "structure learning requires at least 2 columns");
+  }
+
+  // --- Dictionary-complete layers. ---------------------------------------
+  DomainStats stats = DomainStats::FromDictionaries(std::move(columns), n);
+  BCLEAN_RETURN_IF_ERROR(CompensatoryModel::CheckCapacity(stats));
+  ModelParts parts;
+  parts.dirty = std::make_shared<const Table>(Table(schema));
+  parts.stats = std::make_shared<const DomainStats>(std::move(stats));
+  parts.mask = std::make_shared<const UcMask>(
+      UcMask::Build(effective_ucs, *parts.stats));
+  parts.compensatory = std::make_shared<const CompensatoryModel>(
+      comp.Finish(*parts.stats, *parts.mask, pool));
+
+  // --- Structure learning + CPT fit from the spilled chunks. -------------
+  StructureOptions structure = options.structure;
+  if (structure.num_threads == 0) {
+    structure.num_threads = options.num_threads == 0
+                                ? ThreadPool::DefaultThreads()
+                                : options.num_threads;
+  }
+  Result<Matrix> observations =
+      SimilarityObservationsFromChunks(*store, *parts.stats, structure);
+  if (!observations.ok()) return observations.status();
+  Result<LearnedStructure> learned = LearnStructureFromObservations(
+      observations.value(), DomainSizeOrdering(*parts.stats), structure);
+  if (!learned.ok()) return learned.status();
+
+  BayesianNetwork bn(schema);
+  for (const auto& [parent, child] : learned.value().edges) {
+    Status s = bn.AddEdge(parent, child);
+    if (!s.ok()) {
+      BCLEAN_LOG(Debug) << "skipping edge " << parent << "->" << child << ": "
+                        << s.ToString();
+    }
+  }
+  // Streaming CPT fit: per chunk, rows in order, every variable per row —
+  // exactly the observation sequence Fit(stats) would deliver.
+  bn.BeginFit();
+  {
+    std::vector<int32_t> fit_row(m);
+    for (size_t i = 0; i < store->num_chunks(); ++i) {
+      Result<std::shared_ptr<const ShardChunk>> chunk = store->ReadChunk(i);
+      if (!chunk.ok()) return chunk.status();
+      CodedView codes = chunk.value()->codes();
+      for (size_t r = 0; r < codes.num_rows(); ++r) {
+        for (size_t c = 0; c < m; ++c) fit_row[c] = codes.code(r, c);
+        bn.AddFitRow(fit_row);
+      }
+    }
+  }
+  bn.FinishFit();
+
+  ShardedModel model;
+  model.parts = std::move(parts);
+  model.network = std::move(bn);
+  model.store = std::move(store);
+  model.num_rows = n;
+  return model;
+}
+
+}  // namespace bclean

@@ -1,0 +1,56 @@
+// One-pass out-of-core model construction: streams a RowSource once,
+// interning dictionaries, evaluating UC verdicts per new distinct value,
+// folding the compensatory model's fixed-row-block partials, and spilling
+// dictionary-coded chunks to a ShardStore. After the stream, structure
+// learning and CPT fitting replay the spilled chunks instead of a resident
+// table. The resulting model is bit-equal to the in-memory build over the
+// same rows: CompensatoryModel::Fingerprint() matches Build's, the learned
+// structure and CPTs match BuildNetwork's, and the UcMask matches
+// UcMask::Build's — so an engine composed from these parts carries the
+// same ModelFingerprint() an in-memory Open would, and shares its repair
+// caches.
+#ifndef BCLEAN_SHARD_SHARDED_BUILDER_H_
+#define BCLEAN_SHARD_SHARDED_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/bn/network.h"
+#include "src/common/status.h"
+#include "src/core/model_parts.h"
+#include "src/core/options.h"
+#include "src/shard/row_source.h"
+#include "src/shard/shard_store.h"
+
+namespace bclean {
+
+class ThreadPool;
+
+/// Output of the streaming build: the network-independent parts (whose
+/// `dirty` member is an empty table over the schema and whose stats carry
+/// dictionaries only — the codes live in `store`), the fitted network, and
+/// the sealed spill store.
+struct ShardedModel {
+  ModelParts parts;
+  BayesianNetwork network;
+  std::shared_ptr<ShardStore> store;
+  uint64_t num_rows = 0;
+};
+
+/// Streams `source` once and builds the full model out of core.
+/// `effective_ucs` is the registry after the use_user_constraints filter
+/// (what UcMask::Build would see). Peak resident table state is one
+/// pending chunk plus one int32 column (the structure-learning sort
+/// scratch) plus the stride-sampled similarity rows — never the table.
+/// Fails exactly where the in-memory pipeline would: pair-key capacity
+/// (CheckCapacity), under 3 rows / 2 columns (structure learning), ragged
+/// or unreadable input (the source), spill I/O (IOError).
+Result<ShardedModel> BuildShardedModel(RowSource& source,
+                                       const UcRegistry& effective_ucs,
+                                       const BCleanOptions& options,
+                                       const ShardOptions& shard,
+                                       ThreadPool* pool = nullptr);
+
+}  // namespace bclean
+
+#endif  // BCLEAN_SHARD_SHARDED_BUILDER_H_

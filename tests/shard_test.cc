@@ -1,0 +1,504 @@
+// The out-of-core sharding subsystem, end to end: spill-store round-trips
+// (mmap and buffered, NULL codes included), checksum rejection, residency
+// budgets, streamed-vs-in-memory model fingerprint equality, and the
+// acceptance differential — a ShardedSession clean is byte-identical to an
+// in-memory Session over the same rows for {Basic, PI, PIP} x {1, 8
+// threads} x {chunk_rows 64, 1024, larger-than-table} — plus CSV export
+// equality, cross-session repair-cache sharing, parts-layer reuse across
+// different-options Opens, and fault injection at the chunk I/O points.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/data/csv.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+#include "src/service/service.h"
+#include "src/service/sharded_session.h"
+#include "src/shard/row_source.h"
+#include "src/shard/shard_store.h"
+#include "tests/clean_stats_test_util.h"
+
+namespace bclean {
+namespace {
+
+using fault::FaultSpec;
+using fault::Registry;
+using fault::ScopedFault;
+
+Dataset InjectedDataset(const std::string& name, size_t rows, uint64_t seed) {
+  Dataset ds = MakeBenchmark(name, rows, 42).value();
+  Rng rng(seed);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  ds.clean = std::move(injection.dirty);  // repurpose: .clean holds dirty
+  return ds;
+}
+
+ShardOptions TestShardOptions(size_t chunk_rows,
+                              size_t resident_budget = 0) {
+  ShardOptions shard;
+  shard.chunk_rows = chunk_rows;
+  shard.resident_bytes_budget = resident_budget;
+  shard.spill_dir = testing::TempDir();
+  return shard;
+}
+
+CodedColumns MakeChunkCodes(size_t rows, size_t cols, int32_t base) {
+  CodedColumns codes(rows, cols);
+  for (size_t c = 0; c < cols; ++c) {
+    for (size_t r = 0; r < rows; ++r) {
+      const int32_t v = base + static_cast<int32_t>(c * rows + r);
+      codes.set_code(r, c, v % 7 == 0 ? kNullCode : v);
+    }
+  }
+  return codes;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ------------------------------------------------------------- ShardStore
+
+// Chunks written through AppendChunk read back code-for-code — NULL codes
+// included — through both the mmap and the buffered-read paths, with a
+// short final chunk.
+TEST(ShardStoreTest, ChunkRoundTripMmapAndBuffered) {
+  for (const bool use_mmap : {true, false}) {
+    ShardOptions options = TestShardOptions(/*chunk_rows=*/32);
+    options.use_mmap = use_mmap;
+    auto store = ShardStore::CreateInDir(/*schema_digest=*/0xD16, 3, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    std::vector<CodedColumns> written;
+    written.push_back(MakeChunkCodes(32, 3, 0));
+    written.push_back(MakeChunkCodes(32, 3, 1000));
+    written.push_back(MakeChunkCodes(7, 3, 2000));  // short tail chunk
+    uint64_t row_begin = 0;
+    for (const CodedColumns& codes : written) {
+      ASSERT_TRUE(store.value()->AppendChunk(codes, row_begin).ok());
+      row_begin += codes.num_rows();
+    }
+    ASSERT_TRUE(store.value()->Seal().ok());
+    ASSERT_EQ(store.value()->num_chunks(), 3u);
+    EXPECT_EQ(store.value()->num_rows(), 71u);
+    for (size_t i = 0; i < written.size(); ++i) {
+      auto chunk = store.value()->ReadChunk(i);
+      ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+      const CodedView view = chunk.value()->codes();
+      ASSERT_EQ(view.num_rows(), written[i].num_rows());
+      ASSERT_EQ(view.num_cols(), 3u);
+      for (size_t c = 0; c < 3; ++c) {
+        for (size_t r = 0; r < view.num_rows(); ++r) {
+          ASSERT_EQ(view.code(r, c), written[i].code(r, c))
+              << "mmap=" << use_mmap << " chunk " << i;
+        }
+      }
+    }
+  }
+}
+
+// A flipped payload byte is rejected with a clean IOError naming the
+// checksum — never silently decoded.
+TEST(ShardStoreTest, CorruptedChunkFailsChecksum) {
+  const std::string path = testing::TempDir() + "/bclean_shard_corrupt.spill";
+  ShardOptions options = TestShardOptions(/*chunk_rows=*/16);
+  auto store = ShardStore::Create(path, /*schema_digest=*/0xD16, 2, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(store.value()->AppendChunk(MakeChunkCodes(16, 2, 0), 0).ok());
+  ASSERT_TRUE(store.value()->Seal().ok());
+  {
+    // Flip one payload byte in place (the payload starts 48 bytes past the
+    // chunk's file offset).
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file);
+    const auto offset = static_cast<std::streamoff>(
+        store.value()->chunk(0).file_offset + 48);
+    file.seekg(offset);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    file.seekp(offset);
+    file.write(&byte, 1);
+  }
+  auto chunk = store.value()->ReadChunk(0);
+  ASSERT_FALSE(chunk.ok());
+  EXPECT_NE(chunk.status().ToString().find("checksum"), std::string::npos)
+      << chunk.status().ToString();
+}
+
+// With budget 0 ("one chunk at a time"), sequentially reading every chunk
+// never holds more than one chunk resident; a budget of two chunks is
+// likewise respected.
+TEST(ShardStoreTest, ResidentBytesStayUnderBudget) {
+  auto store = ShardStore::CreateInDir(/*schema_digest=*/0xD16, 4,
+                                       TestShardOptions(/*chunk_rows=*/64));
+  ASSERT_TRUE(store.ok());
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.value()
+                    ->AppendChunk(MakeChunkCodes(64, 4, 100 * (int32_t)i),
+                                  i * 64)
+                    .ok());
+  }
+  ASSERT_TRUE(store.value()->Seal().ok());
+  size_t largest_chunk = 0;
+  for (size_t i = 0; i < store.value()->num_chunks(); ++i) {
+    largest_chunk = std::max(
+        largest_chunk, static_cast<size_t>(
+                           store.value()->chunk(i).payload_bytes + 48));
+  }
+  for (size_t i = 0; i < store.value()->num_chunks(); ++i) {
+    ASSERT_TRUE(store.value()->ReadChunk(i).ok());  // pin dropped at once
+  }
+  EXPECT_LE(store.value()->peak_resident_bytes(), largest_chunk);
+  EXPECT_GT(store.value()->peak_resident_bytes(), 0u);
+}
+
+// ApproxBytes accounting: the coded buffer reports at least its payload,
+// and the store reports at least its resident chunks plus directory.
+TEST(ShardStoreTest, ApproxBytesCoverChunkBuffers) {
+  CodedColumns codes = MakeChunkCodes(100, 3, 0);
+  EXPECT_GE(codes.ApproxBytes(), 100u * 3u * sizeof(int32_t));
+  auto store = ShardStore::CreateInDir(/*schema_digest=*/0xD16, 3,
+                                       TestShardOptions(/*chunk_rows=*/100,
+                                                        /*budget=*/1 << 20));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->AppendChunk(codes, 0).ok());
+  ASSERT_TRUE(store.value()->Seal().ok());
+  auto chunk = store.value()->ReadChunk(0);  // keep the pin: stays resident
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_GE(store.value()->ApproxBytes(), store.value()->resident_bytes());
+  EXPECT_GE(store.value()->resident_bytes(), 100u * 3u * sizeof(int32_t));
+}
+
+// --------------------------------------------------- sharded service layer
+
+// The streamed one-pass model build must land on the same fingerprint as
+// the in-memory build — for chunk sizes that divide the table, that do
+// not, and that exceed it. Fingerprint equality is what lets sharded and
+// in-memory sessions exchange repair-cache entries.
+TEST(ShardedServiceTest, StreamedFingerprintMatchesInMemory) {
+  Dataset ds = InjectedDataset("hospital", 180, 7);
+  Service service;
+  auto in_memory = service.Open("mem", ds.clean, ds.ucs);
+  ASSERT_TRUE(in_memory.ok()) << in_memory.status().ToString();
+  for (const size_t chunk_rows : {size_t{64}, size_t{100}, size_t{100000}}) {
+    auto sharded = service.OpenSharded("shard", ds.clean, ds.ucs, {},
+                                       TestShardOptions(chunk_rows));
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    EXPECT_EQ(sharded.value()->model_fingerprint(),
+              in_memory.value()->model_fingerprint())
+        << "chunk_rows=" << chunk_rows;
+    EXPECT_EQ(sharded.value()->num_rows(), 180u);
+  }
+  EXPECT_EQ(service.stats().sharded_sessions_opened, 3u);
+}
+
+struct ShardDiffCase {
+  std::string mode;
+  size_t threads;
+  size_t chunk_rows;
+};
+
+class ShardedServiceDifferentialTest
+    : public ::testing::TestWithParam<ShardDiffCase> {};
+
+BCleanOptions OptionsForMode(const std::string& mode) {
+  if (mode == "PI") return BCleanOptions::PartitionedInference();
+  if (mode == "PIP") return BCleanOptions::PartitionedInferencePruning();
+  return BCleanOptions::Basic();
+}
+
+// Acceptance differential: a sharded clean — model streamed, table spilled
+// as coded chunks, rows cleaned chunk at a time under a tight residency
+// budget — returns bytes identical to an in-memory Session over the same
+// rows, with the same stable counters, and its peak resident table bytes
+// stay within budget + one chunk.
+TEST_P(ShardedServiceDifferentialTest, ShardedCleanMatchesInMemory) {
+  const ShardDiffCase& c = GetParam();
+  Dataset ds = InjectedDataset("hospital", 180, 5);
+  BCleanOptions options = OptionsForMode(c.mode);
+  options.num_threads = c.threads;
+  ServiceOptions service_options;
+  service_options.num_threads = c.threads;
+  Service service(service_options);
+
+  auto in_memory = service.Open("mem", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(in_memory.ok()) << in_memory.status().ToString();
+  CleanResult reference = in_memory.value()->Clean();
+
+  const size_t budget = 2 * c.chunk_rows * ds.clean.num_cols() *
+                        sizeof(int32_t);
+  auto sharded =
+      service.OpenSharded("shard", ds.clean, ds.ucs, options,
+                          TestShardOptions(c.chunk_rows, budget));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  auto cleaned = sharded.value()->Clean();
+  ASSERT_TRUE(cleaned.ok()) << cleaned.status().ToString();
+
+  EXPECT_TRUE(cleaned.value().table == reference.table);
+  ExpectSameStableCounters(cleaned.value().stats, reference.stats);
+
+  // Residency guarantee: the store never held more than the budget plus
+  // one in-flight chunk (header included).
+  size_t largest_chunk = 0;
+  const ShardStore& store = sharded.value()->store();
+  for (size_t i = 0; i < store.num_chunks(); ++i) {
+    largest_chunk = std::max(
+        largest_chunk, static_cast<size_t>(store.chunk(i).payload_bytes + 48));
+  }
+  EXPECT_LE(store.peak_resident_bytes(), budget + largest_chunk);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesThreadsChunks, ShardedServiceDifferentialTest,
+    ::testing::Values(
+        ShardDiffCase{"Basic", 1, 64}, ShardDiffCase{"Basic", 1, 1024},
+        ShardDiffCase{"Basic", 1, 100000}, ShardDiffCase{"Basic", 8, 64},
+        ShardDiffCase{"Basic", 8, 1024}, ShardDiffCase{"Basic", 8, 100000},
+        ShardDiffCase{"PI", 1, 64}, ShardDiffCase{"PI", 1, 1024},
+        ShardDiffCase{"PI", 1, 100000}, ShardDiffCase{"PI", 8, 64},
+        ShardDiffCase{"PI", 8, 1024}, ShardDiffCase{"PI", 8, 100000},
+        ShardDiffCase{"PIP", 1, 64}, ShardDiffCase{"PIP", 1, 1024},
+        ShardDiffCase{"PIP", 1, 100000}, ShardDiffCase{"PIP", 8, 64},
+        ShardDiffCase{"PIP", 8, 1024}, ShardDiffCase{"PIP", 8, 100000}),
+    [](const ::testing::TestParamInfo<ShardDiffCase>& info) {
+      return info.param.mode + "_t" + std::to_string(info.param.threads) +
+             "_c" + std::to_string(info.param.chunk_rows);
+    });
+
+// The streamed CSV export writes exactly WriteCsvString of the repaired
+// table — header, quoting, NULL cells — while holding one chunk at a time.
+TEST(ShardedServiceTest, CleanToCsvMatchesWriteCsvString) {
+  Dataset ds = InjectedDataset("hospital", 150, 11);
+  Service service;
+  auto in_memory = service.Open("mem", ds.clean, ds.ucs);
+  ASSERT_TRUE(in_memory.ok());
+  const std::string expected =
+      WriteCsvString(in_memory.value()->Clean().table);
+
+  auto sharded = service.OpenSharded("shard", ds.clean, ds.ucs, {},
+                                     TestShardOptions(/*chunk_rows=*/64));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  const std::string path = testing::TempDir() + "/bclean_sharded_clean.csv";
+  Status status = sharded.value()->CleanToCsv(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(ReadFileBytes(path), expected);
+  std::remove(path.c_str());
+}
+
+// Sharded and in-memory sessions of the same model share one persistent
+// repair cache: after an in-memory clean warms it, a sharded clean over
+// the same table replays every cell (no misses), and vice versa.
+TEST(ShardedServiceTest, SharedRepairCacheAcrossShardedAndInMemory) {
+  Dataset ds = InjectedDataset("hospital", 150, 3);
+  BCleanOptions options;
+  options.num_threads = 1;
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  Service service(service_options);
+
+  auto in_memory = service.Open("mem", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(in_memory.ok());
+  CleanResult warm = in_memory.value()->Clean();
+  ASSERT_GT(warm.stats.cache_misses, 0u);
+
+  auto sharded = service.OpenSharded("shard", ds.clean, ds.ucs, options,
+                                     TestShardOptions(/*chunk_rows=*/64));
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded.value()->model_fingerprint(),
+            in_memory.value()->model_fingerprint());
+  auto cleaned = sharded.value()->Clean();
+  ASSERT_TRUE(cleaned.ok());
+  // Every cell that consulted the cache replayed a decision memoized by
+  // the in-memory pass — the signatures match because the passes are
+  // byte-identical.
+  EXPECT_EQ(cleaned.value().stats.cache_misses, 0u);
+  EXPECT_GT(cleaned.value().stats.cache_hits, 0u);
+  // One model fingerprint, one persistent cache.
+  EXPECT_EQ(service.stats().repair_caches_created, 1u);
+}
+
+// A CSV file streamed from disk yields the same model and the same clean
+// as the same rows streamed from an in-memory table.
+TEST(ShardedServiceTest, CsvFileSourceMatchesTableSource) {
+  Dataset ds = InjectedDataset("hospital", 120, 9);
+  const std::string path = testing::TempDir() + "/bclean_shard_source.csv";
+  ASSERT_TRUE(WriteCsvFile(ds.clean, path).ok());
+
+  Service service;
+  auto from_table = service.OpenSharded("t", ds.clean, ds.ucs, {},
+                                        TestShardOptions(/*chunk_rows=*/64));
+  ASSERT_TRUE(from_table.ok()) << from_table.status().ToString();
+
+  auto source = MakeCsvFileSource(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  auto from_file = service.OpenSharded("f", *source.value(), ds.ucs, {},
+                                       TestShardOptions(/*chunk_rows=*/64));
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+
+  EXPECT_EQ(from_file.value()->model_fingerprint(),
+            from_table.value()->model_fingerprint());
+  auto a = from_table.value()->Clean();
+  auto b = from_file.value()->Clean();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value().table == b.value().table);
+  std::remove(path.c_str());
+}
+
+// The async CSV export runs on the service dispatcher and lands the same
+// bytes as the synchronous call.
+TEST(ShardedServiceTest, CleanToCsvAsyncMatchesSync) {
+  Dataset ds = InjectedDataset("hospital", 120, 13);
+  Service service;
+  auto sharded = service.OpenSharded("shard", ds.clean, ds.ucs, {},
+                                     TestShardOptions(/*chunk_rows=*/64));
+  ASSERT_TRUE(sharded.ok());
+  const std::string sync_path = testing::TempDir() + "/bclean_sync.csv";
+  const std::string async_path = testing::TempDir() + "/bclean_async.csv";
+  ASSERT_TRUE(sharded.value()->CleanToCsv(sync_path).ok());
+
+  auto submitted = sharded.value()->CleanToCsvAsync(async_path);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  std::future<Result<CleanResult>> future = std::move(submitted).value();
+  Result<CleanResult> result = future.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The async result carries counters and schema only; rows went to disk.
+  EXPECT_EQ(result.value().table.num_rows(), 0u);
+  EXPECT_GT(result.value().stats.cells_scanned, 0u);
+  EXPECT_EQ(ReadFileBytes(async_path), ReadFileBytes(sync_path));
+  std::remove(sync_path.c_str());
+  std::remove(async_path.c_str());
+}
+
+// Satellite: Opens that differ only in options a model layer never reads
+// share that layer through the parts caches — here a repair_margin change
+// reuses all three (table+stats, mask, compensatory), pointer-aliasing the
+// dirty table — and the layered engine still cleans byte-identically to a
+// cold one-shot build.
+TEST(ShardedServiceTest, PartsLayersSharedAcrossDifferentOptions) {
+  Dataset ds = InjectedDataset("hospital", 150, 17);
+  Service service;
+  BCleanOptions first;
+  auto s1 = service.Open("a", ds.clean, ds.ucs, first);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(service.stats().parts_layers_reused, 0u);
+
+  BCleanOptions second;
+  second.repair_margin = 0.5;  // different engine key, same model layers
+  auto s2 = service.Open("b", ds.clean, ds.ucs, second);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(service.stats().engine_cache_misses, 2u);
+  EXPECT_EQ(service.stats().parts_layers_reused, 3u);
+  // The two engines alias one dirty table (the stats layer rode along).
+  EXPECT_EQ(&s1.value()->dirty(), &s2.value()->dirty());
+
+  // Layered assembly is byte-equal to a cold build under the new options.
+  auto cold = BCleanEngine::Create(ds.clean, ds.ucs, second);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(s2.value()->Clean().table == cold.value()->RunClean().table);
+
+  // A UC-identity change reuses only the content-keyed stats layer.
+  BCleanOptions no_ucs;
+  no_ucs.use_user_constraints = false;
+  auto s3 = service.Open("c", ds.clean, ds.ucs, no_ucs);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(service.stats().parts_layers_reused, 4u);
+
+  // parts_cache_capacity = 0 disables layer reuse entirely.
+  ServiceOptions no_layers;
+  no_layers.parts_cache_capacity = 0;
+  Service isolated(no_layers);
+  auto i1 = isolated.Open("a", ds.clean, ds.ucs, first);
+  auto i2 = isolated.Open("b", ds.clean, ds.ucs, second);
+  ASSERT_TRUE(i1.ok());
+  ASSERT_TRUE(i2.ok());
+  EXPECT_EQ(isolated.stats().parts_layers_reused, 0u);
+  EXPECT_NE(&i1.value()->dirty(), &i2.value()->dirty());
+}
+
+// ---------------------------------------------------------- fault points
+
+#if BCLEAN_FAULT_INJECTION_ENABLED
+
+class ShardFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Registry::Instance().Reset(); }
+};
+
+// A failed chunk write surfaces as a clean IOError from OpenSharded —
+// no session, no engine, no stale spill state.
+TEST_F(ShardFaultTest, ChunkWriteFaultFailsOpenSharded) {
+  Dataset ds = InjectedDataset("hospital", 120, 19);
+  Service service;
+  FaultSpec spec;
+  spec.fail = true;
+  ScopedFault fault("shard.chunk_write", spec);
+  auto sharded = service.OpenSharded("shard", ds.clean, ds.ucs, {},
+                                     TestShardOptions(/*chunk_rows=*/32));
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_NE(sharded.status().ToString().find("shard.chunk_write"),
+            std::string::npos)
+      << sharded.status().ToString();
+}
+
+// A failed chunk read mid-clean surfaces a clean Status, leaves NO partial
+// CSV behind, and keeps the session (and its repair cache) valid: the
+// retry completes and matches the in-memory reference byte for byte.
+TEST_F(ShardFaultTest, ChunkReadFaultLeavesNoPartialOutput) {
+  Dataset ds = InjectedDataset("hospital", 150, 23);
+  BCleanOptions options;
+  options.num_threads = 1;
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  Service service(service_options);
+  auto in_memory = service.Open("mem", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(in_memory.ok());
+  const std::string expected =
+      WriteCsvString(in_memory.value()->Clean().table);
+
+  auto sharded = service.OpenSharded("shard", ds.clean, ds.ucs, options,
+                                     TestShardOptions(/*chunk_rows=*/32));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  const std::string path = testing::TempDir() + "/bclean_faulted.csv";
+  {
+    // Fail the SECOND chunk read of the clean pass, after a chunk of rows
+    // was already written to the CSV.
+    FaultSpec spec;
+    spec.fail = true;
+    spec.skip_first = 1;
+    spec.max_triggers = 1;
+    ScopedFault fault("shard.chunk_read", spec);
+    Status status = sharded.value()->CleanToCsv(path);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("shard.chunk_read"), std::string::npos)
+        << status.ToString();
+  }
+  // No partial file survives the failure.
+  EXPECT_FALSE(std::ifstream(path).good());
+  // The session stays fully usable; the retry's bytes match the in-memory
+  // reference (repair-cache entries published before the fault replay
+  // verbatim — they are pure functions of their signatures).
+  Status retry = sharded.value()->CleanToCsv(path);
+  ASSERT_TRUE(retry.ok()) << retry.ToString();
+  EXPECT_EQ(ReadFileBytes(path), expected);
+  std::remove(path.c_str());
+}
+
+#endif  // BCLEAN_FAULT_INJECTION_ENABLED
+
+}  // namespace
+}  // namespace bclean
