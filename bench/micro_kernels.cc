@@ -468,7 +468,10 @@ long PeakRssKb() {
 }
 
 void BM_ShardedClean(benchmark::State& state) {
-  // Out-of-core cleaning vs the in-memory session over the same rows.
+  // Out-of-core cleaning vs the in-memory session over the same rows,
+  // with the pipeline pinned OFF (prefetch_chunks = 0) so this keeps
+  // measuring the strict serial read-then-clean walk across releases —
+  // BM_PipelinedShardedClean below owns the prefetch-depth story.
   // arg0 < 0 is the in-memory arm; otherwise arg0 is the shard store's
   // resident-byte budget measured in chunks (0 = strictest: one chunk at
   // a time). Bytes are identical in every arm by the sharding determinism
@@ -506,8 +509,10 @@ void BM_ShardedClean(benchmark::State& state) {
         service
             .OpenSharded("bench", injection.dirty, ds.ucs, options, shard)
             .value();
+    ShardedCleanOptions serial;
+    serial.prefetch_chunks = 0;
     for (auto _ : state) {
-      benchmark::DoNotOptimize(session->Clean());
+      benchmark::DoNotOptimize(session->Clean(serial));
     }
     state.SetLabel(
         "budget_chunks=" + std::to_string(arm) + " peak_resident_b=" +
@@ -517,6 +522,125 @@ void BM_ShardedClean(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * injection.dirty.num_cells());
 }
 BENCHMARK(BM_ShardedClean)->Arg(-1)->Arg(0)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelinedShardedClean(benchmark::State& state) {
+  // The pipelined sharded walk vs its own serial arm and the in-memory
+  // session, same dataset/model/knobs as BM_ShardedClean. arg0 < 0 is the
+  // in-memory arm; otherwise arg0 is the resident budget in chunks and
+  // arg1 the prefetch depth (0 = serial read-then-clean, the PR 8 walk).
+  // Bytes are identical in every arm; the spread is how much of the chunk
+  // read + checksum + decode the prefetcher hides behind scoring. On a
+  // single-core host the overlap is bounded by the scan's genuine I/O
+  // blocking (spill-file reads), not the depth — deeper prefetch buys
+  // pinned chunks, not speed. Labels carry peak resident payload bytes so
+  // the residency cost of each depth rides with its timing.
+  Dataset ds = MakeHospital(1000, 7);
+  Rng rng(7);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.num_threads = 1;
+  options.repair_cache = false;
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.persistent_repair_cache = false;
+  Service service(service_options);
+  const int64_t budget_chunks = state.range(0);
+  const auto prefetch = static_cast<size_t>(state.range(1));
+  constexpr size_t kChunkRows = 256;
+  if (budget_chunks < 0) {
+    auto session =
+        service.Open("bench", injection.dirty, ds.ucs, options).value();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(session->Clean());
+    }
+    state.SetLabel("in-memory");
+  } else {
+    ShardOptions shard;
+    shard.chunk_rows = kChunkRows;
+    shard.resident_bytes_budget = static_cast<size_t>(budget_chunks) *
+                                  kChunkRows * injection.dirty.num_cols() *
+                                  sizeof(int32_t);
+    auto session =
+        service
+            .OpenSharded("bench", injection.dirty, ds.ucs, options, shard)
+            .value();
+    ShardedCleanOptions clean_opts;
+    clean_opts.prefetch_chunks = prefetch;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(session->Clean(clean_opts));
+    }
+    state.SetLabel(
+        "budget_chunks=" + std::to_string(budget_chunks) +
+        " prefetch=" + std::to_string(prefetch) + " peak_resident_b=" +
+        std::to_string(session->store().peak_resident_bytes()) +
+        " rss_kb=" + std::to_string(PeakRssKb()));
+  }
+  state.SetItemsProcessed(state.iterations() * injection.dirty.num_cells());
+}
+BENCHMARK(BM_PipelinedShardedClean)
+    ->Args({-1, 0})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({0, 4})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConcurrentSessions(benchmark::State& state) {
+  // Completion latency of a small clean submitted alongside a large one —
+  // the whole-job-starvation story. arg0 = 0 emulates the job-serialized
+  // pool (the small job cannot start until the big job's ParallelFor
+  // drains, so its latency is t_big + t_small); arg0 = 1 submits both
+  // through the dispatcher at once and times until the small future
+  // resolves — under the task-interleaving pool the small job claims
+  // indices immediately and finishes in ~its own cost, even on one core,
+  // because it no longer queues behind the big job. Bytes of both cleans
+  // are identical across arms.
+  Dataset big = MakeHospital(800, 7);
+  Dataset small = MakeBeers(60, 7);
+  Rng rng_big(7), rng_small(11);
+  auto big_dirty =
+      InjectErrors(big.clean, big.default_injection, &rng_big).value();
+  auto small_dirty =
+      InjectErrors(small.clean, small.default_injection, &rng_small).value();
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.num_threads = 1;
+  options.repair_cache = false;
+  ServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.dispatcher_threads = 2;
+  service_options.persistent_repair_cache = false;
+  Service service(service_options);
+  auto big_session =
+      service.Open("big", big_dirty.dirty, big.ucs, options).value();
+  auto small_session =
+      service.Open("small", small_dirty.dirty, small.ucs, options).value();
+  big_session->Clean();  // prime both models outside the timed region
+  small_session->Clean();
+  const bool interleaved = state.range(0) == 1;
+  for (auto _ : state) {
+    if (interleaved) {
+      auto big_future = big_session->CleanAsync().value();
+      auto small_future = small_session->CleanAsync().value();
+      benchmark::DoNotOptimize(small_future.get());
+      state.PauseTiming();  // draining the big job is not the metric
+      benchmark::DoNotOptimize(big_future.get());
+      state.ResumeTiming();
+    } else {
+      // Old-pool emulation: the small clean starts only after the big
+      // job's pool work has fully drained.
+      auto big_future = big_session->CleanAsync().value();
+      benchmark::DoNotOptimize(big_future.get());
+      auto small_future = small_session->CleanAsync().value();
+      benchmark::DoNotOptimize(small_future.get());
+    }
+  }
+  state.SetLabel(interleaved ? "interleaved small-job latency"
+                             : "job-serialized small-job latency");
+}
+BENCHMARK(BM_ConcurrentSessions)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -27,59 +27,83 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void ThreadPool::ExecuteIndices(Job& job, size_t worker_id,
+                                bool yield_between) {
+  size_t i;
+  while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) < job.count) {
+    (*job.fn)(i, worker_id);
+    job.completed.fetch_add(1, std::memory_order_release);
+    // With a single live job this loop is as tight as a dedicated pool
+    // (one relaxed load per index); with several, spawned workers rotate
+    // after every index so no job starves.
+    if (yield_between && num_live_.load(std::memory_order_relaxed) > 1) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::LeaveJobLocked(Job& job) {
+  --job.executors;
+  if (job.listed && job.next.load(std::memory_order_relaxed) >= job.count) {
+    run_queue_.erase(std::find(run_queue_.begin(), run_queue_.end(), &job));
+    job.listed = false;
+    num_live_.store(run_queue_.size(), std::memory_order_relaxed);
+  }
+  if (job.executors == 0 &&
+      job.completed.load(std::memory_order_acquire) == job.count) {
+    done_cv_.notify_all();
+  }
+}
+
 void ThreadPool::WorkerLoop(size_t worker_id) {
-  uint64_t seen_epoch = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    work_cv_.wait(lock,
-                  [&] { return shutdown_ || epoch_ != seen_epoch; });
+    work_cv_.wait(lock, [&] { return shutdown_ || !run_queue_.empty(); });
     if (shutdown_) return;
-    seen_epoch = epoch_;
-    const std::function<void(size_t, size_t)>* fn = fn_;
-    size_t count = count_;
+    Job& job = *run_queue_[rr_cursor_++ % run_queue_.size()];
+    ++job.executors;
     lock.unlock();
     // Stall a spawned worker at job pickup (tests: uneven worker progress
     // must not change output bytes — indices rebalance via the shared
     // counter).
     BCLEAN_FAULT_POINT("pool.worker_stall");
-    size_t i;
-    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
-      (*fn)(i, worker_id);
-    }
+    ExecuteIndices(job, worker_id, /*yield_between=*/true);
     lock.lock();
-    if (--remaining_ == 0) done_cv_.notify_all();
+    LeaveJobLocked(job);
   }
 }
 
 void ThreadPool::ParallelFor(
     size_t count, const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
-  // One job at a time: concurrent callers (several sessions cleaning on the
-  // service's shared pool) queue here, so the pool never runs more than
-  // size() executors. The inline single-executor path serializes too — a
-  // width-1 pool is a promise of one busy core, not one per caller.
-  std::lock_guard<std::mutex> job_lock(job_mu_);
   if (workers_.empty()) {
+    // Width-1 pool: run inline with zero scheduling overhead. Concurrent
+    // callers each run their own loop (they interleave by OS scheduling,
+    // as they would with spawned workers).
     for (size_t i = 0; i < count; ++i) fn(i, 0);
     return;
   }
+  Job job;
+  job.fn = &fn;
+  job.count = count;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    fn_ = &fn;
-    count_ = count;
-    next_.store(0, std::memory_order_relaxed);
-    remaining_ = workers_.size();
-    ++epoch_;
+    run_queue_.push_back(&job);
+    job.listed = true;
+    num_live_.store(run_queue_.size(), std::memory_order_relaxed);
+    ++job.executors;  // the caller, worker 0
   }
   work_cv_.notify_all();
-  // The caller is worker 0.
-  size_t i;
-  while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
-    fn(i, 0);
-  }
+  // The caller drives its own job to completion (no yielding): a caller
+  // never blocks while its job still has unclaimed indices, which is what
+  // makes nested ParallelFor deadlock-free.
+  ExecuteIndices(job, 0, /*yield_between=*/false);
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return remaining_ == 0; });
-  fn_ = nullptr;
+  LeaveJobLocked(job);
+  done_cv_.wait(lock, [&] {
+    return job.executors == 0 &&
+           job.completed.load(std::memory_order_acquire) == job.count;
+  });
 }
 
 }  // namespace bclean

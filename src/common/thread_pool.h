@@ -1,18 +1,30 @@
-// Small fixed-size thread pool for data-parallel loops. Workers are spawned
-// once and parked on a condition variable between jobs; ParallelFor hands
-// out loop indices through a shared atomic counter, so uneven per-index cost
-// (rows whose cells are pruned vs. rows needing full inference) balances
-// automatically. The calling thread participates as worker 0 — a pool of
-// size N uses exactly N concurrent executors, and a pool of size 1 runs
-// everything inline with no threads at all.
+// Small fixed-size thread pool for data-parallel loops with task
+// interleaving. Workers are spawned once and parked on a condition variable
+// while no job is live; ParallelFor publishes a first-class job object (its
+// own atomic index counter) on a shared run queue, and workers pull indices
+// from any live job — round-robin across jobs, so concurrent callers
+// interleave at index granularity instead of alternating whole jobs.
+// Indices are handed out through the job's shared atomic counter, so uneven
+// per-index cost (rows whose cells are pruned vs. rows needing full
+// inference) balances automatically. The calling thread participates as
+// worker 0 of its own job and drives it to completion — a pool of size N
+// spawns N-1 threads, and a pool of size 1 runs everything inline with no
+// threads at all.
 //
 // ParallelFor may be called concurrently from multiple threads (the service
-// layer shares one pool across every session's Clean and model build): whole
-// jobs serialize on an internal job lock — one at a time, in no guaranteed
-// order (std::mutex wake-up order is unspecified) — so the pool's width
-// bounds total parallelism instead of multiplying under concurrent
-// callers. Jobs must not submit nested ParallelFor calls to the same pool
-// (the job lock is not reentrant).
+// layer shares one pool across every session's Clean and model build): each
+// call's job goes on the shared run queue and spawned workers split
+// themselves across all live jobs, so no job waits for another to finish
+// before making progress. Total parallelism is bounded by spawned threads
+// plus concurrent callers (each caller always executes its own job's
+// indices). Nested ParallelFor calls on the same pool are allowed: the
+// inner call runs as its own job (the nesting thread is its worker 0), and
+// cannot deadlock because a caller never blocks while its job still has
+// unclaimed indices.
+//
+// Scheduling never affects output bytes anywhere in BClean — which indices
+// run on which worker, and how jobs interleave, is invisible to results by
+// the determinism contract (pinned by the differential matrices).
 #ifndef BCLEAN_COMMON_THREAD_POOL_H_
 #define BCLEAN_COMMON_THREAD_POOL_H_
 
@@ -26,7 +38,8 @@
 
 namespace bclean {
 
-/// Fixed-size pool executing index-parallel jobs.
+/// Fixed-size pool executing index-parallel jobs, interleaving concurrent
+/// jobs at index granularity.
 class ThreadPool {
  public:
   /// A pool of `num_threads` total executors (`num_threads - 1` spawned
@@ -42,10 +55,13 @@ class ThreadPool {
 
   /// Runs fn(index, worker) for every index in [0, count), distributing
   /// indices dynamically over the pool, and blocks until all complete.
-  /// `worker` is in [0, size()); the caller runs as worker 0. `fn` must be
-  /// safe to call concurrently from distinct workers. Safe to call from
-  /// several threads at once — concurrent jobs run one at a time (order
-  /// unspecified); must not be called from inside a running job.
+  /// `worker` is in [0, size()); the caller runs as worker 0. Within one
+  /// job, no two simultaneous executors share a worker id, so fn may use
+  /// `worker` to index per-worker scratch. `fn` must be safe to call
+  /// concurrently from distinct workers. Safe to call from several threads
+  /// at once — concurrent jobs interleave at index granularity (no job
+  /// parks behind another) — and safe to call from inside a running job
+  /// (the nested job is independent and cannot deadlock the pool).
   void ParallelFor(size_t count,
                    const std::function<void(size_t index, size_t worker)>& fn);
 
@@ -53,18 +69,35 @@ class ThreadPool {
   static size_t DefaultThreads();
 
  private:
+  /// One ParallelFor call in flight. Lives on the caller's stack; workers
+  /// only reach it through run_queue_, and the caller does not return until
+  /// every executor has left (executors == 0) and every index has run
+  /// (completed == count), so the pointer never dangles.
+  struct Job {
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};       // next index to claim (may overshoot)
+    std::atomic<size_t> completed{0};  // indices whose fn has returned
+    size_t executors = 0;  // threads currently inside the job (guard: mu_)
+    bool listed = false;   // still on run_queue_ (guard: mu_)
+  };
+
   void WorkerLoop(size_t worker_id);
+  /// Claims and runs indices of `job`. When `yield_between` is set and more
+  /// than one job is live, returns after each index so the worker can
+  /// rotate to the next job on the queue.
+  void ExecuteIndices(Job& job, size_t worker_id, bool yield_between);
+  /// Drops one executor reference; unlists the job once every index is
+  /// claimed and signals completion once the last executor leaves.
+  void LeaveJobLocked(Job& job);
 
   std::vector<std::thread> workers_;
-  std::mutex job_mu_;  // serializes whole ParallelFor jobs across callers
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(size_t, size_t)>* fn_ = nullptr;
-  size_t count_ = 0;
-  std::atomic<size_t> next_{0};
-  size_t remaining_ = 0;
-  uint64_t epoch_ = 0;
+  std::vector<Job*> run_queue_;  // live jobs, round-robin order (guard: mu_)
+  size_t rr_cursor_ = 0;         // next run_queue_ slot to hand out
+  std::atomic<size_t> num_live_{0};  // run_queue_.size() mirror for yields
   bool shutdown_ = false;
 };
 

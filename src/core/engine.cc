@@ -280,10 +280,9 @@ struct BCleanEngine::CleanShared {
   std::vector<std::unique_ptr<CellScorer>> scorers;  // per worker
   std::vector<RepairCache::Local> locals;            // per worker
   std::vector<std::vector<double>> filter_ws;        // per worker
-  // The codes the scan reads. In-memory passes point this at the stats'
-  // resident coded view; the sharded pass re-points it at each chunk's
-  // spilled codes (row indices then being chunk-local).
-  CodedView codes;
+  // Immutable after InitShared (the cache is internally thread-safe), so
+  // one pass can scan several chunks concurrently: the codes a scan reads
+  // travel as a CleanOneRow parameter, not as pass state.
 };
 
 struct BCleanEngine::RowWorkspace {
@@ -302,8 +301,8 @@ struct BCleanEngine::RowWorkspace {
 // never the encoded table — so no row can observe another row's repairs,
 // regardless of scan order or sharding (pinned by
 // tests/amplification_test.cc).
-void BCleanEngine::CleanOneRow(size_t r, CleanShared& shared, size_t worker,
-                               RowWorkspace& ws, Table& result,
+void BCleanEngine::CleanOneRow(size_t r, CleanShared& shared, CodedView codes,
+                               size_t worker, RowWorkspace& ws, Table& result,
                                CleanStats& stats) const {
   const DomainStats& encoded = *parts_.stats;
   const UcMask& uc_mask = *parts_.mask;
@@ -317,7 +316,7 @@ void BCleanEngine::CleanOneRow(size_t r, CleanShared& shared, size_t worker,
   std::vector<int32_t>& batch = ws.batch;
   std::vector<double>& scores = ws.scores;
   row_codes.resize(m);
-  for (size_t c = 0; c < m; ++c) row_codes[c] = shared.codes.code(r, c);
+  for (size_t c = 0; c < m; ++c) row_codes[c] = codes.code(r, c);
   // The row's Filter values and whole-tuple signature prefix are
   // computed at most once and recomputed only after an in-place repair
   // changes the tuple.
@@ -445,18 +444,18 @@ void BCleanEngine::CleanOneRow(size_t r, CleanShared& shared, size_t worker,
 }
 
 void BCleanEngine::CleanRowRange(size_t row_begin, size_t row_end,
-                                 CleanShared& shared, size_t worker,
-                                 Table& result, CleanStats& stats) const {
+                                 CleanShared& shared, CodedView codes,
+                                 size_t worker, Table& result,
+                                 CleanStats& stats) const {
   RowWorkspace ws;
   for (size_t r = row_begin; r < row_end; ++r) {
-    CleanOneRow(r, shared, worker, ws, result, stats);
+    CleanOneRow(r, shared, codes, worker, ws, result, stats);
   }
 }
 
 void BCleanEngine::InitShared(CleanShared& shared, RepairCache* cache,
                               size_t workers) const {
   const size_t m = stats().num_cols();
-  shared.codes = CodedView(parts_.stats->coded());
   // Candidate lists are computed once per attribute, not per cell.
   shared.candidates.resize(m);
   for (size_t a = 0; a < m; ++a) shared.candidates[a] = CandidatesFor(a);
@@ -485,9 +484,10 @@ CleanResult BCleanEngine::RunCleanOnRows(std::span<const size_t> rows) const {
   CleanResult result{dirty(), CleanStats{}};
   CleanShared shared;
   InitShared(shared, /*cache=*/nullptr, /*workers=*/1);
+  const CodedView codes(parts_.stats->coded());
   RowWorkspace ws;
   for (size_t r : rows) {
-    CleanOneRow(r, shared, 0, ws, result.table, result.stats);
+    CleanOneRow(r, shared, codes, 0, ws, result.table, result.stats);
   }
   result.stats.seconds = watch.ElapsedSeconds();
   return result;
@@ -556,25 +556,18 @@ Result<CleanResult> BCleanEngine::RunCleanCancellable(
   };
 
   CleanShared shared;
+  const CodedView codes(parts_.stats->coded());
   if (threads <= 1) {
     InitShared(shared, cache, /*workers=*/1);
-    auto scan = [&] {
-      for (size_t begin = 0; begin < n; begin += kRowBlock) {
-        if (check_cancel()) return;
-        CleanRowRange(begin, std::min(n, begin + kRowBlock), shared, 0,
-                      result.table, result.stats);
-      }
-    };
-    if (pool != nullptr) {
-      // Even a serial scan runs as a pool job when a shared pool is
-      // supplied: concurrent callers (several sessions' futures, or a
-      // width-1 service pool) then serialize on the pool's job lock, so
-      // the pool width stays an honest bound on busy cores. The single
-      // index may land on any executor; the scan itself still uses the
-      // one per-"worker" workspace slot.
-      pool->ParallelFor(1, [&](size_t, size_t) { scan(); });
-    } else {
-      scan();
+    // A serial scan runs inline on the caller. (It used to be wrapped in a
+    // one-index pool job so concurrent callers would serialize on the
+    // pool's job lock; the task-interleaving pool has no such lock —
+    // concurrent narrow jobs now genuinely run concurrently, and total
+    // parallelism is spawned workers plus concurrent callers.)
+    for (size_t begin = 0; begin < n; begin += kRowBlock) {
+      if (check_cancel()) break;
+      CleanRowRange(begin, std::min(n, begin + kRowBlock), shared, codes, 0,
+                    result.table, result.stats);
     }
     if (stopped.load(std::memory_order_relaxed)) return stop_status;
   } else {
@@ -597,7 +590,7 @@ Result<CleanResult> BCleanEngine::RunCleanCancellable(
       if (check_cancel()) return;
       size_t begin = block * kRowBlock;
       size_t end = std::min(n, begin + kRowBlock);
-      CleanRowRange(begin, end, shared, worker, result.table,
+      CleanRowRange(begin, end, shared, codes, worker, result.table,
                     worker_stats[worker]);
     });
     // ParallelFor joined every worker, so stop_status is settled.
@@ -632,31 +625,32 @@ std::unique_ptr<BCleanEngine::ChunkCleanPass> BCleanEngine::BeginChunkCleanPass(
   return pass;
 }
 
-Result<CleanResult> BCleanEngine::CleanChunkCancellable(
-    ChunkCleanPass& pass, CodedView codes, const CancelToken* cancel) const {
-  Stopwatch watch;
+Table BCleanEngine::DecodeChunkToTable(CodedView codes) const {
   const size_t n = codes.num_rows();
   const size_t m = codes.num_cols();
-  assert(m == stats().num_cols());
-
   // Decode the chunk back to strings once: the result starts as the dirty
   // chunk (unrepaired cells must round-trip verbatim) and repairs overwrite
   // individual cells, exactly like an in-memory pass over the same rows.
   Table chunk(dirty().schema());
-  {
-    std::vector<std::string> row(m);
-    for (size_t r = 0; r < n; ++r) {
-      for (size_t c = 0; c < m; ++c) {
-        int32_t code = codes.code(r, c);
-        row[c] = code < 0 ? std::string() : stats().column(c).ValueOf(code);
-      }
-      chunk.AddRowUnchecked(row);
+  std::vector<std::string> row(m);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) {
+      int32_t code = codes.code(r, c);
+      row[c] = code < 0 ? std::string() : stats().column(c).ValueOf(code);
     }
+    chunk.AddRowUnchecked(row);
   }
-  CleanResult result{std::move(chunk), CleanStats{}};
+  return chunk;
+}
 
-  CleanShared& shared = *pass.shared_;
-  shared.codes = codes;  // row indices below are chunk-local
+Result<CleanResult> BCleanEngine::CleanChunkCancellable(
+    ChunkCleanPass& pass, CodedView codes, const CancelToken* cancel) const {
+  Stopwatch watch;
+  const size_t n = codes.num_rows();
+  assert(codes.num_cols() == stats().num_cols());
+  CleanResult result{DecodeChunkToTable(codes), CleanStats{}};
+
+  CleanShared& shared = *pass.shared_;  // row indices below are chunk-local
 
   constexpr size_t kRowBlock = 32;
   std::atomic<bool> stopped{false};
@@ -677,17 +671,12 @@ Result<CleanResult> BCleanEngine::CleanChunkCancellable(
   };
 
   if (pass.workers_ <= 1) {
-    auto scan = [&] {
-      for (size_t begin = 0; begin < n; begin += kRowBlock) {
-        if (check_cancel()) return;
-        CleanRowRange(begin, std::min(n, begin + kRowBlock), shared, 0,
-                      result.table, result.stats);
-      }
-    };
-    if (pass.pool_ != nullptr) {
-      pass.pool_->ParallelFor(1, [&](size_t, size_t) { scan(); });
-    } else {
-      scan();
+    // Serial chunk scan inline on the caller (a width-1 pool adds nothing;
+    // the interleaving pool no longer needs a job to bound busy cores).
+    for (size_t begin = 0; begin < n; begin += kRowBlock) {
+      if (check_cancel()) break;
+      CleanRowRange(begin, std::min(n, begin + kRowBlock), shared, codes, 0,
+                    result.table, result.stats);
     }
     if (stopped.load(std::memory_order_relaxed)) return stop_status;
   } else {
@@ -697,7 +686,7 @@ Result<CleanResult> BCleanEngine::CleanChunkCancellable(
       if (check_cancel()) return;
       size_t begin = block * kRowBlock;
       size_t end = std::min(n, begin + kRowBlock);
-      CleanRowRange(begin, end, shared, worker, result.table,
+      CleanRowRange(begin, end, shared, codes, worker, result.table,
                     worker_stats[worker]);
     });
     if (stopped.load(std::memory_order_relaxed)) return stop_status;
@@ -710,6 +699,30 @@ Result<CleanResult> BCleanEngine::CleanChunkCancellable(
       result.stats.cache_hits += s.cache_hits;
       result.stats.cache_misses += s.cache_misses;
     }
+  }
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<CleanResult> BCleanEngine::CleanChunkOnWorker(
+    ChunkCleanPass& pass, CodedView codes, size_t worker,
+    const CancelToken* cancel) const {
+  Stopwatch watch;
+  const size_t n = codes.num_rows();
+  assert(codes.num_cols() == stats().num_cols());
+  assert(worker < pass.workers_);
+  CleanResult result{DecodeChunkToTable(codes), CleanStats{}};
+
+  CleanShared& shared = *pass.shared_;  // row indices below are chunk-local
+  constexpr size_t kRowBlock = 32;
+  for (size_t begin = 0; begin < n; begin += kRowBlock) {
+    BCLEAN_FAULT_POINT("clean.row_block");
+    if (cancel != nullptr) {
+      Status st = cancel->Check();
+      if (!st.ok()) return st;
+    }
+    CleanRowRange(begin, std::min(n, begin + kRowBlock), shared, codes,
+                  worker, result.table, result.stats);
   }
   result.stats.seconds = watch.ElapsedSeconds();
   return result;

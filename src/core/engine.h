@@ -186,9 +186,14 @@ class BCleanEngine {
 
   /// Reusable cross-chunk state of one sharded cleaning pass: candidate
   /// lists, signature tables, scorers, cache L1s. Created by
-  /// BeginChunkCleanPass, fed to CleanChunkCancellable once per chunk
-  /// (serially — a pass must not clean two chunks concurrently; the
-  /// *rows inside* a chunk parallelize on the pass's pool).
+  /// BeginChunkCleanPass, then fed either to CleanChunkCancellable once
+  /// per chunk (serial chunk order; the *rows inside* a chunk parallelize
+  /// on the pass's pool) or to CleanChunkOnWorker from several threads at
+  /// once (each chunk scanned serially on its calling thread; concurrent
+  /// calls must use distinct worker slots). All cross-chunk state is
+  /// immutable after construction except the repair cache, which is
+  /// thread-safe, so the two usage styles may not be mixed concurrently
+  /// only because they share worker slot 0.
   class ChunkCleanPass {
    public:
     ~ChunkCleanPass();
@@ -219,6 +224,19 @@ class BCleanEngine {
   Result<CleanResult> CleanChunkCancellable(ChunkCleanPass& pass,
                                             CodedView codes,
                                             const CancelToken* cancel) const;
+
+  /// CleanChunkCancellable for the pipelined sharded pass: scans the whole
+  /// chunk serially on the calling thread using the pass's worker slot
+  /// `worker` (its scorer / cache L1 / filter workspace). Distinct chunks
+  /// may be cleaned concurrently through one pass as long as each
+  /// concurrent call uses a distinct slot in [0, the pass pool's size()) —
+  /// which a ThreadPool job's worker ids guarantee. Output bytes and
+  /// counters (except the cache hit/miss split) are identical to the
+  /// serial chunk walk: every repair is a pure function of the tuple's
+  /// codes under the pinned model.
+  Result<CleanResult> CleanChunkOnWorker(ChunkCleanPass& pass,
+                                         CodedView codes, size_t worker,
+                                         const CancelToken* cancel) const;
 
   /// Audit surface for the amplification harness (and the sharding bench):
   /// scans exactly `rows`, in the given order, serially on one worker with
@@ -313,12 +331,23 @@ class BCleanEngine {
   /// encoded table, never from `result` or another row). Cells whose
   /// signature is already memoized replay the cached outcome instead of
   /// scoring.
-  void CleanOneRow(size_t r, CleanShared& shared, size_t worker,
-                   RowWorkspace& ws, Table& result, CleanStats& stats) const;
+  /// Decodes one chunk's codes back to strings through the shared
+  /// dictionaries: the dirty chunk as a table, which a chunk scan then
+  /// repairs cell by cell.
+  Table DecodeChunkToTable(CodedView codes) const;
+
+  /// `codes` is the matrix the scan reads (the resident coded table for
+  /// in-memory passes, one spilled chunk's codes for sharded passes — row
+  /// indices are relative to it), passed explicitly so one pass can scan
+  /// several chunks concurrently.
+  void CleanOneRow(size_t r, CleanShared& shared, CodedView codes,
+                   size_t worker, RowWorkspace& ws, Table& result,
+                   CleanStats& stats) const;
 
   /// CleanOneRow over rows [row_begin, row_end), sharing one workspace.
   void CleanRowRange(size_t row_begin, size_t row_end, CleanShared& shared,
-                     size_t worker, Table& result, CleanStats& stats) const;
+                     CodedView codes, size_t worker, Table& result,
+                     CleanStats& stats) const;
 
   ModelParts parts_;  ///< shared immutable layers (table, stats, mask, comp)
   UcRegistry ucs_;

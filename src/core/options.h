@@ -251,8 +251,13 @@ struct ServiceOptions {
   /// Worker threads of the CleanAsync dispatch queue — the upper bound on
   /// OS threads serving async cleans, no matter how many jobs are queued
   /// (the pre-dispatcher design spawned one thread per call). Jobs are
-  /// drained fair-share round-robin across sessions. 0 means the shared
-  /// pool's width.
+  /// drained fair-share round-robin across sessions. Each running job is
+  /// one caller of the shared pool, and the pool interleaves concurrent
+  /// jobs at index granularity (a dispatcher thread drives its own job as
+  /// an extra executor rather than parking behind a job lock), so total
+  /// scan parallelism is the pool's spawned threads plus the cleans
+  /// running here; size this for desired clean concurrency, not as extra
+  /// scan width. 0 means the shared pool's width.
   size_t dispatcher_threads = 0;
 
   /// Admission control: total queued (accepted, not yet running)

@@ -1,9 +1,12 @@
 // The service's survival layer: a fixed-width dispatch queue between
 // Session::CleanAsync and the engine. The pre-dispatcher design spawned
 // one OS thread per CleanAsync (std::launch::async) that parked on the
-// shared pool's job lock — a front queueing thousands of cleans meant
-// thousands of blocked threads and unbounded memory. The dispatcher
-// replaces that with:
+// then-job-serialized pool — a front queueing thousands of cleans meant
+// thousands of blocked threads and unbounded memory. (The pool has since
+// become task-interleaving — concurrent jobs share workers at index
+// granularity instead of queueing whole-job — but each running clean is
+// still one OS thread driving one pool job, so the width cap below is
+// still what bounds thread count.) The dispatcher replaces that with:
 //
 //   * bounded workers — `num_workers` threads, created once, are the hard
 //     cap on OS threads serving async cleans no matter how many jobs are

@@ -363,9 +363,10 @@ Result<std::future<Result<CleanResult>>> Session::CleanAsync(
   // future outlives any subsequent session mutation — it cleans the state
   // it was launched against. It deliberately does NOT capture the
   // ServiceState: state owns the dispatcher, so a queued job holding state
-  // would be a reference cycle that keeps both alive forever. Whole
-  // ParallelFor jobs from concurrent cleans still serialize inside the
-  // shared pool; the dispatcher width bounds the OS threads parked on it.
+  // would be a reference cycle that keeps both alive forever. Concurrent
+  // cleans' ParallelFor jobs interleave at index granularity on the shared
+  // pool (each dispatcher thread drives its own job as an extra executor);
+  // the dispatcher width bounds the OS threads feeding the pool.
   std::shared_ptr<ThreadPool> pool = state_->pool;
   const bool per_pass_cache = options_.repair_cache;
   return state_->dispatcher->Submit(

@@ -1,10 +1,17 @@
 #include "src/service/sharded_session.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/cancel.h"
 #include "src/common/thread_pool.h"
 #include "src/core/repair_cache.h"
 #include "src/service/service_state.h"
@@ -25,26 +32,32 @@ void AccumulateStats(CleanStats& total, const CleanStats& chunk) {
   total.seconds += chunk.seconds;
 }
 
+/// Mirrors RunCleanCancellable's per-pass cache rule: with no persistent
+/// cache and memoization on, one private cache spans the whole pass — all
+/// chunks — exactly like one in-memory pass over all rows.
+std::unique_ptr<RepairCache> MakePassCache(const BCleanEngine& engine,
+                                           RepairCache* cache,
+                                           bool per_pass_cache,
+                                           ThreadPool* pool) {
+  if (cache != nullptr || !per_pass_cache) return nullptr;
+  const size_t threads = pool != nullptr ? pool->size() : 1;
+  return std::make_unique<RepairCache>(
+      engine.options().repair_cache_max_entries,
+      /*use_shared=*/threads > 1);
+}
+
 /// Walks the store chunk by chunk through one ChunkCleanPass, handing each
 /// repaired chunk to `sink` (Status sink(Table chunk_table)). The chunk
 /// pin is released before the sink runs, so at most one chunk's codes are
-/// resident beyond the store's budget at any time. Mirrors
-/// RunCleanCancellable's per-pass cache rule: with no persistent cache and
-/// memoization on, one private cache spans the whole pass — all chunks —
-/// exactly like one in-memory pass over all rows.
+/// resident beyond the store's budget at any time.
 template <typename Sink>
-Result<CleanStats> CleanChunks(const BCleanEngine& engine, ShardStore& store,
-                               RepairCache* cache, bool per_pass_cache,
-                               ThreadPool* pool, const CancelToken* cancel,
-                               Sink&& sink) {
-  std::unique_ptr<RepairCache> owned_cache;
-  if (cache == nullptr && per_pass_cache) {
-    const size_t threads = pool != nullptr ? pool->size() : 1;
-    owned_cache = std::make_unique<RepairCache>(
-        engine.options().repair_cache_max_entries,
-        /*use_shared=*/threads > 1);
-    cache = owned_cache.get();
-  }
+Result<CleanStats> CleanChunksSerial(const BCleanEngine& engine,
+                                     ShardStore& store, RepairCache* cache,
+                                     bool per_pass_cache, ThreadPool* pool,
+                                     const CancelToken* cancel, Sink&& sink) {
+  std::unique_ptr<RepairCache> owned_cache =
+      MakePassCache(engine, cache, per_pass_cache, pool);
+  if (owned_cache != nullptr) cache = owned_cache.get();
   std::unique_ptr<BCleanEngine::ChunkCleanPass> pass =
       engine.BeginChunkCleanPass(cache, pool);
   CleanStats total;
@@ -62,6 +75,172 @@ Result<CleanStats> CleanChunks(const BCleanEngine& engine, ShardStore& store,
   return total;
 }
 
+/// The pipelined walk: a bounded prefetcher thread reads and
+/// checksum-verifies up to `opts.prefetch_chunks` chunks ahead of the
+/// lowest unemitted chunk while cleaned chunks score, chunks clean
+/// concurrently as indices of ONE pool job (each chunk scanned serially on
+/// its executing worker — worker ids are unique within a job, so per-slot
+/// scratch never races), and repaired chunks are handed to `sink` strictly
+/// in chunk order. Output bytes and counters (minus the cache hit/miss
+/// split) are identical to the serial walk: repairs are pure functions of
+/// tuple codes under the pinned model.
+///
+/// Memory bound: every pinned chunk k satisfies next_emit <= k <
+/// next_emit + (1 + prefetch_chunks) — the prefetcher never reads past
+/// that window and pins are dropped before a chunk is emitted — so at most
+/// 1 + prefetch_chunks chunks are pinned (and at most that many repaired
+/// chunk tables are buffered for in-order emission) at any instant.
+///
+/// Failure: the first error (prefetch, scan, sink, caller cancellation)
+/// wins; it trips an internal CancelToken so in-flight chunk scans stop at
+/// their next row block, and the prefetcher stops reading. The caller's
+/// token is polled by the prefetcher thread, which stays alive until the
+/// last chunk is emitted or the pass stops.
+template <typename Sink>
+Result<CleanStats> CleanChunksPipelined(const BCleanEngine& engine,
+                                        ShardStore& store, RepairCache* cache,
+                                        bool per_pass_cache, ThreadPool* pool,
+                                        const CancelToken* cancel,
+                                        const ShardedCleanOptions& opts,
+                                        Sink&& sink) {
+  std::unique_ptr<RepairCache> owned_cache =
+      MakePassCache(engine, cache, per_pass_cache, pool);
+  if (owned_cache != nullptr) cache = owned_cache.get();
+  std::unique_ptr<BCleanEngine::ChunkCleanPass> pass =
+      engine.BeginChunkCleanPass(cache, pool);
+
+  const size_t num_chunks = store.num_chunks();
+  const size_t window = 1 + opts.prefetch_chunks;
+
+  struct PipelineState {
+    std::mutex mu;
+    std::condition_variable cv;
+    // Chunks read ahead, waiting for a worker.
+    std::unordered_map<size_t, std::shared_ptr<const ShardChunk>> ready;
+    // Cleaned chunks waiting for their turn at the sink (ordered).
+    std::map<size_t, CleanResult> finished;
+    size_t next_emit = 0;  // lowest chunk not yet handed to the sink
+    bool stopped = false;
+    bool committing = false;  // a worker is draining `finished` to the sink
+    Status status = Status::OK();
+    CleanStats total;
+  } st;
+  CancelToken internal_stop;  // tripped on first failure; stops chunk scans
+
+  auto stop_locked = [&](Status status) {
+    if (st.stopped) return;
+    st.stopped = true;
+    st.status = std::move(status);
+    internal_stop.Cancel();
+    st.cv.notify_all();
+  };
+
+  std::thread prefetcher([&] {
+    size_t k = 0;
+    std::unique_lock<std::mutex> lock(st.mu);
+    while (!st.stopped && st.next_emit < num_chunks) {
+      if (cancel != nullptr) {
+        Status c = cancel->Check();
+        if (!c.ok()) {
+          stop_locked(std::move(c));
+          return;
+        }
+      }
+      if (k < num_chunks && k < st.next_emit + window) {
+        const size_t index = k;
+        lock.unlock();
+        Result<std::shared_ptr<const ShardChunk>> chunk =
+            store.Prefetch(index);
+        lock.lock();
+        if (st.stopped) return;  // pin (if any) released on scope exit
+        if (!chunk.ok()) {
+          stop_locked(chunk.status());
+          return;
+        }
+        st.ready.emplace(index, std::move(chunk).value());
+        ++k;
+        st.cv.notify_all();
+      } else if (cancel != nullptr) {
+        // Keep polling the caller's token while the window is full (and
+        // until the tail chunk is emitted, so a late cancellation is
+        // still honored promptly).
+        st.cv.wait_for(lock, std::chrono::milliseconds(5));
+      } else {
+        st.cv.wait(lock, [&] {
+          return st.stopped || st.next_emit >= num_chunks ||
+                 (k < num_chunks && k < st.next_emit + window);
+        });
+      }
+    }
+  });
+
+  pool->ParallelFor(num_chunks, [&](size_t k, size_t worker) {
+    std::shared_ptr<const ShardChunk> pin;
+    {
+      std::unique_lock<std::mutex> lock(st.mu);
+      st.cv.wait(lock,
+                 [&] { return st.stopped || st.ready.count(k) != 0; });
+      if (st.stopped) return;
+      pin = std::move(st.ready[k]);
+      st.ready.erase(k);
+    }
+    Result<CleanResult> cleaned =
+        engine.CleanChunkOnWorker(*pass, pin->codes(), worker,
+                                  &internal_stop);
+    pin.reset();  // release the chunk before buffering/emitting its repairs
+
+    std::unique_lock<std::mutex> lock(st.mu);
+    if (st.stopped) return;  // first failure already won; drop the result
+    if (!cleaned.ok()) {
+      stop_locked(cleaned.status());
+      return;
+    }
+    st.finished.emplace(k, std::move(cleaned).value());
+    st.cv.notify_all();  // a worker may be the committer's missing chunk
+    if (st.committing) return;  // someone else is already draining
+    st.committing = true;
+    while (!st.stopped && !st.finished.empty() &&
+           st.finished.begin()->first == st.next_emit) {
+      CleanResult next = std::move(st.finished.begin()->second);
+      st.finished.erase(st.finished.begin());
+      AccumulateStats(st.total, next.stats);
+      lock.unlock();  // the sink may block (CSV writes); don't hold the mu
+      Status sunk = sink(std::move(next.table));
+      lock.lock();
+      if (!sunk.ok()) {
+        stop_locked(std::move(sunk));
+        break;
+      }
+      ++st.next_emit;
+      st.cv.notify_all();  // unblocks the prefetcher's window
+    }
+    st.committing = false;
+  });
+  prefetcher.join();
+
+  // Drop any unclaimed prefetched pins before reporting.
+  st.ready.clear();
+  if (st.stopped) return st.status;
+  return st.total;
+}
+
+/// Entry point: routes to the pipelined walk when it can help (a prefetch
+/// depth was requested, there is more than one chunk, and a pool exists),
+/// else to the serial PR 8 walk. Both produce identical bytes.
+template <typename Sink>
+Result<CleanStats> CleanChunks(const BCleanEngine& engine, ShardStore& store,
+                               RepairCache* cache, bool per_pass_cache,
+                               ThreadPool* pool, const CancelToken* cancel,
+                               const ShardedCleanOptions& opts, Sink&& sink) {
+  if (opts.prefetch_chunks == 0 || store.num_chunks() <= 1 ||
+      pool == nullptr) {
+    return CleanChunksSerial(engine, store, cache, per_pass_cache, pool,
+                             cancel, std::forward<Sink>(sink));
+  }
+  return CleanChunksPipelined(engine, store, cache, per_pass_cache, pool,
+                              cancel, opts, std::forward<Sink>(sink));
+}
+
 /// CleanChunks streaming the repaired rows to `path` as CSV. May leave a
 /// partial file behind on error — CleanChunksToCsv below removes it.
 Result<CleanStats> WriteChunksCsv(const BCleanEngine& engine,
@@ -69,7 +248,8 @@ Result<CleanStats> WriteChunksCsv(const BCleanEngine& engine,
                                   bool per_pass_cache, ThreadPool* pool,
                                   const std::string& path,
                                   const CsvOptions& csv,
-                                  const CancelToken* cancel) {
+                                  const CancelToken* cancel,
+                                  const ShardedCleanOptions& opts) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::IOError("cannot open '" + path + "' for writing");
@@ -87,7 +267,7 @@ Result<CleanStats> WriteChunksCsv(const BCleanEngine& engine,
     if (!out) return Status::IOError("failed writing '" + path + "'");
   }
   Result<CleanStats> stats = CleanChunks(
-      engine, store, cache, per_pass_cache, pool, cancel,
+      engine, store, cache, per_pass_cache, pool, cancel, opts,
       [&](Table chunk_table) -> Status {
         buffer.clear();
         for (size_t r = 0; r < chunk_table.num_rows(); ++r) {
@@ -111,10 +291,11 @@ Result<CleanStats> CleanChunksToCsv(const BCleanEngine& engine,
                                     bool per_pass_cache, ThreadPool* pool,
                                     const std::string& path,
                                     const CsvOptions& csv,
-                                    const CancelToken* cancel) {
+                                    const CancelToken* cancel,
+                                    const ShardedCleanOptions& opts) {
   Result<CleanStats> stats = WriteChunksCsv(engine, store, cache,
                                             per_pass_cache, pool, path, csv,
-                                            cancel);
+                                            cancel, opts);
   if (!stats.ok()) std::remove(path.c_str());
   return stats;
 }
@@ -152,11 +333,11 @@ const BayesianNetwork& ShardedSession::network() const {
   return engine_->network();
 }
 
-Result<CleanResult> ShardedSession::Clean() {
+Result<CleanResult> ShardedSession::Clean(const ShardedCleanOptions& opts) {
   CleanResult result{Table(engine_->dirty().schema()), CleanStats{}};
   Result<CleanStats> stats = CleanChunks(
       *engine_, *store_, cache_.get(), options_.repair_cache,
-      state_->pool.get(), /*cancel=*/nullptr,
+      state_->pool.get(), /*cancel=*/nullptr, opts,
       [&result](Table chunk_table) -> Status {
         for (size_t r = 0; r < chunk_table.num_rows(); ++r) {
           result.table.AddRowUnchecked(chunk_table.Row(r));
@@ -169,17 +350,18 @@ Result<CleanResult> ShardedSession::Clean() {
 }
 
 Status ShardedSession::CleanToCsv(const std::string& path,
-                                  const CsvOptions& csv) {
+                                  const CsvOptions& csv,
+                                  const ShardedCleanOptions& opts) {
   Result<CleanStats> stats = CleanChunksToCsv(
       *engine_, *store_, cache_.get(), options_.repair_cache,
-      state_->pool.get(), path, csv, /*cancel=*/nullptr);
+      state_->pool.get(), path, csv, /*cancel=*/nullptr, opts);
   if (!stats.ok()) return stats.status();
   return Status::OK();
 }
 
 Result<std::future<Result<CleanResult>>> ShardedSession::CleanToCsvAsync(
     const std::string& path, const CleanRequest& request,
-    const CsvOptions& csv) {
+    const CsvOptions& csv, const ShardedCleanOptions& opts) {
   // Like Session::CleanAsync, the job owns snapshots of everything it
   // needs (engine, store, cache, pool — never the ServiceState, which owns
   // the dispatcher), so it stays valid past the session's destruction.
@@ -190,11 +372,11 @@ Result<std::future<Result<CleanResult>>> ShardedSession::CleanToCsvAsync(
   const bool per_pass_cache = options_.repair_cache;
   return state_->dispatcher->Submit(
       dispatcher_session_,
-      [engine, store, cache, pool, per_pass_cache, path,
-       csv](const CancelToken& token) -> Result<CleanResult> {
+      [engine, store, cache, pool, per_pass_cache, path, csv,
+       opts](const CancelToken& token) -> Result<CleanResult> {
         Result<CleanStats> stats =
             CleanChunksToCsv(*engine, *store, cache.get(), per_pass_cache,
-                             pool.get(), path, csv, &token);
+                             pool.get(), path, csv, &token, opts);
         if (!stats.ok()) return stats.status();
         return CleanResult{Table(engine->dirty().schema()), stats.value()};
       },

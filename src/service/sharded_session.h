@@ -2,9 +2,13 @@
 // a ShardStore spill file as dictionary-coded chunks, never as a whole
 // in-memory Table. The model is built in one streaming pass over the
 // source (bit-equal Fingerprint to an in-memory build over the same rows),
-// and cleaning walks the store chunk-at-a-time, so live table bytes stay
-// O(ShardOptions::resident_bytes_budget + one chunk) regardless of the
-// table's size.
+// and cleaning walks the store chunk-at-a-time — by default pipelined: a
+// background prefetcher reads and checksum-verifies the next chunk(s)
+// while the current one scores, and independent chunks clean concurrently
+// when the pool has idle width, with results assembled in chunk order. Live
+// table bytes stay O(ShardOptions::resident_bytes_budget + (1 +
+// ShardedCleanOptions::prefetch_chunks) chunks) regardless of the table's
+// size.
 //
 // Determinism contract: a sharded clean is byte-identical to an in-memory
 // Session over the same rows/UCs/options, for every chunk size and thread
@@ -12,7 +16,7 @@
 // the tuple's codes under the pinned model — never of the row's global
 // index or of other rows' repairs — so slicing the scan into chunks
 // changes nothing but memory residency (tests/shard_test.cc pins the full
-// {mode} x {threads} x {chunk_rows} matrix).
+// {mode} x {threads} x {chunk_rows} x {prefetch depth} matrix).
 //
 // Sharded sessions share the service's fingerprint-keyed persistent
 // repair cache with in-memory sessions of the same model: the streamed
@@ -34,6 +38,18 @@
 namespace bclean {
 
 class RepairCache;
+
+/// Per-pass knobs for a sharded clean.
+struct ShardedCleanOptions {
+  /// Chunks a background prefetcher reads (and checksum-verifies) ahead of
+  /// the chunk being cleaned. 0 disables pipelining: the pass walks chunks
+  /// strictly serially, read-then-clean, exactly like PR 8. With depth d,
+  /// up to 1 + d chunks are pinned at once (the store's resident bytes may
+  /// exceed the budget by that many chunks), independent chunks clean
+  /// concurrently when the pool has idle width, and results are assembled
+  /// in chunk order — output bytes are identical at every depth.
+  size_t prefetch_chunks = 1;
+};
 
 /// One out-of-core session. Immutable after Open (no Update/EditNetwork —
 /// the source was consumed by the streaming build); Clean/CleanToCsv are
@@ -64,20 +80,24 @@ class ShardedSession {
   /// The spill store (exposed for residency assertions and benches).
   const ShardStore& store() const { return *store_; }
 
-  /// Cleans every chunk serially and materializes the full repaired table.
-  /// Byte-identical to an in-memory Session::Clean() over the same rows —
-  /// but note this call holds the whole *repaired* table; callers that
-  /// want bounded memory end to end should use CleanToCsv instead.
-  Result<CleanResult> Clean();
+  /// Cleans every chunk (pipelined per `opts.prefetch_chunks`) and
+  /// materializes the full repaired table. Byte-identical to an in-memory
+  /// Session::Clean() over the same rows at every prefetch depth — but
+  /// note this call holds the whole *repaired* table; callers that want
+  /// bounded memory end to end should use CleanToCsv instead.
+  Result<CleanResult> Clean(const ShardedCleanOptions& opts = {});
 
   /// Cleans chunk by chunk, streaming each repaired chunk's rows to `path`
-  /// as CSV. The bytes written equal WriteCsvString over the materialized
-  /// repaired table (header included per `csv.has_header`), but only one
-  /// chunk's rows are ever held in memory. On any error — a failed chunk
-  /// read, a write failure — the partial file is removed before the Status
-  /// is returned, and the repair cache remains valid (every published
-  /// entry is a pure function of its signature under the pinned model).
-  Status CleanToCsv(const std::string& path, const CsvOptions& csv = {});
+  /// as CSV — strictly in chunk order, at every prefetch depth. The bytes
+  /// written equal WriteCsvString over the materialized repaired table
+  /// (header included per `csv.has_header`), but only O(1 +
+  /// opts.prefetch_chunks) chunks' rows are ever held in memory. On any
+  /// error — a failed chunk read or prefetch, a write failure — the
+  /// partial file is removed before the Status is returned, and the repair
+  /// cache remains valid (every published entry is a pure function of its
+  /// signature under the pinned model).
+  Status CleanToCsv(const std::string& path, const CsvOptions& csv = {},
+                    const ShardedCleanOptions& opts = {});
 
   /// CleanToCsv as a dispatched job on the service's fixed-width async
   /// queue, with Session::CleanAsync's admission/deadline semantics. The
@@ -85,7 +105,7 @@ class ShardedSession {
   /// (schema only) — the rows went to `path`, keeping the future cheap.
   Result<std::future<Result<CleanResult>>> CleanToCsvAsync(
       const std::string& path, const CleanRequest& request = {},
-      const CsvOptions& csv = {});
+      const CsvOptions& csv = {}, const ShardedCleanOptions& opts = {});
 
   /// Cancels this session's pending async work (see Session::CancelPending).
   size_t CancelPending();

@@ -142,11 +142,32 @@ void ShardStore::EvictForLoadLocked(size_t incoming_bytes) {
   auto it = resident_.begin();
   while (it != resident_.end() &&
          resident_bytes_ + incoming_bytes > options_.resident_bytes_budget) {
-    if (it->chunk.use_count() == 1) {  // unpinned: only the store holds it
+    if (it->pins == 0) {
       resident_bytes_ -= it->chunk->resident_bytes();
       it = resident_.erase(it);
     } else {
       ++it;
+    }
+  }
+}
+
+std::shared_ptr<const ShardChunk> ShardStore::PinLocked(
+    std::list<Resident>::iterator it) {
+  ++it->pins;
+  // An aliasing pin: the pointee is owned by the resident entry (which
+  // cannot be evicted while pins > 0); releasing the pin decrements the
+  // count. Requires the store to outlive every pin.
+  return std::shared_ptr<const ShardChunk>(
+      it->chunk.get(),
+      [this, index = it->index](const ShardChunk*) { Unpin(index); });
+}
+
+void ShardStore::Unpin(size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Resident& r : resident_) {
+    if (r.index == index) {
+      --r.pins;
+      return;
     }
   }
 }
@@ -167,10 +188,8 @@ Result<std::shared_ptr<const ShardChunk>> ShardStore::ReadChunk(size_t index) {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = resident_.begin(); it != resident_.end(); ++it) {
       if (it->index == index) {
-        Resident hit = std::move(*it);
-        resident_.erase(it);
-        resident_.push_back(std::move(hit));
-        return resident_.back().chunk;
+        resident_.splice(resident_.end(), resident_, it);  // LRU: now newest
+        return PinLocked(std::prev(resident_.end()));
       }
     }
     EvictForLoadLocked(chunk_bytes);
@@ -206,14 +225,21 @@ Result<std::shared_ptr<const ShardChunk>> ShardStore::ReadChunk(size_t index) {
   // A concurrent reader may have loaded the same chunk while this thread
   // was reading it; keep the already-accounted copy.
   for (auto it = resident_.begin(); it != resident_.end(); ++it) {
-    if (it->index == index) return it->chunk;
+    if (it->index == index) return PinLocked(it);
   }
-  resident_.push_back(Resident{index, chunk});
-  resident_bytes_ += chunk->resident_bytes();
+  resident_.push_back(Resident{index, std::move(chunk), 0});
+  resident_bytes_ += resident_.back().chunk->resident_bytes();
   if (resident_bytes_ > peak_resident_bytes_) {
     peak_resident_bytes_ = resident_bytes_;
   }
-  return chunk;
+  return PinLocked(std::prev(resident_.end()));
+}
+
+Result<std::shared_ptr<const ShardChunk>> ShardStore::Prefetch(size_t index) {
+  if (BCLEAN_FAULT_POINT("shard.chunk_prefetch")) {
+    return Status::IOError("injected fault: shard.chunk_prefetch");
+  }
+  return ReadChunk(index);
 }
 
 size_t ShardStore::resident_bytes() const {
@@ -224,6 +250,15 @@ size_t ShardStore::resident_bytes() const {
 size_t ShardStore::peak_resident_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return peak_resident_bytes_;
+}
+
+size_t ShardStore::pinned_chunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pinned = 0;
+  for (const Resident& r : resident_) {
+    if (r.pins > 0) ++pinned;
+  }
+  return pinned;
 }
 
 size_t ShardStore::ApproxBytes() const {

@@ -20,10 +20,14 @@
 // 48 bytes and the chunk offset is page-aligned, the payload is always
 // int32-aligned in a mapping of the whole chunk.
 //
-// Readers hold shared_ptr<const ShardChunk> pins; the store keeps an LRU
-// of loaded chunks and evicts unpinned ones *before* loading the next,
-// so resident payload bytes never exceed
+// Readers hold shared_ptr<const ShardChunk> pins backed by explicit
+// per-chunk pin counts; the store keeps an LRU of loaded chunks and
+// evicts unpinned ones *before* loading the next, so resident payload
+// bytes never exceed
 // max(resident_bytes_budget, largest single chunk + pinned chunks).
+// After Seal, ReadChunk / Prefetch / the residency accessors are safe to
+// call concurrently from any number of threads; pins must all be released
+// before the store is destroyed.
 #ifndef BCLEAN_SHARD_SHARD_STORE_H_
 #define BCLEAN_SHARD_SHARD_STORE_H_
 
@@ -131,9 +135,17 @@ class ShardStore {
 
   /// Loads (or returns the still-resident) chunk `index`, verifying the
   /// header and payload checksum. The returned pin keeps the chunk
-  /// resident; release it before the next ReadChunk to let the store
-  /// stay within its budget.
+  /// resident (explicit pin count — never evicted while held); release it
+  /// before the next ReadChunk to let the store stay within its budget.
+  /// Safe to call concurrently after Seal; two threads missing on the
+  /// same chunk at once may both map it, but only one copy is kept and
+  /// accounted. Every pin must be released before the store is destroyed.
   Result<std::shared_ptr<const ShardChunk>> ReadChunk(size_t index);
+
+  /// ReadChunk plus the `shard.chunk_prefetch` fault point: the entry
+  /// point background prefetchers use, so tests can fail background reads
+  /// without touching the foreground ReadChunk path.
+  Result<std::shared_ptr<const ShardChunk>> Prefetch(size_t index);
 
   size_t num_chunks() const { return chunks_.size(); }
   uint64_t num_rows() const { return num_rows_; }
@@ -146,6 +158,8 @@ class ShardStore {
   size_t resident_bytes() const;
   /// High-water mark of resident_bytes() over the store's lifetime.
   size_t peak_resident_bytes() const;
+  /// Number of resident chunks with at least one outstanding pin.
+  size_t pinned_chunks() const;
   /// Approximate memory footprint: resident chunk payloads plus the
   /// chunk directory (the spill file itself is not counted).
   size_t ApproxBytes() const;
@@ -158,9 +172,21 @@ class ShardStore {
         num_cols_(num_cols),
         options_(options) {}
 
+  // Read side residency (guarded by mu_ after Seal).
+  struct Resident {
+    size_t index;
+    std::shared_ptr<const ShardChunk> chunk;
+    size_t pins = 0;  ///< outstanding ReadChunk/Prefetch pins
+  };
+
   /// Drops unpinned resident chunks (LRU first) until loading
   /// `incoming_bytes` more would fit in the budget.
   void EvictForLoadLocked(size_t incoming_bytes);
+  /// Returns a pin on the resident entry `it` (incrementing its pin
+  /// count); the pin's deleter calls Unpin when released.
+  std::shared_ptr<const ShardChunk> PinLocked(std::list<Resident>::iterator it);
+  /// Releases one pin on chunk `index`.
+  void Unpin(size_t index);
 
   const std::string path_;
   const uint64_t schema_digest_;
@@ -174,11 +200,6 @@ class ShardStore {
   bool sealed_ = false;
   std::vector<ShardChunkMeta> chunks_;
 
-  // Read side residency (guarded by mu_ after Seal).
-  struct Resident {
-    size_t index;
-    std::shared_ptr<const ShardChunk> chunk;
-  };
   mutable std::mutex mu_;
   std::list<Resident> resident_;  ///< most-recently-used at the back
   size_t resident_bytes_ = 0;

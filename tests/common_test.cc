@@ -2,7 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "src/common/fast_log.h"
@@ -406,6 +410,87 @@ TEST(ThreadPoolTest, SizeOneRunsInlineOnCaller) {
   });
   ASSERT_EQ(workers.size(), 8u);
   for (size_t w : workers) EXPECT_EQ(w, 0u);
+}
+
+// The scheduler interleaves jobs at index granularity: a job whose indices
+// BLOCK until another job runs would deadlock a job-serialized pool (job B
+// would park behind job A forever); on the task-interleaving pool, job B's
+// caller executes B's index regardless of A occupying workers, so A's
+// indices unblock. A 5-second timeout turns a regression back into
+// job-level serialization into a loud failure instead of a hang.
+TEST(ThreadPoolTest, ConcurrentJobsInterleaveInsteadOfSerializing) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool b_done = false;
+  std::atomic<bool> timed_out{false};
+
+  std::thread submitter_b([&] {
+    // Job B: one index, submitted while job A is running and waiting on it.
+    pool.ParallelFor(1, [&](size_t, size_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      b_done = true;
+      cv.notify_all();
+    });
+  });
+  pool.ParallelFor(2, [&](size_t, size_t) {
+    // Every index of job A waits for job B to have run.
+    std::unique_lock<std::mutex> lock(mu);
+    if (!cv.wait_for(lock, std::chrono::seconds(5), [&] { return b_done; })) {
+      timed_out.store(true);
+    }
+  });
+  submitter_b.join();
+  EXPECT_FALSE(timed_out.load())
+      << "job B never ran while job A held the pool - jobs serialized";
+}
+
+// Nested ParallelFor on the same pool is part of the contract now: the
+// inner job runs as its own queue entry with the nesting thread as its
+// worker 0, and every inner index executes exactly once.
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(3);
+  constexpr size_t kOuter = 6;
+  constexpr size_t kInner = 40;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](size_t outer, size_t) {
+    pool.ParallelFor(kInner, [&](size_t inner, size_t) {
+      hits[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+// Many threads submitting jobs at once: every job's every index runs
+// exactly once, and per-job worker ids stay within the pool's size. (Under
+// TSan this doubles as the scheduler's data-race exercise.)
+TEST(ThreadPoolTest, ConcurrentCallersEachCompleteTheirJob) {
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kCount = 300;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kCount);
+  }
+  std::atomic<size_t> bad_worker{0};
+  std::vector<std::thread> callers;
+  for (size_t caller = 0; caller < kCallers; ++caller) {
+    callers.emplace_back([&, caller] {
+      pool.ParallelFor(kCount, [&, caller](size_t i, size_t worker) {
+        hits[caller][i].fetch_add(1);
+        if (worker >= pool.size()) bad_worker.fetch_add(1);
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (size_t caller = 0; caller < kCallers; ++caller) {
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[caller][i].load(), 1) << caller << ":" << i;
+    }
+  }
+  EXPECT_EQ(bad_worker.load(), 0u);
 }
 
 TEST(FlatKeyMapTest, FindsAllInsertedKeysIncludingSentinel) {

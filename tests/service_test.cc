@@ -7,10 +7,12 @@
 // concurrent CleanAsync interleaving on the shared pool.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <string>
 #include <vector>
 
+#include "src/common/fault_injection.h"
 #include "src/core/engine.h"
 #include "src/datagen/benchmarks.h"
 #include "src/errors/error_injection.h"
@@ -365,6 +367,71 @@ TEST(ServiceTest, ConcurrentBasicCleanAsyncMatchesSerialRuns) {
     }
   }
 }
+
+#if BCLEAN_FAULT_INJECTION_ENABLED
+
+TEST(ServiceTest, ConcurrentCleansBothMakeProgressWhileOneIsStalled) {
+  // No whole-job starvation: with the task-interleaving pool, a second
+  // clean submitted while the first is parked mid-pass completes on its
+  // own — under the old job-serialized pool its ParallelFor would queue
+  // behind the stalled job's lock until the stall lifted.
+  Dataset big = InjectedDataset("hospital", 160, 5);
+  Dataset small = InjectedDataset("beers", 64, 3);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+
+  ServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.dispatcher_threads = 2;  // both jobs dispatch at once
+  Service service(service_options);
+  auto sa = service.Open("big", big.clean, big.ucs, options);
+  auto sb = service.Open("small", small.clean, small.ucs, options);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  const Table out_a = sa.value()->Clean().table;
+  const Table out_b = sb.value()->Clean().table;
+
+  // Exact rendezvous: job A's first row-block crossing parks one of its
+  // executors until the test releases it. max_triggers = 1, and A is
+  // submitted (and provably inside the pass) before B, so the parked
+  // crossing is A's — B's blocks pass through unarmed.
+  std::promise<void> reached;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  fault::FaultSpec spec;
+  spec.max_triggers = 1;
+  spec.on_trigger = [&reached, gate] {
+    reached.set_value();
+    gate.wait();
+  };
+  fault::ScopedFault fault("clean.row_block", spec);
+
+  auto a_future = sa.value()->CleanAsync();
+  ASSERT_TRUE(a_future.ok());
+  reached.get_future().wait();  // A is parked mid-pass
+  auto b_future = sb.value()->CleanAsync();
+  ASSERT_TRUE(b_future.ok());
+
+  // B runs start to finish while A stays parked. The generous bound is a
+  // liveness assertion, not a perf one: under job-serialized scheduling B
+  // would still be waiting when it expires.
+  std::future<Result<CleanResult>> b = std::move(b_future).value();
+  ASSERT_EQ(b.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  std::future<Result<CleanResult>> a = std::move(a_future).value();
+  EXPECT_EQ(a.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);  // A is still mid-pass
+
+  release.set_value();
+  Result<CleanResult> ra = a.get();
+  Result<CleanResult> rb = b.get();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  // Interleaving changed wall-clock only, never bytes.
+  EXPECT_TRUE(ra.value().table == out_a);
+  EXPECT_TRUE(rb.value().table == out_b);
+}
+
+#endif  // BCLEAN_FAULT_INJECTION_ENABLED
 
 TEST(ServiceTest, LastStatsShimForwardsRunCleanCounters) {
   Dataset ds = InjectedDataset("hospital", 120, 5);

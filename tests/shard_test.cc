@@ -8,11 +8,13 @@
 // different-options Opens, and fault injection at the chunk I/O points.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/fault_injection.h"
@@ -166,6 +168,88 @@ TEST(ShardStoreTest, ResidentBytesStayUnderBudget) {
   EXPECT_GT(store.value()->peak_resident_bytes(), 0u);
 }
 
+// Pins are explicit counts, not shared_ptr aliases of convenience: a held
+// pin keeps its chunk resident past any number of budget-0 reads of other
+// chunks, and the codes it exposes stay valid the whole time.
+TEST(ShardStoreTest, PinnedChunkSurvivesEviction) {
+  auto store = ShardStore::CreateInDir(/*schema_digest=*/0xD16, 2,
+                                       TestShardOptions(/*chunk_rows=*/16));
+  ASSERT_TRUE(store.ok());
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        store.value()->AppendChunk(MakeChunkCodes(16, 2, 50 * (int32_t)i),
+                                   i * 16).ok());
+  }
+  ASSERT_TRUE(store.value()->Seal().ok());
+  auto pinned = store.value()->ReadChunk(0);
+  ASSERT_TRUE(pinned.ok());
+  std::shared_ptr<const ShardChunk> pin = std::move(pinned).value();
+  EXPECT_EQ(store.value()->pinned_chunks(), 1u);
+  for (size_t i = 1; i < 4; ++i) {
+    ASSERT_TRUE(store.value()->ReadChunk(i).ok());  // evicts unpinned only
+  }
+  // The pinned chunk is still resident and readable, code for code.
+  const CodedColumns expected = MakeChunkCodes(16, 2, 0);
+  const CodedView view = pin->codes();
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t r = 0; r < 16; ++r) {
+      ASSERT_EQ(view.code(r, c), expected.code(r, c));
+    }
+  }
+  pin.reset();
+  EXPECT_EQ(store.value()->pinned_chunks(), 0u);
+}
+
+// Concurrent readers hammer one store — overlapping hits, misses,
+// double-loads, and evictions under a one-chunk budget — and every read
+// returns the right codes. Run under TSan in CI, this is the data-race
+// exercise for the pin-counted residency state.
+TEST(ShardStoreTest, ConcurrentReadChunkStress) {
+  constexpr size_t kChunks = 5;
+  constexpr size_t kRows = 32;
+  constexpr size_t kCols = 3;
+  auto store = ShardStore::CreateInDir(/*schema_digest=*/0xD16, kCols,
+                                       TestShardOptions(kRows));
+  ASSERT_TRUE(store.ok());
+  for (uint64_t i = 0; i < kChunks; ++i) {
+    ASSERT_TRUE(store.value()
+                    ->AppendChunk(MakeChunkCodes(kRows, kCols, 77 * (int32_t)i),
+                                  i * kRows)
+                    .ok());
+  }
+  ASSERT_TRUE(store.value()->Seal().ok());
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kReadsPerThread = 200;
+  std::vector<std::thread> readers;
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (size_t i = 0; i < kReadsPerThread; ++i) {
+        const size_t index = (t * 13 + i * 7) % kChunks;  // collide often
+        auto chunk = store.value()->ReadChunk(index);
+        if (!chunk.ok()) {
+          ++failures;
+          continue;
+        }
+        const CodedView view = chunk.value()->codes();
+        // Spot-check a few cells against the generator.
+        const CodedColumns expected =
+            MakeChunkCodes(kRows, kCols, 77 * (int32_t)index);
+        for (size_t r = 0; r < kRows; r += 11) {
+          if (view.code(r, 0) != expected.code(r, 0)) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(store.value()->pinned_chunks(), 0u);
+  EXPECT_GT(store.value()->peak_resident_bytes(), 0u);
+}
+
 // ApproxBytes accounting: the coded buffer reports at least its payload,
 // and the store reports at least its resident chunks plus directory.
 TEST(ShardStoreTest, ApproxBytesCoverChunkBuffers) {
@@ -210,6 +294,8 @@ struct ShardDiffCase {
   std::string mode;
   size_t threads;
   size_t chunk_rows;
+  size_t prefetch = 0;       // ShardedCleanOptions::prefetch_chunks
+  size_t budget_chunks = 2;  // resident budget, in chunks of chunk_rows
 };
 
 class ShardedServiceDifferentialTest
@@ -222,10 +308,11 @@ BCleanOptions OptionsForMode(const std::string& mode) {
 }
 
 // Acceptance differential: a sharded clean — model streamed, table spilled
-// as coded chunks, rows cleaned chunk at a time under a tight residency
-// budget — returns bytes identical to an in-memory Session over the same
-// rows, with the same stable counters, and its peak resident table bytes
-// stay within budget + one chunk.
+// as coded chunks, rows cleaned chunk at a time (or pipelined: chunks read
+// ahead and cleaned concurrently) under a tight residency budget — returns
+// bytes identical to an in-memory Session over the same rows, with the
+// same stable counters, and its peak resident table bytes stay within
+// budget + the pinned window (1 + prefetch chunks, headers included).
 TEST_P(ShardedServiceDifferentialTest, ShardedCleanMatchesInMemory) {
   const ShardDiffCase& c = GetParam();
   Dataset ds = InjectedDataset("hospital", 180, 5);
@@ -239,27 +326,32 @@ TEST_P(ShardedServiceDifferentialTest, ShardedCleanMatchesInMemory) {
   ASSERT_TRUE(in_memory.ok()) << in_memory.status().ToString();
   CleanResult reference = in_memory.value()->Clean();
 
-  const size_t budget = 2 * c.chunk_rows * ds.clean.num_cols() *
-                        sizeof(int32_t);
+  const size_t budget = c.budget_chunks * c.chunk_rows *
+                        ds.clean.num_cols() * sizeof(int32_t);
   auto sharded =
       service.OpenSharded("shard", ds.clean, ds.ucs, options,
                           TestShardOptions(c.chunk_rows, budget));
   ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
-  auto cleaned = sharded.value()->Clean();
+  ShardedCleanOptions clean_opts;
+  clean_opts.prefetch_chunks = c.prefetch;
+  auto cleaned = sharded.value()->Clean(clean_opts);
   ASSERT_TRUE(cleaned.ok()) << cleaned.status().ToString();
 
   EXPECT_TRUE(cleaned.value().table == reference.table);
   ExpectSameStableCounters(cleaned.value().stats, reference.stats);
 
   // Residency guarantee: the store never held more than the budget plus
-  // one in-flight chunk (header included).
+  // the pinned window — the chunk being cleaned and up to `prefetch`
+  // read-ahead chunks (headers included).
   size_t largest_chunk = 0;
   const ShardStore& store = sharded.value()->store();
   for (size_t i = 0; i < store.num_chunks(); ++i) {
     largest_chunk = std::max(
         largest_chunk, static_cast<size_t>(store.chunk(i).payload_bytes + 48));
   }
-  EXPECT_LE(store.peak_resident_bytes(), budget + largest_chunk);
+  EXPECT_LE(store.peak_resident_bytes(),
+            budget + (1 + c.prefetch) * largest_chunk);
+  EXPECT_EQ(store.pinned_chunks(), 0u);  // every pin was released
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -273,10 +365,22 @@ INSTANTIATE_TEST_SUITE_P(
         ShardDiffCase{"PI", 8, 1024}, ShardDiffCase{"PI", 8, 100000},
         ShardDiffCase{"PIP", 1, 64}, ShardDiffCase{"PIP", 1, 1024},
         ShardDiffCase{"PIP", 1, 100000}, ShardDiffCase{"PIP", 8, 64},
-        ShardDiffCase{"PIP", 8, 1024}, ShardDiffCase{"PIP", 8, 100000}),
+        ShardDiffCase{"PIP", 8, 1024}, ShardDiffCase{"PIP", 8, 100000},
+        // Pipelined arms: prefetch depths at a ZERO budget, so the pinned
+        // window is the only thing keeping chunks resident — the strictest
+        // exercise of the peak <= budget + pins guarantee.
+        ShardDiffCase{"Basic", 1, 64, /*prefetch=*/1, /*budget_chunks=*/0},
+        ShardDiffCase{"Basic", 1, 64, /*prefetch=*/4, /*budget_chunks=*/0},
+        ShardDiffCase{"Basic", 8, 64, /*prefetch=*/1, /*budget_chunks=*/0},
+        ShardDiffCase{"Basic", 8, 64, /*prefetch=*/4, /*budget_chunks=*/0},
+        ShardDiffCase{"PIP", 1, 64, /*prefetch=*/1, /*budget_chunks=*/0},
+        ShardDiffCase{"PIP", 1, 64, /*prefetch=*/4, /*budget_chunks=*/0},
+        ShardDiffCase{"PIP", 8, 64, /*prefetch=*/1, /*budget_chunks=*/0},
+        ShardDiffCase{"PIP", 8, 64, /*prefetch=*/4, /*budget_chunks=*/0}),
     [](const ::testing::TestParamInfo<ShardDiffCase>& info) {
       return info.param.mode + "_t" + std::to_string(info.param.threads) +
-             "_c" + std::to_string(info.param.chunk_rows);
+             "_c" + std::to_string(info.param.chunk_rows) + "_p" +
+             std::to_string(info.param.prefetch);
     });
 
 // The streamed CSV export writes exactly WriteCsvString of the repaired
@@ -357,6 +461,38 @@ TEST(ShardedServiceTest, CsvFileSourceMatchesTableSource) {
   ASSERT_TRUE(b.ok());
   EXPECT_TRUE(a.value().table == b.value().table);
   std::remove(path.c_str());
+}
+
+// CleanToCsv writes strictly in chunk order at every prefetch depth: with
+// deep prefetch and wide threads — chunks finishing out of order — the
+// bytes are identical to the serial (prefetch 0) export.
+TEST(ShardedServiceTest, PipelinedCsvMatchesSerialCsv) {
+  Dataset ds = InjectedDataset("hospital", 180, 29);
+  BCleanOptions options;
+  options.num_threads = 8;
+  ServiceOptions service_options;
+  service_options.num_threads = 8;
+  Service service(service_options);
+  auto sharded = service.OpenSharded("shard", ds.clean, ds.ucs, options,
+                                     TestShardOptions(/*chunk_rows=*/32));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  const std::string serial_path = testing::TempDir() + "/bclean_serial.csv";
+  ShardedCleanOptions serial;
+  serial.prefetch_chunks = 0;
+  ASSERT_TRUE(sharded.value()->CleanToCsv(serial_path, {}, serial).ok());
+  const std::string expected = ReadFileBytes(serial_path);
+
+  for (const size_t depth : {1u, 4u}) {
+    const std::string path = testing::TempDir() + "/bclean_pipelined.csv";
+    ShardedCleanOptions pipelined;
+    pipelined.prefetch_chunks = depth;
+    Status status = sharded.value()->CleanToCsv(path, {}, pipelined);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(ReadFileBytes(path), expected) << "prefetch=" << depth;
+    std::remove(path.c_str());
+  }
+  std::remove(serial_path.c_str());
 }
 
 // The async CSV export runs on the service dispatcher and lands the same
@@ -493,6 +629,52 @@ TEST_F(ShardFaultTest, ChunkReadFaultLeavesNoPartialOutput) {
   // reference (repair-cache entries published before the fault replay
   // verbatim — they are pure functions of their signatures).
   Status retry = sharded.value()->CleanToCsv(path);
+  ASSERT_TRUE(retry.ok()) << retry.ToString();
+  EXPECT_EQ(ReadFileBytes(path), expected);
+  std::remove(path.c_str());
+}
+
+// A failed background prefetch surfaces a clean Status from the pipelined
+// pass, cancels the in-flight chunk jobs, leaves NO partial CSV, and the
+// retry matches the in-memory bytes — the prefetcher is not a side channel
+// that can half-succeed.
+TEST_F(ShardFaultTest, ChunkPrefetchFaultCancelsCleanlyAndRetries) {
+  Dataset ds = InjectedDataset("hospital", 150, 31);
+  BCleanOptions options;
+  options.num_threads = 2;
+  ServiceOptions service_options;
+  service_options.num_threads = 2;
+  Service service(service_options);
+  auto in_memory = service.Open("mem", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(in_memory.ok());
+  const std::string expected =
+      WriteCsvString(in_memory.value()->Clean().table);
+
+  auto sharded = service.OpenSharded("shard", ds.clean, ds.ucs, options,
+                                     TestShardOptions(/*chunk_rows=*/32));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  const std::string path = testing::TempDir() + "/bclean_prefetch_fault.csv";
+  ShardedCleanOptions pipelined;
+  pipelined.prefetch_chunks = 2;
+  {
+    // Fail the THIRD prefetch, when chunk jobs are already in flight.
+    FaultSpec spec;
+    spec.fail = true;
+    spec.skip_first = 2;
+    spec.max_triggers = 1;
+    ScopedFault fault("shard.chunk_prefetch", spec);
+    Status status = sharded.value()->CleanToCsv(path, {}, pipelined);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("shard.chunk_prefetch"),
+              std::string::npos)
+        << status.ToString();
+  }
+  // No partial file survives, and no pins leaked.
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_EQ(sharded.value()->store().pinned_chunks(), 0u);
+  // The session stays fully usable; the pipelined retry's bytes match the
+  // in-memory reference.
+  Status retry = sharded.value()->CleanToCsv(path, {}, pipelined);
   ASSERT_TRUE(retry.ok()) << retry.ToString();
   EXPECT_EQ(ReadFileBytes(path), expected);
   std::remove(path.c_str());
