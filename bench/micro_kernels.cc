@@ -643,5 +643,79 @@ void BM_ConcurrentSessions(benchmark::State& state) {
 BENCHMARK(BM_ConcurrentSessions)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+void BM_IncrementalUpdate(benchmark::State& state) {
+  // Session::Update on a 10k-row table: the O(edit) delta path
+  // (UpdateInPlaceFromEdits — dictionary extension, block-local pair
+  // rescan, adjacent-pair similarity patching, CPT count adjustment)
+  // against the full model rebuild it is bit-equal to. The table tiles a
+  // 500-row injected hospital sample, so every value recurs ~20x and a
+  // high-row overwrite never retires a dictionary value or moves a first
+  // occurrence — i.e. the edits stay delta-eligible. Engine and parts
+  // caches are disabled so the full-rebuild arm measures rebuilds, not
+  // flip-flop cache hits. range(0): 1 = incremental, 0 = full rebuild.
+  // range(1): rows overwritten per Update (1, or 100 = 1% of the table).
+  Dataset ds = MakeHospital(500, 7);
+  Rng rng(7);
+  auto injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  Table table = injection.dirty;
+  const size_t base_rows = table.num_rows();
+  while (table.num_rows() < 10000) {
+    table.AddRow(table.Row(table.num_rows() % base_rows));
+  }
+  const bool incremental = state.range(0) == 1;
+  const size_t edit_rows = static_cast<size_t>(state.range(1));
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.num_threads = 1;  // per-core spread; both arms serial
+  options.incremental_update_max_fraction = incremental ? 0.10 : 0.0;
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.engine_cache_capacity = 0;
+  service_options.parts_cache_capacity = 0;
+  Service service(service_options);
+  auto session = service.Open("bench", table, ds.ucs, options).value();
+
+  // Overwrite rows high in the tiling, alternating between two distinct
+  // neighbors' values: constant table size, every batch changes content
+  // (parity 1 and 2 pick different canonical rows, never the row's own).
+  const size_t first_target = table.num_rows() - edit_rows;
+  size_t flip = 0;
+  auto make_edits = [&](size_t parity) {
+    std::vector<RowEdit> edits;
+    for (size_t e = 0; e < edit_rows; ++e) {
+      size_t target = first_target + e;
+      size_t source = (target + parity) % base_rows;
+      RowEdit edit;
+      edit.row = target;
+      edit.values = table.Row(source);
+      edits.push_back(std::move(edit));
+    }
+    return edits;
+  };
+  // Prime: the first eligible Update builds the session's delta scratch;
+  // steady-state iterations measure the amortized path.
+  if (!session->Update(make_edits(1 + ++flip % 2)).ok()) {
+    state.SkipWithError("prime update failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!session->Update(make_edits(1 + ++flip % 2)).ok()) {
+      state.SkipWithError("update failed");
+      return;
+    }
+  }
+  if (incremental && service.stats().incremental_updates !=
+                         state.iterations() + 1) {
+    state.SkipWithError("delta path not taken");
+    return;
+  }
+  state.SetItemsProcessed(state.iterations() * edit_rows);
+  state.SetLabel(std::string(incremental ? "incremental" : "full-rebuild") +
+                 " rows=" + std::to_string(edit_rows));
+}
+BENCHMARK(BM_IncrementalUpdate)
+    ->Args({0, 1})->Args({1, 1})->Args({0, 100})->Args({1, 100})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace bclean

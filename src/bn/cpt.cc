@@ -14,6 +14,25 @@ void Cpt::AddObservation(uint64_t parent_key, int64_t value) {
   finalized_ = false;
 }
 
+void Cpt::RemoveObservation(uint64_t parent_key, int64_t value) {
+  auto cond = conditional_.find(parent_key);
+  assert(cond != conditional_.end());
+  Counts& counts = cond->second;
+  auto by_value = counts.by_value.find(value);
+  assert(by_value != counts.by_value.end());
+  by_value->second -= 1.0;
+  if (by_value->second == 0.0) counts.by_value.erase(by_value);
+  counts.total -= 1.0;
+  if (counts.by_value.empty()) conditional_.erase(cond);
+  auto marginal = marginal_.by_value.find(value);
+  assert(marginal != marginal_.by_value.end());
+  marginal->second -= 1.0;
+  if (marginal->second == 0.0) marginal_.by_value.erase(marginal);
+  marginal_.total -= 1.0;
+  --total_observations_;
+  finalized_ = false;
+}
+
 double Cpt::SmoothedProb(const Counts& counts, int64_t value) const {
   double k = static_cast<double>(marginal_.by_value.size());
   if (k == 0.0) k = 1.0;

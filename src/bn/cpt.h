@@ -46,6 +46,15 @@ class Cpt {
   /// previous finalization.
   void AddObservation(uint64_t parent_key, int64_t value);
 
+  /// Retracts one observation previously recorded with AddObservation().
+  /// Counts are integer-valued doubles, so removal is exact: after a
+  /// matched remove/add sequence and a Finalize(), the CPT is
+  /// field-identical to one fit from scratch on the edited data (entries
+  /// that reach zero are erased, so domain_size() and
+  /// num_parent_configs() track the live observations). Invalidates any
+  /// previous finalization.
+  void RemoveObservation(uint64_t parent_key, int64_t value);
+
   /// Builds the flat log-probability storage from the accumulated counts.
   /// Must be called (single-threaded) before the batch path is used; the
   /// scalar Prob()/LogProb() work either way.

@@ -255,6 +255,50 @@ void BayesianNetwork::RefitDirty(const DomainStats& stats) {
   }
 }
 
+void BayesianNetwork::ApplyRowDelta(const DomainStats& old_stats,
+                                    const DomainStats& new_stats,
+                                    std::span<const size_t> overwritten) {
+  assert(num_dirty() == 0);
+  const size_t m = attr_to_var_.size();
+  assert(old_stats.num_cols() == m);
+  assert(new_stats.num_cols() == m);
+  // kNoSubst: an attribute index that never matches.
+  const size_t kNoSubst = m;
+  std::vector<int32_t> row(m);
+  auto load_row = [&](const DomainStats& stats, size_t r) {
+    for (size_t c = 0; c < m; ++c) row[c] = stats.code(r, c);
+  };
+  for (size_t r : overwritten) {
+    load_row(old_stats, r);
+    for (size_t v = 0; v < variables_.size(); ++v) {
+      int64_t value = VariableCode(v, row, kNoSubst, 0);
+      if (value == kNullCode64) continue;  // NULLs were never learned
+      cpts_[v].RemoveObservation(ParentKey(v, row, kNoSubst, 0), value);
+    }
+    load_row(new_stats, r);
+    AddFitRow(row);
+  }
+  for (size_t r = old_stats.num_rows(); r < new_stats.num_rows(); ++r) {
+    load_row(new_stats, r);
+    AddFitRow(row);
+  }
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    cpts_[v].Finalize();
+    dirty_[v] = false;
+  }
+}
+
+bool BayesianNetwork::SameStructure(const BayesianNetwork& other) const {
+  if (variables_.size() != other.variables_.size()) return false;
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    if (variables_[v].name != other.variables_[v].name) return false;
+    if (variables_[v].attrs != other.variables_[v].attrs) return false;
+    if (dag_.parents(v) != other.dag_.parents(v)) return false;
+    if (dag_.children(v) != other.dag_.children(v)) return false;
+  }
+  return alpha_ == other.alpha_ && root_prior_ == other.root_prior_;
+}
+
 size_t BayesianNetwork::num_dirty() const {
   size_t count = 0;
   for (bool d : dirty_) count += d ? 1 : 0;

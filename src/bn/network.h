@@ -99,6 +99,26 @@ class BayesianNetwork {
   /// RefitDirty (the paper's localized CPT recomputation).
   void RefitDirty(const DomainStats& stats);
 
+  /// Re-fits only the observations of edited rows: retracts each
+  /// `overwritten` row as coded by `old_stats`, records it as coded by
+  /// `new_stats`, records rows appended past old_stats.num_rows(), and
+  /// re-finalizes. CPT counts are exact integer-valued doubles, so the
+  /// result is field-identical (same Digest(), same scores) to a full
+  /// Fit(new_stats) — provided the network was fit from `old_stats` and
+  /// the two stats share one dictionary encoding (the ApplyRowEdits
+  /// contract). Requires num_dirty() == 0; leaves it 0.
+  void ApplyRowDelta(const DomainStats& old_stats,
+                     const DomainStats& new_stats,
+                     std::span<const size_t> overwritten);
+
+  /// True when `other` would score every row identically by construction:
+  /// same variables (names and attribute membership), the same ordered
+  /// per-node parent and child lists (ParentKey folds parents in stored
+  /// order and LogProbBlanket sums children in stored order, so ordering
+  /// is decision-relevant, not just the edge set), and the same smoothing
+  /// and root-prior configuration.
+  bool SameStructure(const BayesianNetwork& other) const;
+
   /// Number of variables currently dirty (awaiting refit).
   size_t num_dirty() const;
 

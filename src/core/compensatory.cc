@@ -468,6 +468,275 @@ CompensatoryModel CompensatoryModel::StreamBuilder::Finish(
   return model;
 }
 
+// --------------------------------------------------------- BlockAccumulator
+
+struct CompensatoryModel::BlockAccumulator::Impl {
+  size_t num_rows = 0;
+  size_t num_cols = 0;
+  // Per block, the (key, PairStat) partial sorted by key: the same values
+  // Build's extraction phase accumulates and discards, laid out for the
+  // binary searches the per-key refold performs.
+  std::vector<std::vector<std::pair<uint64_t, PairStat>>> blocks;
+
+  // One block's extraction — exactly Build's inner loop (rows ascending,
+  // per-key sequential float adds; the stripe split is irrelevant within a
+  // block because each key lives in exactly one stripe map). conf(T) is
+  // optionally written to `conf_out` at absolute row indices.
+  static void ScanBlock(const DomainStats& stats, const UcMask& mask,
+                        const CompensatoryOptions& options, size_t block,
+                        std::vector<std::pair<uint64_t, PairStat>>* out,
+                        float* conf_out);
+};
+
+void CompensatoryModel::BlockAccumulator::Impl::ScanBlock(
+    const DomainStats& stats, const UcMask& mask,
+    const CompensatoryOptions& options, size_t block,
+    std::vector<std::pair<uint64_t, PairStat>>* out, float* conf_out) {
+  const size_t n = stats.num_rows();
+  const size_t m = stats.num_cols();
+  std::unordered_map<uint64_t, PairStat> partial;
+  std::vector<int32_t> row(m);
+  const size_t row_begin = block * kBuildRowBlock;
+  const size_t row_end = std::min(n, row_begin + kBuildRowBlock);
+  for (size_t r = row_begin; r < row_end; ++r) {
+    size_t satisfied = 0;
+    size_t violated = 0;
+    for (size_t c = 0; c < m; ++c) {
+      row[c] = stats.code(r, c);
+      if (mask.Check(c, row[c])) {
+        ++satisfied;
+      } else {
+        ++violated;
+      }
+    }
+    double conf = (static_cast<double>(satisfied) -
+                   options.lambda * static_cast<double>(violated)) /
+                  static_cast<double>(m);
+    conf = std::max(0.0, conf);
+    if (conf_out != nullptr) conf_out[r] = static_cast<float>(conf);
+    float trusted = conf >= options.tau ? 1.0f : static_cast<float>(conf);
+    for (size_t j = 0; j < m; ++j) {
+      if (row[j] < 0) continue;  // NULLs carry no correlation evidence
+      bool j_ok = mask.Check(j, row[j]);
+      for (size_t k = j + 1; k < m; ++k) {
+        if (row[k] < 0) continue;
+        float delta = (j_ok && mask.Check(k, row[k]))
+                          ? trusted
+                          : -static_cast<float>(options.beta);
+        // PackKey with j < k already normalized (capacity enforced by
+        // CheckCapacity at engine construction).
+        uint64_t key =
+            (static_cast<uint64_t>(j * m + k) << 48) |
+            ((static_cast<uint64_t>(static_cast<uint32_t>(row[j])) & 0xFFFFFF)
+             << 24) |
+            (static_cast<uint64_t>(static_cast<uint32_t>(row[k])) & 0xFFFFFF);
+        PairStat& stat = partial[key];
+        stat.weighted += delta;
+        stat.count += 1;
+      }
+    }
+  }
+  out->assign(partial.begin(), partial.end());
+  std::sort(out->begin(), out->end(),
+            [](const std::pair<uint64_t, PairStat>& a,
+               const std::pair<uint64_t, PairStat>& b) {
+              return a.first < b.first;
+            });
+}
+
+CompensatoryModel::BlockAccumulator::BlockAccumulator()
+    : impl_(std::make_unique<Impl>()) {}
+CompensatoryModel::BlockAccumulator::~BlockAccumulator() = default;
+CompensatoryModel::BlockAccumulator::BlockAccumulator(
+    BlockAccumulator&&) noexcept = default;
+CompensatoryModel::BlockAccumulator&
+CompensatoryModel::BlockAccumulator::operator=(BlockAccumulator&&) noexcept =
+    default;
+
+size_t CompensatoryModel::BlockAccumulator::num_rows() const {
+  return impl_->num_rows;
+}
+
+size_t CompensatoryModel::BlockAccumulator::ApproxBytes() const {
+  size_t bytes = sizeof(BlockAccumulator) + sizeof(Impl);
+  for (const auto& block : impl_->blocks) {
+    bytes += block.capacity() * sizeof(std::pair<uint64_t, PairStat>);
+  }
+  bytes += impl_->blocks.capacity() *
+           sizeof(std::vector<std::pair<uint64_t, PairStat>>);
+  return bytes;
+}
+
+CompensatoryModel::BlockAccumulator CompensatoryModel::BlockAccumulator::Build(
+    const DomainStats& stats, const UcMask& mask,
+    const CompensatoryOptions& options, ThreadPool* pool) {
+  BlockAccumulator acc;
+  Impl& im = *acc.impl_;
+  im.num_rows = stats.num_rows();
+  im.num_cols = stats.num_cols();
+  const size_t num_blocks =
+      (im.num_rows + kBuildRowBlock - 1) / kBuildRowBlock;
+  im.blocks.resize(num_blocks);
+  auto scan = [&](size_t b) {
+    Impl::ScanBlock(stats, mask, options, b, &im.blocks[b], nullptr);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_blocks, [&](size_t b, size_t) { scan(b); });
+  } else {
+    for (size_t b = 0; b < num_blocks; ++b) scan(b);
+  }
+  return acc;
+}
+
+CompensatoryModel CompensatoryModel::ApplyRowDelta(
+    const CompensatoryModel& old_model, BlockAccumulator& acc,
+    const DomainStats& new_stats, const UcMask& new_mask,
+    const CompensatoryOptions& options, std::span<const size_t> overwritten,
+    ThreadPool* pool) {
+  BlockAccumulator::Impl& im = *acc.impl_;
+  const size_t old_rows = im.num_rows;
+  const size_t new_rows = new_stats.num_rows();
+  const size_t m = new_stats.num_cols();
+  assert(m == im.num_cols);
+  assert(old_model.conf_.size() == old_rows);
+  assert(new_rows >= old_rows);
+  const size_t old_blocks = (old_rows + kBuildRowBlock - 1) / kBuildRowBlock;
+  const size_t new_blocks = (new_rows + kBuildRowBlock - 1) / kBuildRowBlock;
+  assert(im.blocks.size() == old_blocks);
+
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(1);
+    pool = owned_pool.get();
+  }
+
+  // Blocks whose rows changed: every block holding an overwritten row,
+  // plus — for appends — the trailing old block when it was partial and
+  // every newly created block.
+  std::vector<uint8_t> rescan(new_blocks, 0);
+  for (size_t r : overwritten) {
+    assert(r < old_rows);
+    rescan[r / kBuildRowBlock] = 1;
+  }
+  if (new_rows > old_rows) {
+    for (size_t b = old_rows / kBuildRowBlock; b < new_blocks; ++b) {
+      rescan[b] = 1;
+    }
+  }
+
+  // Keys needing a refold: everything a rescanned block touched before
+  // the edit...
+  std::vector<uint64_t> affected;
+  for (size_t b = 0; b < old_blocks; ++b) {
+    if (!rescan[b]) continue;
+    for (const auto& entry : im.blocks[b]) affected.push_back(entry.first);
+  }
+  // Build folds multi-block totals from a value-initialized +0.0f but
+  // moves a single block's partial verbatim (preserving -0.0f sums);
+  // crossing that boundary changes the fold shape for every key block 0
+  // holds, so they all refold.
+  const bool move_to_fold = old_blocks == 1 && new_blocks > 1;
+
+  // New model scalar and copied fields, exactly as Build sets them, with
+  // conf(T) carried over for rows in untouched blocks.
+  CompensatoryModel model;
+  model.num_cols_ = m;
+  model.inv_n_ = new_rows > 0 ? 1.0 / static_cast<double>(new_rows) : 0.0;
+  model.normalization_ = options.normalization;
+  model.mask_ = new_mask;
+  model.conf_ = old_model.conf_;
+  model.conf_.resize(new_rows);
+  model.column_counts_.resize(m);
+  model.freq_.resize(m);
+  for (size_t c = 0; c < m; ++c) {
+    model.column_counts_[c] =
+        static_cast<double>(new_rows - new_stats.column(c).null_count());
+    const ColumnStats& column = new_stats.column(c);
+    model.freq_[c].resize(column.DomainSize());
+    for (size_t v = 0; v < column.DomainSize(); ++v) {
+      model.freq_[c][v] =
+          static_cast<double>(column.Frequency(static_cast<int32_t>(v)));
+    }
+  }
+
+  // Rescan the edited blocks against the edited table. Untouched rows in
+  // a rescanned block recompute to bit-identical conf/partials (same
+  // codes, same verdicts), so whole-block rescans keep the accumulation
+  // order exactly Build's.
+  im.blocks.resize(new_blocks);
+  std::vector<size_t> rescan_list;
+  for (size_t b = 0; b < new_blocks; ++b) {
+    if (rescan[b]) rescan_list.push_back(b);
+  }
+  pool->ParallelFor(rescan_list.size(), [&](size_t i, size_t) {
+    const size_t b = rescan_list[i];
+    BlockAccumulator::Impl::ScanBlock(new_stats, new_mask, options, b,
+                                      &im.blocks[b], model.conf_.data());
+  });
+  im.num_rows = new_rows;
+
+  // ...plus everything they touch now, plus block 0 on a move-to-fold
+  // transition.
+  for (size_t b : rescan_list) {
+    for (const auto& entry : im.blocks[b]) affected.push_back(entry.first);
+  }
+  if (move_to_fold && !rescan[0]) {
+    for (const auto& entry : im.blocks[0]) affected.push_back(entry.first);
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  // Every unaffected key's totals carry over bit-for-bit.
+  std::vector<std::pair<uint64_t, PairStat>> entries;
+  entries.reserve(old_model.pairs_.size() + affected.size());
+  old_model.pairs_.ForEach([&](uint64_t key, const PairStat& stat) {
+    if (!std::binary_search(affected.begin(), affected.end(), key)) {
+      entries.push_back({key, stat});
+    }
+  });
+
+  // Refold the affected keys in Build's ascending block order — value-
+  // initialized start, only blocks containing the key contribute a float
+  // add, the same sequence the wave merge performs — or copy the single
+  // block's partial verbatim (Build's move special case).
+  auto find_in_block = [&im](size_t b, uint64_t key) -> const PairStat* {
+    const auto& block = im.blocks[b];
+    auto it = std::lower_bound(
+        block.begin(), block.end(), key,
+        [](const std::pair<uint64_t, PairStat>& e, uint64_t k) {
+          return e.first < k;
+        });
+    return (it != block.end() && it->first == key) ? &it->second : nullptr;
+  };
+  std::vector<PairStat> totals(affected.size());
+  pool->ParallelFor(affected.size(), [&](size_t i, size_t) {
+    const uint64_t key = affected[i];
+    if (new_blocks == 1) {
+      const PairStat* p = find_in_block(0, key);
+      if (p != nullptr) totals[i] = *p;
+      return;
+    }
+    PairStat total;
+    for (size_t b = 0; b < new_blocks; ++b) {
+      const PairStat* p = find_in_block(b, key);
+      if (p != nullptr) {
+        total.weighted += p->weighted;
+        total.count += p->count;
+      }
+    }
+    totals[i] = total;
+  });
+  for (size_t i = 0; i < affected.size(); ++i) {
+    // count == 0 means the key's last occurrence was edited away: a cold
+    // build has no entry for it at all.
+    if (totals[i].count > 0) entries.push_back({affected[i], totals[i]});
+  }
+
+  BuildIndexes(model, new_stats, options, std::move(entries), pool);
+  return model;
+}
+
 double CompensatoryModel::PairWeight(size_t attr_j, size_t attr_k) const {
   if (!use_mi_weighting_) return 1.0;
   if (attr_j > attr_k) std::swap(attr_j, attr_k);

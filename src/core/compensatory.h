@@ -39,6 +39,14 @@ class ThreadPool;
 
 /// Confidence-weighted co-occurrence statistics over a table.
 class CompensatoryModel {
+ private:
+  // Declared ahead of the public section so the nested BlockAccumulator
+  // below can store these stats; still private to the model.
+  struct PairStat {
+    float weighted = 0.0f;  // +1 per confident tuple, -beta otherwise
+    uint32_t count = 0;     // raw co-occurrences
+  };
+
  public:
   /// One usable evidence cell of a tuple, with everything that does not
   /// depend on the candidate precomputed. Completing `base_key` with the
@@ -118,6 +126,64 @@ class CompensatoryModel {
     struct Impl;
     std::unique_ptr<Impl> impl_;
   };
+
+  /// Per-1024-row-block pair partials retained between incremental
+  /// updates. Build's float accumulation is blocked — per-key sums fold
+  /// block partials in ascending block order — so an edited row can only
+  /// be re-accounted bit-honestly by rescanning its block and refolding
+  /// the touched keys across every block in that same order. The
+  /// accumulator stores exactly those per-block partials (the state
+  /// Build's extraction phase computes and discards), so an incremental
+  /// ApplyRowDelta rescans only the edited blocks. Sessions hold one of
+  /// these per engine lineage; building it costs one pair-extraction scan
+  /// (the first incremental Update pays it, subsequent updates are
+  /// O(edited blocks)).
+  class BlockAccumulator {
+   public:
+    BlockAccumulator();
+    ~BlockAccumulator();
+    BlockAccumulator(BlockAccumulator&&) noexcept;
+    BlockAccumulator& operator=(BlockAccumulator&&) noexcept;
+
+    /// Accumulates every row of `stats` into fixed 1024-row block
+    /// partials — per block, the same per-key (weighted, count) sums
+    /// Build's extraction phase produces. Runs the blocks on `pool`
+    /// (serially when null); the result is deterministic either way.
+    static BlockAccumulator Build(const DomainStats& stats, const UcMask& mask,
+                                  const CompensatoryOptions& options,
+                                  ThreadPool* pool);
+
+    /// Rows currently accumulated (must match the stats an ApplyRowDelta
+    /// call treats as "old").
+    size_t num_rows() const;
+
+    /// Approximate memory footprint of the retained block partials.
+    size_t ApproxBytes() const;
+
+   private:
+    friend class CompensatoryModel;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+
+  /// Incremental rebuild: returns a model field-identical — same
+  /// Fingerprint(), same scores — to Build(new_stats, new_mask, options)
+  /// over the edited table, given the model built from the pre-edit table,
+  /// that table's block accumulator, and the edit set (`overwritten` row
+  /// indices ascending + rows appended past acc.num_rows()). Only the
+  /// blocks containing edited rows are rescanned; keys those blocks touch
+  /// are refolded across all blocks in Build's ascending block order
+  /// (including Build's single-block move special case), and every other
+  /// key's totals are carried over bit-for-bit. `acc` is updated in place
+  /// to describe the edited table. `old_model` must itself have been
+  /// produced by Build/ApplyRowDelta over the table `acc` describes, and
+  /// `new_stats`/`new_mask` must come from DomainStats::ApplyRowEdits /
+  /// UcMask::Extend (shared dictionary encoding).
+  static CompensatoryModel ApplyRowDelta(
+      const CompensatoryModel& old_model, BlockAccumulator& acc,
+      const DomainStats& new_stats, const UcMask& new_mask,
+      const CompensatoryOptions& options, std::span<const size_t> overwritten,
+      ThreadPool* pool = nullptr);
 
   /// Validates that `stats` fits PackKey's bit layout: the attribute-pair
   /// id needs m*m <= 2^16 and every dictionary code must fit in 24 bits.
@@ -217,11 +283,6 @@ class CompensatoryModel {
   size_t ApproxBytes() const;
 
  private:
-  struct PairStat {
-    float weighted = 0.0f;  // +1 per confident tuple, -beta otherwise
-    uint32_t count = 0;     // raw co-occurrences
-  };
-
   // Shared tail of Build and StreamBuilder::Finish: builds the flat pair
   // table, the oriented postings index, and the MI pair weights from the
   // merged (key, stat) entries. Reads n as model.conf_.size(); the model's

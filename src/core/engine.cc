@@ -8,8 +8,10 @@
 
 #include "src/common/digest.h"
 #include "src/common/fault_injection.h"
+#include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
+#include "src/core/incremental.h"
 #include "src/core/repair_cache.h"
 #include "src/fdx/structure_learning.h"
 
@@ -20,6 +22,16 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 size_t ResolveThreads(size_t num_threads) {
   return num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads;
+}
+
+// True when BuildSimilarityObservations samples every adjacent pair
+// (stride 1) for a table of n rows under `options` — the only regime the
+// incremental observation state models.
+bool SamplesAllAdjacentPairs(size_t n, const StructureOptions& options) {
+  if (n < 2) return false;
+  size_t pairs = std::min(n - 1, options.max_pairs_per_attribute);
+  if (pairs == 0) return false;
+  return (n - 1) / pairs <= 1;
 }
 
 }  // namespace
@@ -131,6 +143,117 @@ Result<std::unique_ptr<BCleanEngine>> BCleanEngine::CreateFromFittedParts(
 Result<std::unique_ptr<BCleanEngine>> BCleanEngine::DetachWithNetwork(
     BayesianNetwork network) const {
   return CreateFromParts(parts_, ucs_, std::move(network), options_);
+}
+
+Result<std::unique_ptr<BCleanEngine>> BCleanEngine::UpdateInPlaceFromEdits(
+    IncrementalUpdateState& state, Table&& updated,
+    std::span<const size_t> overwritten, bool relearn_structure,
+    ThreadPool* pool) const {
+  const size_t n_old = dirty().num_rows();
+  const size_t n_new = updated.num_rows();
+  const size_t m = dirty().num_cols();
+  if (n_old == 0) {
+    return Status::FailedPrecondition(
+        "incremental update requires a non-empty base table");
+  }
+  if (relearn_structure) {
+    if (n_new < 3 || m < 2) {
+      return Status::FailedPrecondition(
+          "table too small for incremental structure learning");
+    }
+    if (!SamplesAllAdjacentPairs(n_old, options_.structure) ||
+        !SamplesAllAdjacentPairs(n_new, options_.structure)) {
+      return Status::FailedPrecondition(
+          "observation sampling is strided at this size; incremental "
+          "structure state would not match the cold build");
+    }
+  }
+
+  // Dictionary delta: fails (-> full rebuild) when an edit would reorder
+  // or shrink a dictionary, i.e. when the cold build's first-seen coding
+  // differs from the old dictionaries extended in place.
+  std::optional<DomainStats> new_stats_opt =
+      stats().ApplyRowEdits(updated, overwritten);
+  if (!new_stats_opt.has_value()) {
+    return Status::FailedPrecondition(
+        "edit changes dictionary order; incremental coding cannot match "
+        "the cold build");
+  }
+  DomainStats new_stats = std::move(*new_stats_opt);
+  Status capacity = CompensatoryModel::CheckCapacity(new_stats);
+  if (!capacity.ok()) {
+    // Fall back so the full path surfaces the authoritative error.
+    return Status::FailedPrecondition(capacity.message());
+  }
+
+  // Scratch freshness: rebuild (one cold-pass cost, amortized over the
+  // session's subsequent updates) when the state does not describe this
+  // engine's stats revision.
+  if (!state.Matches(parts_.stats.get())) {
+    state.Rebuild(dirty(), stats(), mask(), options_.compensatory,
+                  relearn_structure, pool);
+  }
+  if (relearn_structure && !state.has_observations()) {
+    return Status::FailedPrecondition(
+        "incremental state carries no observation half");
+  }
+
+  // UC mask: verdicts are per dictionary value, so the mask changes only
+  // when some dictionary grew; new values evaluate against the same
+  // registry the cold build would consult.
+  std::shared_ptr<const UcMask> new_mask = parts_.mask;
+  for (size_t c = 0; c < m; ++c) {
+    if (new_stats.column(c).DomainSize() != stats().column(c).DomainSize()) {
+      new_mask = std::make_shared<const UcMask>(
+          UcMask::Extend(mask(), ucs_, new_stats));
+      break;
+    }
+  }
+
+  // From here on the state advances in place; a later failure leaves it
+  // ahead of this engine, which is why the caller must invalidate on error.
+  CompensatoryModel compensatory = CompensatoryModel::ApplyRowDelta(
+      *parts_.compensatory, state.comp(), new_stats, *new_mask,
+      options_.compensatory, overwritten, pool);
+
+  BayesianNetwork bn;
+  if (!relearn_structure) {
+    bn = bn_;
+    bn.ApplyRowDelta(stats(), new_stats, overwritten);
+  } else {
+    Matrix observations =
+        state.ApplyObservationEdits(dirty(), updated, overwritten, pool);
+    Result<LearnedStructure> learned = LearnStructureFromObservations(
+        observations, DomainSizeOrdering(new_stats), options_.structure);
+    if (!learned.ok()) return learned.status();
+    BayesianNetwork candidate(updated.schema());
+    for (const auto& [parent, child] : learned.value().edges) {
+      Status s = candidate.AddEdge(parent, child);
+      if (!s.ok()) {
+        BCLEAN_LOG(Debug) << "skipping edge " << parent << "->" << child
+                          << ": " << s.ToString();
+      }
+    }
+    if (candidate.SameStructure(bn_)) {
+      // The relearn reproduced this engine's structure, so the CPT counts
+      // delta-adjust exactly instead of refitting every table.
+      bn = bn_;
+      bn.ApplyRowDelta(stats(), new_stats, overwritten);
+    } else {
+      bn = std::move(candidate);
+      bn.Fit(new_stats);
+    }
+  }
+
+  ModelParts parts;
+  parts.stats = std::make_shared<const DomainStats>(std::move(new_stats));
+  parts.mask = std::move(new_mask);
+  parts.compensatory =
+      std::make_shared<const CompensatoryModel>(std::move(compensatory));
+  parts.dirty = std::make_shared<const Table>(std::move(updated));
+  state.BindStats(parts.stats.get());
+  return CreateFromFittedParts(std::move(parts), ucs_, std::move(bn),
+                               options_);
 }
 
 uint64_t BCleanEngine::ModelFingerprint() const {

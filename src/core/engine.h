@@ -37,6 +37,7 @@
 
 namespace bclean {
 
+class IncrementalUpdateState;
 class RepairCache;
 class ThreadPool;
 
@@ -136,6 +137,32 @@ class BCleanEngine {
   /// this so a first edit costs ~one CPT refit instead of a cold build.
   Result<std::unique_ptr<BCleanEngine>> DetachWithNetwork(
       BayesianNetwork network) const;
+
+  /// Incremental counterpart of rebuilding over an edited table: a new
+  /// engine over `updated` whose every model layer is advanced from this
+  /// engine's by the edit delta instead of rebuilt — and is bit-equal to
+  /// the cold build (same ModelFingerprint(), same Clean() bytes;
+  /// tests/incremental_update_test.cc pins this differentially). `updated`
+  /// must extend dirty(): same columns, >= rows, values equal outside the
+  /// `overwritten` rows (sorted, unique, < dirty().num_rows()).
+  /// `relearn_structure` selects the cold path being mirrored: true
+  /// re-derives the network structure from the updated observations
+  /// (Session updates on auto-learned engines), false keeps this engine's
+  /// structure and delta-refits its CPTs (CreateWithNetwork semantics for
+  /// sessions holding user-edited networks).
+  ///
+  /// `state` is the session-retained scratch; a stale state is rebuilt
+  /// here (one cold-pass cost) before the delta applies. On any error the
+  /// state may be mid-advance — the caller must Invalidate() it and fall
+  /// back to the full rebuild path; `updated` is guaranteed untouched in
+  /// that case (it is consumed only on success). FailedPrecondition marks
+  /// edits this path cannot mirror bit-exactly (dictionary reorder, table
+  /// too large for full adjacent-pair sampling, capacity limits): fall
+  /// back, don't fail the update.
+  Result<std::unique_ptr<BCleanEngine>> UpdateInPlaceFromEdits(
+      IncrementalUpdateState& state, Table&& updated,
+      std::span<const size_t> overwritten, bool relearn_structure,
+      ThreadPool* pool) const;
 
   /// The (possibly user-edited) network.
   const BayesianNetwork& network() const { return bn_; }

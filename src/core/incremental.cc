@@ -1,0 +1,184 @@
+#include "src/core/incremental.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <numeric>
+
+#include "src/common/thread_pool.h"
+#include "src/core/uc_mask.h"
+#include "src/data/domain_stats.h"
+#include "src/data/table.h"
+#include "src/text/similarity.h"
+
+namespace bclean {
+
+void IncrementalUpdateState::Rebuild(const Table& table,
+                                     const DomainStats& stats,
+                                     const UcMask& mask,
+                                     const CompensatoryOptions& options,
+                                     bool with_observations,
+                                     ThreadPool* pool) {
+  comp_ = CompensatoryModel::BlockAccumulator::Build(stats, mask, options,
+                                                     pool);
+  order_.clear();
+  obs_.clear();
+  has_obs_ = with_observations;
+  stats_ = nullptr;  // caller binds after a successful rebuild
+  if (!with_observations) return;
+
+  const size_t n = table.num_rows();
+  const size_t m = table.num_cols();
+  order_.resize(m);
+  obs_.resize(m);
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(
+        std::min(ThreadPool::DefaultThreads(), std::max<size_t>(1, m)));
+    pool = owned_pool.get();
+  }
+  pool->ParallelFor(m, [&](size_t sort_col, size_t) {
+    std::vector<uint32_t>& ord = order_[sort_col];
+    ord.resize(n);
+    std::iota(ord.begin(), ord.end(), uint32_t{0});
+    const auto& column = table.column(sort_col);
+    // Stable sort on value == sort by (value, row): ties keep the iota
+    // (ascending-row) order, which is the invariant the edit path's binary
+    // searches rely on.
+    std::stable_sort(ord.begin(), ord.end(), [&](uint32_t a, uint32_t b) {
+      return column[a] < column[b];
+    });
+    std::vector<double>& o = obs_[sort_col];
+    o.resize(n >= 2 ? (n - 1) * m : 0);
+    for (size_t k = 0; k + 1 < n; ++k) {
+      for (size_t a = 0; a < m; ++a) {
+        o[k * m + a] =
+            ValueSimilarity(table.cell(ord[k], a), table.cell(ord[k + 1], a));
+      }
+    }
+  });
+}
+
+Matrix IncrementalUpdateState::ApplyObservationEdits(
+    const Table& old_table, const Table& updated,
+    std::span<const size_t> overwritten, ThreadPool* pool) {
+  assert(has_obs_);
+  const size_t m = updated.num_cols();
+  const size_t n_old = old_table.num_rows();
+  const size_t n_new = updated.num_rows();
+  assert(order_.size() == m);
+  assert(n_new >= n_old);
+
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(
+        std::min(ThreadPool::DefaultThreads(), std::max<size_t>(1, m)));
+    pool = owned_pool.get();
+  }
+
+  pool->ParallelFor(m, [&](size_t sort_col, size_t) {
+    std::vector<uint32_t>& ord = order_[sort_col];
+    std::vector<double>& obs = obs_[sort_col];
+    assert(ord.size() == n_old);
+    // Validity marks travel with the observation rows through every
+    // erase/insert, so a mark always names the pair it was made for no
+    // matter how positions shift afterwards.
+    std::vector<uint8_t> valid(n_old >= 2 ? n_old - 1 : 0, 1);
+
+    // Position of row r in `ord` under the (value, row) order, reading
+    // values from `col`. lower_bound is exact because ord is strictly
+    // ordered by that composite key.
+    auto pos_of = [&](const std::vector<std::string>& col, uint32_t r) {
+      auto it = std::lower_bound(
+          ord.begin(), ord.end(), r, [&](uint32_t x, uint32_t key) {
+            if (col[x] != col[key]) return col[x] < col[key];
+            return x < key;
+          });
+      return static_cast<size_t>(it - ord.begin());
+    };
+
+    auto remove_at = [&](size_t p) {
+      const size_t sz = ord.size();
+      assert(p < sz);
+      ord.erase(ord.begin() + p);
+      if (sz < 2) return;
+      const size_t gone = std::min(p, sz - 2);
+      obs.erase(obs.begin() + gone * m, obs.begin() + (gone + 1) * m);
+      valid.erase(valid.begin() + gone);
+      // Interior removal fuses the two pairs around p into one new pair at
+      // p-1; end removals only drop a pair.
+      if (p > 0 && p < sz - 1) valid[p - 1] = 0;
+    };
+
+    auto insert_at = [&](size_t p, uint32_t r) {
+      ord.insert(ord.begin() + p, r);
+      const size_t sz = ord.size();
+      if (sz < 2) return;
+      const size_t born = std::min(p, sz - 2);
+      obs.insert(obs.begin() + born * m, m, 0.0);
+      valid.insert(valid.begin() + born, uint8_t{0});
+      // The inserted element splits one pair into two; both flanking pairs
+      // (where they exist) are new.
+      if (p > 0) valid[p - 1] = 0;
+      if (p < sz - 1) valid[p] = 0;
+    };
+
+    // Removals first, under OLD values: every row still in `ord` carries
+    // its pre-update value, so the composite-key search stays coherent.
+    const auto& old_col = old_table.column(sort_col);
+    for (size_t i = overwritten.size(); i-- > 0;) {
+      const size_t p = pos_of(old_col, static_cast<uint32_t>(overwritten[i]));
+      assert(p < ord.size() && ord[p] == overwritten[i]);
+      remove_at(p);
+    }
+    // Then insertions under NEW values: survivors' values are unchanged
+    // between the tables and re-inserted rows carry updated values, so the
+    // search reads `updated` for every element consistently.
+    const auto& new_col = updated.column(sort_col);
+    for (size_t r : overwritten) {
+      insert_at(pos_of(new_col, static_cast<uint32_t>(r)),
+                static_cast<uint32_t>(r));
+    }
+    for (size_t r = n_old; r < n_new; ++r) {
+      insert_at(pos_of(new_col, static_cast<uint32_t>(r)),
+                static_cast<uint32_t>(r));
+    }
+    assert(ord.size() == n_new);
+    assert(valid.size() == (n_new >= 2 ? n_new - 1 : 0));
+
+    // Recompute exactly the invalidated pairs from the updated table. A
+    // pair still marked valid has both members unedited, so its old
+    // similarities are the new ones bit-for-bit.
+    for (size_t p = 0; p + 1 < ord.size(); ++p) {
+      if (valid[p]) continue;
+      for (size_t a = 0; a < m; ++a) {
+        obs[p * m + a] = ValueSimilarity(updated.cell(ord[p], a),
+                                         updated.cell(ord[p + 1], a));
+      }
+    }
+  });
+
+  // Assemble the full matrix in BuildSimilarityObservations' slot layout:
+  // attribute s owns rows [s * samples, (s+1) * samples) with samples =
+  // n-1 at stride 1.
+  const size_t samples = n_new >= 2 ? n_new - 1 : 0;
+  Matrix out(m * samples, m);
+  for (size_t s = 0; s < m; ++s) {
+    const std::vector<double>& o = obs_[s];
+    for (size_t p = 0; p < samples; ++p) {
+      for (size_t a = 0; a < m; ++a) {
+        out.At(s * samples + p, a) = o[p * m + a];
+      }
+    }
+  }
+  return out;
+}
+
+size_t IncrementalUpdateState::ApproxBytes() const {
+  size_t bytes = sizeof(*this) + comp_.ApproxBytes();
+  for (const auto& ord : order_) bytes += ord.capacity() * sizeof(uint32_t);
+  for (const auto& o : obs_) bytes += o.capacity() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace bclean

@@ -1,0 +1,110 @@
+// Session-retained scratch that makes Session::Update O(edit) instead of
+// O(table). A full model rebuild over an edited table repeats two expensive
+// passes whose inputs barely changed: the compensatory pair scan (every row
+// block) and the structure-learning similarity pass (every adjacent pair
+// under every per-attribute sort). This state keeps exactly the
+// intermediates those passes would recompute —
+//
+//   * the compensatory model's per-block pair partials
+//     (CompensatoryModel::BlockAccumulator), so an update rescans only the
+//     blocks containing edited rows and refolds only the keys those blocks
+//     touch, and
+//   * for engines whose network is learned automatically, the per-attribute
+//     sorted row orders plus the adjacent-pair similarity observations, so
+//     an update recomputes similarities only for pairs whose membership or
+//     cell values changed.
+//
+// The state is a cache, not a model layer: everything here is
+// reconstructible from the engine's current parts, and every incremental
+// product it feeds is bit-equal to the cold build over the same table
+// (tests/incremental_update_test.cc pins this differentially). Staleness is
+// gated by stats-object identity (Matches): any engine swap that did not go
+// through the incremental path leaves the state non-matching, and the next
+// eligible update rebuilds it. A FAILED incremental update may have
+// advanced parts of the state past the engine it describes, so the caller
+// must Invalidate() on any error from the update path.
+#ifndef BCLEAN_CORE_INCREMENTAL_H_
+#define BCLEAN_CORE_INCREMENTAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/compensatory.h"
+#include "src/matrix/matrix.h"
+
+namespace bclean {
+
+class DomainStats;
+class Table;
+class ThreadPool;
+class UcMask;
+
+class IncrementalUpdateState {
+ public:
+  /// True when this state was built (or incrementally advanced) for the
+  /// stats object `stats` — the freshness gate. Identity, not content: the
+  /// engine's parts are immutable and shared by pointer, so the stats
+  /// address pins the exact table revision the state describes.
+  bool Matches(const DomainStats* stats) const { return stats_ == stats; }
+
+  /// Marks the state stale (next eligible update rebuilds it). Must be
+  /// called after any failed incremental update: a failure mid-path may
+  /// have advanced the accumulator or the observation state already.
+  void Invalidate() { stats_ = nullptr; }
+
+  /// Binds the state to the stats revision it now describes.
+  void BindStats(const DomainStats* stats) { stats_ = stats; }
+
+  /// (Re)builds the state from an engine's current inputs: the block
+  /// accumulator always; the sorted orders + similarity observations only
+  /// when `with_observations` (auto-structure engines — callers must have
+  /// checked that all adjacent pairs are sampled, i.e. observation stride
+  /// is 1). Cost is comparable to the cold model passes; paid once, after
+  /// which eligible updates are O(edit).
+  void Rebuild(const Table& table, const DomainStats& stats,
+               const UcMask& mask, const CompensatoryOptions& options,
+               bool with_observations, ThreadPool* pool);
+
+  /// True when the state carries the structure-observation half.
+  bool has_observations() const { return has_obs_; }
+
+  /// The compensatory per-block partials (advanced in place by
+  /// CompensatoryModel::ApplyRowDelta).
+  CompensatoryModel::BlockAccumulator& comp() { return comp_; }
+
+  /// Advances the observation state from `old_table` to `updated` and
+  /// returns the full observation matrix of the updated table, bit-equal
+  /// to BuildSimilarityObservations(updated) at stride 1. `overwritten`
+  /// must be sorted, unique, and < old_table.num_rows(); `updated` must
+  /// extend `old_table` (same columns, >= rows, values equal outside the
+  /// overwritten rows). Only pairs adjacent to an edited row in some sort
+  /// order recompute their similarities; every surviving pair's row is
+  /// carried over verbatim, which is what makes the matrix bit-equal
+  /// rather than merely close. Requires has_observations(); both tables
+  /// must be at observation stride 1.
+  Matrix ApplyObservationEdits(const Table& old_table, const Table& updated,
+                               std::span<const size_t> overwritten,
+                               ThreadPool* pool);
+
+  /// Approximate footprint (the accumulator plus the observation state),
+  /// for diagnostics.
+  size_t ApproxBytes() const;
+
+ private:
+  CompensatoryModel::BlockAccumulator comp_;
+  bool has_obs_ = false;
+  /// Per sort attribute: rows ordered as BuildSimilarityObservations'
+  /// stable sort orders them — by value, ties by row index ascending.
+  std::vector<std::vector<uint32_t>> order_;
+  /// Per sort attribute: (num_rows - 1) observation rows of num_cols
+  /// doubles each, flat; row p holds the similarities of the adjacent pair
+  /// (order_[s][p], order_[s][p+1]).
+  std::vector<std::vector<double>> obs_;
+  const DomainStats* stats_ = nullptr;
+};
+
+}  // namespace bclean
+
+#endif  // BCLEAN_CORE_INCREMENTAL_H_

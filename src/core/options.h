@@ -121,6 +121,15 @@ struct BCleanOptions {
   /// Once full, further outcomes are computed but not stored.
   size_t repair_cache_max_entries = 1 << 20;
 
+  /// Ceiling on the fraction of existing rows a Session::Update may
+  /// overwrite/append and still take the incremental O(edit) model-delta
+  /// path; larger edit sets rebuild the model outright (a delta touching
+  /// most blocks costs more than a clean rebuild). Execution-only like
+  /// num_threads: the incremental engine is bit-equal to the rebuilt one
+  /// (same ModelFingerprint, same Clean bytes) by contract, so this knob is
+  /// excluded from Digest(). 0 disables the incremental path entirely.
+  double incremental_update_max_fraction = 0.10;
+
   /// Scoring-kernel dispatch. Execution-only: the AVX2 kernel is
   /// byte-identical to the scalar reference by construction (both evaluate
   /// the shared FastLog polynomial in the same fma-for-fma operation
@@ -134,7 +143,8 @@ struct BCleanOptions {
   /// Stable digest of every decision-affecting field, including the
   /// compensatory and structure-learning configuration. Execution-only
   /// knobs — num_threads (both here and in structure), repair_cache,
-  /// repair_cache_max_entries, and simd — are deliberately excluded:
+  /// repair_cache_max_entries, simd, and incremental_update_max_fraction —
+  /// are deliberately excluded:
   /// Clean() output is byte-identical across them by contract, so engines
   /// built under different thread counts, cache settings, or instruction
   /// sets may share a service cache slot. Feeds the service layer's engine cache key and model

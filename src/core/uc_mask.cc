@@ -24,6 +24,23 @@ UcMask UcMask::Build(const UcRegistry& ucs, const DomainStats& stats) {
   return mask;
 }
 
+UcMask UcMask::Extend(const UcMask& base, const UcRegistry& ucs,
+                      const DomainStats& stats) {
+  UcMask mask = base;
+  assert(mask.ok_.size() == stats.num_cols());
+  for (size_t c = 0; c < mask.ok_.size(); ++c) {
+    const ColumnStats& column = stats.column(c);
+    const size_t known = mask.ok_[c].size();
+    assert(known <= column.DomainSize());
+    mask.ok_[c].resize(column.DomainSize());
+    for (size_t v = known; v < column.DomainSize(); ++v) {
+      mask.ok_[c][v] =
+          ucs.Check(c, column.ValueOf(static_cast<int32_t>(v))) ? 1 : 0;
+    }
+  }
+  return mask;
+}
+
 uint64_t UcMask::Digest() const {
   uint64_t h = 0xAC3Dull;
   h = DigestCombine(h, ok_.size());

@@ -19,6 +19,14 @@ class UcMask {
   /// Evaluates `ucs` over every distinct value of every column.
   static UcMask Build(const UcRegistry& ucs, const DomainStats& stats);
 
+  /// Extends `base` (built over a prefix of each dictionary) to cover
+  /// `stats`, evaluating `ucs` only for the codes `base` has not seen.
+  /// UC verdicts depend only on the value, so the result is
+  /// field-identical to Build(ucs, stats) — same Digest() — at the cost
+  /// of the newly-interned values alone.
+  static UcMask Extend(const UcMask& base, const UcRegistry& ucs,
+                       const DomainStats& stats);
+
   /// UC verdict for code `code` of column `col` (kNullCode = the NULL value).
   bool Check(size_t col, int32_t code) const {
     assert(col < ok_.size());

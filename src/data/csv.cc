@@ -10,8 +10,7 @@ namespace {
 // is the literal string (WriteCsvString quotes it back on the way out).
 std::string NormalizeNull(std::string field, bool was_quoted) {
   if (was_quoted) return field;
-  if (field == "NULL" || field == "null") return std::string(kNullValue);
-  return field;
+  return NormalizeNullLiteral(std::move(field));
 }
 
 bool NeedsQuoting(const std::string& field, char sep) {
@@ -36,6 +35,11 @@ std::string QuoteField(const std::string& field, char sep) {
 }
 
 }  // namespace
+
+std::string NormalizeNullLiteral(std::string value) {
+  if (value == "NULL" || value == "null") return std::string(kNullValue);
+  return value;
+}
 
 std::vector<std::string> ParseCsvLine(std::string_view line, char separator) {
   std::vector<std::string> fields;

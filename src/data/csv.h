@@ -37,6 +37,14 @@ struct CsvOptions {
 std::vector<std::string> ParseCsvLine(std::string_view line,
                                       char separator = ',');
 
+/// The NULL normalization CSV ingest applies to unquoted fields: the
+/// literal tokens NULL and null become the system NULL marker
+/// (Table::kNullValue); everything else passes through. Exposed so other
+/// row-ingest boundaries (Session::Update's RowEdit values) treat the
+/// tokens identically to a CSV load — a table updated row by row encodes
+/// NULLs exactly like the same table read from disk.
+std::string NormalizeNullLiteral(std::string value);
+
 /// Parses full CSV text into a Table. Fails with InvalidArgument on ragged
 /// rows; with has_header=false, columns are named c0, c1, ...
 Result<Table> ReadCsvString(std::string_view text,

@@ -1,5 +1,7 @@
 #include "src/data/domain_stats.h"
 
+#include <algorithm>
+
 namespace bclean {
 
 int32_t ColumnStats::Intern(const std::string& value) {
@@ -62,6 +64,97 @@ DomainStats DomainStats::Build(const Table& table) {
     }
   }
   return stats;
+}
+
+std::optional<DomainStats> DomainStats::ApplyRowEdits(
+    const Table& updated, std::span<const size_t> overwritten) const {
+  const size_t old_rows = logical_rows_;
+  const size_t new_rows = updated.num_rows();
+  const size_t cols = columns_.size();
+  assert(updated.num_cols() == cols);
+  assert(new_rows >= old_rows);
+  assert(codes_.num_rows() == old_rows);
+  DomainStats next;
+  next.columns_ = columns_;
+  next.codes_ = CodedColumns(new_rows, cols);
+  next.logical_rows_ = new_rows;
+  for (size_t c = 0; c < cols; ++c) {
+    ColumnStats& column = next.columns_[c];
+    std::span<const int32_t> old_codes = codes_.column(c);
+    std::span<int32_t> new_codes = next.codes_.mutable_column(c);
+    std::copy(old_codes.begin(), old_codes.end(), new_codes.begin());
+    // Cold Build assigns codes in first-seen row order, so an edit is
+    // representable only when it leaves every first occurrence where it
+    // was. One pass over the old codes pins those positions.
+    std::vector<size_t> first_occ(column.values_.size(), old_rows);
+    for (size_t r = old_rows; r-- > 0;) {
+      const int32_t code = old_codes[r];
+      if (code >= 0) first_occ[static_cast<size_t>(code)] = r;
+    }
+    int64_t max_first = -1;
+    for (size_t occ : first_occ) {
+      max_first = std::max(max_first, static_cast<int64_t>(occ));
+    }
+    // Retires the old value of an overwritten cell. The occurrence must
+    // be neither the value's first (the dictionary would reorder) nor its
+    // last (the value would vanish from the domain).
+    auto remove_old = [&](size_t r) -> bool {
+      const int32_t old_code = old_codes[r];
+      if (old_code < 0) {
+        --column.null_count_;
+        return true;
+      }
+      const size_t idx = static_cast<size_t>(old_code);
+      if (first_occ[idx] == r) return false;
+      if (--column.counts_[idx] == 0) return false;
+      return true;
+    };
+    // Accounts for the new value at row r (overwrite or append). A known
+    // value may not gain an earlier first occurrence; a novel value must
+    // land after every existing first occurrence so appending it to the
+    // dictionary end matches the cold first-seen order.
+    auto add_new = [&](size_t r) -> bool {
+      const std::string& value = updated.cell(r, c);
+      if (IsNull(value)) {
+        ++column.null_count_;
+        new_codes[r] = kNullCode;
+        return true;
+      }
+      auto it = column.index_.find(value);
+      if (it != column.index_.end()) {
+        const size_t idx = static_cast<size_t>(it->second);
+        if (first_occ[idx] >= r) return false;
+        ++column.counts_[idx];
+        new_codes[r] = it->second;
+        return true;
+      }
+      if (max_first >= static_cast<int64_t>(r)) return false;
+      const int32_t code = static_cast<int32_t>(column.values_.size());
+      column.index_.emplace(value, code);
+      column.values_.push_back(value);
+      column.counts_.push_back(1);
+      first_occ.push_back(r);
+      max_first = static_cast<int64_t>(r);
+      new_codes[r] = code;
+      return true;
+    };
+    for (size_t r : overwritten) {
+      assert(r < old_rows);
+      const std::string& value = updated.cell(r, c);
+      const int32_t old_code = old_codes[r];
+      if (old_code < 0) {
+        if (IsNull(value)) continue;
+      } else if (!IsNull(value) &&
+                 value == column.values_[static_cast<size_t>(old_code)]) {
+        continue;
+      }
+      if (!remove_old(r) || !add_new(r)) return std::nullopt;
+    }
+    for (size_t r = old_rows; r < new_rows; ++r) {
+      if (!add_new(r)) return std::nullopt;
+    }
+  }
+  return next;
 }
 
 DomainStats DomainStats::FromDictionaries(std::vector<ColumnStats> columns,

@@ -6,6 +6,7 @@
 #define BCLEAN_DATA_DOMAIN_STATS_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -67,6 +68,19 @@ class DomainStats {
  public:
   /// Builds statistics (and the encoded view) for every column of `table`.
   static DomainStats Build(const Table& table);
+
+  /// Incrementally re-derives stats for `updated`, a table that differs
+  /// from the one these stats were built from only in the rows listed in
+  /// `overwritten` (ascending, unique, all < num_rows()) plus rows
+  /// appended at the end (num_rows()..updated.num_rows()). The result is
+  /// field-identical to Build(updated): dictionaries extend in first-seen
+  /// order, counts and null counts match exactly, and the coded view is
+  /// the same matrix a cold encode would produce. Returns nullopt when an
+  /// edit would reorder or shrink a dictionary (a value's first
+  /// occurrence moved, or its last occurrence was overwritten) — callers
+  /// must then rebuild from scratch. Requires a resident coded view.
+  std::optional<DomainStats> ApplyRowEdits(
+      const Table& updated, std::span<const size_t> overwritten) const;
 
   /// Wraps dictionaries accumulated elsewhere (the sharded streaming
   /// build) without a resident coded view: `num_rows()` reports the

@@ -1,12 +1,15 @@
 #include "src/service/service.h"
 
+#include <algorithm>
 #include <unordered_set>
 #include <utility>
 
 #include "src/common/digest.h"
 #include "src/common/fault_injection.h"
 #include "src/common/thread_pool.h"
+#include "src/core/incremental.h"
 #include "src/core/repair_cache.h"
+#include "src/data/csv.h"
 #include "src/fdx/structure_learning.h"
 #include "src/service/fingerprint.h"
 #include "src/service/service_state.h"
@@ -432,27 +435,93 @@ Status Session::EditNetwork(const NetworkEdit& edit) {
 
 Status Session::Update(const std::vector<RowEdit>& edits) {
   std::lock_guard<std::mutex> lock(mu_);
+  const size_t base_rows = engine_->dirty().num_rows();
   Table updated = engine_->dirty();
+  std::vector<size_t> overwritten;
   for (const RowEdit& edit : edits) {
+    // RowEdit values get the same NULL treatment as unquoted CSV fields,
+    // so a table updated row by row and the equivalent table reloaded from
+    // CSV encode missing values identically.
+    std::vector<std::string> values;
+    values.reserve(edit.values.size());
+    for (const std::string& value : edit.values) {
+      values.push_back(NormalizeNullLiteral(value));
+    }
     if (edit.row == RowEdit::kAppend) {
-      BCLEAN_RETURN_IF_ERROR(updated.AddRow(edit.values));
+      BCLEAN_RETURN_IF_ERROR(updated.AddRow(values));
     } else {
-      if (edit.row >= updated.num_rows()) {
+      // Overwrites address the pre-Update table: a row appended earlier in
+      // this same batch is not a valid target, so a batch's meaning never
+      // depends on the order of its edits.
+      if (edit.row >= base_rows) {
         return Status::InvalidArgument(
             "RowEdit.row " + std::to_string(edit.row) +
-            " out of range (table has " +
-            std::to_string(updated.num_rows()) + " rows)");
+            " out of range (table had " + std::to_string(base_rows) +
+            " rows before this Update)");
       }
-      if (edit.values.size() != updated.num_cols()) {
+      if (values.size() != updated.num_cols()) {
         return Status::InvalidArgument(
-            "RowEdit.values arity " + std::to_string(edit.values.size()) +
+            "RowEdit.values arity " + std::to_string(values.size()) +
             " does not match the table (" +
             std::to_string(updated.num_cols()) + " columns)");
       }
       for (size_t c = 0; c < updated.num_cols(); ++c) {
-        updated.set_cell(edit.row, c, edit.values[c]);
+        updated.set_cell(edit.row, c, values[c]);
       }
+      overwritten.push_back(edit.row);
     }
+  }
+  std::sort(overwritten.begin(), overwritten.end());
+  overwritten.erase(std::unique(overwritten.begin(), overwritten.end()),
+                    overwritten.end());
+  // Rows overwritten back to their current values are not edits at all;
+  // dropping them keeps revert-heavy batches on the cheapest path.
+  overwritten.erase(
+      std::remove_if(overwritten.begin(), overwritten.end(),
+                     [&](size_t r) {
+                       for (size_t c = 0; c < updated.num_cols(); ++c) {
+                         if (updated.cell(r, c) != engine_->dirty().cell(r, c))
+                           return false;
+                       }
+                       return true;
+                     }),
+      overwritten.end());
+  const size_t touched = overwritten.size() + (updated.num_rows() - base_rows);
+  if (touched == 0) return Status::OK();  // content unchanged; model stands
+
+  const double max_fraction = options_.incremental_update_max_fraction;
+  if (max_fraction > 0.0 && base_rows > 0 &&
+      static_cast<double>(touched) <=
+          max_fraction * static_cast<double>(base_rows)) {
+    if (!incremental_) incremental_ = std::make_unique<IncrementalUpdateState>();
+    // Structure is re-derived for auto-learned networks and kept (CPTs
+    // delta-refit) for user-edited ones — the same split the full paths
+    // below make. Delta engines never enter the shared engine cache: the
+    // cache holds cold-built models other sessions may adopt, and bit-equal
+    // or not, cache entries should have one provenance.
+    Result<std::unique_ptr<BCleanEngine>> incremental =
+        engine_->UpdateInPlaceFromEdits(*incremental_, std::move(updated),
+                                        overwritten, !engine_private_,
+                                        state_->pool.get());
+    if (incremental.ok()) {
+      engine_ = std::move(incremental).value();
+      engine_reused_ = false;
+      {
+        std::lock_guard<std::mutex> slock(state_->mu);
+        ++state_->stats.incremental_updates;
+      }
+      AttachCacheLocked();
+      return Status::OK();
+    }
+    // The delta cannot mirror this edit bit-exactly (dictionary reorder,
+    // strided observation sampling, capacity) or failed mid-advance; the
+    // scratch may be ahead of the engine now, so drop it and rebuild.
+    // `updated` is untouched on the error path, so the full rebuild below
+    // proceeds from the same materialized table.
+    incremental_->Invalidate();
+  } else {
+    // Oversized edit set: the next eligible Update rebuilds the scratch.
+    if (incremental_) incremental_->Invalidate();
   }
   if (engine_private_) {
     // Keep the user's edited network structure; refit its CPTs from the

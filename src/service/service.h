@@ -70,7 +70,13 @@ struct ServiceState;
 }  // namespace internal
 
 /// One row-level change for Session::Update: replaces row `row`'s values,
-/// or appends a new row when `row == kAppend`.
+/// or appends a new row when `row == kAppend`. `row` addresses the table
+/// as it stood BEFORE the Update call's batch — rows appended earlier in
+/// the same batch are not addressable, so a batch means the same thing
+/// regardless of how its edits are ordered. Values pass through the same
+/// NULL normalization as unquoted CSV fields (NormalizeNullLiteral): the
+/// literal tokens NULL/null and the empty string all store the NULL
+/// marker, exactly as if the updated table had been loaded from CSV.
 struct RowEdit {
   static constexpr size_t kAppend = static_cast<size_t>(-1);
   size_t row = kAppend;
@@ -125,6 +131,7 @@ struct ServiceStats {
   size_t jobs_cancelled = 0;          ///< async jobs ended kCancelled
   size_t deadline_exceeded = 0;       ///< async jobs ended kDeadlineExceeded
   size_t jobs_failed = 0;             ///< async jobs ended any other error
+  size_t incremental_updates = 0;     ///< Updates served by the O(edit) path
 };
 
 /// Per-call knobs of one CleanAsync submission.
@@ -234,17 +241,33 @@ class Session {
   }
 
   /// Incremental re-clean support: applies the row edits/appends to the
-  /// working table and re-derives the model (through the service's engine
-  /// cache — an Update reverting to previously-seen content is a hit). The
-  /// model must be re-derived because every BClean statistic (conf(T), pair
-  /// counts, CPTs) is a function of the full table; the repair cache is
-  /// keyed by model fingerprint, so decisions memoized under the old model
-  /// are never replayed against the new one, and the next Clean() is
-  /// byte-identical to a cold engine over the updated table. A session with
-  /// user network edits keeps its edited structure (CPTs refit from the
-  /// updated data) instead of re-learning one. The materialized updated
-  /// table is moved into the new engine — the path holds one transient
-  /// copy, not two.
+  /// working table and re-derives the model. Every BClean statistic
+  /// (conf(T), pair counts, CPTs) is a function of the full table, so the
+  /// model always moves to the updated table's — but for edit sets no
+  /// larger than BCleanOptions::incremental_update_max_fraction of the
+  /// table it moves by an O(edit) delta over session-retained scratch
+  /// (BCleanEngine::UpdateInPlaceFromEdits) instead of a full rebuild.
+  /// The delta engine is bit-equal to the rebuilt one — same
+  /// ModelFingerprint(), same Clean() bytes — so which path served an
+  /// Update is observable only through ServiceStats::incremental_updates
+  /// and wall-clock. Edits the delta cannot mirror exactly (dictionary
+  /// reorder, oversized tables, oversized edit sets) fall back to the full
+  /// path transparently; full rebuilds go through the service's engine
+  /// cache (an Update reverting to previously-seen content is a hit),
+  /// while delta engines stay private to the session — the shared cache
+  /// keeps only cold-built models. The repair cache is keyed by model
+  /// fingerprint, so decisions memoized under the old model are never
+  /// replayed against the new one, a reverting Update re-attaches its warm
+  /// cache, and the next Clean() is byte-identical to a cold engine over
+  /// the updated table. A session with user network edits keeps its edited
+  /// structure (CPTs delta-refit from the updated data) instead of
+  /// re-learning one.
+  ///
+  /// Overwrite rows address the PRE-Update table (see RowEdit); an edit
+  /// whose row is out of that range fails with InvalidArgument and leaves
+  /// the session untouched. RowEdit values pass through CSV NULL
+  /// normalization, so Update(NULL token) and reloading the equivalent CSV
+  /// produce identical tables.
   Status Update(const std::vector<RowEdit>& edits);
 
  private:
@@ -265,6 +288,10 @@ class Session {
   const BCleanOptions options_;
   std::shared_ptr<BCleanEngine> engine_;
   std::shared_ptr<RepairCache> cache_;  ///< null when persistence is off
+  /// Scratch for the O(edit) Update path (src/core/incremental.h). Built
+  /// lazily on the first eligible Update, advanced in place by successful
+  /// ones, discarded whenever an Update takes the full-rebuild path.
+  std::unique_ptr<IncrementalUpdateState> incremental_;
   uint64_t fingerprint_ = 0;
   uint64_t dispatcher_session_ = 0;  ///< dispatch-queue grouping id
   bool engine_private_ = false;      ///< detached by a network edit

@@ -1,0 +1,337 @@
+// Pins the incremental Session::Update path (src/core/incremental.h,
+// BCleanEngine::UpdateInPlaceFromEdits) against the full-rebuild path it
+// shortcuts: for any sequence of appends, overwrites, NULL writes, and
+// reverts, a session served by the O(edit) delta must report the same
+// model fingerprint and produce byte-identical Clean() output as a twin
+// session that rebuilds from scratch every time, and as a cold Open over
+// the final table — across PI / PIP / Basic at 1 and 8 threads. Also the
+// Update-path contracts this PR fixed: RowEdit values get CSV NULL
+// normalization on both the append and the overwrite path, and overwrite
+// rows address the pre-Update table (a row appended earlier in the same
+// batch is not a valid target).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/csv.h"
+#include "src/datagen/benchmarks.h"
+#include "src/errors/error_injection.h"
+#include "src/service/service.h"
+
+namespace bclean {
+namespace {
+
+Dataset InjectedDataset(const std::string& name, size_t rows, uint64_t seed) {
+  Dataset ds = MakeBenchmark(name, rows, 42).value();
+  Rng rng(seed);
+  InjectionResult injection =
+      InjectErrors(ds.clean, ds.default_injection, &rng).value();
+  ds.clean = std::move(injection.dirty);  // repurpose: .clean holds dirty
+  return ds;
+}
+
+BCleanOptions OptionsForMode(const std::string& mode) {
+  if (mode == "PI") return BCleanOptions::PartitionedInference();
+  if (mode == "PIP") return BCleanOptions::PartitionedInferencePruning();
+  return BCleanOptions::Basic();
+}
+
+RowEdit Append(std::vector<std::string> values) {
+  RowEdit edit;
+  edit.values = std::move(values);
+  return edit;
+}
+
+RowEdit Overwrite(size_t row, std::vector<std::string> values) {
+  RowEdit edit;
+  edit.row = row;
+  edit.values = std::move(values);
+  return edit;
+}
+
+// --------------------------------------------------- NULL normalization
+
+// RowEdit values must get the same NULL treatment as unquoted CSV fields.
+// Before the fix, values flowed raw into the table: an appended or
+// overwritten "NULL" token was stored as the four-character string, so the
+// same logical table had two different encodings (and two different model
+// fingerprints) depending on whether it arrived via CSV or via Update.
+TEST(IncrementalServiceTest, UpdateNormalizesNullLiteralsLikeCsv) {
+  Dataset ds = InjectedDataset("hospital", 60, 11);
+  Service service;
+  auto session =
+      service.Open("nulls", ds.clean, ds.ucs,
+                    BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  Session& s = *session.value();
+
+  std::vector<std::string> appended = ds.clean.Row(0);
+  appended[1] = "NULL";
+  std::vector<std::string> overwriting = ds.clean.Row(2);
+  overwriting[0] = "null";
+  ASSERT_TRUE(s.Update({Append(appended), Overwrite(2, overwriting)}).ok());
+
+  const Table& dirty = s.dirty();
+  EXPECT_TRUE(IsNull(dirty.cell(ds.clean.num_rows(), 1)))
+      << "appended NULL token stored as a literal string";
+  EXPECT_TRUE(IsNull(dirty.cell(2, 0)))
+      << "overwritten null token stored as a literal string";
+
+  // The updated session must be indistinguishable from opening the same
+  // logical table where the NULLs were normalized up front (the CSV route).
+  Table expected = ds.clean;
+  std::vector<std::string> appended_normalized = appended;
+  for (std::string& v : appended_normalized) v = NormalizeNullLiteral(v);
+  ASSERT_TRUE(expected.AddRow(appended_normalized).ok());
+  for (size_t c = 0; c < expected.num_cols(); ++c) {
+    expected.set_cell(2, c, NormalizeNullLiteral(overwriting[c]));
+  }
+  Service cold_service;
+  auto cold = cold_service.Open("cold", expected, ds.ucs,
+                                BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(s.model_fingerprint(), cold.value()->model_fingerprint());
+  EXPECT_TRUE(s.Clean().table == cold.value()->Clean().table);
+}
+
+// ------------------------------------------------- batch row addressing
+
+// Overwrites address the pre-Update table. Before the fix, the range check
+// ran against the growing table, so an overwrite could silently target a
+// row appended earlier in the same batch — and whether it did depended on
+// the batch's edit order.
+TEST(IncrementalServiceTest, OverwriteCannotTargetRowAppendedInSameBatch) {
+  Dataset ds = InjectedDataset("hospital", 60, 12);
+  Service service;
+  auto session = service.Open("batch", ds.clean, ds.ucs,
+                              BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  Session& s = *session.value();
+  const uint64_t fingerprint_before = s.model_fingerprint();
+  const size_t rows_before = s.dirty().num_rows();
+
+  // Append one row, then overwrite the slot it landed in: out of range for
+  // the pre-batch table, so the whole batch must be rejected atomically.
+  Status status = s.Update(
+      {Append(ds.clean.Row(1)), Overwrite(rows_before, ds.clean.Row(3))});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.dirty().num_rows(), rows_before)
+      << "a rejected batch must leave the table untouched";
+  EXPECT_EQ(s.model_fingerprint(), fingerprint_before);
+}
+
+// -------------------------------------------------- incremental vs full
+
+struct IncrementalCase {
+  std::string mode;
+  size_t threads;
+};
+
+class IncrementalUpdateDifferentialTest
+    : public ::testing::TestWithParam<IncrementalCase> {};
+
+// Randomized Update sequences: a session served by the O(edit) delta path
+// must be bit-indistinguishable — model fingerprint and Clean() bytes —
+// from a twin session with the incremental path disabled (full rebuild
+// every Update; the knob is execution-only and excluded from the options
+// digest) and from a cold Open over the final table.
+TEST_P(IncrementalUpdateDifferentialTest, AnyEditSequenceMatchesFullRebuild) {
+  const IncrementalCase& c = GetParam();
+  Dataset ds = InjectedDataset("hospital", 200, 21);
+  BCleanOptions incremental_options = OptionsForMode(c.mode);
+  incremental_options.num_threads = c.threads;
+  BCleanOptions full_options = incremental_options;
+  full_options.incremental_update_max_fraction = 0.0;  // always rebuild
+
+  Service inc_service;
+  Service full_service;
+  auto inc_session =
+      inc_service.Open("inc", ds.clean, ds.ucs, incremental_options);
+  auto full_session =
+      full_service.Open("full", ds.clean, ds.ucs, full_options);
+  ASSERT_TRUE(inc_session.ok()) << inc_session.status().ToString();
+  ASSERT_TRUE(full_session.ok()) << full_session.status().ToString();
+  Session& inc = *inc_session.value();
+  Session& full = *full_session.value();
+
+  Rng rng(99);
+  Table original = ds.clean;  // revert source
+  for (int round = 0; round < 6; ++round) {
+    std::vector<RowEdit> edits;
+    const size_t base_rows = inc.dirty().num_rows();
+    const size_t batch = 1 + rng.UniformIndex(8);
+    for (size_t e = 0; e < batch; ++e) {
+      switch (rng.UniformIndex(4)) {
+        case 0: {  // append a (possibly duplicate) existing row
+          edits.push_back(Append(inc.dirty().Row(rng.UniformIndex(base_rows))));
+          break;
+        }
+        case 1: {  // overwrite with another row's values
+          edits.push_back(Overwrite(rng.UniformIndex(base_rows),
+                                    inc.dirty().Row(rng.UniformIndex(base_rows))));
+          break;
+        }
+        case 2: {  // write a NULL token into one cell
+          size_t row = rng.UniformIndex(base_rows);
+          std::vector<std::string> values = inc.dirty().Row(row);
+          values[rng.UniformIndex(values.size())] = "NULL";
+          edits.push_back(Overwrite(row, std::move(values)));
+          break;
+        }
+        default: {  // revert a row to its original content
+          size_t row = rng.UniformIndex(
+              std::min(base_rows, original.num_rows()));
+          edits.push_back(Overwrite(row, original.Row(row)));
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(inc.Update(edits).ok());
+    ASSERT_TRUE(full.Update(edits).ok());
+    ASSERT_EQ(inc.model_fingerprint(), full.model_fingerprint())
+        << "round " << round
+        << ": incremental fingerprint diverged from full rebuild";
+    CleanResult inc_clean = inc.Clean();
+    CleanResult full_clean = full.Clean();
+    ASSERT_TRUE(inc_clean.table == full_clean.table)
+        << "round " << round
+        << ": incremental Clean bytes diverged from full rebuild";
+  }
+  // The sweep must actually have exercised the delta path.
+  EXPECT_GT(inc_service.stats().incremental_updates, 0u);
+  EXPECT_EQ(full_service.stats().incremental_updates, 0u);
+
+  // Cold cross-check: a fresh Open over the final table agrees.
+  Service cold_service;
+  auto cold = cold_service.Open("cold", inc.dirty(), ds.ucs,
+                                incremental_options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(inc.model_fingerprint(), cold.value()->model_fingerprint());
+  EXPECT_TRUE(inc.Clean().table == cold.value()->Clean().table);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalUpdateDifferentialTest,
+    ::testing::Values(IncrementalCase{"PI", 1}, IncrementalCase{"PI", 8},
+                      IncrementalCase{"PIP", 1}, IncrementalCase{"PIP", 8},
+                      IncrementalCase{"Basic", 1}, IncrementalCase{"Basic", 8}),
+    [](const ::testing::TestParamInfo<IncrementalCase>& info) {
+      return info.param.mode + "_t" + std::to_string(info.param.threads);
+    });
+
+// A session holding a user-edited network keeps its structure across
+// incremental Updates (CPT delta instead of relearning), exactly like the
+// full CreateWithNetwork path it shortcuts.
+TEST(IncrementalServiceTest, EditedNetworkSessionDeltaMatchesFullRebuild) {
+  Dataset ds = InjectedDataset("hospital", 150, 31);
+  BCleanOptions inc_options = BCleanOptions::PartitionedInference();
+  BCleanOptions full_options = inc_options;
+  full_options.incremental_update_max_fraction = 0.0;
+
+  Service inc_service;
+  Service full_service;
+  auto inc_session = inc_service.Open("inc", ds.clean, ds.ucs, inc_options);
+  auto full_session =
+      full_service.Open("full", ds.clean, ds.ucs, full_options);
+  ASSERT_TRUE(inc_session.ok());
+  ASSERT_TRUE(full_session.ok());
+  Session& inc = *inc_session.value();
+  Session& full = *full_session.value();
+
+  // Detach both onto a user-edited structure.
+  const std::string parent = inc.network().variable(0).name;
+  const std::string child = inc.network().variable(1).name;
+  Status inc_edit = inc.RemoveNetworkEdge(parent, child);
+  Status full_edit = full.RemoveNetworkEdge(parent, child);
+  if (!inc_edit.ok()) {  // no such edge: add one instead
+    ASSERT_TRUE(inc.AddNetworkEdge(parent, child).ok());
+    ASSERT_TRUE(full.AddNetworkEdge(parent, child).ok());
+  } else {
+    ASSERT_TRUE(full_edit.ok());
+  }
+  ASSERT_EQ(inc.model_fingerprint(), full.model_fingerprint());
+
+  // Appends of existing rows are always delta-eligible (no dictionary
+  // value is retired or re-ordered), so this pins the private-engine path
+  // actually going through the delta.
+  std::vector<RowEdit> edits = {Append(ds.clean.Row(0)),
+                                Append(ds.clean.Row(9))};
+  ASSERT_TRUE(inc.Update(edits).ok());
+  ASSERT_TRUE(full.Update(edits).ok());
+  EXPECT_GT(inc_service.stats().incremental_updates, 0u);
+  EXPECT_EQ(inc.model_fingerprint(), full.model_fingerprint())
+      << "private-engine delta diverged from CreateWithNetwork rebuild";
+  EXPECT_TRUE(inc.Clean().table == full.Clean().table);
+}
+
+// An Update that reverts earlier edits restores the model fingerprint and
+// re-attaches the warm repair cache — through the delta path. The edited
+// row is a pre-seeded duplicate, so neither direction of the swap retires
+// a dictionary value or moves a first occurrence (which would honestly
+// force the full-rebuild fallback instead).
+TEST(IncrementalServiceTest, RevertingUpdateReattachesWarmRepairCache) {
+  Dataset ds = InjectedDataset("hospital", 150, 41);
+  Table seeded = ds.clean;
+  ASSERT_TRUE(seeded.AddRow(ds.clean.Row(5)).ok());
+  ASSERT_TRUE(seeded.AddRow(ds.clean.Row(8)).ok());
+  const size_t dup = ds.clean.num_rows();  // duplicate of row 5
+
+  Service service;
+  auto session = service.Open("revert", seeded, ds.ucs,
+                              BCleanOptions::PartitionedInference());
+  ASSERT_TRUE(session.ok());
+  Session& s = *session.value();
+  const uint64_t fingerprint_before = s.model_fingerprint();
+  CleanResult warmup = s.Clean();  // populate the repair cache
+  EXPECT_GT(warmup.stats.cells_scanned, 0u);
+
+  ASSERT_TRUE(s.Update({Overwrite(dup, ds.clean.Row(8))}).ok());
+  EXPECT_NE(s.model_fingerprint(), fingerprint_before);
+  ASSERT_TRUE(s.Update({Overwrite(dup, ds.clean.Row(5))}).ok());
+  EXPECT_EQ(s.model_fingerprint(), fingerprint_before)
+      << "reverting through the delta path must restore the fingerprint";
+  EXPECT_EQ(service.stats().incremental_updates, 2u);
+
+  CleanResult replay = s.Clean();
+  EXPECT_TRUE(replay.table == warmup.table);
+  EXPECT_EQ(replay.stats.cache_misses, 0u)
+      << "the reverted model must replay from its original warm cache";
+  EXPECT_EQ(replay.stats.cache_hits, replay.stats.cells_scanned);
+}
+
+// Edit sets above the fraction knob rebuild outright (and count no
+// incremental update); the rebuilt session still matches a cold Open.
+TEST(IncrementalServiceTest, OversizedEditSetsFallBackToFullRebuild) {
+  Dataset ds = InjectedDataset("hospital", 100, 51);
+  BCleanOptions options = BCleanOptions::PartitionedInference();
+  options.incremental_update_max_fraction = 0.05;  // cap at 5 rows
+  Service service;
+  auto session = service.Open("fallback", ds.clean, ds.ucs, options);
+  ASSERT_TRUE(session.ok());
+  Session& s = *session.value();
+
+  std::vector<RowEdit> big;
+  for (size_t r = 0; r < 20; ++r) {
+    big.push_back(Append(ds.clean.Row(r)));
+  }
+  ASSERT_TRUE(s.Update(big).ok());
+  EXPECT_EQ(service.stats().incremental_updates, 0u)
+      << "a 20%-of-table edit set must not take the delta path at cap 5%";
+
+  ASSERT_TRUE(s.Update({Append(ds.clean.Row(2))}).ok());
+  EXPECT_EQ(service.stats().incremental_updates, 1u)
+      << "a small edit right after a fallback must rebuild the scratch and "
+         "take the delta path";
+
+  Service cold_service;
+  auto cold = cold_service.Open("cold", s.dirty(), ds.ucs, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(s.model_fingerprint(), cold.value()->model_fingerprint());
+  EXPECT_TRUE(s.Clean().table == cold.value()->Clean().table);
+}
+
+}  // namespace
+}  // namespace bclean
